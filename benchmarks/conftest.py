@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper's evaluation (or one of
+the ablations listed in DESIGN.md), prints the series the figure reports and
+asserts its qualitative shape, while timing the model evaluation with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology import cmos_012um, cmos_035um
+
+
+@pytest.fixture(scope="session")
+def tech012():
+    """The 0.12 um technology used by the paper's leakage validation."""
+    return cmos_012um()
+
+
+@pytest.fixture(scope="session")
+def tech035():
+    """The 0.35 um technology used by the paper's thermal measurements."""
+    return cmos_035um()

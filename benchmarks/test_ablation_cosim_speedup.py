@@ -1,0 +1,126 @@
+"""Ablation C — analytical vs numerical electro-thermal co-simulation.
+
+The paper's motivation for compact analytical models is speed: "analytical
+solutions provide faster estimations" than numerical approaches while being
+accurate enough.  This ablation runs the same coupled power-temperature
+fixed point twice on the three-block floorplan:
+
+* the analytical engine (reduced thermal-resistance matrix built from
+  Eqs. 18/20 + images, closed-form leakage temperature scaling), and
+* a numerical loop that re-solves the 3-D finite-volume model at every
+  iteration,
+
+then compares the converged block temperatures / total power and reports the
+wall-clock speedup of the analytical path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.cosim import ElectroThermalEngine, block_models_from_powers
+from repro.floorplan import three_block_floorplan
+from repro.floorplan.powermap import fdm_sources_from_blocks
+from repro.reporting import print_table
+from repro.thermalsim.fdm import FiniteVolumeThermalSolver
+
+AMBIENT = 318.15
+DYNAMIC = {"core": 0.22, "cache": 0.09, "io": 0.04}
+STATIC_REF = {"core": 0.045, "cache": 0.018, "io": 0.008}
+
+
+def numerical_cosim(technology, plan, models, max_iterations=25, tolerance=0.02):
+    """Fixed point with the finite-volume solver in the thermal role."""
+    solver = FiniteVolumeThermalSolver(
+        plan.die.width, plan.die.length, plan.die.thickness,
+        nx=20, ny=20, nz=5, ambient_temperature=AMBIENT,
+    )
+    temperatures = {name: AMBIENT for name in plan.block_names()}
+    iterations = 0
+    for iteration in range(max_iterations):
+        iterations = iteration + 1
+        powers = {
+            name: models[name].total_power(temperatures[name])
+            for name in plan.block_names()
+        }
+        solution = solver.solve(fdm_sources_from_blocks(plan, powers))
+        updated = {
+            name: solution.temperature_at(plan.block(name).x, plan.block(name).y)
+            for name in plan.block_names()
+        }
+        change = max(abs(updated[n] - temperatures[n]) for n in temperatures)
+        temperatures = updated
+        if change < tolerance:
+            break
+    total_power = sum(
+        models[name].total_power(temperatures[name]) for name in plan.block_names()
+    )
+    return temperatures, total_power, iterations
+
+
+def run_analytical(technology, plan, models):
+    engine = ElectroThermalEngine(
+        technology, plan, models, ambient_temperature=AMBIENT, image_rings=1
+    )
+    return engine.solve(tolerance=0.02)
+
+
+def test_ablation_cosim_speedup(benchmark, tech012):
+    plan = three_block_floorplan()
+    models = block_models_from_powers(tech012, DYNAMIC, STATIC_REF)
+
+    # Time the analytical engine with pytest-benchmark (it is the fast path
+    # whose cost the paper cares about) and the numerical loop manually.
+    analytical = benchmark(run_analytical, tech012, plan, models)
+
+    start = time.perf_counter()
+    numeric_temps, numeric_power, numeric_iterations = numerical_cosim(
+        tech012, plan, models
+    )
+    numeric_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_analytical(tech012, plan, models)
+    analytic_seconds = max(time.perf_counter() - start, 1e-9)
+    speedup = numeric_seconds / analytic_seconds
+
+    rows = []
+    for name in plan.block_names():
+        rows.append(
+            [
+                name,
+                analytical.block_temperatures[name] - AMBIENT,
+                numeric_temps[name] - AMBIENT,
+            ]
+        )
+    print_table(
+        ["block", "analytical rise (K)", "finite-volume rise (K)"],
+        rows,
+        title="ablationC: converged block temperature rises",
+    )
+    print_table(
+        ["method", "total power (W)", "wall time (s)"],
+        [
+            ["analytical engine", analytical.total_power, analytic_seconds],
+            ["finite-volume loop", numeric_power, numeric_seconds],
+        ],
+        title=f"ablationC: cost comparison (speedup ~{speedup:.0f}x)",
+    )
+
+    # Both flows converge and agree on the physics: same hottest block, block
+    # rises within a factor of two, total power within ~15%.
+    assert analytical.converged
+    assert numeric_iterations < 25
+    hottest_numeric = max(numeric_temps, key=numeric_temps.get)
+    assert analytical.hottest_block() == hottest_numeric == "core"
+    for name in plan.block_names():
+        analytic_rise = analytical.block_temperatures[name] - AMBIENT
+        numeric_rise = numeric_temps[name] - AMBIENT
+        assert 0.5 * numeric_rise <= analytic_rise <= 2.0 * numeric_rise
+    assert analytical.total_power == pytest.approx(numeric_power, rel=0.15)
+
+    # The speed claim: the analytical fixed point is at least an order of
+    # magnitude faster than re-solving the finite-volume model in the loop.
+    assert speedup > 10.0

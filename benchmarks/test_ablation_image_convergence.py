@@ -1,0 +1,71 @@
+"""Ablation B — convergence of the method-of-images boundary treatment.
+
+The paper enforces the adiabatic die sides by mirroring every source across
+each edge.  This ablation measures how quickly the boundary condition is
+satisfied as image rings are added: the residual normal gradient on the die
+edges drops sharply from ring 0 (no images) to ring 1 and is essentially
+converged by ring 2, while the evaluation cost grows quadratically with the
+ring count — the accuracy/cost trade the DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.thermal.images import ImageExpansion
+from repro.floorplan import three_block_floorplan
+from repro.reporting import print_table
+from repro.technology.materials import SILICON
+
+BLOCK_POWERS = {"core": 0.25, "cache": 0.12, "io": 0.06}
+RINGS = (0, 1, 2, 3)
+
+
+def evaluate_residuals():
+    """Boundary-flux residual and image count for each ring setting."""
+    plan = three_block_floorplan()
+    sources = plan.to_heat_sources(BLOCK_POWERS)
+    conductivity = SILICON.conductivity_at(318.15)
+    results = []
+    for rings in RINGS:
+        expansion = ImageExpansion(plan.die, rings=rings, include_bottom_images=False)
+        start = time.perf_counter()
+        residual = expansion.boundary_flux_residual(sources, conductivity, samples=9)
+        elapsed = time.perf_counter() - start
+        results.append(
+            {
+                "rings": rings,
+                "residual": residual,
+                "images": expansion.image_count(len(sources)),
+                "seconds": elapsed,
+            }
+        )
+    return results
+
+
+def test_ablation_image_convergence(benchmark):
+    results = benchmark(evaluate_residuals)
+    print_table(
+        ["rings", "edge-flux residual", "image sources", "eval time (s)"],
+        [[r["rings"], r["residual"], r["images"], r["seconds"]] for r in results],
+        title="ablationB: image-ring convergence",
+    )
+
+    residuals = [r["residual"] for r in results]
+    counts = [r["images"] for r in results]
+
+    # Without images the edge condition is badly violated; one ring removes
+    # the bulk of the violation (better than 3x), and further rings keep it
+    # at the converged level.
+    assert residuals[0] > 3.0 * residuals[1]
+    assert residuals[1] < 0.25
+    assert residuals[2] <= residuals[1] * 1.2
+    assert residuals[3] <= residuals[2] * 1.2
+
+    # Cost: the image count grows quadratically with the ring count.
+    assert counts[0] == 3
+    assert counts[1] == 3 * 36
+    assert counts[2] == 3 * 100
+    assert counts[3] == 3 * 196

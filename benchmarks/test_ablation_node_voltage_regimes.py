@@ -1,0 +1,75 @@
+"""Ablation A — the two asymptotic node-voltage formulas vs the unified one.
+
+The paper derives two regime-limited solutions for the intermediate node
+voltage of a pair of OFF devices — Eq. (7) for ``dV >> VT`` and Eq. (8) for
+``dV < VT`` — and then proposes the empirical Eq. (10) that bridges them.
+This ablation quantifies what the unified formula buys: each asymptote is
+accurate only in its own regime, while Eq. (10) stays accurate everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import max_absolute_relative_error
+from repro.core.leakage.stack_collapse import StackCollapser
+from repro.reporting import FigureData, Series
+
+WIDTH_RATIOS = np.logspace(-2.5, 2.5, 21)
+BOTTOM_WIDTH = 1.0e-6
+
+
+def build_regime_sweep(technology):
+    """Evaluate Eq. 7, Eq. 8, Eq. 10 and the exact balance over the sweep."""
+    collapser = StackCollapser(technology)
+    exact, unified, strong, weak = [], [], [], []
+    for ratio in WIDTH_RATIOS:
+        upper = ratio * BOTTOM_WIDTH
+        exact.append(collapser.exact_pair_node_voltage(upper, BOTTOM_WIDTH, "nmos"))
+        unified.append(collapser.node_voltage(upper, BOTTOM_WIDTH, "nmos"))
+        strong.append(collapser.node_voltage_strong(upper, BOTTOM_WIDTH, "nmos"))
+        weak.append(collapser.node_voltage_weak(upper, BOTTOM_WIDTH, "nmos"))
+
+    figure = FigureData(
+        figure_id="ablationA",
+        title="Node-voltage approximations vs exact balance (V)",
+    )
+    for label, values in (
+        ("exact", exact), ("eq10_unified", unified),
+        ("eq7_strong", strong), ("eq8_weak", weak),
+    ):
+        figure.add(Series.from_arrays(label, WIDTH_RATIOS, values,
+                                      x_label="W_top/W_bottom", y_label="V"))
+    return figure
+
+
+def test_ablation_node_voltage_regimes(benchmark, tech012):
+    figure = benchmark(build_regime_sweep, tech012)
+    figure.print()
+
+    exact = np.array(figure.get("exact").y)
+    unified = np.array(figure.get("eq10_unified").y)
+    strong = np.array(figure.get("eq7_strong").y)
+    weak = np.array(figure.get("eq8_weak").y)
+
+    # The unified formula is accurate across the whole sweep.
+    assert max_absolute_relative_error(unified, exact) < 0.10
+
+    # Each asymptote has a regime where it fails badly:
+    # Eq. (7) goes negative / collapses for narrow-top stacks,
+    # Eq. (8) blows up exponentially for wide-top stacks.
+    assert strong[0] < 0.5 * exact[0] or strong[0] <= 0.0
+    assert weak[-1] > 3.0 * exact[-1]
+
+    # ... and a regime where it is accurate (which Eq. 10 inherits).
+    assert abs(strong[-1] - exact[-1]) / exact[-1] < 0.1
+    assert abs(weak[0] - exact[0]) / exact[0] < 0.15
+
+    # The unified curve is sandwiched between the two asymptotes everywhere
+    # (up to numerical noise), confirming it interpolates rather than
+    # extrapolates.
+    lower = np.minimum(strong, weak)
+    upper = np.maximum(strong, weak)
+    assert np.all(unified >= lower - 1e-6)
+    assert np.all(unified <= upper + 1e-6)

@@ -1,0 +1,84 @@
+"""Figure 1 — dynamic vs static power across technology nodes.
+
+The paper opens with a projection showing the static power of a
+representative chip growing exponentially with scaling (0.8 um -> 25 nm) at
+25 / 100 / 150 degC until it overtakes the dynamic power below ~100 nm, with
+the crossover moving to older nodes as the junction temperature rises.
+
+This benchmark regenerates the projection with the library's scaling study
+and asserts those qualitative claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import FigureData, Series
+from repro.technology.scaling import TechnologyScalingStudy
+
+TEMPERATURES = (25.0, 100.0, 150.0)
+
+
+def build_projection():
+    """Run the Fig. 1 node sweep and package it as figure series."""
+    study = TechnologyScalingStudy(temperatures_celsius=TEMPERATURES)
+    projections = study.project()
+    nodes = [p.node for p in projections]
+    positions = list(range(len(nodes)))
+
+    figure = FigureData(
+        figure_id="fig1",
+        title="Dynamic vs static power across technology nodes (W)",
+    )
+    figure.add(
+        Series.from_arrays(
+            "dynamic", positions, [p.dynamic_power for p in projections],
+            x_label="node index (0=0.8um)", y_label="W",
+        )
+    )
+    for temperature in TEMPERATURES:
+        figure.add(
+            Series.from_arrays(
+                f"static_{temperature:g}C", positions,
+                [p.static_power(temperature) for p in projections],
+                x_label="node index (0=0.8um)", y_label="W",
+            )
+        )
+    figure.add_note("nodes: " + ", ".join(nodes))
+    for temperature in TEMPERATURES:
+        crossover = study.crossover_node(temperature)
+        figure.add_note(f"static>dynamic crossover at {temperature:g}C: {crossover}")
+    return study, figure
+
+
+def test_fig01_power_scaling(benchmark):
+    study, figure = benchmark(build_projection)
+    figure.print()
+
+    dynamic = figure.get("dynamic")
+    static_hot = figure.get("static_150C")
+    static_warm = figure.get("static_100C")
+    static_cold = figure.get("static_25C")
+
+    # Static power grows monotonically (and exponentially) with scaling.
+    assert static_hot.is_monotonic_increasing()
+    assert static_cold.is_monotonic_increasing()
+    span = static_hot.y[-1] / static_hot.y[0]
+    assert span > 1e3
+
+    # Temperature ordering: hotter junctions always leak more.
+    assert all(h > w > c for h, w, c in zip(static_hot.y, static_warm.y, static_cold.y))
+
+    # The 150 degC static power overtakes the dynamic power at a sub-100nm
+    # node, while at 25 degC it never does within the projected range.
+    assert study.crossover_node(150.0) in ("0.10um", "70nm", "50nm", "35nm", "25nm")
+    assert study.crossover_node(25.0) is None
+
+    # The crossover moves to older (earlier) nodes as temperature rises.
+    nodes = [p.node for p in study.project()]
+    assert nodes.index(study.crossover_node(150.0)) <= nodes.index(
+        study.crossover_node(100.0)
+    )
+
+    # Dynamic power stays within sane chip-level magnitudes across the sweep.
+    assert all(1.0 < value < 5e3 for value in dynamic.y)

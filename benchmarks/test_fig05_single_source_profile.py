@@ -1,0 +1,88 @@
+"""Figure 5 — analytical vs exact thermal profile of a single transistor.
+
+The paper compares the analytical profile (Eq. 20: the minimum of the exact
+centre temperature, Eq. 18, and the line-source far field, Eq. 19) against
+the numerical solution of the surface integral (Eq. 17) for a transistor of
+W = 1 um, L = 0.1 um dissipating 10 mW, concluding the accuracy is
+"enough for the estimation of the thermal profile for large ICs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import max_absolute_relative_error
+from repro.core.thermal.profile import rectangle_temperature
+from repro.core.thermal.sources import HeatSource
+from repro.reporting import FigureData, Series
+from repro.technology.materials import SILICON
+from repro.thermalsim.quadrature import rectangle_temperature_numeric
+
+#: The Fig. 5 device and dissipation.
+WIDTH = 1.0e-6
+LENGTH = 0.1e-6
+POWER = 10.0e-3
+
+#: Radial sweep along the source's long axis [m].
+DISTANCES = np.concatenate(
+    [np.array([0.0, 0.1e-6, 0.2e-6, 0.35e-6]), np.logspace(np.log10(0.6e-6), np.log10(50e-6), 12)]
+)
+
+
+def build_profiles():
+    """Evaluate the analytical and numerical profiles along the sweep."""
+    conductivity = SILICON.conductivity_at(300.0)
+    source = HeatSource(x=0.0, y=0.0, width=WIDTH, length=LENGTH, power=POWER)
+    analytic = [
+        rectangle_temperature(float(d), 0.0, source, conductivity) for d in DISTANCES
+    ]
+    numeric = [
+        rectangle_temperature_numeric(float(d), 0.0, POWER, WIDTH, LENGTH, conductivity)
+        for d in DISTANCES
+    ]
+    figure = FigureData(
+        figure_id="fig5",
+        title="Thermal profile of a 1um x 0.1um transistor at 10 mW (K rise)",
+    )
+    microns = DISTANCES * 1e6
+    figure.add(Series.from_arrays("analytical_eq20", microns, analytic,
+                                  x_label="distance (um)", y_label="K"))
+    figure.add(Series.from_arrays("numerical_eq17", microns, numeric,
+                                  x_label="distance (um)", y_label="K"))
+    outside = [i for i, d in enumerate(DISTANCES) if d >= 0.6e-6]
+    worst_far = max_absolute_relative_error(
+        [analytic[i] for i in outside], [numeric[i] for i in outside]
+    )
+    figure.add_note(f"worst relative error outside the source: {worst_far:.3f}")
+    return figure
+
+
+def test_fig05_single_source_profile(benchmark):
+    figure = benchmark(build_profiles)
+    figure.print()
+
+    analytic = figure.get("analytical_eq20")
+    numeric = figure.get("numerical_eq17")
+
+    # At the source centre Eq. (18) is exact.
+    assert analytic.y[0] == pytest.approx(numeric.y[0], rel=0.01)
+    # The peak rise of the Fig. 5 device is in the tens of Kelvin.
+    assert 50.0 < analytic.y[0] < 150.0
+
+    # Outside the source footprint the far-field expression tracks the
+    # numerical integral within a few percent.
+    outside = [i for i, d in enumerate(DISTANCES) if d >= 0.6e-6]
+    assert max_absolute_relative_error(
+        [analytic.y[i] for i in outside], [numeric.y[i] for i in outside]
+    ) < 0.05
+
+    # The analytical profile saturates (min with Eq. 18) inside the source
+    # and never exceeds the centre value.
+    assert max(analytic.y) == pytest.approx(analytic.y[0])
+
+    # Both profiles decay monotonically beyond the source edge.
+    tail_a = [analytic.y[i] for i in outside]
+    tail_n = [numeric.y[i] for i in outside]
+    assert all(b < a for a, b in zip(tail_a, tail_a[1:]))
+    assert all(b < a for a, b in zip(tail_n, tail_n[1:]))

@@ -1,0 +1,101 @@
+"""Figure 6 — thermal map of a 1 mm x 1 mm IC with three logic blocks.
+
+The paper places three logic blocks on a 1 mm x 1 mm die, enforces the
+adiabatic-sides / isothermal-bottom boundary conditions with the method of
+images and plots the resulting isothermal lines, observing that the heat
+flux (orthogonal to the isotherms) is tangent to every die edge.
+
+The benchmark reproduces the map, reports the block temperatures and the
+isotherm statistics, checks the boundary-tangency property and cross-checks
+the hottest-block ranking against the finite-volume reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.isotherms import (
+    gradient_tangency_residual,
+    hotspot_location,
+    isotherm_levels,
+    isotherm_statistics,
+)
+from repro.core.thermal.superposition import ChipThermalModel
+from repro.floorplan import three_block_floorplan
+from repro.floorplan.powermap import fdm_sources_from_blocks
+from repro.reporting import FigureData, Series, print_table
+from repro.thermalsim.fdm import FiniteVolumeThermalSolver
+
+#: Per-block powers [W] for the 1 mm die (realistic 0.12 um-class density).
+BLOCK_POWERS = {"core": 0.25, "cache": 0.12, "io": 0.06}
+AMBIENT = 318.15  # 45 degC heat sink
+
+
+def build_map(grid: int = 41):
+    """Evaluate the analytical surface map for the three-block floorplan."""
+    plan = three_block_floorplan()
+    chip = ChipThermalModel(plan.die, ambient_temperature=AMBIENT, image_rings=1)
+    chip.add_sources(plan.to_heat_sources(BLOCK_POWERS))
+    surface = chip.surface_map(nx=grid, ny=grid)
+    return plan, chip, surface
+
+
+def test_fig06_three_block_map(benchmark):
+    plan, chip, surface = benchmark(build_map)
+
+    block_temps = chip.source_temperatures()
+    rows = [
+        [name, BLOCK_POWERS[name], block_temps[name] - AMBIENT, block_temps[name]]
+        for name in plan.block_names()
+    ]
+    print_table(
+        ["block", "power (W)", "rise (K)", "temperature (K)"],
+        rows,
+        title="fig6: three-block IC block temperatures",
+    )
+
+    levels = isotherm_levels(surface.temperature, count=6)
+    stats = isotherm_statistics(surface.temperature, levels)
+    print_table(
+        ["isotherm (K)", "enclosed fraction"],
+        [[s.temperature, s.enclosed_fraction] for s in stats],
+        title="fig6: isotherm statistics",
+    )
+
+    # Every block heats above ambient and the most powerful block is hottest.
+    assert all(t > AMBIENT for t in block_temps.values())
+    assert max(block_temps, key=block_temps.get) == "core"
+
+    # The hotspot lies inside the hottest block's footprint.
+    hx, hy, peak = hotspot_location(
+        surface.temperature, surface.x_coordinates, surface.y_coordinates
+    )
+    core = plan.block("core")
+    assert core.x_min - 0.05e-3 <= hx <= core.x_max + 0.05e-3
+    assert core.y_min - 0.05e-3 <= hy <= core.y_max + 0.05e-3
+    assert peak > AMBIENT + 1.0
+
+    # Boundary-condition claim: the temperature gradient normal to the die
+    # edges is far smaller than the interior gradients (flux tangent to the
+    # edges), thanks to the image expansion.
+    residual = gradient_tangency_residual(
+        surface.temperature, surface.x_coordinates, surface.y_coordinates
+    )
+    assert residual < 0.35
+
+    # Isotherm areas shrink as the level rises (nested isotherms).
+    fractions = [s.enclosed_fraction for s in stats]
+    assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+
+    # Cross-check with the finite-volume reference: same hottest block.
+    fdm = FiniteVolumeThermalSolver(
+        plan.die.width, plan.die.length, plan.die.thickness,
+        nx=24, ny=24, nz=6, ambient_temperature=AMBIENT,
+    )
+    numeric = fdm.solve(fdm_sources_from_blocks(plan, BLOCK_POWERS))
+    numeric_hottest = max(
+        plan.block_names(),
+        key=lambda name: numeric.rise_at(plan.block(name).x, plan.block(name).y),
+    )
+    assert numeric_hottest == "core"

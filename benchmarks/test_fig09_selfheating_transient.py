@@ -1,0 +1,89 @@
+"""Figure 9 — self-heating transient of a pulsed transistor.
+
+The paper pulses a 0.35 um nMOS transistor at 3 Hz and records the sense
+voltage (proportional to drain current, hence to temperature) at ambient
+temperatures of 30, 35 and 40 degC.  The traces show an exponential rise of
+the device temperature as its thermal capacitance charges, and the three
+ambients calibrate the voltage-to-temperature conversion.
+
+The measurement is simulated by the bench of :mod:`repro.measurement`; the
+benchmark reproduces the three traces and the calibration, then checks the
+exponential shape and the calibration linearity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.measurement import SelfHeatingBench, default_test_devices
+from repro.reporting import FigureData, Series, print_table
+
+AMBIENTS = (30.0, 35.0, 40.0)
+
+
+def run_measurements(technology):
+    """Simulate the pulsed captures at the three ambient temperatures."""
+    bench = SelfHeatingBench(technology)
+    device = default_test_devices(technology)[1]
+    records = {
+        ambient: bench.simulate(device, ambient_celsius=ambient, seed_offset=i)
+        for i, ambient in enumerate(AMBIENTS)
+    }
+    calibration = bench.calibrate(device, AMBIENTS)
+    return bench, device, records, calibration
+
+
+def test_fig09_selfheating_transient(benchmark, tech035):
+    bench, device, records, calibration = benchmark(run_measurements, tech035)
+
+    figure = FigureData(
+        figure_id="fig9",
+        title=f"Sense voltage of {device.name} pulsed at 3 Hz (V)",
+    )
+    for ambient, record in records.items():
+        # Down-sample the trace for the printed table.
+        stride = max(1, record.times.size // 24)
+        figure.add(
+            Series.from_arrays(
+                f"ambient_{ambient:g}C",
+                record.times[::stride],
+                record.sense_trace.values[::stride],
+                x_label="time (s)",
+                y_label="V",
+            )
+        )
+    figure.add_note(
+        f"calibration slope: {calibration.slope * 1e3:.3f} mV/degC, "
+        f"residual {calibration.residual * 1e3:.3f} mV"
+    )
+    figure.print()
+
+    print_table(
+        ["ambient (degC)", "initial ON voltage (V)", "settled ON voltage (V)"],
+        [
+            [ambient, record.initial_on_voltage(), record.settled_on_voltage()]
+            for ambient, record in records.items()
+        ],
+        title="fig9: per-ambient ON-phase voltages",
+    )
+
+    # Exponential heating: during the ON phase the sense voltage droops
+    # (current falls as the device heats), with most of the change early.
+    reference = records[30.0]
+    times, rise = bench.extract_on_transient(reference, calibration)
+    assert rise[-1] > 2.0  # several Kelvin of self-heating
+    half = len(rise) // 2
+    assert (rise[half] - rise[0]) > (rise[-1] - rise[half])
+
+    # The initial (unheated) voltage decreases linearly with ambient
+    # temperature — that is exactly what the calibration exploits.
+    initial = [records[a].initial_on_voltage() for a in AMBIENTS]
+    assert all(b < a for a, b in zip(initial, initial[1:]))
+    assert calibration.slope < 0.0
+    assert calibration.residual < 2e-3
+
+    # The calibrated temperature rise is consistent with the device's
+    # analytical thermal resistance within the Fig. 10 accuracy band.
+    measurement = bench.measure_thermal_resistance(device, calibration=calibration)
+    assert abs(measurement.relative_error) < 0.25

@@ -1,0 +1,120 @@
+"""Quickstart: leakage, thermal and coupled estimation in a dozen lines each.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks through the three capabilities the paper combines:
+
+1. analytical static-power estimation of a gate (Section 2),
+2. analytical thermal profile of a heat source (Section 3),
+3. the concurrent electro-thermal fixed point that ties them together.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ChipThermalModel,
+    ElectroThermalEngine,
+    GateLeakageModel,
+    HeatSource,
+    block_models_from_powers,
+    cmos_012um,
+    nand_gate,
+    self_heating_resistance,
+    three_block_floorplan,
+)
+from repro.reporting import print_table
+
+
+def leakage_demo() -> None:
+    """Static power of a NAND2 gate for every input vector."""
+    technology = cmos_012um()
+    gate = nand_gate(technology, fan_in=2)
+    model = GateLeakageModel(technology)
+
+    rows = []
+    for bits, current in sorted(model.per_vector_currents(gate).items()):
+        rows.append(["".join(map(str, bits)), current, current * technology.vdd])
+    print_table(
+        ["input vector", "leakage current (A)", "static power (W)"],
+        rows,
+        title="NAND2 static power at 25 degC, 0.12um",
+    )
+
+    hot = model.worst_case_vector(gate, temperature=273.15 + 110.0)
+    print(
+        f"\nworst-case vector at 110 degC: {hot.input_vector} -> "
+        f"{hot.current:.3e} A ({hot.current / model.worst_case_vector(gate).current:.0f}x "
+        f"the 25 degC value)"
+    )
+
+
+def thermal_demo() -> None:
+    """Temperature field of a single hot transistor (the paper's Fig. 5 device)."""
+    resistance = self_heating_resistance(1e-6, 0.1e-6)
+    source = HeatSource(x=0.0, y=0.0, width=1e-6, length=0.1e-6, power=10e-3)
+    print(f"\nself-heating resistance of a 1um x 0.1um device: {resistance:.0f} K/W")
+    print(f"steady-state rise at 10 mW: {10e-3 * resistance:.1f} K")
+
+    from repro import rectangle_temperature
+    from repro.technology.materials import SILICON
+
+    conductivity = SILICON.conductivity_at(300.0)
+    rows = [
+        [distance * 1e6, rectangle_temperature(distance, 0.0, source, conductivity)]
+        for distance in (0.0, 0.5e-6, 1e-6, 2e-6, 5e-6, 20e-6)
+    ]
+    print_table(
+        ["distance from device (um)", "temperature rise (K)"],
+        rows,
+        title="analytical thermal profile (Eq. 20)",
+    )
+
+
+def cosim_demo() -> None:
+    """Concurrent power-temperature estimation of a small three-block chip."""
+    technology = cmos_012um()
+    floorplan = three_block_floorplan()
+    blocks = block_models_from_powers(
+        technology,
+        dynamic_powers={"core": 0.25, "cache": 0.10, "io": 0.05},
+        static_powers_at_reference={"core": 0.05, "cache": 0.02, "io": 0.01},
+    )
+    engine = ElectroThermalEngine(
+        technology, floorplan, blocks, ambient_temperature=318.15
+    )
+
+    naive = engine.isothermal_result(technology.reference_temperature)
+    coupled = engine.solve()
+
+    rows = []
+    for name in floorplan.block_names():
+        rows.append(
+            [
+                name,
+                coupled.block_temperatures[name] - 273.15,
+                naive.block_breakdowns[name].static,
+                coupled.block_breakdowns[name].static,
+            ]
+        )
+    print_table(
+        ["block", "junction (degC)", "static @25C guess (W)", "static coupled (W)"],
+        rows,
+        title="concurrent electro-thermal estimation (45 degC heat sink)",
+    )
+    print(
+        f"\nchip static power: {naive.total_static_power:.3f} W if temperature is "
+        f"ignored vs {coupled.total_static_power:.3f} W self-consistently "
+        f"({coupled.total_static_power / naive.total_static_power:.2f}x)"
+    )
+
+
+def main() -> None:
+    leakage_demo()
+    thermal_demo()
+    cosim_demo()
+
+
+if __name__ == "__main__":
+    main()

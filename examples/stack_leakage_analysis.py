@@ -1,0 +1,123 @@
+"""Stack leakage analysis: the paper's Section 2 workflow on real cells.
+
+The script reproduces the analysis a library designer would run with the
+paper's model:
+
+* how much the stacking effect reduces leakage as NAND fan-in grows,
+* how the analytical model compares against the numerical ("SPICE")
+  reference and against the prior-work models for every stack depth,
+* which input vectors minimise the standby leakage of each cell (the
+  "sleep vector" selection problem), and
+* how the leakage of the whole library scales with temperature.
+
+Run with::
+
+    python examples/stack_leakage_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import cmos_012um, uniform_nmos_stack
+from repro.baselines import ChenRoyStackModel, SeriesResistanceStackModel
+from repro.circuit import standard_cell, standard_cell_names, vector_label
+from repro.core.leakage import GateLeakageModel
+from repro.reporting import print_table
+from repro.spice import GateLeakageReference, StackDCSolver
+
+
+def stack_depth_study(technology) -> None:
+    """Stacking effect and model accuracy for N = 1..4 (the Fig. 8 sweep)."""
+    model = GateLeakageModel(technology)
+    spice = StackDCSolver(technology)
+    chen = ChenRoyStackModel(technology)
+    naive = SeriesResistanceStackModel(technology)
+
+    rows = []
+    for depth in (1, 2, 3, 4):
+        stack = uniform_nmos_stack(depth, 1e-6)
+        reference = spice.off_current(stack)
+        analytic = model.stack_off_current(stack)
+        rows.append(
+            [
+                depth,
+                reference,
+                analytic,
+                100.0 * abs(analytic - reference) / reference,
+                chen.stack_off_current(stack),
+                naive.stack_off_current(stack),
+            ]
+        )
+    print_table(
+        [
+            "stack depth",
+            "SPICE-like (A)",
+            "proposed model (A)",
+            "error (%)",
+            "Chen'98 [8] (A)",
+            "naive 1/N (A)",
+        ],
+        rows,
+        title="nMOS stack leakage, 1um devices, 0.12um technology, 25 degC",
+    )
+
+
+def sleep_vector_study(technology) -> None:
+    """Best and worst standby vectors for every cell of the library."""
+    model = GateLeakageModel(technology)
+    rows = []
+    for name in standard_cell_names():
+        gate = standard_cell(name, technology)
+        best = model.best_case_vector(gate)
+        worst = model.worst_case_vector(gate)
+        rows.append(
+            [
+                name,
+                vector_label(gate.inputs, best.input_vector),
+                best.current,
+                vector_label(gate.inputs, worst.input_vector),
+                worst.current,
+                worst.current / best.current,
+            ]
+        )
+    print_table(
+        ["cell", "best vector", "I_off best (A)", "worst vector", "I_off worst (A)",
+         "worst/best"],
+        rows,
+        title="standby (sleep) vector selection per cell",
+    )
+
+
+def temperature_study(technology) -> None:
+    """Average library leakage versus junction temperature."""
+    model = GateLeakageModel(technology)
+    reference = GateLeakageReference(technology)
+    temperatures = (25.0, 50.0, 75.0, 100.0, 125.0)
+    rows = []
+    for celsius in temperatures:
+        kelvin = 273.15 + celsius
+        analytic = sum(
+            model.average_current(standard_cell(name, technology), temperature=kelvin)
+            for name in standard_cell_names()
+        )
+        numeric = sum(
+            reference.average_current(standard_cell(name, technology), temperature=kelvin)
+            for name in ("INV", "NAND2", "NOR2")
+        )
+        rows.append([celsius, analytic, numeric])
+    print_table(
+        ["junction (degC)", "library average I_off, model (A)",
+         "INV+NAND2+NOR2 average, reference (A)"],
+        rows,
+        title="temperature dependence of standby current",
+    )
+
+
+def main() -> None:
+    technology = cmos_012um()
+    stack_depth_study(technology)
+    sleep_vector_study(technology)
+    temperature_study(technology)
+
+
+if __name__ == "__main__":
+    main()

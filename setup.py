@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+project can be installed editable (``pip install -e .``) on environments
+whose setuptools predates PEP 660 wheel-less editable installs (e.g. offline
+machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

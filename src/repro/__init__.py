@@ -1,0 +1,162 @@
+"""repro — fast concurrent power-thermal modeling of sub-100nm digital ICs.
+
+Reproduction of J.L. Rossello, V. Canals, S.A. Bota, A. Keshavarzi and
+J. Segura, *A Fast Concurrent Power-Thermal Model for Sub-100nm Digital
+ICs*, DATE 2005.
+
+The library is organised as:
+
+* :mod:`repro.core` — the paper's contribution: the analytical static-power
+  model (stack collapsing, Eq. 1–13), the analytical thermal-profile model
+  (Eqs. 16–21 plus the method of images), dynamic power, and the concurrent
+  electro-thermal engine;
+* :mod:`repro.technology` — device / technology parameters and scaling;
+* :mod:`repro.circuit` — transistors, stacks, cells and netlists;
+* :mod:`repro.spice` — numerical reference ("SPICE") solvers;
+* :mod:`repro.thermalsim` — numerical thermal references (quadrature, 3-D
+  finite volume, thermal RC networks);
+* :mod:`repro.baselines` — prior-work leakage models compared in Fig. 8;
+* :mod:`repro.floorplan` — blocks, floorplans and power maps;
+* :mod:`repro.measurement` — the simulated self-heating measurement bench;
+* :mod:`repro.analysis`, :mod:`repro.reporting` — shared utilities.
+
+Quick start::
+
+    from repro import cmos_012um, GateLeakageModel, nand_gate
+
+    tech = cmos_012um()
+    gate = nand_gate(tech, fan_in=2)
+    model = GateLeakageModel(tech)
+    print(model.worst_case_vector(gate).current)
+"""
+
+from .baselines import (
+    ChenRoyStackModel,
+    GuElmasryStackModel,
+    NarendraFullChipModel,
+    NarendraStackModel,
+    SeriesResistanceStackModel,
+)
+from .circuit import (
+    LogicGate,
+    MOSFET,
+    Netlist,
+    TransistorStack,
+    inverter,
+    nand_gate,
+    nor_gate,
+    nmos,
+    pmos,
+    standard_cell,
+    uniform_nmos_stack,
+    uniform_pmos_stack,
+)
+from .core.cosim import (
+    ElectroThermalEngine,
+    NetlistBlockModel,
+    ScaledLeakageBlockModel,
+    block_models_from_powers,
+)
+from .core.dynamic import PowerBreakdown, SwitchingActivity, TotalPowerModel
+from .core.leakage import (
+    CircuitLeakageModel,
+    GateLeakageModel,
+    StackCollapser,
+    single_device_off_current,
+    subthreshold_current,
+)
+from .core.thermal import (
+    ChipThermalModel,
+    DieGeometry,
+    HeatSource,
+    device_thermal_network,
+    line_source_temperature,
+    point_source_temperature,
+    rectangle_temperature,
+    self_heating_resistance,
+    square_center_temperature,
+)
+from .core.cosim import TransientElectroThermalSimulator
+from .floorplan import Block, Floorplan, three_block_floorplan
+from .measurement import DeviceUnderTest, SelfHeatingBench, default_test_devices
+from .optimize import exhaustive_sleep_vector, greedy_sleep_vector
+from .spice import GateLeakageReference, StackDCSolver
+from .technology import (
+    TechnologyParameters,
+    TechnologyScalingStudy,
+    all_technologies,
+    cmos_012um,
+    cmos_035um,
+    make_technology,
+)
+from .thermalsim import FiniteVolumeThermalSolver, RectangularSource
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # technology
+    "TechnologyParameters",
+    "TechnologyScalingStudy",
+    "all_technologies",
+    "cmos_012um",
+    "cmos_035um",
+    "make_technology",
+    # circuit
+    "MOSFET",
+    "nmos",
+    "pmos",
+    "TransistorStack",
+    "uniform_nmos_stack",
+    "uniform_pmos_stack",
+    "LogicGate",
+    "inverter",
+    "nand_gate",
+    "nor_gate",
+    "standard_cell",
+    "Netlist",
+    # core: leakage
+    "subthreshold_current",
+    "single_device_off_current",
+    "StackCollapser",
+    "GateLeakageModel",
+    "CircuitLeakageModel",
+    # core: thermal
+    "HeatSource",
+    "DieGeometry",
+    "ChipThermalModel",
+    "point_source_temperature",
+    "square_center_temperature",
+    "line_source_temperature",
+    "rectangle_temperature",
+    "self_heating_resistance",
+    "device_thermal_network",
+    # core: dynamic + cosim
+    "SwitchingActivity",
+    "PowerBreakdown",
+    "TotalPowerModel",
+    "ElectroThermalEngine",
+    "TransientElectroThermalSimulator",
+    "ScaledLeakageBlockModel",
+    "NetlistBlockModel",
+    "block_models_from_powers",
+    "exhaustive_sleep_vector",
+    "greedy_sleep_vector",
+    # substrates
+    "StackDCSolver",
+    "GateLeakageReference",
+    "FiniteVolumeThermalSolver",
+    "RectangularSource",
+    "Block",
+    "Floorplan",
+    "three_block_floorplan",
+    "SelfHeatingBench",
+    "DeviceUnderTest",
+    "default_test_devices",
+    # baselines
+    "ChenRoyStackModel",
+    "GuElmasryStackModel",
+    "NarendraStackModel",
+    "NarendraFullChipModel",
+    "SeriesResistanceStackModel",
+]

@@ -1,0 +1,50 @@
+"""Analysis utilities: grids, cross-sections, isotherms, sweeps, metrics."""
+
+from .grids import SurfaceGrid, radial_distances, regular_grid
+from .isotherms import (
+    IsothermLevel,
+    gradient_tangency_residual,
+    hotspot_location,
+    isotherm_levels,
+    isotherm_mask,
+    isotherm_statistics,
+)
+from .metrics import (
+    absolute_relative_error,
+    correlation,
+    log_accuracy_decades,
+    max_absolute_relative_error,
+    mean_absolute_relative_error,
+    relative_error,
+    rms_error,
+    rms_relative_error,
+)
+from .sections import CrossSection, cross_section_x, cross_section_y
+from .sweep import SweepResult, grid_sweep, logspace, sweep
+
+__all__ = [
+    "SurfaceGrid",
+    "regular_grid",
+    "radial_distances",
+    "CrossSection",
+    "cross_section_x",
+    "cross_section_y",
+    "IsothermLevel",
+    "isotherm_levels",
+    "isotherm_statistics",
+    "isotherm_mask",
+    "hotspot_location",
+    "gradient_tangency_residual",
+    "relative_error",
+    "absolute_relative_error",
+    "mean_absolute_relative_error",
+    "max_absolute_relative_error",
+    "rms_error",
+    "rms_relative_error",
+    "correlation",
+    "log_accuracy_decades",
+    "SweepResult",
+    "sweep",
+    "grid_sweep",
+    "logspace",
+]

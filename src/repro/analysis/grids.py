@@ -1,0 +1,71 @@
+"""Sampling grids for surface evaluations.
+
+Small helpers shared by benchmarks and examples when they need regular or
+logarithmic sampling of the die surface or of radial distances from a heat
+source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SurfaceGrid:
+    """A regular rectangular sampling grid.
+
+    Attributes
+    ----------
+    x_coordinates, y_coordinates:
+        Sample coordinates [m] along each axis.
+    """
+
+    x_coordinates: np.ndarray
+    y_coordinates: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Number of samples along (x, y)."""
+        return len(self.x_coordinates), len(self.y_coordinates)
+
+    def meshgrid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Full coordinate meshes (indexing='ij')."""
+        return np.meshgrid(self.x_coordinates, self.y_coordinates, indexing="ij")
+
+    def evaluate(self, field: Callable[[float, float], float]) -> np.ndarray:
+        """Sample a scalar field over the grid."""
+        values = np.empty(self.shape)
+        for i, x in enumerate(self.x_coordinates):
+            for j, y in enumerate(self.y_coordinates):
+                values[i, j] = field(float(x), float(y))
+        return values
+
+
+def regular_grid(
+    width: float, length: float, nx: int = 50, ny: int = 50
+) -> SurfaceGrid:
+    """Regular grid covering ``[0, width] x [0, length]``."""
+    if width <= 0.0 or length <= 0.0:
+        raise ValueError("grid extents must be positive")
+    if nx < 2 or ny < 2:
+        raise ValueError("at least two samples per axis are required")
+    return SurfaceGrid(
+        x_coordinates=np.linspace(0.0, width, nx),
+        y_coordinates=np.linspace(0.0, length, ny),
+    )
+
+
+def radial_distances(
+    inner: float, outer: float, count: int = 50, logarithmic: bool = True
+) -> np.ndarray:
+    """Distances from a source centre, linearly or logarithmically spaced."""
+    if inner <= 0.0 or outer <= inner:
+        raise ValueError("need 0 < inner < outer")
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    if logarithmic:
+        return np.logspace(np.log10(inner), np.log10(outer), count)
+    return np.linspace(inner, outer, count)

@@ -1,0 +1,127 @@
+"""Isotherm extraction from sampled temperature maps.
+
+Fig. 6 of the paper shows isothermal contour lines of the three-block IC and
+argues that the heat flux (orthogonal to the isotherms) is tangent to the
+die edges.  The helpers here extract isotherm levels, the area enclosed by
+each level and coarse contour masks from a :class:`~repro.core.thermal.superposition.SurfaceMap`
+(or any sampled field), which is what the Fig. 6 benchmark reports instead
+of a plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IsothermLevel:
+    """One isotherm level and its summary statistics.
+
+    Attributes
+    ----------
+    temperature:
+        The level's temperature [K].
+    enclosed_fraction:
+        Fraction of the sampled area at or above this temperature.
+    cell_count:
+        Number of samples at or above this temperature.
+    """
+
+    temperature: float
+    enclosed_fraction: float
+    cell_count: int
+
+
+def isotherm_levels(
+    temperature: np.ndarray,
+    count: int = 8,
+    minimum: float = None,
+    maximum: float = None,
+) -> List[float]:
+    """Evenly spaced isotherm levels spanning a sampled field's range."""
+    field = np.asarray(temperature, dtype=float)
+    if field.size == 0:
+        raise ValueError("the temperature field is empty")
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    low = float(field.min()) if minimum is None else minimum
+    high = float(field.max()) if maximum is None else maximum
+    if high <= low:
+        raise ValueError("the field has no temperature spread to contour")
+    # Exclude the exact extremes so every level encloses a non-trivial region.
+    return list(np.linspace(low, high, count + 2)[1:-1])
+
+
+def isotherm_statistics(
+    temperature: np.ndarray, levels: Sequence[float]
+) -> List[IsothermLevel]:
+    """Enclosed-area statistics for each isotherm level."""
+    field = np.asarray(temperature, dtype=float)
+    if field.size == 0:
+        raise ValueError("the temperature field is empty")
+    statistics = []
+    for level in levels:
+        mask = field >= level
+        statistics.append(
+            IsothermLevel(
+                temperature=float(level),
+                enclosed_fraction=float(mask.mean()),
+                cell_count=int(mask.sum()),
+            )
+        )
+    return statistics
+
+
+def isotherm_mask(temperature: np.ndarray, level: float) -> np.ndarray:
+    """Boolean mask of samples at or above an isotherm level."""
+    return np.asarray(temperature, dtype=float) >= level
+
+
+def hotspot_location(
+    temperature: np.ndarray,
+    x_coordinates: np.ndarray,
+    y_coordinates: np.ndarray,
+) -> Tuple[float, float, float]:
+    """Location and value of the hottest sample: ``(x, y, temperature)``."""
+    field = np.asarray(temperature, dtype=float)
+    if field.shape != (len(x_coordinates), len(y_coordinates)):
+        raise ValueError("field shape must match the coordinate axes")
+    index = np.unravel_index(int(np.argmax(field)), field.shape)
+    return (
+        float(x_coordinates[index[0]]),
+        float(y_coordinates[index[1]]),
+        float(field[index]),
+    )
+
+
+def gradient_tangency_residual(
+    temperature: np.ndarray,
+    x_coordinates: np.ndarray,
+    y_coordinates: np.ndarray,
+) -> float:
+    """Worst normalised boundary-normal gradient of a sampled field.
+
+    With correct adiabatic sides the temperature gradient normal to each die
+    edge vanishes, i.e. the isotherms meet the edges at right angles (the
+    heat flux is tangent).  The residual is the largest normal gradient on
+    any edge sample divided by the peak interior gradient magnitude.
+    """
+    field = np.asarray(temperature, dtype=float)
+    if field.shape != (len(x_coordinates), len(y_coordinates)):
+        raise ValueError("field shape must match the coordinate axes")
+    gx, gy = np.gradient(field, x_coordinates, y_coordinates)
+    interior = np.sqrt(gx[1:-1, 1:-1] ** 2 + gy[1:-1, 1:-1] ** 2)
+    peak_interior = float(interior.max()) if interior.size else 0.0
+    if peak_interior == 0.0:
+        return 0.0
+    normal_edges = [
+        np.abs(gx[0, :]),
+        np.abs(gx[-1, :]),
+        np.abs(gy[:, 0]),
+        np.abs(gy[:, -1]),
+    ]
+    worst = max(float(edge.max()) for edge in normal_edges)
+    return worst / peak_interior

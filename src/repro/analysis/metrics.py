@@ -1,0 +1,95 @@
+"""Error metrics used by the validation benchmarks.
+
+All comparisons in the paper are "model vs SPICE" or "model vs measurement"
+curves; these helpers quantify such comparisons with the usual scalar
+metrics (relative error, RMS, maximum, correlation) so benchmarks and tests
+can assert on them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """Signed relative error ``(estimate - reference) / reference``."""
+    if reference == 0.0:
+        raise ValueError("reference value must be non-zero")
+    return (estimate - reference) / reference
+
+
+def absolute_relative_error(estimate: float, reference: float) -> float:
+    """Magnitude of the relative error."""
+    return abs(relative_error(estimate, reference))
+
+
+def _as_arrays(estimates: Sequence[float], references: Sequence[float]):
+    a = np.asarray(estimates, dtype=float)
+    b = np.asarray(references, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("estimate and reference sequences must match in length")
+    if a.size == 0:
+        raise ValueError("at least one sample is required")
+    return a, b
+
+
+def mean_absolute_relative_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Mean of the per-sample absolute relative errors."""
+    a, b = _as_arrays(estimates, references)
+    if np.any(b == 0.0):
+        raise ValueError("reference values must be non-zero")
+    return float(np.mean(np.abs((a - b) / b)))
+
+
+def max_absolute_relative_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Worst per-sample absolute relative error."""
+    a, b = _as_arrays(estimates, references)
+    if np.any(b == 0.0):
+        raise ValueError("reference values must be non-zero")
+    return float(np.max(np.abs((a - b) / b)))
+
+
+def rms_error(estimates: Sequence[float], references: Sequence[float]) -> float:
+    """Root-mean-square absolute error."""
+    a, b = _as_arrays(estimates, references)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def rms_relative_error(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Root-mean-square relative error."""
+    a, b = _as_arrays(estimates, references)
+    if np.any(b == 0.0):
+        raise ValueError("reference values must be non-zero")
+    return float(np.sqrt(np.mean(((a - b) / b) ** 2)))
+
+
+def correlation(estimates: Sequence[float], references: Sequence[float]) -> float:
+    """Pearson correlation coefficient between the two series."""
+    a, b = _as_arrays(estimates, references)
+    if a.size < 2:
+        raise ValueError("correlation needs at least two samples")
+    if np.std(a) == 0.0 or np.std(b) == 0.0:
+        raise ValueError("correlation is undefined for constant series")
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def log_accuracy_decades(
+    estimates: Sequence[float], references: Sequence[float]
+) -> float:
+    """Worst absolute log10 ratio between estimate and reference.
+
+    Useful for leakage currents that span orders of magnitude: 0.3 decades
+    corresponds to a factor-of-2 worst-case mismatch.
+    """
+    a, b = _as_arrays(estimates, references)
+    if np.any(a <= 0.0) or np.any(b <= 0.0):
+        raise ValueError("log accuracy requires strictly positive values")
+    return float(np.max(np.abs(np.log10(a / b))))

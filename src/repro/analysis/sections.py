@@ -1,0 +1,109 @@
+"""Cross-sections and boundary diagnostics of surface temperature maps.
+
+Fig. 7 of the paper shows the temperature along a cut through the middle of
+the die and argues that the temperature derivative (and therefore the heat
+flux) vanishes at both die edges — the signature of correctly enforced
+adiabatic boundary conditions.  These helpers extract such cuts and quantify
+the edge-gradient condition for any callable temperature field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+TemperatureField = Callable[[float, float], float]
+
+
+@dataclass(frozen=True)
+class CrossSection:
+    """A one-dimensional cut through a temperature field.
+
+    Attributes
+    ----------
+    positions:
+        Sample positions [m] along the cut.
+    temperatures:
+        Temperature [K] at each position.
+    axis:
+        ``"x"`` when the cut runs along x at fixed y, ``"y"`` otherwise.
+    fixed_coordinate:
+        The fixed coordinate [m] of the cut.
+    """
+
+    positions: np.ndarray
+    temperatures: np.ndarray
+    axis: str
+    fixed_coordinate: float
+
+    @property
+    def peak_temperature(self) -> float:
+        """Hottest temperature [K] on the cut."""
+        return float(self.temperatures.max())
+
+    @property
+    def peak_position(self) -> float:
+        """Position [m] of the hottest sample."""
+        return float(self.positions[int(np.argmax(self.temperatures))])
+
+    def gradient(self) -> np.ndarray:
+        """Finite-difference temperature gradient [K/m] along the cut."""
+        return np.gradient(self.temperatures, self.positions)
+
+    def edge_gradients(self) -> Tuple[float, float]:
+        """Gradient [K/m] at the first and last sample of the cut."""
+        gradients = self.gradient()
+        return float(gradients[0]), float(gradients[-1])
+
+    def normalized_edge_gradients(self) -> Tuple[float, float]:
+        """Edge gradients normalised by the cut's peak interior gradient.
+
+        Values much smaller than 1 indicate the adiabatic-edge condition is
+        satisfied (the Fig. 7 claim).
+        """
+        gradients = np.abs(self.gradient())
+        interior_peak = float(gradients[1:-1].max()) if gradients.size > 2 else 0.0
+        if interior_peak == 0.0:
+            return 0.0, 0.0
+        first, last = self.edge_gradients()
+        return abs(first) / interior_peak, abs(last) / interior_peak
+
+
+def cross_section_x(
+    field: TemperatureField,
+    y: float,
+    x_start: float,
+    x_stop: float,
+    samples: int = 101,
+) -> CrossSection:
+    """Sample a temperature field along x at fixed ``y``."""
+    if samples < 3:
+        raise ValueError("at least three samples are required")
+    if x_stop <= x_start:
+        raise ValueError("x_stop must exceed x_start")
+    positions = np.linspace(x_start, x_stop, samples)
+    temperatures = np.asarray([field(float(x), y) for x in positions])
+    return CrossSection(
+        positions=positions, temperatures=temperatures, axis="x", fixed_coordinate=y
+    )
+
+
+def cross_section_y(
+    field: TemperatureField,
+    x: float,
+    y_start: float,
+    y_stop: float,
+    samples: int = 101,
+) -> CrossSection:
+    """Sample a temperature field along y at fixed ``x``."""
+    if samples < 3:
+        raise ValueError("at least three samples are required")
+    if y_stop <= y_start:
+        raise ValueError("y_stop must exceed y_start")
+    positions = np.linspace(y_start, y_stop, samples)
+    temperatures = np.asarray([field(x, float(y)) for y in positions])
+    return CrossSection(
+        positions=positions, temperatures=temperatures, axis="y", fixed_coordinate=x
+    )

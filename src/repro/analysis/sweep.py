@@ -1,0 +1,108 @@
+"""Parameter sweeps.
+
+Benchmarks and examples repeatedly evaluate a model over a one- or
+two-dimensional grid of parameters (stack depth, width ratio, temperature,
+technology node ...).  :class:`ParameterSweep` packages that pattern: it
+records the swept values together with the evaluated results and exposes
+them as aligned arrays for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SweepResult:
+    """Result of a one-dimensional parameter sweep.
+
+    Attributes
+    ----------
+    parameter_name:
+        Name of the swept parameter.
+    values:
+        The swept parameter values, in sweep order.
+    results:
+        Per-value results keyed by series label.
+    """
+
+    parameter_name: str
+    values: List[float] = field(default_factory=list)
+    results: Dict[str, List[float]] = field(default_factory=dict)
+
+    def series(self, label: str) -> np.ndarray:
+        """One result series as an array."""
+        if label not in self.results:
+            known = ", ".join(sorted(self.results))
+            raise KeyError(f"unknown series {label!r}; known series: {known}")
+        return np.asarray(self.results[label])
+
+    def labels(self) -> Tuple[str, ...]:
+        """All series labels."""
+        return tuple(self.results)
+
+    def as_rows(self) -> List[Tuple[float, ...]]:
+        """Rows of (parameter, series1, series2, ...) for tabular output."""
+        labels = list(self.results)
+        rows = []
+        for index, value in enumerate(self.values):
+            rows.append(
+                (value, *(self.results[label][index] for label in labels))
+            )
+        return rows
+
+
+def sweep(
+    parameter_name: str,
+    values: Iterable[float],
+    evaluators: Dict[str, Callable[[float], float]],
+) -> SweepResult:
+    """Evaluate several labelled functions over the same parameter values.
+
+    Parameters
+    ----------
+    parameter_name:
+        Name of the swept parameter (reporting only).
+    values:
+        Parameter values to sweep.
+    evaluators:
+        Mapping from series label to a callable of one parameter value.
+    """
+    if not evaluators:
+        raise ValueError("at least one evaluator is required")
+    result = SweepResult(parameter_name=parameter_name)
+    result.results = {label: [] for label in evaluators}
+    for value in values:
+        result.values.append(float(value))
+        for label, evaluator in evaluators.items():
+            result.results[label].append(float(evaluator(value)))
+    if not result.values:
+        raise ValueError("at least one parameter value is required")
+    return result
+
+
+def grid_sweep(
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    evaluator: Callable[[float, float], float],
+) -> np.ndarray:
+    """Evaluate a function over a 2-D grid, returning a (len(x), len(y)) array."""
+    if not len(x_values) or not len(y_values):
+        raise ValueError("both parameter axes need at least one value")
+    grid = np.empty((len(x_values), len(y_values)))
+    for i, x in enumerate(x_values):
+        for j, y in enumerate(y_values):
+            grid[i, j] = evaluator(float(x), float(y))
+    return grid
+
+
+def logspace(start: float, stop: float, count: int) -> np.ndarray:
+    """Logarithmically spaced values between two positive endpoints."""
+    if start <= 0.0 or stop <= 0.0:
+        raise ValueError("log spacing requires positive endpoints")
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    return np.logspace(np.log10(start), np.log10(stop), count)

@@ -1,0 +1,28 @@
+"""Prior-work leakage models used as comparison baselines (Fig. 8)."""
+
+from .chen_roy import ChenRoyStackEstimate, ChenRoyStackModel
+from .gu_elmasry import (
+    GuElmasryEstimate,
+    GuElmasryStackModel,
+    UnsupportedStackDepthError as GuElmasryUnsupportedDepth,
+)
+from .narendra import (
+    NarendraEstimate,
+    NarendraFullChipModel,
+    NarendraStackModel,
+    UnsupportedStackDepthError as NarendraUnsupportedDepth,
+)
+from .series_resistance import SeriesResistanceStackModel
+
+__all__ = [
+    "ChenRoyStackModel",
+    "ChenRoyStackEstimate",
+    "GuElmasryStackModel",
+    "GuElmasryEstimate",
+    "GuElmasryUnsupportedDepth",
+    "NarendraStackModel",
+    "NarendraFullChipModel",
+    "NarendraEstimate",
+    "NarendraUnsupportedDepth",
+    "SeriesResistanceStackModel",
+]

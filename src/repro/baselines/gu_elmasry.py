@@ -1,0 +1,140 @@
+"""Baseline: Gu & Elmasry static-power model (JSSC 1996).
+
+Reference [7] of the paper: *Power dissipation analysis and optimization of
+deep submicron CMOS digital circuits*.  The DATE'05 paper characterises it
+as applicable only to gates with **up to three** serially connected
+transistors and as assuming that every device's drain-source voltage is
+much larger than the thermal voltage.
+
+We implement the model at that level of fidelity: explicit closed forms for
+stacks of one, two and three OFF devices, obtained by equating the
+drain-factor-free subthreshold currents of adjacent devices (the strong-bias
+asymptote) and solving the resulting linear system for the internal node
+voltages.  Deeper stacks raise :class:`UnsupportedStackDepthError`, which is
+itself part of the reproduction — it is the limitation the DATE'05 paper
+calls out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..circuit.stack import TransistorStack
+from ..technology.constants import thermal_voltage
+from ..technology.parameters import TechnologyParameters
+from ..core.leakage.subthreshold import SubthresholdBias, subthreshold_current
+
+
+class UnsupportedStackDepthError(ValueError):
+    """Raised when the Gu-Elmasry model is asked for a stack deeper than 3."""
+
+
+@dataclass(frozen=True)
+class GuElmasryEstimate:
+    """Result of the Gu-Elmasry baseline for one stack."""
+
+    current: float
+    node_voltages: Tuple[float, ...]
+    temperature: float
+
+
+class GuElmasryStackModel:
+    """Stack-leakage baseline after Gu & Elmasry, JSSC'96 (paper ref. [7])."""
+
+    MAX_DEPTH = 3
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+
+    def _pair_voltage(
+        self,
+        upper_width: float,
+        lower_width: float,
+        device_type: str,
+        temperature: float,
+    ) -> float:
+        """Strong-bias node voltage including body effect and DIBL.
+
+        ``dV = [n VT ln(W_up/W_low) + sigma Vdd] / (1 + gamma' + 2 sigma)``
+        clamped at zero (the strong-bias asymptote cannot go negative).
+        """
+        device = self.technology.device(device_type)
+        vt = thermal_voltage(temperature)
+        vdd = self.technology.vdd
+        numerator = device.n * vt * math.log(upper_width / lower_width) + device.dibl * vdd
+        value = numerator / (1.0 + device.body_effect + 2.0 * device.dibl)
+        return max(value, 0.0)
+
+    def evaluate_stack(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+    ) -> GuElmasryEstimate:
+        """Estimate the OFF current of a stack of at most three OFF devices."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        if logic_values is None:
+            logic_values = stack.all_off_vector()
+        off_devices = stack.off_devices(logic_values)
+        if not off_devices:
+            raise ValueError("the stack has no OFF device for this vector")
+        if len(off_devices) > self.MAX_DEPTH:
+            raise UnsupportedStackDepthError(
+                f"the Gu-Elmasry model supports at most {self.MAX_DEPTH} series "
+                f"OFF transistors (got {len(off_devices)})"
+            )
+        device = self.technology.device(stack.device_type)
+        vdd = self.technology.vdd
+        widths = [d.width for d in off_devices]
+
+        node_voltages = []
+        accumulated = 0.0
+        # Pairwise strong-bias balance with the collapsed width of the devices
+        # above (the three-device case of the original paper).
+        collapsed_upper = widths[-1]
+        per_pair = []
+        for lower in reversed(widths[:-1]):
+            step = self._pair_voltage(
+                collapsed_upper, lower, stack.device_type, temperature
+            )
+            per_pair.append(step)
+            exponent = (
+                1.0 + device.body_effect + device.dibl
+            ) * step / (device.n * thermal_voltage(temperature))
+            collapsed_upper = collapsed_upper * math.exp(-exponent)
+        for step in reversed(per_pair):
+            accumulated += step
+            node_voltages.append(accumulated)
+
+        source_voltage = node_voltages[-1] if node_voltages else 0.0
+        top_bias = SubthresholdBias(
+            vgs=-source_voltage,
+            vds=vdd - source_voltage,
+            vsb=source_voltage,
+            vdd=vdd,
+            temperature=temperature,
+        )
+        current = subthreshold_current(
+            device,
+            widths[-1],
+            top_bias,
+            self.technology.reference_temperature,
+            include_drain_factor=False,
+        )
+        return GuElmasryEstimate(
+            current=current,
+            node_voltages=tuple(node_voltages),
+            temperature=temperature,
+        )
+
+    def stack_off_current(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """OFF current [A] of a stack (at most 3 OFF devices)."""
+        return self.evaluate_stack(stack, logic_values, temperature).current

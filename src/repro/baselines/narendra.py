@@ -1,0 +1,200 @@
+"""Baseline: Narendra et al. full-chip subthreshold leakage model (JSSC 2004).
+
+Reference [9] of the paper: *Full-chip subthreshold leakage power prediction
+and reduction techniques for sub-0.18 um CMOS*.  The DATE'05 paper
+characterises it as valid only for gates with **at most two** serially
+connected transistors and as assuming every drain-source voltage is much
+larger than the thermal voltage.
+
+Two pieces are implemented:
+
+* :class:`NarendraStackModel` — the one- and two-device closed forms,
+  including the well-known *stacking factor* expression for a two-high stack
+  of equal-width devices,
+
+  ``X_s = Ioff(stack of 2) / Ioff(single)
+        = 10^(-Vdd sigma (1 + 2 gamma') / ((1 + gamma' + 2 sigma) S))``
+
+  with ``S`` the subthreshold swing (the JSSC paper's Eq. for the universal
+  two-stack factor, rewritten with this library's parameter names);
+* :class:`NarendraFullChipModel` — the full-chip estimate: total leaking
+  width times the average per-width leakage scaled by the average stacking
+  factor, which is how the original paper projects chip-level leakage from
+  design data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..circuit.stack import TransistorStack
+from ..technology.constants import thermal_voltage
+from ..technology.parameters import TechnologyParameters
+from ..core.leakage.subthreshold import single_device_off_current
+
+
+class UnsupportedStackDepthError(ValueError):
+    """Raised when the Narendra model is asked for a stack deeper than 2."""
+
+
+@dataclass(frozen=True)
+class NarendraEstimate:
+    """Result of the Narendra baseline for one stack."""
+
+    current: float
+    stacking_factor: float
+    temperature: float
+
+
+class NarendraStackModel:
+    """Stack-leakage baseline after Narendra et al., JSSC'04 (paper ref. [9])."""
+
+    MAX_DEPTH = 2
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+
+    def two_stack_factor(
+        self, device_type: str, temperature: Optional[float] = None
+    ) -> float:
+        """Universal two-stack leakage reduction factor ``X_s`` (< 1)."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        device = self.technology.device(device_type)
+        vt = thermal_voltage(temperature)
+        swing = device.n * vt * math.log(10.0)
+        exponent = (
+            self.technology.vdd
+            * device.dibl
+            * (1.0 + 2.0 * device.body_effect)
+            / ((1.0 + device.body_effect + 2.0 * device.dibl) * swing)
+        )
+        return 10.0 ** (-exponent)
+
+    def evaluate_stack(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+    ) -> NarendraEstimate:
+        """Estimate the OFF current of a one- or two-device OFF stack."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        if logic_values is None:
+            logic_values = stack.all_off_vector()
+        off_devices = stack.off_devices(logic_values)
+        if not off_devices:
+            raise ValueError("the stack has no OFF device for this vector")
+        if len(off_devices) > self.MAX_DEPTH:
+            raise UnsupportedStackDepthError(
+                f"the Narendra model supports at most {self.MAX_DEPTH} series "
+                f"OFF transistors (got {len(off_devices)})"
+            )
+        device = self.technology.device(stack.device_type)
+        vdd = self.technology.vdd
+
+        if len(off_devices) == 1:
+            current = single_device_off_current(
+                device,
+                off_devices[0].width,
+                vdd,
+                temperature,
+                self.technology.reference_temperature,
+            )
+            return NarendraEstimate(
+                current=current, stacking_factor=1.0, temperature=temperature
+            )
+
+        # Two-device stack: single-device leakage of the upper device scaled
+        # by the universal stacking factor, corrected for the width ratio
+        # through the strong-bias node-voltage shift.
+        lower, upper = off_devices[0], off_devices[1]
+        base_current = single_device_off_current(
+            device, upper.width, vdd, temperature,
+            self.technology.reference_temperature,
+        )
+        factor = self.two_stack_factor(stack.device_type, temperature)
+        vt = thermal_voltage(temperature)
+        ratio_shift = math.exp(
+            -(1.0 + device.body_effect + device.dibl)
+            * (device.n * vt * math.log(upper.width / lower.width))
+            / ((1.0 + device.body_effect + 2.0 * device.dibl) * device.n * vt)
+        ) if upper.width != lower.width else 1.0
+        current = base_current * factor * ratio_shift
+        return NarendraEstimate(
+            current=current, stacking_factor=factor, temperature=temperature
+        )
+
+    def stack_off_current(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """OFF current [A] of a one- or two-device stack."""
+        return self.evaluate_stack(stack, logic_values, temperature).current
+
+
+class NarendraFullChipModel:
+    """Full-chip leakage projection after Narendra et al., JSSC'04.
+
+    Parameters
+    ----------
+    technology:
+        Technology parameters.
+    stacked_fraction:
+        Fraction of the total leaking width that sits in two-high (or deeper)
+        stacks and therefore benefits from the stacking factor.
+    """
+
+    def __init__(
+        self, technology: TechnologyParameters, stacked_fraction: float = 0.5
+    ) -> None:
+        if not 0.0 <= stacked_fraction <= 1.0:
+            raise ValueError("stacked_fraction must be in [0, 1]")
+        self.technology = technology
+        self.stacked_fraction = stacked_fraction
+        self._stack_model = NarendraStackModel(technology)
+
+    def chip_leakage_current(
+        self,
+        total_nmos_width: float,
+        total_pmos_width: float,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Chip-level leakage current [A] from total device widths."""
+        if total_nmos_width < 0.0 or total_pmos_width < 0.0:
+            raise ValueError("total widths must be non-negative")
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        current = 0.0
+        for device_type, width in (("nmos", total_nmos_width), ("pmos", total_pmos_width)):
+            if width == 0.0:
+                continue
+            device = self.technology.device(device_type)
+            per_width = single_device_off_current(
+                device, 1.0, self.technology.vdd, temperature,
+                self.technology.reference_temperature,
+            )
+            factor = self._stack_model.two_stack_factor(device_type, temperature)
+            effective = (
+                (1.0 - self.stacked_fraction) + self.stacked_fraction * factor
+            )
+            # Half the width leaks at any time in static CMOS (the other half
+            # belongs to the conducting network).
+            current += 0.5 * width * per_width * effective
+        return current
+
+    def chip_leakage_power(
+        self,
+        total_nmos_width: float,
+        total_pmos_width: float,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Chip-level static power [W]."""
+        return (
+            self.chip_leakage_current(total_nmos_width, total_pmos_width, temperature)
+            * self.technology.vdd
+        )

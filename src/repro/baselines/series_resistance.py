@@ -1,0 +1,49 @@
+"""Naive baseline: OFF transistors as equal series "leakage resistances".
+
+A back-of-the-envelope heuristic still common in early power spreadsheets:
+an N-high OFF stack is assumed to leak ``1/N`` of a single OFF device of the
+same (bottom) width, i.e. the devices are treated as identical linear
+resistors.  It ignores the exponential suppression produced by the internal
+node voltages, so it dramatically *over*-estimates stack leakage — a useful
+lower bar in the Fig. 8 comparison and in the accuracy ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuit.stack import TransistorStack
+from ..technology.parameters import TechnologyParameters
+from ..core.leakage.subthreshold import single_device_off_current
+
+
+class SeriesResistanceStackModel:
+    """Equal-series-resistance stack leakage heuristic."""
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+
+    def stack_off_current(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """OFF current [A]: single-device leakage of the mean width over N."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        if logic_values is None:
+            logic_values = stack.all_off_vector()
+        off_devices = stack.off_devices(logic_values)
+        if not off_devices:
+            raise ValueError("the stack has no OFF device for this vector")
+        device = self.technology.device(stack.device_type)
+        mean_width = sum(d.width for d in off_devices) / len(off_devices)
+        single = single_device_off_current(
+            device,
+            mean_width,
+            self.technology.vdd,
+            temperature,
+            self.technology.reference_temperature,
+        )
+        return single / len(off_devices)

@@ -1,0 +1,91 @@
+"""Circuit substrate: devices, stacks, cells, netlists and input vectors.
+
+The leakage models of :mod:`repro.core.leakage` and the numerical reference
+solvers of :mod:`repro.spice` both operate on the structures defined here:
+MOSFET instances, series-connected transistor stacks, series/parallel pull
+networks, static CMOS standard cells and gate-level netlists.
+"""
+
+from .cells import (
+    LogicGate,
+    STANDARD_CELLS,
+    aoi21,
+    aoi22,
+    inverter,
+    nand_gate,
+    nor_gate,
+    oai21,
+    standard_cell,
+    standard_cell_names,
+)
+from .devices import MOSFET, BiasedDevice, auto_name, nmos, pmos
+from .netlist import GateInstance, Netlist, chain_of_inverters
+from .stack import (
+    StackInput,
+    TransistorStack,
+    nmos_stack_from_widths,
+    pmos_stack_from_widths,
+    uniform_nmos_stack,
+    uniform_pmos_stack,
+)
+from .topology import (
+    DeviceLeaf,
+    Network,
+    ParallelNetwork,
+    SeriesNetwork,
+    leaf,
+    network_from_stack,
+    parallel,
+    parallel_of_devices,
+    series,
+    series_of_devices,
+)
+from .vectors import (
+    VectorDistribution,
+    enumerate_vectors,
+    vector_from_bits,
+    vector_label,
+    vector_to_bits,
+)
+
+__all__ = [
+    "MOSFET",
+    "BiasedDevice",
+    "auto_name",
+    "nmos",
+    "pmos",
+    "StackInput",
+    "TransistorStack",
+    "uniform_nmos_stack",
+    "uniform_pmos_stack",
+    "nmos_stack_from_widths",
+    "pmos_stack_from_widths",
+    "Network",
+    "DeviceLeaf",
+    "SeriesNetwork",
+    "ParallelNetwork",
+    "series",
+    "parallel",
+    "leaf",
+    "series_of_devices",
+    "parallel_of_devices",
+    "network_from_stack",
+    "LogicGate",
+    "STANDARD_CELLS",
+    "inverter",
+    "nand_gate",
+    "nor_gate",
+    "aoi21",
+    "aoi22",
+    "oai21",
+    "standard_cell",
+    "standard_cell_names",
+    "GateInstance",
+    "Netlist",
+    "chain_of_inverters",
+    "VectorDistribution",
+    "enumerate_vectors",
+    "vector_from_bits",
+    "vector_to_bits",
+    "vector_label",
+]

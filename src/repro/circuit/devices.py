@@ -1,0 +1,170 @@
+"""MOSFET device instances and on/off state evaluation.
+
+The leakage model of the paper works on *structural* information: which
+transistors exist, how wide they are, which are ON and which are OFF for a
+given input vector.  This module provides the :class:`MOSFET` instance
+object used throughout the circuit substrate and the helpers that decide a
+device's conduction state from its gate logic value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..technology.parameters import DeviceParameters, TechnologyParameters
+
+_instance_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class MOSFET:
+    """A single MOS transistor instance.
+
+    Attributes
+    ----------
+    name:
+        Instance name (unique within its gate / stack).
+    device_type:
+        ``"nmos"`` or ``"pmos"``.
+    width:
+        Channel width [m].
+    length:
+        Channel length [m]; ``None`` means "use the technology's nominal
+        length for this device type".
+    gate_input:
+        Name of the logic input driving the gate terminal.
+    """
+
+    name: str
+    device_type: str
+    width: float
+    length: Optional[float] = None
+    gate_input: str = ""
+
+    def __post_init__(self) -> None:
+        if self.device_type not in ("nmos", "pmos"):
+            raise ValueError("device_type must be 'nmos' or 'pmos'")
+        if self.width <= 0.0:
+            raise ValueError("width must be positive")
+        if self.length is not None and self.length <= 0.0:
+            raise ValueError("length must be positive when given")
+
+    @property
+    def is_nmos(self) -> bool:
+        """True when the device is an n-channel MOSFET."""
+        return self.device_type == "nmos"
+
+    @property
+    def is_pmos(self) -> bool:
+        """True when the device is a p-channel MOSFET."""
+        return self.device_type == "pmos"
+
+    def effective_length(self, technology: TechnologyParameters) -> float:
+        """Channel length [m], falling back to the technology default."""
+        if self.length is not None:
+            return self.length
+        return technology.device(self.device_type).channel_length
+
+    def parameters(self, technology: TechnologyParameters) -> DeviceParameters:
+        """Compact-model parameters of this device's type."""
+        return technology.device(self.device_type)
+
+    def is_on(self, gate_logic_value: int) -> bool:
+        """Conduction state for a gate logic value (0 or 1).
+
+        An NMOS conducts when its gate is high; a PMOS conducts when its gate
+        is low.  Subthreshold conduction of OFF devices is exactly what the
+        leakage model computes, so "ON" here means *strong-inversion* ON.
+        """
+        if gate_logic_value not in (0, 1):
+            raise ValueError("gate logic value must be 0 or 1")
+        if self.is_nmos:
+            return gate_logic_value == 1
+        return gate_logic_value == 0
+
+    def is_off(self, gate_logic_value: int) -> bool:
+        """Complement of :meth:`is_on`."""
+        return not self.is_on(gate_logic_value)
+
+    def with_width(self, width: float) -> "MOSFET":
+        """Copy of the device with a different channel width."""
+        return replace(self, width=width)
+
+    def gate_voltage(self, logic_value: int, vdd: float) -> float:
+        """Gate terminal voltage [V] for a rail-to-rail logic value."""
+        if logic_value not in (0, 1):
+            raise ValueError("logic value must be 0 or 1")
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        return vdd if logic_value == 1 else 0.0
+
+
+def nmos(
+    name: str,
+    width: float,
+    gate_input: str = "",
+    length: Optional[float] = None,
+) -> MOSFET:
+    """Convenience constructor for an NMOS instance."""
+    return MOSFET(
+        name=name, device_type="nmos", width=width, length=length,
+        gate_input=gate_input,
+    )
+
+
+def pmos(
+    name: str,
+    width: float,
+    gate_input: str = "",
+    length: Optional[float] = None,
+) -> MOSFET:
+    """Convenience constructor for a PMOS instance."""
+    return MOSFET(
+        name=name, device_type="pmos", width=width, length=length,
+        gate_input=gate_input,
+    )
+
+
+def auto_name(prefix: str) -> str:
+    """Generate a unique instance name with the given prefix."""
+    return f"{prefix}{next(_instance_counter)}"
+
+
+@dataclass(frozen=True)
+class BiasedDevice:
+    """A MOSFET together with the terminal voltages applied to it.
+
+    The numerical (SPICE-like) solver and the analytical collapsing both need
+    the device *plus* its bias point; this small value object keeps the two
+    together.  All voltages are absolute node voltages referenced to ground.
+    """
+
+    device: MOSFET
+    gate_voltage: float
+    drain_voltage: float
+    source_voltage: float
+    body_voltage: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def vgs(self) -> float:
+        """Gate-source voltage magnitude appropriate for the device polarity."""
+        if self.device.is_nmos:
+            return self.gate_voltage - self.source_voltage
+        return self.source_voltage - self.gate_voltage
+
+    @property
+    def vds(self) -> float:
+        """Drain-source voltage magnitude appropriate for the device polarity."""
+        if self.device.is_nmos:
+            return self.drain_voltage - self.source_voltage
+        return self.source_voltage - self.drain_voltage
+
+    @property
+    def vsb(self) -> float:
+        """Source-body voltage magnitude appropriate for the device polarity."""
+        if self.device.is_nmos:
+            return self.source_voltage - self.body_voltage
+        return self.body_voltage - self.source_voltage

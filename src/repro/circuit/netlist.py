@@ -1,0 +1,270 @@
+"""Gate-level combinational netlists.
+
+The full-chip leakage estimator and the electro-thermal engine both need a
+circuit bigger than a single gate: a combinational netlist of standard-cell
+instances.  :class:`Netlist` stores cell instances with their pin-to-net
+connections, performs topological evaluation of logic values from primary
+inputs, and exposes per-instance views that the leakage model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .cells import LogicGate
+
+
+@dataclass(frozen=True)
+class GateInstance:
+    """A placed instance of a :class:`LogicGate` inside a netlist.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name.
+    cell:
+        The logic gate this instance realises.
+    connections:
+        Mapping from the cell's pin names (inputs and output) to net names.
+    block:
+        Optional floorplan block this instance belongs to; used by the
+        electro-thermal engine to aggregate power per block.
+    """
+
+    name: str
+    cell: LogicGate
+    connections: Dict[str, str]
+    block: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        expected_pins = set(self.cell.inputs) | {self.cell.output_name}
+        actual_pins = set(self.connections)
+        missing = expected_pins - actual_pins
+        extra = actual_pins - expected_pins
+        if missing:
+            raise ValueError(f"instance {self.name}: unconnected pins {sorted(missing)}")
+        if extra:
+            raise ValueError(f"instance {self.name}: unknown pins {sorted(extra)}")
+
+    @property
+    def output_net(self) -> str:
+        """Net driven by this instance's output."""
+        return self.connections[self.cell.output_name]
+
+    @property
+    def input_nets(self) -> Tuple[str, ...]:
+        """Nets feeding this instance's inputs, in declared input order."""
+        return tuple(self.connections[pin] for pin in self.cell.inputs)
+
+    def input_vector(self, net_values: Mapping[str, int]) -> Dict[str, int]:
+        """Translate net logic values into the cell's pin-named input vector."""
+        vector = {}
+        for pin in self.cell.inputs:
+            net = self.connections[pin]
+            if net not in net_values:
+                raise KeyError(
+                    f"instance {self.name}: net {net!r} has no logic value"
+                )
+            vector[pin] = int(net_values[net])
+        return vector
+
+
+class Netlist:
+    """A combinational gate-level netlist.
+
+    Parameters
+    ----------
+    name:
+        Netlist (design) name.
+    primary_inputs:
+        Names of the externally driven nets.
+    """
+
+    def __init__(self, name: str, primary_inputs: Sequence[str]) -> None:
+        if not name:
+            raise ValueError("netlist name must not be empty")
+        inputs = list(primary_inputs)
+        if len(set(inputs)) != len(inputs):
+            raise ValueError("primary input names must be unique")
+        self.name = name
+        self._primary_inputs: Tuple[str, ...] = tuple(inputs)
+        self._instances: Dict[str, GateInstance] = {}
+        self._driver_of_net: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @property
+    def primary_inputs(self) -> Tuple[str, ...]:
+        """Externally driven net names."""
+        return self._primary_inputs
+
+    def add_instance(
+        self,
+        name: str,
+        cell: LogicGate,
+        connections: Mapping[str, str],
+        block: Optional[str] = None,
+    ) -> GateInstance:
+        """Add a cell instance; returns the created :class:`GateInstance`."""
+        if name in self._instances:
+            raise ValueError(f"duplicate instance name {name!r}")
+        instance = GateInstance(
+            name=name, cell=cell, connections=dict(connections), block=block
+        )
+        output = instance.output_net
+        if output in self._primary_inputs:
+            raise ValueError(
+                f"instance {name} drives primary input net {output!r}"
+            )
+        if output in self._driver_of_net:
+            raise ValueError(
+                f"net {output!r} already driven by {self._driver_of_net[output]!r}"
+            )
+        self._instances[name] = instance
+        self._driver_of_net[output] = name
+        return instance
+
+    def instances(self) -> Tuple[GateInstance, ...]:
+        """All instances in insertion order."""
+        return tuple(self._instances.values())
+
+    def instance(self, name: str) -> GateInstance:
+        """Look up an instance by name."""
+        if name not in self._instances:
+            raise KeyError(f"no instance named {name!r}")
+        return self._instances[name]
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def nets(self) -> Tuple[str, ...]:
+        """Every net name (primary inputs first, then instance outputs)."""
+        seen: List[str] = list(self._primary_inputs)
+        seen_set: Set[str] = set(seen)
+        for instance in self._instances.values():
+            for net in (*instance.input_nets, instance.output_net):
+                if net not in seen_set:
+                    seen.append(net)
+                    seen_set.add(net)
+        return tuple(seen)
+
+    def primary_outputs(self) -> Tuple[str, ...]:
+        """Nets driven by an instance but not consumed by any other instance."""
+        consumed: Set[str] = set()
+        for instance in self._instances.values():
+            consumed.update(instance.input_nets)
+        outputs = [
+            instance.output_net
+            for instance in self._instances.values()
+            if instance.output_net not in consumed
+        ]
+        return tuple(outputs)
+
+    def device_count(self) -> int:
+        """Total transistor count across all instances."""
+        return sum(instance.cell.device_count() for instance in self._instances.values())
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> Tuple[GateInstance, ...]:
+        """Instances ordered so every driver precedes its fanout.
+
+        Raises ``ValueError`` when the netlist contains a combinational loop
+        or an instance input that nothing drives.
+        """
+        resolved: Set[str] = set(self._primary_inputs)
+        remaining = dict(self._instances)
+        ordered: List[GateInstance] = []
+        while remaining:
+            progressed = False
+            for name in list(remaining):
+                instance = remaining[name]
+                if all(net in resolved for net in instance.input_nets):
+                    ordered.append(instance)
+                    resolved.add(instance.output_net)
+                    del remaining[name]
+                    progressed = True
+            if not progressed:
+                undriven = sorted(
+                    net
+                    for inst in remaining.values()
+                    for net in inst.input_nets
+                    if net not in resolved and net not in self._driver_of_net
+                )
+                if undriven:
+                    raise ValueError(
+                        f"netlist {self.name}: undriven nets {undriven}"
+                    )
+                raise ValueError(
+                    f"netlist {self.name}: combinational loop among "
+                    f"{sorted(remaining)}"
+                )
+        return tuple(ordered)
+
+    def evaluate(self, primary_input_values: Mapping[str, int]) -> Dict[str, int]:
+        """Logic value of every net for the given primary-input assignment."""
+        net_values: Dict[str, int] = {}
+        for net in self._primary_inputs:
+            if net not in primary_input_values:
+                raise KeyError(f"missing value for primary input {net!r}")
+            value = int(primary_input_values[net])
+            if value not in (0, 1):
+                raise ValueError("primary input values must be 0 or 1")
+            net_values[net] = value
+        for instance in self.topological_order():
+            vector = instance.input_vector(net_values)
+            net_values[instance.output_net] = instance.cell.evaluate(vector)
+        return net_values
+
+    def instance_input_vectors(
+        self, primary_input_values: Mapping[str, int]
+    ) -> Dict[str, Dict[str, int]]:
+        """Pin-named input vector of every instance for a primary assignment."""
+        net_values = self.evaluate(primary_input_values)
+        return {
+            instance.name: instance.input_vector(net_values)
+            for instance in self._instances.values()
+        }
+
+    def instances_in_block(self, block: str) -> Tuple[GateInstance, ...]:
+        """Instances assigned to a given floorplan block."""
+        return tuple(
+            instance
+            for instance in self._instances.values()
+            if instance.block == block
+        )
+
+    def blocks(self) -> Tuple[str, ...]:
+        """Names of all blocks referenced by at least one instance."""
+        names = sorted(
+            {
+                instance.block
+                for instance in self._instances.values()
+                if instance.block is not None
+            }
+        )
+        return tuple(names)
+
+
+def chain_of_inverters(
+    technology, depth: int, name: str = "inv_chain"
+) -> Netlist:
+    """Build a simple inverter chain netlist (useful for tests and examples)."""
+    from .cells import inverter
+
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    netlist = Netlist(name, primary_inputs=("IN",))
+    previous = "IN"
+    for index in range(depth):
+        out = f"N{index + 1}"
+        netlist.add_instance(
+            f"U{index + 1}",
+            inverter(technology),
+            {"A": previous, "Z": out},
+        )
+        previous = out
+    return netlist

@@ -1,0 +1,219 @@
+"""Transistor stacks: chains of series-connected devices.
+
+The paper's central leakage construct is the *OFF chain* — a set of series-
+connected transistors between two rails with at least one device in the OFF
+state (Section 2.1).  :class:`TransistorStack` is the explicit representation
+of such a chain: transistor ``T1`` is closest to the source rail (ground for
+an NMOS stack, VDD for a PMOS stack) and ``TN`` connects to the opposite
+rail, exactly as in the paper's Fig. 2.
+
+Stacks are used directly by the Fig. 3 / Fig. 8 experiments and are the unit
+the gate-level topology extraction (:mod:`repro.circuit.topology`) produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .devices import MOSFET, nmos, pmos
+
+
+@dataclass(frozen=True)
+class StackInput:
+    """Logic value applied to the gate of one stack transistor."""
+
+    transistor: MOSFET
+    logic_value: int
+
+    def __post_init__(self) -> None:
+        if self.logic_value not in (0, 1):
+            raise ValueError("logic value must be 0 or 1")
+
+    @property
+    def is_off(self) -> bool:
+        """True when the transistor is OFF for this input value."""
+        return self.transistor.is_off(self.logic_value)
+
+
+class TransistorStack:
+    """A chain of N series-connected transistors of one polarity.
+
+    Parameters
+    ----------
+    transistors:
+        Devices ordered from the source rail upwards: ``transistors[0]`` is
+        ``T1`` (source terminal tied to the rail: ground for NMOS, VDD for
+        PMOS) and ``transistors[-1]`` is ``TN`` (drain tied to the opposite
+        rail).
+    """
+
+    def __init__(self, transistors: Sequence[MOSFET]) -> None:
+        devices = list(transistors)
+        if not devices:
+            raise ValueError("a stack needs at least one transistor")
+        first_type = devices[0].device_type
+        if any(d.device_type != first_type for d in devices):
+            raise ValueError("all transistors in a stack must share a polarity")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ValueError("transistor names within a stack must be unique")
+        self._devices: Tuple[MOSFET, ...] = tuple(devices)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def devices(self) -> Tuple[MOSFET, ...]:
+        """Transistors ordered from the source rail (T1) upwards (TN)."""
+        return self._devices
+
+    @property
+    def device_type(self) -> str:
+        """Polarity of the stack (``"nmos"`` or ``"pmos"``)."""
+        return self._devices[0].device_type
+
+    @property
+    def is_nmos(self) -> bool:
+        """True for an NMOS (pull-down) stack."""
+        return self._devices[0].is_nmos
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self):
+        return iter(self._devices)
+
+    def __getitem__(self, index: int) -> MOSFET:
+        return self._devices[index]
+
+    @property
+    def widths(self) -> Tuple[float, ...]:
+        """Channel widths [m] ordered from T1 to TN."""
+        return tuple(d.width for d in self._devices)
+
+    @property
+    def internal_node_count(self) -> int:
+        """Number of internal nodes V1 ... V(N-1) between series devices."""
+        return len(self._devices) - 1
+
+    def input_names(self) -> Tuple[str, ...]:
+        """Gate input names ordered from T1 to TN."""
+        return tuple(d.gate_input for d in self._devices)
+
+    # ------------------------------------------------------------------ #
+    # Input-vector handling
+    # ------------------------------------------------------------------ #
+    def apply_inputs(self, logic_values: Sequence[int]) -> Tuple[StackInput, ...]:
+        """Pair each transistor with its gate logic value (T1 first)."""
+        if len(logic_values) != len(self._devices):
+            raise ValueError(
+                f"expected {len(self._devices)} logic values, got {len(logic_values)}"
+            )
+        return tuple(
+            StackInput(transistor=d, logic_value=int(v))
+            for d, v in zip(self._devices, logic_values)
+        )
+
+    def off_devices(self, logic_values: Sequence[int]) -> Tuple[MOSFET, ...]:
+        """The OFF transistors of the chain for a given input vector.
+
+        Per the paper's collapsing technique, ON transistors are absorbed
+        into the internal nodes of the chain and only the OFF transistors
+        participate in the equivalent-width computation.  Order (T1 first)
+        is preserved.
+        """
+        inputs = self.apply_inputs(logic_values)
+        return tuple(i.transistor for i in inputs if i.is_off)
+
+    def is_off_chain(self, logic_values: Sequence[int]) -> bool:
+        """True when at least one transistor of the chain is OFF."""
+        return len(self.off_devices(logic_values)) > 0
+
+    def is_on_chain(self, logic_values: Sequence[int]) -> bool:
+        """True when every transistor of the chain is ON."""
+        return not self.is_off_chain(logic_values)
+
+    def all_off_vector(self) -> Tuple[int, ...]:
+        """Input vector that turns every transistor of the chain OFF."""
+        value = 0 if self.is_nmos else 1
+        return tuple(value for _ in self._devices)
+
+    def all_on_vector(self) -> Tuple[int, ...]:
+        """Input vector that turns every transistor of the chain ON."""
+        value = 1 if self.is_nmos else 0
+        return tuple(value for _ in self._devices)
+
+    def subchain(self, indices: Iterable[int]) -> "TransistorStack":
+        """Stack formed by a subset of devices (order preserved)."""
+        picked = [self._devices[i] for i in sorted(set(indices))]
+        return TransistorStack(picked)
+
+    def __repr__(self) -> str:
+        widths_um = ", ".join(f"{w * 1e6:.3g}" for w in self.widths)
+        return (
+            f"TransistorStack({self.device_type}, N={len(self)}, "
+            f"W(um)=[{widths_um}])"
+        )
+
+
+def uniform_nmos_stack(
+    depth: int,
+    width: float,
+    length: Optional[float] = None,
+    name_prefix: str = "MN",
+) -> TransistorStack:
+    """NMOS stack of ``depth`` identical transistors (Fig. 8 workloads)."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    devices = [
+        nmos(f"{name_prefix}{i + 1}", width, gate_input=f"IN{i + 1}", length=length)
+        for i in range(depth)
+    ]
+    return TransistorStack(devices)
+
+
+def uniform_pmos_stack(
+    depth: int,
+    width: float,
+    length: Optional[float] = None,
+    name_prefix: str = "MP",
+) -> TransistorStack:
+    """PMOS stack of ``depth`` identical transistors."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    devices = [
+        pmos(f"{name_prefix}{i + 1}", width, gate_input=f"IN{i + 1}", length=length)
+        for i in range(depth)
+    ]
+    return TransistorStack(devices)
+
+
+def nmos_stack_from_widths(
+    widths: Sequence[float],
+    length: Optional[float] = None,
+    name_prefix: str = "MN",
+) -> TransistorStack:
+    """NMOS stack with per-device widths (T1 first)."""
+    if not widths:
+        raise ValueError("at least one width is required")
+    devices = [
+        nmos(f"{name_prefix}{i + 1}", w, gate_input=f"IN{i + 1}", length=length)
+        for i, w in enumerate(widths)
+    ]
+    return TransistorStack(devices)
+
+
+def pmos_stack_from_widths(
+    widths: Sequence[float],
+    length: Optional[float] = None,
+    name_prefix: str = "MP",
+) -> TransistorStack:
+    """PMOS stack with per-device widths (T1 first)."""
+    if not widths:
+        raise ValueError("at least one width is required")
+    devices = [
+        pmos(f"{name_prefix}{i + 1}", w, gate_input=f"IN{i + 1}", length=length)
+        for i, w in enumerate(widths)
+    ]
+    return TransistorStack(devices)

@@ -1,0 +1,216 @@
+"""Series/parallel transistor network topologies and OFF-chain extraction.
+
+Static CMOS gates are built from a pull-up network (PMOS devices between the
+output and VDD) and a pull-down network (NMOS devices between the output and
+ground), each of which is a series/parallel composition of transistors.
+
+For the paper's leakage analysis (Section 2.1) the relevant structural
+operation is: given an input vector,
+
+1. enumerate every *chain* (root-to-rail path of series devices) of the
+   network,
+2. classify each chain as ON (every device ON) or OFF (at least one device
+   OFF),
+3. discard OFF chains that are in parallel with an ON chain (the ON chain
+   clamps both ends of the OFF chain to the same rail, so it carries no
+   subthreshold current from supply to ground),
+4. hand the remaining OFF chains to the collapsing procedure; parallel OFF
+   chains simply add their collapsed effective widths.
+
+This module implements the series/parallel composition
+(:class:`SeriesNetwork`, :class:`ParallelNetwork`, :class:`DeviceLeaf`),
+conduction analysis and chain extraction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .devices import MOSFET
+from .stack import TransistorStack
+
+
+class Network(ABC):
+    """Abstract series/parallel transistor network."""
+
+    @abstractmethod
+    def devices(self) -> Tuple[MOSFET, ...]:
+        """Every device in the network (document order, duplicates removed)."""
+
+    @abstractmethod
+    def conducts(self, inputs: Dict[str, int]) -> bool:
+        """True when the network forms a strong-inversion conducting path."""
+
+    @abstractmethod
+    def chains(self) -> Tuple[Tuple[MOSFET, ...], ...]:
+        """Every root-to-rail series chain of the network."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def device_type(self) -> str:
+        """Polarity of the network's devices (must be homogeneous)."""
+        devices = self.devices()
+        if not devices:
+            raise ValueError("empty network has no device type")
+        first = devices[0].device_type
+        if any(d.device_type != first for d in devices):
+            raise ValueError("network mixes NMOS and PMOS devices")
+        return first
+
+    def input_names(self) -> Tuple[str, ...]:
+        """Sorted unique gate input names used by the network."""
+        return tuple(sorted({d.gate_input for d in self.devices()}))
+
+    def _logic_value(self, device: MOSFET, inputs: Dict[str, int]) -> int:
+        if device.gate_input not in inputs:
+            raise KeyError(
+                f"input vector is missing a value for {device.gate_input!r}"
+            )
+        value = inputs[device.gate_input]
+        if value not in (0, 1):
+            raise ValueError("logic values must be 0 or 1")
+        return value
+
+    def off_chains(self, inputs: Dict[str, int]) -> Tuple[TransistorStack, ...]:
+        """OFF chains relevant for leakage under the given input vector.
+
+        Implements steps 1–3 of the module docstring.  Each returned stack
+        contains *only the OFF devices* of its chain, ordered from the rail
+        end (T1) upwards, because the collapsing procedure treats ON devices
+        as part of the chain's internal nodes.
+        """
+        relevant: List[TransistorStack] = []
+        for chain in self.chains():
+            logic = [self._logic_value(d, inputs) for d in chain]
+            off_devices = [d for d, v in zip(chain, logic) if d.is_off(v)]
+            if not off_devices:
+                # An ON chain: clamps the output to the rail.  It contributes
+                # no leakage itself and (because the whole network then
+                # conducts) suppresses its parallel OFF chains too -- which is
+                # handled by the caller checking `conducts()` first.
+                continue
+            relevant.append(TransistorStack(off_devices))
+        if self.conducts(inputs):
+            # Paper rule: an OFF chain in parallel with an ON chain is
+            # discarded.  When the *whole* network conducts, every OFF chain
+            # is in parallel with some conducting path between the same two
+            # rails, so none of them carries rail-to-rail leakage.
+            return tuple()
+        return tuple(relevant)
+
+
+@dataclass(frozen=True)
+class DeviceLeaf(Network):
+    """A single transistor as a degenerate network."""
+
+    device: MOSFET
+
+    def devices(self) -> Tuple[MOSFET, ...]:
+        return (self.device,)
+
+    def conducts(self, inputs: Dict[str, int]) -> bool:
+        return self.device.is_on(self._logic_value(self.device, inputs))
+
+    def chains(self) -> Tuple[Tuple[MOSFET, ...], ...]:
+        return ((self.device,),)
+
+
+class SeriesNetwork(Network):
+    """Series composition: children connected drain-to-source in a chain.
+
+    The first child is the one whose free terminal ties to the rail (ground
+    for NMOS, VDD for PMOS), matching the stack ordering convention.
+    """
+
+    def __init__(self, children: Sequence[Network]) -> None:
+        kids = list(children)
+        if not kids:
+            raise ValueError("a series network needs at least one child")
+        self._children: Tuple[Network, ...] = tuple(kids)
+        self.device_type()  # validates homogeneity
+
+    @property
+    def children(self) -> Tuple[Network, ...]:
+        return self._children
+
+    def devices(self) -> Tuple[MOSFET, ...]:
+        collected: List[MOSFET] = []
+        for child in self._children:
+            collected.extend(child.devices())
+        return tuple(collected)
+
+    def conducts(self, inputs: Dict[str, int]) -> bool:
+        return all(child.conducts(inputs) for child in self._children)
+
+    def chains(self) -> Tuple[Tuple[MOSFET, ...], ...]:
+        partial: List[Tuple[MOSFET, ...]] = [()]
+        for child in self._children:
+            extended: List[Tuple[MOSFET, ...]] = []
+            for prefix in partial:
+                for chain in child.chains():
+                    extended.append(prefix + chain)
+            partial = extended
+        return tuple(partial)
+
+
+class ParallelNetwork(Network):
+    """Parallel composition: children share both end terminals."""
+
+    def __init__(self, children: Sequence[Network]) -> None:
+        kids = list(children)
+        if not kids:
+            raise ValueError("a parallel network needs at least one child")
+        self._children: Tuple[Network, ...] = tuple(kids)
+        self.device_type()  # validates homogeneity
+
+    @property
+    def children(self) -> Tuple[Network, ...]:
+        return self._children
+
+    def devices(self) -> Tuple[MOSFET, ...]:
+        collected: List[MOSFET] = []
+        for child in self._children:
+            collected.extend(child.devices())
+        return tuple(collected)
+
+    def conducts(self, inputs: Dict[str, int]) -> bool:
+        return any(child.conducts(inputs) for child in self._children)
+
+    def chains(self) -> Tuple[Tuple[MOSFET, ...], ...]:
+        collected: List[Tuple[MOSFET, ...]] = []
+        for child in self._children:
+            collected.extend(child.chains())
+        return tuple(collected)
+
+
+def series(*children: Network) -> SeriesNetwork:
+    """Convenience constructor for a series composition."""
+    return SeriesNetwork(children)
+
+
+def parallel(*children: Network) -> ParallelNetwork:
+    """Convenience constructor for a parallel composition."""
+    return ParallelNetwork(children)
+
+
+def leaf(device: MOSFET) -> DeviceLeaf:
+    """Convenience constructor wrapping a device into a network leaf."""
+    return DeviceLeaf(device)
+
+
+def series_of_devices(devices: Sequence[MOSFET]) -> SeriesNetwork:
+    """Series network built directly from an ordered device list."""
+    return SeriesNetwork([DeviceLeaf(d) for d in devices])
+
+
+def parallel_of_devices(devices: Sequence[MOSFET]) -> ParallelNetwork:
+    """Parallel network built directly from a device list."""
+    return ParallelNetwork([DeviceLeaf(d) for d in devices])
+
+
+def network_from_stack(stack: TransistorStack) -> SeriesNetwork:
+    """Wrap an explicit :class:`TransistorStack` as a series network."""
+    return series_of_devices(list(stack.devices))

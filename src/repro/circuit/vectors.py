@@ -1,0 +1,129 @@
+"""Input-vector utilities.
+
+Gate leakage is strongly input-vector dependent (the stacking effect can
+change a gate's OFF current by more than an order of magnitude), so the
+leakage experiments always specify either an explicit vector, an exhaustive
+enumeration, or a probability-weighted average over vectors.  This module
+provides those utilities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+
+def enumerate_vectors(input_names: Sequence[str]) -> Iterator[Dict[str, int]]:
+    """Yield every binary input vector over ``input_names``.
+
+    Vectors are yielded in ascending binary order with ``input_names[0]`` as
+    the most significant bit, which keeps orderings reproducible across runs.
+    """
+    names = list(input_names)
+    if not names:
+        raise ValueError("at least one input name is required")
+    if len(set(names)) != len(names):
+        raise ValueError("input names must be unique")
+    for bits in itertools.product((0, 1), repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+def vector_from_bits(input_names: Sequence[str], bits: Sequence[int]) -> Dict[str, int]:
+    """Build a named input vector from a list of bits (same order as names)."""
+    names = list(input_names)
+    values = [int(b) for b in bits]
+    if len(names) != len(values):
+        raise ValueError("bits length must match the number of input names")
+    if any(v not in (0, 1) for v in values):
+        raise ValueError("bits must be 0 or 1")
+    return dict(zip(names, values))
+
+
+def vector_to_bits(input_names: Sequence[str], vector: Mapping[str, int]) -> Tuple[int, ...]:
+    """Extract a bit tuple from a named vector in the given name order."""
+    try:
+        bits = tuple(int(vector[name]) for name in input_names)
+    except KeyError as exc:
+        raise KeyError(f"vector is missing input {exc.args[0]!r}") from exc
+    if any(b not in (0, 1) for b in bits):
+        raise ValueError("vector values must be 0 or 1")
+    return bits
+
+
+def vector_label(input_names: Sequence[str], vector: Mapping[str, int]) -> str:
+    """Compact string label such as ``"A=0 B=1"`` for reports and tables."""
+    return " ".join(f"{name}={int(vector[name])}" for name in input_names)
+
+
+@dataclass(frozen=True)
+class VectorDistribution:
+    """A probability distribution over input vectors.
+
+    Used for average-leakage estimation: the expected leakage of a gate is
+    the probability-weighted sum of its per-vector leakage.
+    """
+
+    input_names: Tuple[str, ...]
+    probabilities: Tuple[Tuple[Tuple[int, ...], float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.input_names:
+            raise ValueError("at least one input name is required")
+        total = sum(p for _, p in self.probabilities)
+        if not self.probabilities:
+            raise ValueError("the distribution must contain at least one vector")
+        if any(p < 0.0 for _, p in self.probabilities):
+            raise ValueError("probabilities must be non-negative")
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1 (got {total})")
+        width = len(self.input_names)
+        for bits, _ in self.probabilities:
+            if len(bits) != width:
+                raise ValueError("every vector must cover all inputs")
+            if any(b not in (0, 1) for b in bits):
+                raise ValueError("vector bits must be 0 or 1")
+
+    def items(self) -> Iterator[Tuple[Dict[str, int], float]]:
+        """Yield ``(named_vector, probability)`` pairs."""
+        for bits, probability in self.probabilities:
+            yield vector_from_bits(self.input_names, bits), probability
+
+    @classmethod
+    def uniform(cls, input_names: Sequence[str]) -> "VectorDistribution":
+        """Uniform distribution over all vectors of the given inputs."""
+        names = tuple(input_names)
+        count = 2 ** len(names)
+        probability = 1.0 / count
+        probabilities = tuple(
+            (tuple(bits), probability)
+            for bits in itertools.product((0, 1), repeat=len(names))
+        )
+        return cls(input_names=names, probabilities=probabilities)
+
+    @classmethod
+    def from_signal_probabilities(
+        cls, one_probabilities: Mapping[str, float]
+    ) -> "VectorDistribution":
+        """Independent per-input probabilities of being logic 1."""
+        names = tuple(one_probabilities)
+        if not names:
+            raise ValueError("at least one input is required")
+        for name, p in one_probabilities.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability of {name!r} must be in [0, 1]")
+        probabilities: List[Tuple[Tuple[int, ...], float]] = []
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            probability = 1.0
+            for name, bit in zip(names, bits):
+                p_one = one_probabilities[name]
+                probability *= p_one if bit == 1 else (1.0 - p_one)
+            probabilities.append((tuple(bits), probability))
+        return cls(input_names=names, probabilities=tuple(probabilities))
+
+    def expectation(self, per_vector_value) -> float:
+        """Probability-weighted average of ``per_vector_value(vector)``."""
+        return sum(
+            probability * per_vector_value(vector)
+            for vector, probability in self.items()
+        )

@@ -1,0 +1,11 @@
+"""Core models reproduced from the paper.
+
+* :mod:`repro.core.leakage` — analytical static-power model (Section 2);
+* :mod:`repro.core.thermal` — analytical thermal-profile model (Section 3);
+* :mod:`repro.core.dynamic` — dynamic power (transient + short-circuit);
+* :mod:`repro.core.cosim` — concurrent electro-thermal estimation.
+"""
+
+from . import cosim, dynamic, leakage, thermal
+
+__all__ = ["leakage", "thermal", "dynamic", "cosim"]

@@ -1,0 +1,32 @@
+"""Concurrent electro-thermal co-simulation (the paper's headline capability)."""
+
+from .coupling import (
+    BlockPowerModel,
+    NetlistBlockModel,
+    ScaledLeakageBlockModel,
+    block_models_from_powers,
+    leakage_temperature_ratio,
+)
+from .engine import ElectroThermalEngine
+from .result import CosimIteration, CosimResult
+from .transient import (
+    TransientCosimResult,
+    TransientElectroThermalSimulator,
+    square_wave_activity_profile,
+    step_activity_profile,
+)
+
+__all__ = [
+    "TransientElectroThermalSimulator",
+    "TransientCosimResult",
+    "step_activity_profile",
+    "square_wave_activity_profile",
+    "BlockPowerModel",
+    "ScaledLeakageBlockModel",
+    "NetlistBlockModel",
+    "block_models_from_powers",
+    "leakage_temperature_ratio",
+    "ElectroThermalEngine",
+    "CosimIteration",
+    "CosimResult",
+]

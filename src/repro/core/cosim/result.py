@@ -1,0 +1,91 @@
+"""Result containers for the electro-thermal co-simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..dynamic.total import PowerBreakdown
+
+
+@dataclass(frozen=True)
+class CosimIteration:
+    """State of one fixed-point iteration.
+
+    Attributes
+    ----------
+    index:
+        Iteration number (0 is the initial, isothermal evaluation).
+    block_temperatures:
+        Junction temperature [K] of every block at the end of the iteration.
+    block_powers:
+        Total power [W] of every block evaluated at the iteration's
+        temperatures.
+    max_temperature_change:
+        Largest block-temperature change [K] with respect to the previous
+        iteration (infinity for the first one).
+    """
+
+    index: int
+    block_temperatures: Dict[str, float]
+    block_powers: Dict[str, float]
+    max_temperature_change: float
+
+
+@dataclass(frozen=True)
+class CosimResult:
+    """Converged (or best-effort) electro-thermal solution.
+
+    Attributes
+    ----------
+    block_temperatures:
+        Self-consistent junction temperature [K] per block.
+    block_breakdowns:
+        Power breakdown per block at the final temperatures.
+    ambient_temperature:
+        Heat-sink temperature [K].
+    converged:
+        Whether the fixed point met the tolerance within the iteration cap.
+    iterations:
+        Per-iteration history.
+    """
+
+    block_temperatures: Dict[str, float]
+    block_breakdowns: Dict[str, PowerBreakdown]
+    ambient_temperature: float
+    converged: bool
+    iterations: Tuple[CosimIteration, ...] = ()
+
+    @property
+    def iteration_count(self) -> int:
+        """Number of fixed-point iterations performed."""
+        return len(self.iterations)
+
+    @property
+    def total_power(self) -> float:
+        """Chip total power [W] at the converged temperatures."""
+        return sum(b.total for b in self.block_breakdowns.values())
+
+    @property
+    def total_static_power(self) -> float:
+        """Chip static power [W] at the converged temperatures."""
+        return sum(b.static for b in self.block_breakdowns.values())
+
+    @property
+    def total_dynamic_power(self) -> float:
+        """Chip dynamic power [W]."""
+        return sum(b.dynamic for b in self.block_breakdowns.values())
+
+    @property
+    def peak_temperature(self) -> float:
+        """Hottest block junction temperature [K]."""
+        return max(self.block_temperatures.values())
+
+    @property
+    def peak_rise(self) -> float:
+        """Hottest block temperature rise [K] above ambient."""
+        return self.peak_temperature - self.ambient_temperature
+
+    def hottest_block(self) -> str:
+        """Name of the hottest block."""
+        return max(self.block_temperatures, key=self.block_temperatures.get)

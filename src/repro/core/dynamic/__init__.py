@@ -1,0 +1,33 @@
+"""Dynamic power models (transient + short-circuit) and total-power rollup."""
+
+from .short_circuit import (
+    TransitionEnvironment,
+    overlap_voltage,
+    short_circuit_charge,
+    short_circuit_fraction,
+    short_circuit_power,
+)
+from .switching import (
+    SwitchingActivity,
+    gate_switching_power,
+    netlist_switching_power,
+    switching_energy_per_transition,
+    switching_power,
+)
+from .total import PowerBreakdown, TotalPowerModel, ZERO_POWER
+
+__all__ = [
+    "switching_power",
+    "switching_energy_per_transition",
+    "SwitchingActivity",
+    "gate_switching_power",
+    "netlist_switching_power",
+    "TransitionEnvironment",
+    "overlap_voltage",
+    "short_circuit_charge",
+    "short_circuit_power",
+    "short_circuit_fraction",
+    "PowerBreakdown",
+    "ZERO_POWER",
+    "TotalPowerModel",
+]

@@ -1,0 +1,132 @@
+"""Short-circuit power model (paper reference [10], Rossello & Segura 2002).
+
+During an input transition both the pull-up and pull-down networks conduct
+for a short time, creating a direct supply-to-ground path.  The paper refers
+to the authors' earlier charge-based analytical model (TCAD 2002) for this
+component; full reproduction of that model is out of scope here, so this
+module implements the widely used charge-based approximation that captures
+its dependencies:
+
+* the short-circuit charge per transition grows with the input transition
+  time and with the drive strength of the gate,
+* it collapses when the supply approaches ``Vthn + |Vthp|`` (no overlap
+  window), and
+* it is attenuated by the output load (fast output transitions starve the
+  short-circuit path), through the standard ``1 / (1 + C_load / C_crit)``
+  factor.
+
+The absolute magnitude is calibrated so that an unloaded, equal-rise-time
+inverter dissipates roughly 10% of its switching power as short-circuit
+power — the classic Veendrick design guideline — which is sufficient for the
+total-power and scaling studies this library performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...circuit.cells import LogicGate
+from ...technology.parameters import TechnologyParameters
+
+
+@dataclass(frozen=True)
+class TransitionEnvironment:
+    """Switching environment of a gate input for short-circuit evaluation.
+
+    Attributes
+    ----------
+    input_transition_time:
+        10–90% input rise/fall time [s].
+    frequency:
+        Clock frequency [Hz].
+    activity:
+        Output transition probability per cycle.
+    load_capacitance:
+        Capacitance [F] at the gate output.
+    """
+
+    input_transition_time: float
+    frequency: float = 1.0e9
+    activity: float = 0.1
+    load_capacitance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.input_transition_time <= 0.0:
+            raise ValueError("input_transition_time must be positive")
+        if self.frequency <= 0.0:
+            raise ValueError("frequency must be positive")
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        if self.load_capacitance < 0.0:
+            raise ValueError("load_capacitance must be non-negative")
+
+
+def overlap_voltage(technology: TechnologyParameters) -> float:
+    """Supply overdrive available for short-circuit conduction [V].
+
+    ``Vdd - Vthn - |Vthp|``; non-positive values mean the two networks are
+    never simultaneously ON and the short-circuit power vanishes.
+    """
+    return technology.vdd - technology.nmos.vt0 - technology.pmos.vt0
+
+
+def short_circuit_charge(
+    gate: LogicGate,
+    technology: TechnologyParameters,
+    environment: TransitionEnvironment,
+) -> float:
+    """Short-circuit charge [C] drawn from the supply per output transition."""
+    overlap = overlap_voltage(technology)
+    if overlap <= 0.0:
+        return 0.0
+    # Peak short-circuit current: the weaker of the two networks limits the
+    # crowbar current; approximate with the NMOS saturation current of the
+    # gate's total pull-down width at half the overlap overdrive.
+    pull_down_width = sum(d.width for d in gate.pull_down.devices())
+    peak_current = (
+        technology.nmos.saturation_current_density
+        * pull_down_width
+        * (0.5 * overlap / max(technology.vdd - technology.nmos.vt0, 1e-3)) ** 1.3
+    )
+    # Conduction window: the fraction of the input ramp during which both
+    # networks are ON.
+    window = environment.input_transition_time * overlap / technology.vdd
+    # Triangular current waveform plus load attenuation.
+    raw_charge = 0.5 * peak_current * window
+    critical_load = gate.output_capacitance(technology)
+    attenuation = 1.0 / (
+        1.0 + environment.load_capacitance / max(critical_load, 1e-18)
+    )
+    return raw_charge * attenuation
+
+
+def short_circuit_power(
+    gate: LogicGate,
+    technology: TechnologyParameters,
+    environment: TransitionEnvironment,
+) -> float:
+    """Short-circuit power [W] of one gate.
+
+    ``P_sc = alpha * f * Q_sc * Vdd``.
+    """
+    charge = short_circuit_charge(gate, technology, environment)
+    return environment.activity * environment.frequency * charge * technology.vdd
+
+
+def short_circuit_fraction(
+    gate: LogicGate,
+    technology: TechnologyParameters,
+    environment: TransitionEnvironment,
+) -> float:
+    """Short-circuit power as a fraction of the gate's switching power."""
+    from .switching import switching_power
+
+    load = gate.output_capacitance(
+        technology, external_load=environment.load_capacitance
+    )
+    transient = switching_power(
+        environment.activity, environment.frequency, load, technology.vdd
+    )
+    if transient == 0.0:
+        return 0.0
+    return short_circuit_power(gate, technology, environment) / transient

@@ -1,0 +1,108 @@
+"""Transient (capacitive switching) power.
+
+The paper's Section 2 lists the transient component of dynamic power as
+``Pt = alpha f C Vdd^2`` — the energy to charge and discharge the effective
+output capacitance at the switching activity ``alpha`` and clock frequency
+``f``.  The helpers here evaluate that expression for explicit capacitances,
+for standard-cell instances (using the cell's estimated output load) and for
+whole netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ...circuit.cells import LogicGate
+from ...circuit.netlist import Netlist
+from ...technology.parameters import TechnologyParameters
+
+
+def switching_power(
+    activity: float,
+    frequency: float,
+    capacitance: float,
+    vdd: float,
+) -> float:
+    """Transient power [W]: ``alpha * f * C * Vdd^2``."""
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError("activity must be in [0, 1]")
+    if frequency <= 0.0:
+        raise ValueError("frequency must be positive")
+    if capacitance < 0.0:
+        raise ValueError("capacitance must be non-negative")
+    if vdd <= 0.0:
+        raise ValueError("vdd must be positive")
+    return activity * frequency * capacitance * vdd**2
+
+
+def switching_energy_per_transition(capacitance: float, vdd: float) -> float:
+    """Energy [J] drawn from the supply per output 0->1 transition: ``C Vdd^2``."""
+    if capacitance < 0.0:
+        raise ValueError("capacitance must be non-negative")
+    if vdd <= 0.0:
+        raise ValueError("vdd must be positive")
+    return capacitance * vdd**2
+
+
+@dataclass(frozen=True)
+class SwitchingActivity:
+    """Per-instance switching description.
+
+    Attributes
+    ----------
+    activity:
+        Probability of an output transition per clock cycle.
+    frequency:
+        Clock frequency [Hz].
+    external_load:
+        Wire plus fanout capacitance [F] added to the cell's self-load.
+    """
+
+    activity: float = 0.1
+    frequency: float = 1.0e9
+    external_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        if self.frequency <= 0.0:
+            raise ValueError("frequency must be positive")
+        if self.external_load < 0.0:
+            raise ValueError("external_load must be non-negative")
+
+
+def gate_switching_power(
+    gate: LogicGate,
+    technology: TechnologyParameters,
+    activity: SwitchingActivity,
+) -> float:
+    """Transient power [W] of one gate instance."""
+    load = gate.output_capacitance(technology, external_load=activity.external_load)
+    return switching_power(
+        activity.activity, activity.frequency, load, technology.vdd
+    )
+
+
+def netlist_switching_power(
+    netlist: Netlist,
+    technology: TechnologyParameters,
+    activities: Optional[Mapping[str, SwitchingActivity]] = None,
+    default_activity: Optional[SwitchingActivity] = None,
+) -> Dict[str, float]:
+    """Per-instance transient power [W] of a netlist.
+
+    ``activities`` maps instance names to their switching description;
+    instances not listed fall back to ``default_activity`` (or a library
+    default of 10% activity at 1 GHz).
+    """
+    fallback = default_activity or SwitchingActivity()
+    powers: Dict[str, float] = {}
+    for instance in netlist.instances():
+        activity = fallback
+        if activities is not None and instance.name in activities:
+            activity = activities[instance.name]
+        powers[instance.name] = gate_switching_power(
+            instance.cell, technology, activity
+        )
+    return powers

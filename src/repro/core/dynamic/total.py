@@ -1,0 +1,147 @@
+"""Total power: dynamic (transient + short-circuit) plus static.
+
+The paper's thesis is that sub-100nm total power cannot be computed without
+solving power and temperature together; this module provides the
+temperature-*parameterised* total-power evaluation that the electro-thermal
+engine iterates: for a given junction temperature it sums the (temperature
+insensitive, to first order) dynamic components and the exponentially
+temperature-dependent static component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ...circuit.netlist import Netlist
+from ...technology.parameters import TechnologyParameters
+from ..leakage.circuit_leakage import CircuitLeakageModel
+from .short_circuit import TransitionEnvironment, short_circuit_power
+from .switching import SwitchingActivity, gate_switching_power
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Power components [W] of a gate, block or chip."""
+
+    switching: float
+    short_circuit: float
+    static: float
+
+    @property
+    def dynamic(self) -> float:
+        """Switching plus short-circuit power [W]."""
+        return self.switching + self.short_circuit
+
+    @property
+    def total(self) -> float:
+        """Total power [W]."""
+        return self.dynamic + self.static
+
+    @property
+    def static_fraction(self) -> float:
+        """Static power as a fraction of the total (0 when total is zero)."""
+        total = self.total
+        if total == 0.0:
+            return 0.0
+        return self.static / total
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            switching=self.switching + other.switching,
+            short_circuit=self.short_circuit + other.short_circuit,
+            static=self.static + other.static,
+        )
+
+
+ZERO_POWER = PowerBreakdown(switching=0.0, short_circuit=0.0, static=0.0)
+
+
+class TotalPowerModel:
+    """Temperature-parameterised total power of a combinational netlist.
+
+    Parameters
+    ----------
+    technology:
+        Technology parameters.
+    default_activity:
+        Switching description applied to instances without an explicit one.
+    default_transition_time:
+        Input transition time [s] used by the short-circuit model.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParameters,
+        default_activity: Optional[SwitchingActivity] = None,
+        default_transition_time: float = 50.0e-12,
+    ) -> None:
+        if default_transition_time <= 0.0:
+            raise ValueError("default_transition_time must be positive")
+        self.technology = technology
+        self.default_activity = default_activity or SwitchingActivity()
+        self.default_transition_time = default_transition_time
+        self.leakage_model = CircuitLeakageModel(technology)
+
+    def instance_breakdown(
+        self,
+        netlist: Netlist,
+        primary_inputs: Mapping[str, int],
+        temperature=None,
+        activities: Optional[Mapping[str, SwitchingActivity]] = None,
+    ) -> Dict[str, PowerBreakdown]:
+        """Per-instance power breakdown for one primary-input assignment."""
+        leakage_report = self.leakage_model.analyze(
+            netlist, primary_inputs, temperature
+        )
+        breakdowns: Dict[str, PowerBreakdown] = {}
+        for instance in netlist.instances():
+            activity = self.default_activity
+            if activities is not None and instance.name in activities:
+                activity = activities[instance.name]
+            switching = gate_switching_power(instance.cell, self.technology, activity)
+            environment = TransitionEnvironment(
+                input_transition_time=self.default_transition_time,
+                frequency=activity.frequency,
+                activity=activity.activity,
+                load_capacitance=activity.external_load,
+            )
+            short = short_circuit_power(instance.cell, self.technology, environment)
+            static = leakage_report.instance_estimates[instance.name].power
+            breakdowns[instance.name] = PowerBreakdown(
+                switching=switching, short_circuit=short, static=static
+            )
+        return breakdowns
+
+    def total(
+        self,
+        netlist: Netlist,
+        primary_inputs: Mapping[str, int],
+        temperature=None,
+        activities: Optional[Mapping[str, SwitchingActivity]] = None,
+    ) -> PowerBreakdown:
+        """Chip-level power breakdown."""
+        breakdowns = self.instance_breakdown(
+            netlist, primary_inputs, temperature, activities
+        )
+        total = ZERO_POWER
+        for breakdown in breakdowns.values():
+            total = total + breakdown
+        return total
+
+    def block_breakdown(
+        self,
+        netlist: Netlist,
+        primary_inputs: Mapping[str, int],
+        temperature=None,
+        activities: Optional[Mapping[str, SwitchingActivity]] = None,
+    ) -> Dict[str, PowerBreakdown]:
+        """Power breakdown aggregated per floorplan block."""
+        breakdowns = self.instance_breakdown(
+            netlist, primary_inputs, temperature, activities
+        )
+        blocks: Dict[str, PowerBreakdown] = {}
+        for instance in netlist.instances():
+            key = instance.block or ""
+            blocks[key] = blocks.get(key, ZERO_POWER) + breakdowns[instance.name]
+        return blocks

@@ -1,0 +1,33 @@
+"""Analytical static-power model (paper Section 2).
+
+Subthreshold device model (Eqs. 1–2), OFF-chain stack collapsing
+(Eqs. 3–12), gate-level leakage (Eq. 13) and circuit-level aggregation.
+"""
+
+from .circuit_leakage import CircuitLeakageModel, CircuitLeakageReport
+from .gate_leakage import GateLeakageEstimate, GateLeakageModel
+from .stack_collapse import PairCollapseResult, StackCollapseResult, StackCollapser
+from .subthreshold import (
+    SubthresholdBias,
+    effective_width_off_current,
+    leakage_temperature_slope,
+    single_device_off_current,
+    subthreshold_current,
+    threshold_voltage,
+)
+
+__all__ = [
+    "SubthresholdBias",
+    "subthreshold_current",
+    "threshold_voltage",
+    "single_device_off_current",
+    "effective_width_off_current",
+    "leakage_temperature_slope",
+    "StackCollapser",
+    "StackCollapseResult",
+    "PairCollapseResult",
+    "GateLeakageModel",
+    "GateLeakageEstimate",
+    "CircuitLeakageModel",
+    "CircuitLeakageReport",
+]

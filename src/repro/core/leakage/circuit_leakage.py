@@ -1,0 +1,158 @@
+"""Circuit-level static power estimation.
+
+Scales the gate-level analytical model up to a full combinational netlist:
+logic values are propagated from the primary inputs, every instance's
+leakage is evaluated for its local input vector, and the results are
+aggregated in total and per floorplan block.  Per-block junction
+temperatures may be supplied, which is exactly the hook the electro-thermal
+co-simulation loop of :mod:`repro.core.cosim` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+from ...circuit.netlist import Netlist
+from ...technology.parameters import TechnologyParameters
+from .gate_leakage import GateLeakageEstimate, GateLeakageModel
+
+TemperatureSpec = Union[float, Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class CircuitLeakageReport:
+    """Per-instance and aggregated leakage of a netlist for one input vector.
+
+    Attributes
+    ----------
+    netlist_name:
+        Name of the analysed netlist.
+    instance_estimates:
+        Per-instance analytical estimates keyed by instance name.
+    total_current:
+        Sum of all instance currents [A].
+    total_power:
+        Sum of all instance static powers [W].
+    block_power:
+        Static power aggregated per floorplan block [W]; instances without a
+        block are collected under the ``""`` key.
+    """
+
+    netlist_name: str
+    instance_estimates: Dict[str, GateLeakageEstimate]
+    total_current: float
+    total_power: float
+    block_power: Dict[str, float] = field(default_factory=dict)
+
+    def instances_sorted_by_power(self):
+        """Instance estimates ordered from the leakiest downwards."""
+        return sorted(
+            self.instance_estimates.values(), key=lambda e: e.power, reverse=True
+        )
+
+
+class CircuitLeakageModel:
+    """Analytical static-power estimator for combinational netlists.
+
+    Parameters
+    ----------
+    technology:
+        Technology parameters shared by every instance.
+    """
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+        self.gate_model = GateLeakageModel(technology)
+
+    def _instance_temperature(
+        self,
+        block: Optional[str],
+        temperature: Optional[TemperatureSpec],
+    ) -> float:
+        if temperature is None:
+            return self.technology.reference_temperature
+        if isinstance(temperature, Mapping):
+            if block is not None and block in temperature:
+                return float(temperature[block])
+            if "" in temperature:
+                return float(temperature[""])
+            return self.technology.reference_temperature
+        return float(temperature)
+
+    def analyze(
+        self,
+        netlist: Netlist,
+        primary_inputs: Mapping[str, int],
+        temperature: Optional[TemperatureSpec] = None,
+    ) -> CircuitLeakageReport:
+        """Full leakage report for one primary-input assignment.
+
+        Parameters
+        ----------
+        netlist:
+            Combinational netlist to analyse.
+        primary_inputs:
+            Logic value of every primary input.
+        temperature:
+            Either a single junction temperature [K] applied to every
+            instance, or a mapping from floorplan block name to temperature
+            (instances outside any listed block fall back to the reference
+            temperature).
+        """
+        vectors = netlist.instance_input_vectors(primary_inputs)
+        estimates: Dict[str, GateLeakageEstimate] = {}
+        block_power: Dict[str, float] = {}
+        total_current = 0.0
+        total_power = 0.0
+        for instance in netlist.instances():
+            instance_temperature = self._instance_temperature(
+                instance.block, temperature
+            )
+            estimate = self.gate_model.evaluate(
+                instance.cell, vectors[instance.name], instance_temperature
+            )
+            estimates[instance.name] = estimate
+            total_current += estimate.current
+            total_power += estimate.power
+            block_key = instance.block or ""
+            block_power[block_key] = block_power.get(block_key, 0.0) + estimate.power
+        return CircuitLeakageReport(
+            netlist_name=netlist.name,
+            instance_estimates=estimates,
+            total_current=total_current,
+            total_power=total_power,
+            block_power=block_power,
+        )
+
+    def total_power(
+        self,
+        netlist: Netlist,
+        primary_inputs: Mapping[str, int],
+        temperature: Optional[TemperatureSpec] = None,
+    ) -> float:
+        """Total static power [W] of the netlist for one input assignment."""
+        return self.analyze(netlist, primary_inputs, temperature).total_power
+
+    def block_power(
+        self,
+        netlist: Netlist,
+        primary_inputs: Mapping[str, int],
+        temperature: Optional[TemperatureSpec] = None,
+    ) -> Dict[str, float]:
+        """Static power [W] aggregated per floorplan block."""
+        return self.analyze(netlist, primary_inputs, temperature).block_power
+
+    def average_total_power(
+        self,
+        netlist: Netlist,
+        input_vectors: Mapping[str, Mapping[str, int]],
+        temperature: Optional[TemperatureSpec] = None,
+    ) -> float:
+        """Static power averaged over a set of named primary-input vectors."""
+        if not input_vectors:
+            raise ValueError("at least one input vector is required")
+        total = 0.0
+        for vector in input_vectors.values():
+            total += self.total_power(netlist, vector, temperature)
+        return total / len(input_vectors)

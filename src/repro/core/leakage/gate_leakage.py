@@ -1,0 +1,280 @@
+"""Gate-level static power model (paper Eq. 13 on top of the collapse).
+
+For a given input vector the static current of a CMOS gate is computed by
+
+1. identifying the non-conducting network (the conducting one clamps the
+   output to a rail and carries no rail-to-rail subthreshold current),
+2. extracting its OFF chains, discarding those shorted by an ON chain,
+3. collapsing every OFF chain to an effective width and summing the widths
+   of parallel chains,
+4. evaluating the equivalent single-transistor OFF current of Eq. (13).
+
+The same machinery also evaluates bare transistor stacks, which is how the
+paper's Fig. 8 workloads are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ...circuit.cells import LogicGate
+from ...circuit.stack import TransistorStack
+from ...circuit.vectors import enumerate_vectors
+from ...technology.parameters import TechnologyParameters
+from .stack_collapse import StackCollapser, StackCollapseResult
+from .subthreshold import effective_width_off_current
+
+
+@dataclass(frozen=True)
+class GateLeakageEstimate:
+    """Analytical leakage of one gate (or stack) for one input vector.
+
+    Attributes
+    ----------
+    gate_name:
+        Name of the gate or stack.
+    input_vector:
+        The applied input vector (pin name -> logic value).
+    device_type:
+        Polarity of the leaking network.
+    effective_width:
+        Collapsed effective width [m] feeding Eq. (13).
+    current:
+        Static (subthreshold) current [A].
+    power:
+        Static power [W] (``current * Vdd``).
+    temperature:
+        Evaluation temperature [K].
+    chains:
+        Per-chain collapse results (diagnostics / reporting).
+    """
+
+    gate_name: str
+    input_vector: Dict[str, int]
+    device_type: str
+    effective_width: float
+    current: float
+    power: float
+    temperature: float
+    chains: Tuple[StackCollapseResult, ...] = ()
+
+
+class GateLeakageModel:
+    """Analytical static-power estimator for gates and stacks.
+
+    Parameters
+    ----------
+    technology:
+        Technology parameters shared with the rest of the library.
+    """
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+        self.collapser = StackCollapser(technology)
+
+    # ------------------------------------------------------------------ #
+    # Bare stacks (Fig. 8 workloads)
+    # ------------------------------------------------------------------ #
+    def stack_off_current(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Tuple[int, ...]] = None,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """OFF current [A] of a bare transistor stack."""
+        return self.evaluate_stack(stack, logic_values, temperature).current
+
+    def evaluate_stack(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Tuple[int, ...]] = None,
+        temperature: Optional[float] = None,
+    ) -> GateLeakageEstimate:
+        """Full estimate for a bare transistor stack."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        if logic_values is None:
+            logic_values = stack.all_off_vector()
+        collapse = self.collapser.collapse_stack(stack, logic_values, temperature)
+        current = effective_width_off_current(
+            self.technology, stack.device_type, collapse.effective_width, temperature
+        )
+        vector = {
+            device.gate_input or f"IN{i + 1}": int(value)
+            for i, (device, value) in enumerate(zip(stack.devices, logic_values))
+        }
+        return GateLeakageEstimate(
+            gate_name=f"stack{len(stack)}",
+            input_vector=vector,
+            device_type=stack.device_type,
+            effective_width=collapse.effective_width,
+            current=current,
+            power=current * self.technology.vdd,
+            temperature=temperature,
+            chains=(collapse,),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Full gates
+    # ------------------------------------------------------------------ #
+    def _network_effective_width(
+        self,
+        network,
+        vector: Dict[str, int],
+        temperature: float,
+    ) -> Tuple[Optional[float], Tuple[StackCollapseResult, ...]]:
+        """Effective width [m] of a (possibly nested) OFF network.
+
+        Returns ``(effective_width, chain_diagnostics)``.  ``None`` as the
+        width means the sub-network conducts (strong-inversion path), so it
+        behaves as part of an internal node exactly like a single ON device.
+
+        The recursion generalises the paper's two rules beyond flat chains:
+        parallel OFF sub-networks add their effective widths (and are shorted
+        by any conducting sibling), series sub-networks collapse their
+        children's effective widths pairwise from the top of the chain down,
+        with ON children absorbed into the internal nodes.
+        """
+        from ...circuit.topology import DeviceLeaf, ParallelNetwork, SeriesNetwork
+
+        if isinstance(network, DeviceLeaf):
+            device = network.device
+            if device.is_on(vector[device.gate_input]):
+                return None, ()
+            return device.width, ()
+        if isinstance(network, ParallelNetwork):
+            widths = []
+            diagnostics = []
+            for child in network.children:
+                width, chains = self._network_effective_width(
+                    child, vector, temperature
+                )
+                if width is None:
+                    # A conducting branch shorts the whole parallel group.
+                    return None, ()
+                widths.append(width)
+                diagnostics.extend(chains)
+            return sum(widths), tuple(diagnostics)
+        if isinstance(network, SeriesNetwork):
+            child_widths = []
+            diagnostics = []
+            for child in network.children:
+                width, chains = self._network_effective_width(
+                    child, vector, temperature
+                )
+                diagnostics.extend(chains)
+                if width is not None:
+                    child_widths.append(width)
+            if not child_widths:
+                return None, ()
+            collapse = self.collapser.collapse_chain_widths(
+                child_widths, network.device_type(), temperature
+            )
+            diagnostics.append(collapse)
+            return collapse.effective_width, tuple(diagnostics)
+        raise TypeError(f"unsupported network type {type(network).__name__}")
+
+    def evaluate(
+        self,
+        gate: LogicGate,
+        inputs: Mapping[str, int],
+        temperature: Optional[float] = None,
+    ) -> GateLeakageEstimate:
+        """Analytical leakage estimate of a gate for one input vector."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        vector = {name: int(inputs[name]) for name in gate.inputs}
+        leaking_network = gate.leakage_network(vector)
+        device_type = leaking_network.device_type()
+        effective_width, diagnostics = self._network_effective_width(
+            leaking_network, vector, temperature
+        )
+        if effective_width is None or effective_width <= 0.0:
+            # A complementary gate's non-conducting network always yields a
+            # positive effective width; this branch covers degenerate inputs.
+            return GateLeakageEstimate(
+                gate_name=gate.name,
+                input_vector=vector,
+                device_type=device_type,
+                effective_width=0.0,
+                current=0.0,
+                power=0.0,
+                temperature=temperature,
+                chains=(),
+            )
+        current = effective_width_off_current(
+            self.technology, device_type, effective_width, temperature
+        )
+        return GateLeakageEstimate(
+            gate_name=gate.name,
+            input_vector=vector,
+            device_type=device_type,
+            effective_width=effective_width,
+            current=current,
+            power=current * self.technology.vdd,
+            temperature=temperature,
+            chains=diagnostics,
+        )
+
+    def off_current(
+        self,
+        gate: LogicGate,
+        inputs: Mapping[str, int],
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Static current [A] of a gate for one input vector."""
+        return self.evaluate(gate, inputs, temperature).current
+
+    def static_power(
+        self,
+        gate: LogicGate,
+        inputs: Mapping[str, int],
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Static power [W] of a gate for one input vector."""
+        return self.evaluate(gate, inputs, temperature).power
+
+    # ------------------------------------------------------------------ #
+    # Vector sweeps
+    # ------------------------------------------------------------------ #
+    def per_vector_currents(
+        self, gate: LogicGate, temperature: Optional[float] = None
+    ) -> Dict[Tuple[int, ...], float]:
+        """OFF current for every input vector, keyed by the input bit tuple."""
+        currents: Dict[Tuple[int, ...], float] = {}
+        for vector in enumerate_vectors(gate.inputs):
+            bits = tuple(vector[name] for name in gate.inputs)
+            currents[bits] = self.off_current(gate, vector, temperature)
+        return currents
+
+    def worst_case_vector(
+        self, gate: LogicGate, temperature: Optional[float] = None
+    ) -> GateLeakageEstimate:
+        """The input vector with the highest analytical leakage."""
+        best: Optional[GateLeakageEstimate] = None
+        for vector in enumerate_vectors(gate.inputs):
+            estimate = self.evaluate(gate, vector, temperature)
+            if best is None or estimate.current > best.current:
+                best = estimate
+        assert best is not None
+        return best
+
+    def best_case_vector(
+        self, gate: LogicGate, temperature: Optional[float] = None
+    ) -> GateLeakageEstimate:
+        """The input vector with the lowest analytical leakage."""
+        best: Optional[GateLeakageEstimate] = None
+        for vector in enumerate_vectors(gate.inputs):
+            estimate = self.evaluate(gate, vector, temperature)
+            if best is None or estimate.current < best.current:
+                best = estimate
+        assert best is not None
+        return best
+
+    def average_current(
+        self, gate: LogicGate, temperature: Optional[float] = None
+    ) -> float:
+        """Leakage current averaged uniformly over all input vectors."""
+        currents = self.per_vector_currents(gate, temperature)
+        return sum(currents.values()) / len(currents)

@@ -1,0 +1,413 @@
+"""Stack-collapsing technique for OFF chains (paper Section 2.1, Eqs. 3–12).
+
+An OFF chain of N series transistors is reduced to a single equivalent
+transistor whose width ``W_eff`` reproduces the chain's subthreshold
+current.  The procedure, following the paper's Fig. 2:
+
+1. the top pair ``(T_{N-1}, T_N)`` is collapsed into an equivalent
+   transistor ``T_<N-1,N>`` with width given by Eq. (6),
+
+   ``W_<N-1,N> = W_N exp(-(1 + gamma' + sigma) dV / (n VT))``
+
+   where ``dV = V_{N-1} - V_{N-2}`` is the drain-source voltage of the lower
+   device of the pair;
+2. ``dV`` is estimated analytically from Eq. (10), an empirical interpolation
+   between the two solvable regimes
+
+   * ``dV >> VT``  ->  ``dV = alpha VT f``            (Eq. 7)
+   * ``dV <  VT``  ->  ``dV = VT exp(f)``             (Eq. 8)
+
+   with ``f = ln((W_upper / W_lower) exp(sigma Vdd / (n VT)))`` and
+   ``alpha = n / (1 + gamma' + 2 sigma)`` (Eq. 9);
+3. the collapse is repeated down the chain until a single device remains;
+   its width is the chain's effective width (Eqs. 11–12), and parallel OFF
+   chains simply add their effective widths.
+
+Equation (10) reconstruction note
+---------------------------------
+The DATE'05 PDF renders Eq. (10) with typographic damage.  We use
+
+``dV = VT * [alpha + (1 - alpha) / (1 + e^f)] * ln(1 + e^f)``
+
+which reproduces both published asymptotes exactly (``alpha VT f`` for
+``f -> +inf``, ``VT e^f`` for ``f -> -inf``), is smooth and monotone in
+``f``, and matches the paper's Fig. 3 behaviour when compared against the
+exact numerical solution (see ``benchmarks/test_fig03_node_voltage.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from scipy.optimize import brentq
+
+from ...circuit.stack import TransistorStack
+from ...technology.constants import thermal_voltage
+from ...technology.parameters import DeviceParameters, TechnologyParameters
+from .subthreshold import SubthresholdBias, subthreshold_current
+
+_MAX_EXPONENT = 250.0
+
+
+def _safe_exp(value: float) -> float:
+    if value > _MAX_EXPONENT:
+        return math.exp(_MAX_EXPONENT)
+    if value < -_MAX_EXPONENT:
+        return 0.0
+    return math.exp(value)
+
+
+@dataclass(frozen=True)
+class PairCollapseResult:
+    """Result of collapsing one pair of series OFF transistors.
+
+    Attributes
+    ----------
+    node_voltage:
+        Drain-source voltage [V] of the lower device of the pair (Eq. 10).
+    f_value:
+        The dimensionless ``f`` of Eq. (9) for this pair.
+    alpha:
+        The ``alpha`` of Eq. (9).
+    equivalent_width:
+        Width [m] of the equivalent transistor replacing the pair (Eq. 6).
+    upper_width:
+        Width [m] of the upper device (or previously collapsed equivalent).
+    lower_width:
+        Width [m] of the lower device.
+    """
+
+    node_voltage: float
+    f_value: float
+    alpha: float
+    equivalent_width: float
+    upper_width: float
+    lower_width: float
+
+
+@dataclass(frozen=True)
+class StackCollapseResult:
+    """Result of collapsing a whole OFF chain.
+
+    Attributes
+    ----------
+    effective_width:
+        Width [m] of the single equivalent transistor (Eqs. 11–12).
+    device_type:
+        Chain polarity (``"nmos"`` or ``"pmos"``).
+    pair_results:
+        Per-step pair collapses, ordered from the top of the chain downwards.
+    node_voltages:
+        Drain-source voltages [V] of devices T1 ... T(N-1) (bottom upwards) —
+        i.e. the increments whose running sum gives the internal node
+        voltages of Eq. (12).
+    temperature:
+        Temperature [K] the collapse was evaluated at.
+    """
+
+    effective_width: float
+    device_type: str
+    pair_results: Tuple[PairCollapseResult, ...]
+    node_voltages: Tuple[float, ...]
+    temperature: float
+
+    @property
+    def stack_depth(self) -> int:
+        """Number of OFF devices in the collapsed chain."""
+        return len(self.node_voltages) + 1
+
+    @property
+    def top_node_voltage(self) -> float:
+        """Voltage [V] of node ``V_{N-1}`` below the top device (Eq. 12)."""
+        return sum(self.node_voltages)
+
+    @property
+    def stacking_factor(self) -> float:
+        """Ratio between the chain's leakage and a single top device's leakage.
+
+        Because the gate current is proportional to the effective width
+        (Eq. 13), this ratio is just ``W_eff / W_top`` — a direct measure of
+        the stacking effect.
+        """
+        if not self.pair_results:
+            return 1.0
+        top_width = self.pair_results[0].upper_width
+        return self.effective_width / top_width
+
+
+class StackCollapser:
+    """Analytical collapsing engine for OFF chains of one technology.
+
+    Parameters
+    ----------
+    technology:
+        Technology parameters (device compact models and supply voltage).
+    """
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+
+    # ------------------------------------------------------------------ #
+    # Building blocks (Eqs. 6–10)
+    # ------------------------------------------------------------------ #
+    def alpha(self, device_type: str) -> float:
+        """``alpha = n / (1 + gamma' + 2 sigma)`` (Eq. 9)."""
+        device = self.technology.device(device_type)
+        return device.n / (1.0 + device.body_effect + 2.0 * device.dibl)
+
+    def stacking_exponent(self, device_type: str) -> float:
+        """``1 + gamma' + sigma`` — the exponent coefficient of Eq. (6)."""
+        device = self.technology.device(device_type)
+        return 1.0 + device.body_effect + device.dibl
+
+    def f_value(
+        self,
+        upper_width: float,
+        lower_width: float,
+        device_type: str,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Dimensionless ``f`` of Eq. (9) for a pair of series devices.
+
+        ``f = ln((W_upper / W_lower) exp(sigma Vdd / (n VT)))``
+        """
+        if upper_width <= 0.0 or lower_width <= 0.0:
+            raise ValueError("widths must be positive")
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        device = self.technology.device(device_type)
+        vt = thermal_voltage(temperature)
+        dibl_term = device.dibl * self.technology.vdd / (device.n * vt)
+        return math.log(upper_width / lower_width) + dibl_term
+
+    def node_voltage_strong(
+        self,
+        upper_width: float,
+        lower_width: float,
+        device_type: str,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Asymptotic node voltage for ``dV >> VT`` (Eq. 7): ``alpha VT f``."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        f = self.f_value(upper_width, lower_width, device_type, temperature)
+        vt = thermal_voltage(temperature)
+        return self.alpha(device_type) * vt * f
+
+    def node_voltage_weak(
+        self,
+        upper_width: float,
+        lower_width: float,
+        device_type: str,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Asymptotic node voltage for ``dV < VT`` (Eq. 8): ``VT exp(f)``."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        f = self.f_value(upper_width, lower_width, device_type, temperature)
+        vt = thermal_voltage(temperature)
+        return vt * _safe_exp(f)
+
+    def node_voltage(
+        self,
+        upper_width: float,
+        lower_width: float,
+        device_type: str,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Unified node-voltage estimate (Eq. 10 reconstruction).
+
+        ``dV = VT [alpha + (1 - alpha) / (1 + e^f)] ln(1 + e^f)``
+        """
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        f = self.f_value(upper_width, lower_width, device_type, temperature)
+        vt = thermal_voltage(temperature)
+        alpha = self.alpha(device_type)
+        exp_f = _safe_exp(f)
+        blend = alpha + (1.0 - alpha) / (1.0 + exp_f)
+        return vt * blend * math.log1p(exp_f)
+
+    def exact_pair_node_voltage(
+        self,
+        upper_width: float,
+        lower_width: float,
+        device_type: str,
+        temperature: Optional[float] = None,
+        body_voltage: float = 0.0,
+    ) -> float:
+        """Exact node voltage of a two-device OFF chain (Fig. 3 reference).
+
+        Numerically equates the paper's Eqs. (3) and (4) — i.e. the full
+        subthreshold currents of the upper and lower devices including the
+        drain factor — with a bracketed root find.  This is the "exact
+        solution" curve of the paper's Fig. 3.
+        """
+        if upper_width <= 0.0 or lower_width <= 0.0:
+            raise ValueError("widths must be positive")
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        device = self.technology.device(device_type)
+        vdd = self.technology.vdd
+
+        def current_mismatch(node_voltage: float) -> float:
+            lower_bias = SubthresholdBias(
+                vgs=0.0,
+                vds=node_voltage,
+                vsb=-body_voltage,
+                vdd=vdd,
+                temperature=temperature,
+            )
+            upper_bias = SubthresholdBias(
+                vgs=-node_voltage,
+                vds=vdd - node_voltage,
+                vsb=node_voltage - body_voltage,
+                vdd=vdd,
+                temperature=temperature,
+            )
+            lower = subthreshold_current(
+                device, lower_width, lower_bias,
+                self.technology.reference_temperature,
+            )
+            upper = subthreshold_current(
+                device, upper_width, upper_bias,
+                self.technology.reference_temperature,
+            )
+            return lower - upper
+
+        low = 1e-12
+        high = vdd - 1e-9
+        mismatch_low = current_mismatch(low)
+        mismatch_high = current_mismatch(high)
+        if mismatch_low >= 0.0:
+            # The lower device out-conducts the upper one even with almost no
+            # drain bias: the node sits essentially at the rail.
+            return low
+        if mismatch_high <= 0.0:
+            return high
+        return brentq(current_mismatch, low, high, xtol=1e-15)
+
+    def collapse_pair(
+        self,
+        upper_width: float,
+        lower_width: float,
+        device_type: str,
+        temperature: Optional[float] = None,
+    ) -> PairCollapseResult:
+        """Collapse two series OFF devices into one equivalent (Eqs. 6, 10)."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        node_voltage = self.node_voltage(
+            upper_width, lower_width, device_type, temperature
+        )
+        vt = thermal_voltage(temperature)
+        exponent = self.stacking_exponent(device_type)
+        device = self.technology.device(device_type)
+        equivalent_width = upper_width * _safe_exp(
+            -exponent * node_voltage / (device.n * vt)
+        )
+        return PairCollapseResult(
+            node_voltage=node_voltage,
+            f_value=self.f_value(upper_width, lower_width, device_type, temperature),
+            alpha=self.alpha(device_type),
+            equivalent_width=equivalent_width,
+            upper_width=upper_width,
+            lower_width=lower_width,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Whole-chain collapse (Eqs. 11–12)
+    # ------------------------------------------------------------------ #
+    def collapse_chain_widths(
+        self,
+        widths: Sequence[float],
+        device_type: str,
+        temperature: Optional[float] = None,
+    ) -> StackCollapseResult:
+        """Collapse an OFF chain given its device widths (T1 first).
+
+        ``widths[0]`` is the transistor closest to the source rail and
+        ``widths[-1]`` the device tied to the opposite rail, exactly the
+        paper's Fig. 2 labelling.
+        """
+        if not widths:
+            raise ValueError("at least one width is required")
+        if any(w <= 0.0 for w in widths):
+            raise ValueError("widths must be positive")
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+
+        if len(widths) == 1:
+            return StackCollapseResult(
+                effective_width=float(widths[0]),
+                device_type=device_type,
+                pair_results=(),
+                node_voltages=(),
+                temperature=temperature,
+            )
+
+        pair_results = []
+        node_voltages_top_down = []
+        # Walk down the chain: collapse (T_{N-1}, T_N), then the result with
+        # T_{N-2}, and so on (the paper's Fig. 2 procedure).
+        equivalent_width = float(widths[-1])
+        for lower_width in reversed(list(widths[:-1])):
+            pair = self.collapse_pair(
+                equivalent_width, float(lower_width), device_type, temperature
+            )
+            pair_results.append(pair)
+            node_voltages_top_down.append(pair.node_voltage)
+            equivalent_width = pair.equivalent_width
+
+        # node_voltages are reported bottom-up (T1's drop first) to mirror
+        # the running sum of Eq. (12).
+        node_voltages = tuple(reversed(node_voltages_top_down))
+        return StackCollapseResult(
+            effective_width=equivalent_width,
+            device_type=device_type,
+            pair_results=tuple(pair_results),
+            node_voltages=node_voltages,
+            temperature=temperature,
+        )
+
+    def collapse_stack(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+    ) -> StackCollapseResult:
+        """Collapse a :class:`TransistorStack` for a given input vector.
+
+        ON transistors are absorbed into the chain's internal nodes (the
+        paper's treatment); only OFF devices enter the collapse.  The stack
+        must contain at least one OFF device, otherwise it is an ON chain
+        and carries no subthreshold-limited current.
+        """
+        if logic_values is None:
+            logic_values = stack.all_off_vector()
+        off_devices = stack.off_devices(logic_values)
+        if not off_devices:
+            raise ValueError(
+                "cannot collapse an ON chain: every transistor is conducting"
+            )
+        widths = [device.width for device in off_devices]
+        return self.collapse_chain_widths(widths, stack.device_type, temperature)
+
+    def effective_width_of_parallel_chains(
+        self,
+        chains: Sequence[StackCollapseResult],
+    ) -> float:
+        """Combined effective width [m] of parallel OFF chains.
+
+        The paper's rule: two OFF chains connected in parallel collapse into
+        a single equivalent transistor whose width is the sum of the two
+        effective widths.
+        """
+        if not chains:
+            raise ValueError("at least one collapsed chain is required")
+        device_types = {chain.device_type for chain in chains}
+        if len(device_types) != 1:
+            raise ValueError("parallel chains must share a device polarity")
+        return sum(chain.effective_width for chain in chains)

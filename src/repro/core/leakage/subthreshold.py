@@ -1,0 +1,206 @@
+"""Analytical subthreshold current of a single MOSFET (paper Eqs. 1–2).
+
+The paper's static-power model is built on the BSIM-style subthreshold
+expression
+
+``I = (W/L) I0 (T/Tref)^2 exp((VGS - VTH) / (n VT)) (1 - exp(-VDS / VT))``
+
+with the threshold voltage
+
+``VTH = VT0 + gamma' VSB - KT (T - Tref) - sigma (VDS - VDD)``.
+
+This module exposes those closed forms directly (no numerical solving), in
+the exact shape the collapsing technique and the gate model consume.  The
+companion numerical model in :mod:`repro.spice.device_model` implements the
+same subthreshold physics; the two share parameter containers so that every
+comparison between "model" and "SPICE" uses identical device parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ...technology.constants import thermal_voltage
+from ...technology.parameters import DeviceParameters, TechnologyParameters
+
+_MAX_EXPONENT = 250.0
+
+
+def _safe_exp(value: float) -> float:
+    """Overflow-protected exponential (voltages handed in by optimisers)."""
+    if value > _MAX_EXPONENT:
+        return math.exp(_MAX_EXPONENT)
+    if value < -_MAX_EXPONENT:
+        return 0.0
+    return math.exp(value)
+
+
+@dataclass(frozen=True)
+class SubthresholdBias:
+    """Bias point of a device in source-referenced magnitudes.
+
+    All voltages are magnitudes (positive for normal operation of either
+    polarity) and the temperature is in Kelvin.
+    """
+
+    vgs: float = 0.0
+    vds: float = 0.0
+    vsb: float = 0.0
+    vdd: float = 1.2
+    temperature: float = 298.15
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0.0:
+            raise ValueError("temperature must be positive (Kelvin)")
+        if self.vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+
+
+def threshold_voltage(
+    device: DeviceParameters,
+    bias: SubthresholdBias,
+    reference_temperature: float,
+) -> float:
+    """Threshold-voltage magnitude [V] at a bias point (paper Eq. 2)."""
+    return device.threshold_voltage(
+        vsb=bias.vsb,
+        vds=bias.vds,
+        vdd=bias.vdd,
+        temperature=bias.temperature,
+        reference_temperature=reference_temperature,
+    )
+
+
+def subthreshold_current(
+    device: DeviceParameters,
+    width: float,
+    bias: SubthresholdBias,
+    reference_temperature: float,
+    length: Optional[float] = None,
+    include_drain_factor: bool = True,
+) -> float:
+    """Subthreshold current [A] of a single device (paper Eq. 1).
+
+    Parameters
+    ----------
+    device:
+        Compact-model parameters of the device type.
+    width:
+        Channel width [m].
+    bias:
+        Source-referenced bias magnitudes and temperature.
+    reference_temperature:
+        Temperature [K] the parameters are specified at.
+    length:
+        Channel length [m]; defaults to the device's nominal length.
+    include_drain_factor:
+        When False the ``(1 - exp(-VDS/VT))`` factor is dropped — the
+        approximation the paper applies whenever ``VDS >> VT`` (e.g. Eq. 3).
+    """
+    if width <= 0.0:
+        raise ValueError("width must be positive")
+    channel_length = length if length is not None else device.channel_length
+    if channel_length <= 0.0:
+        raise ValueError("length must be positive")
+
+    vt = thermal_voltage(bias.temperature)
+    vth = threshold_voltage(device, bias, reference_temperature)
+    prefactor = (
+        (width / channel_length)
+        * device.i0
+        * (bias.temperature / reference_temperature) ** 2
+    )
+    gate_factor = _safe_exp((bias.vgs - vth) / (device.n * vt))
+    if not include_drain_factor:
+        return prefactor * gate_factor
+    drain_factor = 1.0 - _safe_exp(-bias.vds / vt)
+    return prefactor * gate_factor * drain_factor
+
+
+def single_device_off_current(
+    device: DeviceParameters,
+    width: float,
+    vdd: float,
+    temperature: float,
+    reference_temperature: float,
+    body_voltage: float = 0.0,
+    length: Optional[float] = None,
+) -> float:
+    """OFF current [A] of a lone device with the full supply across it.
+
+    This is the paper's Eq. (13) evaluated for an effective width: the gate
+    and source sit on the rail (``VGS = 0``), the drain sees the opposite
+    rail (``VDS = Vdd`` so the DIBL term cancels), and the drain factor is
+    negligible because ``Vdd >> VT``.
+    """
+    bias = SubthresholdBias(
+        vgs=0.0,
+        vds=vdd,
+        vsb=-body_voltage,
+        vdd=vdd,
+        temperature=temperature,
+    )
+    return subthreshold_current(
+        device,
+        width,
+        bias,
+        reference_temperature,
+        length=length,
+        include_drain_factor=False,
+    )
+
+
+def effective_width_off_current(
+    technology: TechnologyParameters,
+    device_type: str,
+    effective_width: float,
+    temperature: Optional[float] = None,
+    body_voltage: float = 0.0,
+) -> float:
+    """Gate OFF current [A] from a collapsed effective width (paper Eq. 13)."""
+    if effective_width <= 0.0:
+        raise ValueError("effective_width must be positive")
+    if temperature is None:
+        temperature = technology.reference_temperature
+    device = technology.device(device_type)
+    return single_device_off_current(
+        device,
+        effective_width,
+        technology.vdd,
+        temperature,
+        technology.reference_temperature,
+        body_voltage=body_voltage,
+    )
+
+
+def leakage_temperature_slope(
+    technology: TechnologyParameters,
+    device_type: str,
+    temperature: Optional[float] = None,
+) -> float:
+    """Relative sensitivity ``d(ln Ioff)/dT`` [1/K] of the OFF current.
+
+    Differentiating Eq. (13):
+
+    ``d ln I / dT = 2/T + VTH(T) / (n VT T) + KT / (n VT)``
+
+    with ``VTH(T) = VT0 - KT (T - Tref)`` the zero-bias threshold at the
+    evaluation temperature.  This closed form is what makes the
+    electro-thermal fixed point of :mod:`repro.core.cosim` cheap to
+    evaluate: the exponential temperature dependence of leakage is available
+    analytically.
+    """
+    if temperature is None:
+        temperature = technology.reference_temperature
+    if temperature <= 0.0:
+        raise ValueError("temperature must be positive (Kelvin)")
+    device = technology.device(device_type)
+    vt = thermal_voltage(temperature)
+    vth = device.vt0 - device.kt * (temperature - technology.reference_temperature)
+    return (
+        2.0 / temperature
+        + vth / (device.n * vt * temperature)
+        + device.kt / (device.n * vt)
+    )

@@ -1,0 +1,74 @@
+"""Analytical thermal-profile model (paper Section 3).
+
+Closed-form source fields (Eqs. 16, 18, 19), the min-combined profile
+(Eq. 20), superposition over blocks (Eq. 21), the method of images for die
+boundary conditions, thermal-resistance extraction (Fig. 10) and the lumped
+transient self-heating model (Fig. 9).
+"""
+
+from .images import DieGeometry, ImageExpansion
+from .profile import (
+    point_source_profile,
+    radial_profile,
+    rectangle_center_temperature,
+    rectangle_far_field_temperature,
+    rectangle_profile,
+    rectangle_temperature,
+    saturation_distance,
+)
+from .resistance import (
+    bounded_self_heating_resistance,
+    device_thermal_resistance,
+    mutual_thermal_resistance,
+    resistance_matrix,
+    self_heating_resistance,
+)
+from .sources import (
+    HeatSource,
+    buried_point_source_temperature,
+    equivalent_point_distance,
+    line_source_temperature,
+    point_source_temperature,
+    square_center_temperature,
+)
+from .superposition import ChipThermalModel, SurfaceMap, superposed_temperature_rise
+from .transient import (
+    DeviceThermalParameters,
+    device_thermal_network,
+    device_thermal_parameters,
+    effective_heated_volume,
+    self_heating_transient,
+    steady_state_self_heating,
+)
+
+__all__ = [
+    "HeatSource",
+    "point_source_temperature",
+    "buried_point_source_temperature",
+    "square_center_temperature",
+    "line_source_temperature",
+    "equivalent_point_distance",
+    "rectangle_temperature",
+    "rectangle_center_temperature",
+    "rectangle_far_field_temperature",
+    "rectangle_profile",
+    "radial_profile",
+    "point_source_profile",
+    "saturation_distance",
+    "DieGeometry",
+    "ImageExpansion",
+    "ChipThermalModel",
+    "SurfaceMap",
+    "superposed_temperature_rise",
+    "self_heating_resistance",
+    "device_thermal_resistance",
+    "bounded_self_heating_resistance",
+    "mutual_thermal_resistance",
+    "resistance_matrix",
+    "DeviceThermalParameters",
+    "device_thermal_parameters",
+    "device_thermal_network",
+    "effective_heated_volume",
+    "self_heating_transient",
+    "steady_state_self_heating",
+]

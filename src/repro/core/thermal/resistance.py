@@ -1,0 +1,155 @@
+"""Analytical thermal resistance of devices and blocks (Fig. 10).
+
+The paper defines a device's (self-heating) thermal resistance as the
+steady-state temperature rise at its own location per watt dissipated,
+``Rth = dT_SH / P``.  With the analytical profile the self-heating rise of a
+W x L source is exactly Eq. (18), so
+
+``Rth = T0 / P = [ W asinh(L/W) + L asinh(W/L) ] / (pi k W L)``
+
+which only depends on geometry and on the substrate conductivity.  The
+module also provides the die-bounded variant (images included) and a
+mutual-resistance helper used by the coupled full-chip engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ...technology.materials import SILICON, Material
+from .images import DieGeometry, ImageExpansion
+from .sources import HeatSource
+from .superposition import superposed_temperature_rise
+
+
+def self_heating_resistance(
+    width: float,
+    length: float,
+    conductivity: Optional[float] = None,
+    material: Material = SILICON,
+    temperature: float = 300.0,
+) -> float:
+    """Self-heating thermal resistance [K/W] of a W x L surface source.
+
+    Parameters
+    ----------
+    width, length:
+        Source (device) dimensions [m].
+    conductivity:
+        Substrate conductivity [W/m/K]; when omitted it is taken from
+        ``material`` at ``temperature``.
+    material, temperature:
+        Used only when ``conductivity`` is not given.
+    """
+    if width <= 0.0 or length <= 0.0:
+        raise ValueError("width and length must be positive")
+    k = conductivity if conductivity is not None else material.conductivity_at(temperature)
+    if k <= 0.0:
+        raise ValueError("conductivity must be positive")
+    term = width * math.asinh(length / width) + length * math.asinh(width / length)
+    return term / (math.pi * k * width * length)
+
+
+def device_thermal_resistance(
+    channel_width: float,
+    channel_length: float,
+    conductivity: Optional[float] = None,
+    material: Material = SILICON,
+    temperature: float = 300.0,
+    heated_area_factor: float = 1.0,
+) -> float:
+    """Thermal resistance [K/W] of a single MOSFET treated as a W x L source.
+
+    ``heated_area_factor`` scales both dimensions to account for heat
+    spreading through the drain/source diffusions (1.0 = channel area only,
+    the paper's elementary-heat-source assumption).
+    """
+    if heated_area_factor <= 0.0:
+        raise ValueError("heated_area_factor must be positive")
+    return self_heating_resistance(
+        channel_width * heated_area_factor,
+        channel_length * heated_area_factor,
+        conductivity=conductivity,
+        material=material,
+        temperature=temperature,
+    )
+
+
+def bounded_self_heating_resistance(
+    source: HeatSource,
+    die: DieGeometry,
+    conductivity: Optional[float] = None,
+    material: Material = SILICON,
+    temperature: float = 300.0,
+    image_rings: int = 1,
+) -> float:
+    """Self-heating resistance [K/W] including die boundary effects.
+
+    The adiabatic sides *increase* the resistance (heat cannot escape
+    laterally); the isothermal bottom *decreases* it.  Evaluated with the
+    method-of-images expansion at the source centre.
+    """
+    if source.power <= 0.0:
+        raise ValueError("the source must dissipate positive power")
+    k = conductivity if conductivity is not None else material.conductivity_at(temperature)
+    expansion = ImageExpansion(die, rings=image_rings, include_bottom_images=True)
+    expanded = expansion.expand([source])
+    rise = superposed_temperature_rise(source.x, source.y, expanded, k)
+    return rise / source.power
+
+
+def mutual_thermal_resistance(
+    source: HeatSource,
+    observer_x: float,
+    observer_y: float,
+    conductivity: Optional[float] = None,
+    material: Material = SILICON,
+    temperature: float = 300.0,
+) -> float:
+    """Mutual resistance [K/W]: rise at an observation point per source watt."""
+    from .profile import rectangle_temperature
+
+    if source.power == 0.0:
+        raise ValueError("the source must dissipate non-zero power")
+    k = conductivity if conductivity is not None else material.conductivity_at(temperature)
+    rise = rectangle_temperature(observer_x, observer_y, source, k)
+    return rise / source.power
+
+
+def resistance_matrix(
+    sources: Sequence[HeatSource],
+    conductivity: float,
+) -> "list[list[float]]":
+    """Full thermal-resistance matrix between sources (semi-infinite die).
+
+    Entry ``[i][j]`` is the temperature rise at source ``i``'s centre per
+    watt dissipated by source ``j``.  Diagonal entries are the self-heating
+    resistances (Eq. 18); off-diagonal entries use the analytical profile.
+    The coupled electro-thermal engine uses this matrix to evaluate many
+    power updates without re-walking the source list.
+    """
+    if not sources:
+        raise ValueError("at least one source is required")
+    if conductivity <= 0.0:
+        raise ValueError("conductivity must be positive")
+    matrix: list[list[float]] = []
+    for observer in sources:
+        row = []
+        for emitter in sources:
+            probe = HeatSource(
+                x=emitter.x,
+                y=emitter.y,
+                width=emitter.width,
+                length=emitter.length,
+                power=1.0,
+                depth=emitter.depth,
+                name=emitter.name,
+            )
+            row.append(
+                mutual_thermal_resistance(
+                    probe, observer.x, observer.y, conductivity=conductivity
+                )
+            )
+        matrix.append(row)
+    return matrix

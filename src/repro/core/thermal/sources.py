@@ -1,0 +1,201 @@
+"""Closed-form surface temperature fields of elementary heat sources.
+
+Section 3 of the paper builds the chip thermal profile from three closed
+forms, all for a semi-infinite silicon substrate whose top surface is
+adiabatic:
+
+* Eq. (16): ideal point source on the surface,
+  ``T(r) = P / (2 pi k r)``;
+* Eq. (18): exact temperature at the centre of a W x L rectangle
+  dissipating ``P`` uniformly;
+* Eq. (19): far-field approximation treating the rectangle as a finite line
+  source spread along its longer dimension.
+
+This module implements those closed forms plus the :class:`HeatSource`
+value object the higher-level profile / superposition machinery consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class HeatSource:
+    """A rectangular heat source on (or mirrored below) the die surface.
+
+    Attributes
+    ----------
+    x, y:
+        Centre coordinates [m] in the chip coordinate system.
+    width:
+        Extent along x [m].
+    length:
+        Extent along y [m].
+    power:
+        Total dissipated power [W]; negative for image sinks.
+    depth:
+        Depth [m] below the surface; 0 for real sources, positive for the
+        image sinks that enforce the isothermal bottom boundary.
+    name:
+        Optional label used in reports.
+    """
+
+    x: float
+    y: float
+    width: float
+    length: float
+    power: float
+    depth: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0 or self.length <= 0.0:
+            raise ValueError("source dimensions must be positive")
+        if self.depth < 0.0:
+            raise ValueError("depth must be non-negative")
+
+    @property
+    def area(self) -> float:
+        """Footprint area [m^2]."""
+        return self.width * self.length
+
+    @property
+    def power_density(self) -> float:
+        """Areal power density [W/m^2]."""
+        return self.power / self.area
+
+    def translated(self, dx: float, dy: float) -> "HeatSource":
+        """Copy of the source shifted laterally by (dx, dy)."""
+        return replace(self, x=self.x + dx, y=self.y + dy)
+
+    def mirrored_x(self, axis_x: float) -> "HeatSource":
+        """Copy mirrored across the vertical plane ``x = axis_x``."""
+        return replace(self, x=2.0 * axis_x - self.x)
+
+    def mirrored_y(self, axis_y: float) -> "HeatSource":
+        """Copy mirrored across the horizontal plane ``y = axis_y``."""
+        return replace(self, y=2.0 * axis_y - self.y)
+
+    def as_sink(self, depth: float) -> "HeatSource":
+        """Negative-power image of this source buried at ``depth``."""
+        return replace(self, power=-self.power, depth=depth)
+
+    def scaled_power(self, factor: float) -> "HeatSource":
+        """Copy with the power multiplied by ``factor``."""
+        return replace(self, power=self.power * factor)
+
+
+def point_source_temperature(
+    distance: float, power: float, conductivity: float
+) -> float:
+    """Temperature rise [K] of a surface point source (paper Eq. 16).
+
+    ``T(r) = P / (2 pi k r)`` — the factor 2 (instead of 4) accounts for the
+    adiabatic top surface, which folds the full-space solution back into the
+    substrate half-space.
+    """
+    if distance <= 0.0:
+        raise ValueError("distance must be positive")
+    if conductivity <= 0.0:
+        raise ValueError("conductivity must be positive")
+    return power / (2.0 * math.pi * conductivity * distance)
+
+
+def buried_point_source_temperature(
+    lateral_distance: float, depth: float, power: float, conductivity: float
+) -> float:
+    """Surface temperature rise [K] of a point source buried at ``depth``.
+
+    Used for the image sinks that enforce the isothermal die bottom: the
+    mirrored (-P) source sits at depth ``2 t_die`` and its contribution at a
+    surface point a lateral distance ``r`` away is ``P / (2 pi k R)`` with
+    ``R = sqrt(r^2 + depth^2)``.
+    """
+    if conductivity <= 0.0:
+        raise ValueError("conductivity must be positive")
+    if depth < 0.0:
+        raise ValueError("depth must be non-negative")
+    radius = math.hypot(lateral_distance, depth)
+    if radius <= 0.0:
+        raise ValueError("the observation point coincides with the source")
+    return power / (2.0 * math.pi * conductivity * radius)
+
+
+def square_center_temperature(
+    power: float, width: float, length: float, conductivity: float
+) -> float:
+    """Exact centre temperature rise [K] of a W x L rectangle (paper Eq. 18).
+
+    Closed-form evaluation of Eq. (17) at ``x = y = 0``:
+
+    ``T0 = P / (pi k W L) [ W asinh(L / W) + L asinh(W / L) ]``
+
+    which is algebraically identical to the logarithmic form printed in the
+    paper.
+    """
+    if width <= 0.0 or length <= 0.0:
+        raise ValueError("width and length must be positive")
+    if conductivity <= 0.0:
+        raise ValueError("conductivity must be positive")
+    term = width * math.asinh(length / width) + length * math.asinh(width / length)
+    return power / (math.pi * conductivity * width * length) * term
+
+
+def line_source_temperature(
+    x: float,
+    y: float,
+    power: float,
+    extent: float,
+    conductivity: float,
+    axis: str = "x",
+) -> float:
+    """Far-field finite-line-source temperature rise [K] (paper Eq. 19).
+
+    The rectangle is approximated by a line of length ``extent`` along the
+    chosen axis, dissipating ``power`` uniformly per unit length.  Closed
+    form (for a line along x, observation point ``(x, y)`` relative to the
+    line centre):
+
+    ``T = P / (2 pi k W) ln[ ((x + W/2) + sqrt((x + W/2)^2 + y^2)) /
+                              ((x - W/2) + sqrt((x - W/2)^2 + y^2)) ]``
+
+    The expression diverges logarithmically on the line itself (``y -> 0``
+    inside the span); the profile model caps it with the centre temperature
+    of Eq. (18), which is exactly the paper's Eq. (20).
+    """
+    if extent <= 0.0:
+        raise ValueError("extent must be positive")
+    if conductivity <= 0.0:
+        raise ValueError("conductivity must be positive")
+    if axis == "x":
+        along, across = x, y
+    elif axis == "y":
+        along, across = y, x
+    else:
+        raise ValueError("axis must be 'x' or 'y'")
+
+    half = 0.5 * extent
+    upper = along + half
+    lower = along - half
+    # The paper prints Eq. (19) as a logarithm of surds; the asinh form below
+    # is algebraically identical and numerically stable both on the line's
+    # own axis (where the log form suffers catastrophic cancellation) and far
+    # beyond its ends.  On the axis within the span the expression diverges
+    # logarithmically, which the Eq. (20) min() caps with the Eq. (18) value.
+    across_regular = abs(across) if abs(across) > 1e-15 else 1e-15
+    integral = math.asinh(upper / across_regular) - math.asinh(lower / across_regular)
+    return power / (2.0 * math.pi * conductivity * extent) * integral
+
+
+def equivalent_point_distance(width: float, length: float) -> float:
+    """Effective source radius [m] below which the far-field form is invalid.
+
+    Half the source diagonal — a convenient scale used by tests and by the
+    profile model's documentation of where Eq. (18) takes over from Eq. (19).
+    """
+    if width <= 0.0 or length <= 0.0:
+        raise ValueError("width and length must be positive")
+    return 0.5 * math.hypot(width, length)

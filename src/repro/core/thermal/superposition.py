@@ -1,0 +1,234 @@
+"""Superposition of analytical heat-source fields (paper Eq. 21) and the
+full-chip analytical thermal model.
+
+Because the steady-state heat equation is linear, the temperature rise of M
+rectangular sources is the sum of their individual analytical profiles
+(Eq. 20).  :class:`ChipThermalModel` packages the complete paper recipe:
+user-supplied sources on a finite die, the method-of-images expansion for
+the boundary conditions, and fast evaluation of points, lines and full
+surface maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...technology.materials import SILICON, Material
+from .images import DieGeometry, ImageExpansion
+from .profile import rectangle_temperature
+from .sources import HeatSource
+
+
+def superposed_temperature_rise(
+    x: float,
+    y: float,
+    sources: Sequence[HeatSource],
+    conductivity: float,
+) -> float:
+    """Temperature rise [K] at ``(x, y)`` from a set of sources (Eq. 21)."""
+    if not sources:
+        raise ValueError("at least one source is required")
+    return sum(rectangle_temperature(x, y, source, conductivity) for source in sources)
+
+
+@dataclass(frozen=True)
+class SurfaceMap:
+    """A sampled surface temperature map.
+
+    Attributes
+    ----------
+    x_coordinates, y_coordinates:
+        Sample coordinates [m] along each axis.
+    temperature:
+        Absolute temperature [K], shape ``(len(x), len(y))``.
+    ambient_temperature:
+        The heat-sink temperature the rises were added to.
+    """
+
+    x_coordinates: np.ndarray
+    y_coordinates: np.ndarray
+    temperature: np.ndarray
+    ambient_temperature: float
+
+    @property
+    def rise(self) -> np.ndarray:
+        """Temperature rise [K] above ambient."""
+        return self.temperature - self.ambient_temperature
+
+    @property
+    def peak_temperature(self) -> float:
+        """Hottest sampled temperature [K]."""
+        return float(self.temperature.max())
+
+    @property
+    def peak_location(self) -> Tuple[float, float]:
+        """Coordinates [m] of the hottest sample."""
+        index = np.unravel_index(int(np.argmax(self.temperature)), self.temperature.shape)
+        return float(self.x_coordinates[index[0]]), float(self.y_coordinates[index[1]])
+
+    def cross_section_x(self, y: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Temperature along x at the sampled row closest to ``y`` (Fig. 7)."""
+        row = int(np.argmin(np.abs(self.y_coordinates - y)))
+        return self.x_coordinates.copy(), self.temperature[:, row].copy()
+
+    def cross_section_y(self, x: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Temperature along y at the sampled column closest to ``x``."""
+        column = int(np.argmin(np.abs(self.x_coordinates - x)))
+        return self.y_coordinates.copy(), self.temperature[column, :].copy()
+
+
+class ChipThermalModel:
+    """Analytical full-chip thermal model (paper Section 3).
+
+    Parameters
+    ----------
+    die:
+        Die geometry (lateral dimensions and thickness).
+    ambient_temperature:
+        Heat-sink temperature [K] at the die bottom.
+    material:
+        Substrate material; bulk silicon by default.
+    image_rings:
+        Lateral image rings used to enforce the adiabatic sides.
+    include_bottom_images:
+        Whether to add the buried negative images enforcing the isothermal
+        bottom.
+    """
+
+    def __init__(
+        self,
+        die: DieGeometry,
+        ambient_temperature: float = 298.15,
+        material: Material = SILICON,
+        image_rings: int = 1,
+        include_bottom_images: bool = True,
+    ) -> None:
+        if ambient_temperature <= 0.0:
+            raise ValueError("ambient_temperature must be positive (Kelvin)")
+        self.die = die
+        self.ambient_temperature = ambient_temperature
+        self.material = material
+        self.expansion = ImageExpansion(
+            die, rings=image_rings, include_bottom_images=include_bottom_images
+        )
+        self._sources: List[HeatSource] = []
+        self._expanded: Optional[List[HeatSource]] = None
+
+    # ------------------------------------------------------------------ #
+    # Source management
+    # ------------------------------------------------------------------ #
+    @property
+    def conductivity(self) -> float:
+        """Substrate conductivity [W/m/K] at the ambient temperature."""
+        return self.material.conductivity_at(self.ambient_temperature)
+
+    @property
+    def sources(self) -> Tuple[HeatSource, ...]:
+        """The user-supplied (non-image) sources."""
+        return tuple(self._sources)
+
+    def add_source(self, source: HeatSource) -> None:
+        """Add one heat source (must lie on the die)."""
+        if not self.die.contains_source(source):
+            raise ValueError(f"source {source.name or source} lies outside the die")
+        self._sources.append(source)
+        self._expanded = None
+
+    def add_sources(self, sources: Iterable[HeatSource]) -> None:
+        """Add several heat sources."""
+        for source in sources:
+            self.add_source(source)
+
+    def clear_sources(self) -> None:
+        """Remove every source."""
+        self._sources.clear()
+        self._expanded = None
+
+    def set_source_powers(self, powers: Dict[str, float]) -> None:
+        """Update powers of named sources in place (co-simulation hook)."""
+        updated: List[HeatSource] = []
+        for source in self._sources:
+            if source.name in powers:
+                updated.append(
+                    HeatSource(
+                        x=source.x,
+                        y=source.y,
+                        width=source.width,
+                        length=source.length,
+                        power=powers[source.name],
+                        depth=source.depth,
+                        name=source.name,
+                    )
+                )
+            else:
+                updated.append(source)
+        self._sources = updated
+        self._expanded = None
+
+    def total_power(self) -> float:
+        """Total power [W] of the user-supplied sources."""
+        return sum(source.power for source in self._sources)
+
+    def _expanded_sources(self) -> List[HeatSource]:
+        if self._expanded is None:
+            self._expanded = self.expansion.expand(self._sources)
+        return self._expanded
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def temperature_rise_at(self, x: float, y: float) -> float:
+        """Temperature rise [K] above ambient at a surface point."""
+        if not self._sources:
+            return 0.0
+        return superposed_temperature_rise(
+            x, y, self._expanded_sources(), self.conductivity
+        )
+
+    def temperature_at(self, x: float, y: float) -> float:
+        """Absolute surface temperature [K] at a point."""
+        return self.ambient_temperature + self.temperature_rise_at(x, y)
+
+    def source_temperatures(self) -> Dict[str, float]:
+        """Absolute temperature [K] at the centre of every named source."""
+        temperatures = {}
+        for source in self._sources:
+            key = source.name or f"source@({source.x:.3e},{source.y:.3e})"
+            temperatures[key] = self.temperature_at(source.x, source.y)
+        return temperatures
+
+    def surface_map(self, nx: int = 50, ny: int = 50) -> SurfaceMap:
+        """Sampled absolute-temperature map of the whole die surface."""
+        if nx < 2 or ny < 2:
+            raise ValueError("the map needs at least 2 samples per axis")
+        xs = np.linspace(0.0, self.die.width, nx)
+        ys = np.linspace(0.0, self.die.length, ny)
+        values = np.empty((nx, ny))
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                values[i, j] = self.temperature_at(float(x), float(y))
+        return SurfaceMap(
+            x_coordinates=xs,
+            y_coordinates=ys,
+            temperature=values,
+            ambient_temperature=self.ambient_temperature,
+        )
+
+    def cross_section(
+        self, y: float, samples: int = 101
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Absolute temperature along an x cut at height ``y`` (Fig. 7)."""
+        xs = np.linspace(0.0, self.die.width, samples)
+        temperatures = np.asarray([self.temperature_at(float(x), y) for x in xs])
+        return xs, temperatures
+
+    def edge_flux_residual(self, samples: int = 21) -> float:
+        """Normalised normal-gradient residual on the die edges (diagnostic)."""
+        if not self._sources:
+            raise ValueError("no sources to evaluate")
+        return self.expansion.boundary_flux_residual(
+            self._sources, self.conductivity, samples=samples
+        )

@@ -1,0 +1,20 @@
+"""Floorplan substrate: blocks, die floorplans and gridded power maps."""
+
+from .block import Block
+from .floorplan import Floorplan, three_block_floorplan
+from .powermap import (
+    PowerMap,
+    fdm_sources_from_blocks,
+    heat_sources_from_blocks,
+    rasterize_block_powers,
+)
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "three_block_floorplan",
+    "PowerMap",
+    "rasterize_block_powers",
+    "heat_sources_from_blocks",
+    "fdm_sources_from_blocks",
+]

@@ -1,0 +1,110 @@
+"""Floorplan blocks.
+
+A block is a named rectangular region of the die that groups logic (and
+therefore power).  Blocks are the granularity at which the electro-thermal
+engine couples power and temperature, following the paper's "at a higher
+level of abstraction an entire circuit block can be considered as a heat
+source".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..core.thermal.sources import HeatSource
+
+
+@dataclass(frozen=True)
+class Block:
+    """A rectangular floorplan block.
+
+    Attributes
+    ----------
+    name:
+        Unique block name.
+    x, y:
+        Centre coordinates [m] in die coordinates.
+    width, length:
+        Extents along x and y [m].
+    gate_count:
+        Number of gate instances assigned to the block (used for default
+        power-density estimates when no netlist is attached).
+    total_device_width:
+        Total transistor width [m] inside the block (drives default leakage
+        estimates at block granularity).
+    metadata:
+        Free-form annotations (e.g. activity, clock domain).
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    length: float
+    gate_count: int = 0
+    total_device_width: float = 0.0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("block name must not be empty")
+        if self.width <= 0.0 or self.length <= 0.0:
+            raise ValueError("block dimensions must be positive")
+        if self.gate_count < 0:
+            raise ValueError("gate_count must be non-negative")
+        if self.total_device_width < 0.0:
+            raise ValueError("total_device_width must be non-negative")
+
+    @property
+    def area(self) -> float:
+        """Block footprint [m^2]."""
+        return self.width * self.length
+
+    @property
+    def x_min(self) -> float:
+        return self.x - 0.5 * self.width
+
+    @property
+    def x_max(self) -> float:
+        return self.x + 0.5 * self.width
+
+    @property
+    def y_min(self) -> float:
+        return self.y - 0.5 * self.length
+
+    @property
+    def y_max(self) -> float:
+        return self.y + 0.5 * self.length
+
+    def contains(self, x: float, y: float) -> bool:
+        """True when the point lies inside the block footprint."""
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    def overlaps(self, other: "Block") -> bool:
+        """True when the two block footprints overlap with non-zero area."""
+        return (
+            self.x_min < other.x_max
+            and other.x_min < self.x_max
+            and self.y_min < other.y_max
+            and other.y_min < self.y_max
+        )
+
+    def to_heat_source(self, power: float) -> HeatSource:
+        """Heat source with this block's footprint dissipating ``power``."""
+        return HeatSource(
+            x=self.x,
+            y=self.y,
+            width=self.width,
+            length=self.length,
+            power=power,
+            name=self.name,
+        )
+
+    def moved_to(self, x: float, y: float) -> "Block":
+        """Copy of the block centred at a new position."""
+        return replace(self, x=x, y=y)
+
+    def resized(self, width: float, length: float) -> "Block":
+        """Copy of the block with new dimensions."""
+        return replace(self, width=width, length=length)

@@ -1,0 +1,173 @@
+"""Die floorplans: a set of named blocks on a rectangular die.
+
+The floorplan is the structural object shared by the thermal model (blocks
+are heat sources), the leakage model (instances are assigned to blocks) and
+the electro-thermal engine (power and temperature are exchanged per block).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.thermal.images import DieGeometry
+from ..core.thermal.sources import HeatSource
+from .block import Block
+
+
+class Floorplan:
+    """A rectangular die populated with named blocks.
+
+    Parameters
+    ----------
+    die:
+        Die geometry (width, length, thickness).
+    name:
+        Optional design name.
+    allow_overlaps:
+        When False (default) adding a block that overlaps an existing one
+        raises; set True for abstract power-density studies.
+    """
+
+    def __init__(
+        self,
+        die: DieGeometry,
+        name: str = "floorplan",
+        allow_overlaps: bool = False,
+    ) -> None:
+        self.die = die
+        self.name = name
+        self.allow_overlaps = allow_overlaps
+        self._blocks: Dict[str, Block] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_block(self, block: Block) -> Block:
+        """Add a block; it must fit on the die and not collide with others."""
+        if block.name in self._blocks:
+            raise ValueError(f"duplicate block name {block.name!r}")
+        if (
+            block.x_min < -1e-12
+            or block.y_min < -1e-12
+            or block.x_max > self.die.width + 1e-12
+            or block.y_max > self.die.length + 1e-12
+        ):
+            raise ValueError(f"block {block.name!r} does not fit on the die")
+        if not self.allow_overlaps:
+            for existing in self._blocks.values():
+                if block.overlaps(existing):
+                    raise ValueError(
+                        f"block {block.name!r} overlaps {existing.name!r}"
+                    )
+        self._blocks[block.name] = block
+        return block
+
+    def add_blocks(self, blocks: Iterable[Block]) -> None:
+        """Add several blocks."""
+        for block in blocks:
+            self.add_block(block)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def blocks(self) -> Tuple[Block, ...]:
+        """All blocks in insertion order."""
+        return tuple(self._blocks.values())
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        if name not in self._blocks:
+            raise KeyError(f"no block named {name!r}")
+        return self._blocks[name]
+
+    def block_names(self) -> Tuple[str, ...]:
+        """Names of all blocks in insertion order."""
+        return tuple(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    @property
+    def total_block_area(self) -> float:
+        """Combined block footprint [m^2]."""
+        return sum(block.area for block in self._blocks.values())
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the die area covered by blocks."""
+        return self.total_block_area / (self.die.width * self.die.length)
+
+    def block_at(self, x: float, y: float) -> Optional[Block]:
+        """The block containing the point, or ``None`` (first match wins)."""
+        for block in self._blocks.values():
+            if block.contains(x, y):
+                return block
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Thermal coupling
+    # ------------------------------------------------------------------ #
+    def to_heat_sources(self, block_powers: Mapping[str, float]) -> List[HeatSource]:
+        """Heat sources for the given per-block powers [W].
+
+        Blocks without an entry dissipate zero power and are omitted.
+        Unknown block names in ``block_powers`` raise, to catch typos early.
+        """
+        unknown = set(block_powers) - set(self._blocks)
+        if unknown:
+            raise KeyError(f"unknown blocks in power map: {sorted(unknown)}")
+        sources = []
+        for name, block in self._blocks.items():
+            power = float(block_powers.get(name, 0.0))
+            if power != 0.0:
+                sources.append(block.to_heat_source(power))
+        if not sources:
+            raise ValueError("every block has zero power; nothing to simulate")
+        return sources
+
+
+def three_block_floorplan(
+    die_width: float = 1.0e-3,
+    die_length: float = 1.0e-3,
+    die_thickness: float = 500.0e-6,
+) -> Floorplan:
+    """The paper's Fig. 6 scenario: three logic blocks on a 1 mm x 1 mm die.
+
+    The paper does not tabulate the block coordinates; the layout below
+    places one large block towards a corner and two smaller ones elsewhere,
+    which reproduces the figure's qualitative structure (distinct hot spots,
+    isotherms tangential to the die edges).
+    """
+    die = DieGeometry(width=die_width, length=die_length, thickness=die_thickness)
+    plan = Floorplan(die, name="three_blocks")
+    plan.add_block(
+        Block(
+            name="core",
+            x=0.30 * die_width,
+            y=0.62 * die_length,
+            width=0.34 * die_width,
+            length=0.30 * die_length,
+        )
+    )
+    plan.add_block(
+        Block(
+            name="cache",
+            x=0.72 * die_width,
+            y=0.70 * die_length,
+            width=0.26 * die_width,
+            length=0.22 * die_length,
+        )
+    )
+    plan.add_block(
+        Block(
+            name="io",
+            x=0.55 * die_width,
+            y=0.25 * die_length,
+            width=0.30 * die_width,
+            length=0.18 * die_length,
+        )
+    )
+    return plan

@@ -1,0 +1,31 @@
+"""Simulated self-heating measurement bench (substitute for the paper's lab).
+
+The paper's Figs. 9–10 rely on fabricated 0.35 um transistors and an
+oscilloscope; this package simulates that measurement chain — pulsed gate
+drive, temperature-dependent drain current, sense resistor, scope noise,
+ambient-temperature calibration and thermal-resistance extraction — on top
+of the library's own thermal substrate.
+"""
+
+from .calibration import TemperatureCalibration
+from .instruments import Oscilloscope, PulseGenerator, SenseResistor, WaveformTrace
+from .selfheating import (
+    DeviceUnderTest,
+    MeasurementRecord,
+    SelfHeatingBench,
+    ThermalResistanceMeasurement,
+    default_test_devices,
+)
+
+__all__ = [
+    "WaveformTrace",
+    "PulseGenerator",
+    "SenseResistor",
+    "Oscilloscope",
+    "TemperatureCalibration",
+    "DeviceUnderTest",
+    "MeasurementRecord",
+    "SelfHeatingBench",
+    "ThermalResistanceMeasurement",
+    "default_test_devices",
+]

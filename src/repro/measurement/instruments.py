@@ -1,0 +1,178 @@
+"""Simulated laboratory instruments for the self-heating bench.
+
+The paper's Figs. 9–10 come from a physical measurement: a transistor in a
+0.35 um process is pulsed at 3 Hz and the voltage across a series sense
+resistor is captured on an oscilloscope.  Lacking silicon, the measurement
+is *simulated*: this module provides the small value objects (waveform
+traces, noise model, the pulse generator and the sense-resistor front end)
+that make the bench read like the real experiment while running entirely on
+the library's thermal substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WaveformTrace:
+    """A sampled instrument waveform.
+
+    Attributes
+    ----------
+    times:
+        Sample instants [s].
+    values:
+        Sampled values (volts for an oscilloscope trace, Kelvin for derived
+        temperature traces).
+    label:
+        Free-form label shown in reports.
+    units:
+        Unit string of ``values``.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    label: str = ""
+    units: str = "V"
+
+    def __post_init__(self) -> None:
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have the same shape")
+        if self.times.ndim != 1:
+            raise ValueError("traces must be one-dimensional")
+
+    @property
+    def duration(self) -> float:
+        """Trace duration [s]."""
+        if self.times.size == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def sample_period(self) -> float:
+        """Average sample period [s]."""
+        if self.times.size < 2:
+            return 0.0
+        return self.duration / (self.times.size - 1)
+
+    def window(self, start: float, stop: float) -> "WaveformTrace":
+        """Sub-trace between two time instants (inclusive)."""
+        mask = (self.times >= start) & (self.times <= stop)
+        return WaveformTrace(
+            times=self.times[mask].copy(),
+            values=self.values[mask].copy(),
+            label=self.label,
+            units=self.units,
+        )
+
+    def mean(self) -> float:
+        """Mean sampled value."""
+        return float(self.values.mean())
+
+    def steady_state_value(self, tail_fraction: float = 0.1) -> float:
+        """Mean of the trailing fraction of the trace (settled value)."""
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in (0, 1]")
+        count = max(1, int(round(tail_fraction * self.values.size)))
+        return float(self.values[-count:].mean())
+
+
+@dataclass(frozen=True)
+class PulseGenerator:
+    """Square-wave gate drive (the paper pulses the device at 3 Hz).
+
+    Attributes
+    ----------
+    frequency:
+        Pulse frequency [Hz].
+    duty_cycle:
+        Fraction of the period the device is ON.
+    high_level, low_level:
+        Gate voltages [V] of the ON and OFF phases.
+    """
+
+    frequency: float = 3.0
+    duty_cycle: float = 0.5
+    high_level: float = 3.3
+    low_level: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0.0:
+            raise ValueError("frequency must be positive")
+        if not 0.0 < self.duty_cycle < 1.0:
+            raise ValueError("duty_cycle must be in (0, 1)")
+
+    @property
+    def period(self) -> float:
+        """Pulse period [s]."""
+        return 1.0 / self.frequency
+
+    def waveform(self, duration: float, samples_per_period: int = 400) -> WaveformTrace:
+        """Sampled gate waveform over ``duration`` seconds."""
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        if samples_per_period < 4:
+            raise ValueError("samples_per_period must be at least 4")
+        dt = self.period / samples_per_period
+        times = np.arange(0.0, duration + 0.5 * dt, dt)
+        phase = np.mod(times, self.period) / self.period
+        values = np.where(phase < self.duty_cycle, self.high_level, self.low_level)
+        return WaveformTrace(times=times, values=values, label="gate drive", units="V")
+
+    def is_on(self, times: np.ndarray) -> np.ndarray:
+        """Boolean ON mask for an array of time instants."""
+        phase = np.mod(times, self.period) / self.period
+        return phase < self.duty_cycle
+
+
+@dataclass(frozen=True)
+class SenseResistor:
+    """Series sense resistor converting drain current into a scope voltage."""
+
+    resistance: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError("resistance must be positive")
+
+    def voltage(self, current: np.ndarray) -> np.ndarray:
+        """Voltage drop [V] for an array of currents [A]."""
+        return np.asarray(current) * self.resistance
+
+
+@dataclass(frozen=True)
+class Oscilloscope:
+    """Noise and quantisation model of the measurement front end.
+
+    Attributes
+    ----------
+    noise_rms:
+        RMS additive Gaussian noise [V].
+    vertical_resolution:
+        Quantisation step [V]; 0 disables quantisation.
+    seed:
+        Seed of the private random generator (reproducible traces).
+    """
+
+    noise_rms: float = 2.0e-4
+    vertical_resolution: float = 0.0
+    seed: int = 20050307
+
+    def capture(self, times: np.ndarray, values: np.ndarray, label: str = "") -> WaveformTrace:
+        """Digitise a waveform: add noise and (optionally) quantise."""
+        rng = np.random.default_rng(self.seed)
+        noisy = np.asarray(values, dtype=float)
+        if self.noise_rms > 0.0:
+            noisy = noisy + rng.normal(0.0, self.noise_rms, size=noisy.shape)
+        if self.vertical_resolution > 0.0:
+            noisy = np.round(noisy / self.vertical_resolution) * self.vertical_resolution
+        return WaveformTrace(
+            times=np.asarray(times, dtype=float),
+            values=noisy,
+            label=label,
+            units="V",
+        )

@@ -1,0 +1,22 @@
+"""Leakage optimisation built on the analytical models.
+
+The paper positions its compact models as the engine of a fast estimation
+*and optimisation* tool; this package provides the optimisations the models
+enable directly: standby (sleep) input-vector selection today, with the
+module layout leaving room for further knobs (block placement, supply /
+threshold assignment) that consume the same models.
+"""
+
+from .sleep_vectors import (
+    SleepVectorOptimizer,
+    SleepVectorResult,
+    exhaustive_sleep_vector,
+    greedy_sleep_vector,
+)
+
+__all__ = [
+    "SleepVectorOptimizer",
+    "SleepVectorResult",
+    "exhaustive_sleep_vector",
+    "greedy_sleep_vector",
+]

@@ -1,0 +1,12 @@
+"""Reporting helpers: ASCII tables and figure-series containers."""
+
+from .series import FigureData, Series
+from .tables import format_table, format_value, print_table
+
+__all__ = [
+    "format_value",
+    "format_table",
+    "print_table",
+    "Series",
+    "FigureData",
+]

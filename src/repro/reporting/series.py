@@ -1,0 +1,160 @@
+"""Figure-series containers.
+
+Every paper figure the benchmarks regenerate boils down to a handful of
+labelled (x, y) series.  :class:`Series` and :class:`FigureData` hold them in
+a uniform shape, so benchmarks can both print them (through
+:mod:`repro.reporting.tables`) and assert on their qualitative properties
+(who is larger, where curves cross, monotonicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tables import format_table
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled data series.
+
+    Attributes
+    ----------
+    label:
+        Series name (legend entry).
+    x:
+        Independent-variable samples.
+    y:
+        Dependent-variable samples (same length as ``x``).
+    x_label, y_label:
+        Axis descriptions (units included).
+    """
+
+    label: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have the same length")
+        if not self.x:
+            raise ValueError("a series needs at least one point")
+
+    @classmethod
+    def from_arrays(
+        cls,
+        label: str,
+        x: Sequence[float],
+        y: Sequence[float],
+        x_label: str = "x",
+        y_label: str = "y",
+    ) -> "Series":
+        """Build a series from any two equal-length sequences."""
+        return cls(
+            label=label,
+            x=tuple(float(v) for v in x),
+            y=tuple(float(v) for v in y),
+            x_label=x_label,
+            y_label=y_label,
+        )
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The series as numpy arrays."""
+        return np.asarray(self.x), np.asarray(self.y)
+
+    def value_at(self, x: float) -> float:
+        """Linear interpolation of the series at ``x``."""
+        xs, ys = self.as_arrays()
+        return float(np.interp(x, xs, ys))
+
+    @property
+    def peak(self) -> float:
+        """Maximum y value."""
+        return max(self.y)
+
+    def is_monotonic_increasing(self) -> bool:
+        """True when y never decreases along the series."""
+        return all(b >= a for a, b in zip(self.y, self.y[1:]))
+
+    def is_monotonic_decreasing(self) -> bool:
+        """True when y never increases along the series."""
+        return all(b <= a for a, b in zip(self.y, self.y[1:]))
+
+
+@dataclass
+class FigureData:
+    """All series of one regenerated paper figure.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper figure identifier (e.g. ``"fig5"``).
+    title:
+        Human-readable description.
+    series:
+        The labelled series, keyed by label.
+    notes:
+        Free-form notes recorded alongside the data (e.g. error metrics).
+    """
+
+    figure_id: str
+    title: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, series: Series) -> None:
+        """Add one series (labels must be unique within a figure)."""
+        if series.label in self.series:
+            raise ValueError(f"duplicate series label {series.label!r}")
+        self.series[series.label] = series
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note (printed with the figure table)."""
+        self.notes.append(note)
+
+    def get(self, label: str) -> Series:
+        """Look up a series by label."""
+        if label not in self.series:
+            known = ", ".join(sorted(self.series))
+            raise KeyError(f"unknown series {label!r}; known series: {known}")
+        return self.series[label]
+
+    def labels(self) -> Tuple[str, ...]:
+        """All series labels in insertion order."""
+        return tuple(self.series)
+
+    def to_table(self, precision: int = 4) -> str:
+        """Render the figure's series as one aligned table.
+
+        Series are aligned on the x values of the first series; series with
+        different x grids are interpolated onto it.
+        """
+        if not self.series:
+            raise ValueError("the figure has no series")
+        labels = list(self.series)
+        reference = self.series[labels[0]]
+        headers = [reference.x_label] + [
+            f"{label} [{self.series[label].y_label}]" for label in labels
+        ]
+        rows = []
+        for x in reference.x:
+            row = [x] + [self.series[label].value_at(x) for label in labels]
+            rows.append(row)
+        table = format_table(
+            headers, rows, title=f"{self.figure_id}: {self.title}", precision=precision
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return table
+
+    def print(self, precision: int = 4) -> str:
+        """Print and return the figure table."""
+        text = self.to_table(precision)
+        print()
+        print(text)
+        return text

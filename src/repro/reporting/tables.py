@@ -1,0 +1,78 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the rows/series each paper figure reports;
+these helpers format them as aligned ASCII tables so the comparison reads
+directly in the pytest / benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Human-readable formatting: engineering-style floats, plain ints/strings."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e5:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}e}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Format headers plus rows as an aligned ASCII table."""
+    header_list = [str(h) for h in headers]
+    if not header_list:
+        raise ValueError("at least one column header is required")
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        cells = [format_value(cell, precision) for cell in row]
+        if len(cells) != len(header_list):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has "
+                f"{len(header_list)} columns"
+            )
+        formatted_rows.append(cells)
+
+    widths = [len(h) for h in header_list]
+    for cells in formatted_rows:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_line(header_list))
+    lines.append(separator)
+    lines.extend(format_line(cells) for cells in formatted_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Format and print a table; returns the formatted string."""
+    text = format_table(headers, rows, title=title, precision=precision)
+    print()
+    print(text)
+    return text

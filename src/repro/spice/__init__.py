@@ -1,0 +1,31 @@
+"""Numerical reference ("SPICE-like") simulator substrate.
+
+The paper validates its analytical models against SPICE simulations of a
+0.12 um technology.  Lacking the original foundry decks, this package plays
+that role: a full-accuracy numerical device model (subthreshold per the
+paper's Eq. 1/2 plus an alpha-power strong-inversion term), robust DC
+solvers for transistor stacks and series/parallel networks, and gate- /
+netlist-level leakage references.
+"""
+
+from .dc_solver import NetworkDCSolver
+from .device_model import MOSFETModel, OperatingPoint
+from .gate_solver import (
+    GateLeakageReference,
+    GateLeakageResult,
+    netlist_leakage_reference,
+    netlist_total_leakage_reference,
+)
+from .stack_solver import StackDCSolver, StackSolution
+
+__all__ = [
+    "MOSFETModel",
+    "OperatingPoint",
+    "StackDCSolver",
+    "StackSolution",
+    "NetworkDCSolver",
+    "GateLeakageReference",
+    "GateLeakageResult",
+    "netlist_leakage_reference",
+    "netlist_total_leakage_reference",
+]

@@ -1,0 +1,210 @@
+"""Numerical DC solver for series/parallel transistor networks.
+
+:class:`NetworkDCSolver` computes the exact (numerically solved) current
+through an arbitrary series/parallel composition of MOSFETs with a given
+voltage across it.  It generalises the stack solver: a series/parallel
+two-terminal network with fixed gate voltages has a monotone I–V
+characteristic, so the current through a series composition can be found by
+a robust bracketed search exactly like a plain stack, recursing into
+parallel sub-networks whose currents simply add.
+
+This is the numerical reference used for gate-level leakage ("SPICE" in the
+paper's comparisons) whenever the workload is a full logic gate rather than
+a bare stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from scipy.optimize import brentq
+
+from ..circuit.devices import MOSFET
+from ..circuit.topology import DeviceLeaf, Network, ParallelNetwork, SeriesNetwork
+from ..technology.parameters import TechnologyParameters
+from .device_model import MOSFETModel, OperatingPoint
+
+_LOG_CURRENT_SPAN = 80.0
+
+
+class NetworkDCSolver:
+    """Exact current through a series/parallel MOSFET network.
+
+    Parameters
+    ----------
+    technology:
+        Technology parameters providing the device models and the supply.
+    xtol:
+        Absolute voltage tolerance of the node-voltage root finds [V].
+    rtol:
+        Relative tolerance of the current root finds.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParameters,
+        xtol: float = 1e-12,
+        rtol: float = 1e-10,
+    ) -> None:
+        self.technology = technology
+        self.xtol = xtol
+        self.rtol = rtol
+        self._models = {
+            "nmos": MOSFETModel(
+                technology.nmos,
+                reference_temperature=technology.reference_temperature,
+            ),
+            "pmos": MOSFETModel(
+                technology.pmos,
+                reference_temperature=technology.reference_temperature,
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Device-level helpers
+    # ------------------------------------------------------------------ #
+    def _gate_magnitude(self, device: MOSFET, logic_value: int) -> float:
+        """Gate voltage in the magnitude domain of the device's network."""
+        if logic_value not in (0, 1):
+            raise ValueError("logic values must be 0 or 1")
+        vdd = self.technology.vdd
+        if device.is_nmos:
+            return vdd if logic_value == 1 else 0.0
+        return vdd if logic_value == 0 else 0.0
+
+    def _leaf_current(
+        self,
+        device: MOSFET,
+        logic_value: int,
+        low: float,
+        high: float,
+        temperature: float,
+    ) -> float:
+        """Current through one device with magnitude ``low``/``high`` terminals."""
+        model = self._models[device.device_type]
+        point = OperatingPoint(
+            vgs=self._gate_magnitude(device, logic_value) - low,
+            vds=high - low,
+            vsb=low,
+            temperature=temperature,
+            vdd=self.technology.vdd,
+        )
+        return model.drain_current(
+            device.width, device.effective_length(self.technology), point
+        )
+
+    # ------------------------------------------------------------------ #
+    # Network current
+    # ------------------------------------------------------------------ #
+    def network_current(
+        self,
+        network: Network,
+        inputs: Dict[str, int],
+        low: float,
+        high: float,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Current [A] through the network with ``high - low`` volts across it.
+
+        ``low`` and ``high`` are magnitudes measured from the network's
+        source rail.  For leakage analysis the interesting case is
+        ``low = 0``, ``high = Vdd`` applied to a non-conducting network.
+        """
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        if temperature <= 0.0:
+            raise ValueError("temperature must be positive (Kelvin)")
+        if high < low:
+            raise ValueError("high terminal magnitude must be >= low")
+        return self._current(network, inputs, low, high, temperature)
+
+    def _current(
+        self,
+        network: Network,
+        inputs: Dict[str, int],
+        low: float,
+        high: float,
+        temperature: float,
+    ) -> float:
+        if high <= low:
+            return 0.0
+        if isinstance(network, DeviceLeaf):
+            device = network.device
+            value = self._logic_value(device, inputs)
+            return self._leaf_current(device, value, low, high, temperature)
+        if isinstance(network, ParallelNetwork):
+            return sum(
+                self._current(child, inputs, low, high, temperature)
+                for child in network.children
+            )
+        if isinstance(network, SeriesNetwork):
+            return self._series_current(network, inputs, low, high, temperature)
+        raise TypeError(f"unsupported network type {type(network).__name__}")
+
+    def _logic_value(self, device: MOSFET, inputs: Dict[str, int]) -> int:
+        if device.gate_input not in inputs:
+            raise KeyError(f"input vector is missing {device.gate_input!r}")
+        value = int(inputs[device.gate_input])
+        if value not in (0, 1):
+            raise ValueError("logic values must be 0 or 1")
+        return value
+
+    def _series_current(
+        self,
+        network: SeriesNetwork,
+        inputs: Dict[str, int],
+        low: float,
+        high: float,
+        temperature: float,
+    ) -> float:
+        children = network.children
+        if len(children) == 1:
+            return self._current(children[0], inputs, low, high, temperature)
+
+        def terminal_for_current(
+            child: Network, child_low: float, target: float
+        ) -> Optional[float]:
+            """Upper terminal magnitude making ``child`` carry ``target``."""
+
+            def residual(upper: float) -> float:
+                return (
+                    self._current(child, inputs, child_low, upper, temperature)
+                    - target
+                )
+
+            if residual(high) < 0.0:
+                return None
+            if residual(child_low) >= 0.0:
+                return child_low
+            return brentq(residual, child_low, high, xtol=self.xtol)
+
+        def top_current(trial: float) -> Optional[float]:
+            node = low
+            for child in children[:-1]:
+                node = terminal_for_current(child, node, trial)
+                if node is None:
+                    return None
+            return self._current(children[-1], inputs, node, high, temperature)
+
+        upper_current = self._current(children[0], inputs, low, high, temperature)
+        if upper_current <= 0.0:
+            return 0.0
+        log_upper = math.log(upper_current)
+        log_lower = log_upper - _LOG_CURRENT_SPAN
+
+        def outer_residual(log_current: float) -> float:
+            trial = math.exp(log_current)
+            top = top_current(trial)
+            if top is None or top <= 0.0:
+                return -1.0e6
+            return math.log(top) - log_current
+
+        res_low = outer_residual(log_lower)
+        res_high = outer_residual(log_upper)
+        if res_low <= 0.0:
+            return math.exp(log_lower)
+        if res_high >= 0.0:
+            return upper_current
+        log_solution = brentq(outer_residual, log_lower, log_upper, rtol=self.rtol)
+        return math.exp(log_solution)

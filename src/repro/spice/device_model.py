@@ -1,0 +1,180 @@
+"""Numerical MOSFET current model used by the reference (SPICE-like) solver.
+
+The analytical model of the paper drops the ``(1 - exp(-VDS/VT))`` drain
+factor and linearises internal node voltages; the numerical model here keeps
+the full expressions so it can serve as the "SPICE simulation" reference the
+paper compares against:
+
+* subthreshold conduction follows Eq. (1)/(2) exactly (including the drain
+  factor and DIBL/body-effect/temperature threshold shifts), and
+* strong-inversion conduction uses an alpha-power-law model so stacks that
+  mix ON and OFF devices are still solvable.
+
+Currents are expressed as functions of *source-referenced magnitudes*
+(``vgs``, ``vds``, ``vsb``), which makes the same code serve NMOS and PMOS
+devices; callers translate absolute node voltages into magnitudes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..technology.constants import thermal_voltage
+from ..technology.parameters import DeviceParameters
+
+#: Largest exponent handed to ``math.exp`` (protects Newton iterations that
+#: momentarily wander into unphysical voltage regions).
+_MAX_EXPONENT = 250.0
+
+
+def _safe_exp(value: float) -> float:
+    """``exp`` clamped to avoid overflow during intermediate solver steps."""
+    if value > _MAX_EXPONENT:
+        return math.exp(_MAX_EXPONENT)
+    if value < -_MAX_EXPONENT:
+        return 0.0
+    return math.exp(value)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Bias point of a device in source-referenced magnitudes."""
+
+    vgs: float
+    vds: float
+    vsb: float
+    temperature: float
+    vdd: float
+
+
+class MOSFETModel:
+    """Numerical drain-current model (subthreshold + alpha-power law).
+
+    Parameters
+    ----------
+    parameters:
+        Compact-model parameters of the device type.
+    reference_temperature:
+        Temperature [K] at which ``parameters`` are specified.
+    alpha:
+        Velocity-saturation exponent of the strong-inversion model
+        (2 = long-channel square law, ~1.3 for short-channel devices).
+    """
+
+    def __init__(
+        self,
+        parameters: DeviceParameters,
+        reference_temperature: float = 298.15,
+        alpha: float = 1.3,
+    ) -> None:
+        if reference_temperature <= 0.0:
+            raise ValueError("reference_temperature must be positive")
+        if alpha <= 0.0:
+            raise ValueError("alpha must be positive")
+        self.parameters = parameters
+        self.reference_temperature = reference_temperature
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------ #
+    # Threshold and subthreshold current
+    # ------------------------------------------------------------------ #
+    def threshold_voltage(self, point: OperatingPoint) -> float:
+        """Threshold magnitude [V] at the bias point (paper Eq. 2)."""
+        return self.parameters.threshold_voltage(
+            vsb=point.vsb,
+            vds=point.vds,
+            vdd=point.vdd,
+            temperature=point.temperature,
+            reference_temperature=self.reference_temperature,
+        )
+
+    def subthreshold_current(self, width: float, length: float, point: OperatingPoint) -> float:
+        """Subthreshold drain current [A] per the paper's Eq. (1).
+
+        ``I = (W/L) I0 (T/Tref)^2 exp((VGS - VTH) / (n VT)) (1 - exp(-VDS/VT))``
+        """
+        if width <= 0.0 or length <= 0.0:
+            raise ValueError("width and length must be positive")
+        p = self.parameters
+        vt = thermal_voltage(point.temperature)
+        vth = self.threshold_voltage(point)
+        prefactor = (
+            (width / length)
+            * p.i0
+            * (point.temperature / self.reference_temperature) ** 2
+        )
+        gate_factor = _safe_exp((point.vgs - vth) / (p.n * vt))
+        drain_factor = 1.0 - _safe_exp(-point.vds / vt)
+        return prefactor * gate_factor * drain_factor
+
+    # ------------------------------------------------------------------ #
+    # Strong inversion
+    # ------------------------------------------------------------------ #
+    def strong_inversion_current(
+        self, width: float, length: float, point: OperatingPoint
+    ) -> float:
+        """Alpha-power-law drain current [A]; zero below threshold."""
+        p = self.parameters
+        vth = self.threshold_voltage(point)
+        overdrive = point.vgs - vth
+        if overdrive <= 0.0 or point.vds <= 0.0:
+            return 0.0
+        # Current factor anchored so a device at Vgs = Vds = Vdd and the
+        # reference temperature delivers `saturation_current_density * W`.
+        nominal_overdrive = max(point.vdd - p.vt0, 1e-3)
+        mobility_scale = (
+            point.temperature / self.reference_temperature
+        ) ** (-p.mobility_temperature_exponent)
+        i_dsat_full = (
+            p.saturation_current_density
+            * width
+            * mobility_scale
+            * (overdrive / nominal_overdrive) ** self.alpha
+            * (p.channel_length / length)
+        )
+        vdsat = max(overdrive, 1e-6)
+        if point.vds >= vdsat:
+            # Saturation with a mild channel-length-modulation slope.
+            return i_dsat_full * (1.0 + 0.05 * (point.vds - vdsat))
+        # Triode: smooth quadratic interpolation to zero at Vds = 0.
+        ratio = point.vds / vdsat
+        return i_dsat_full * ratio * (2.0 - ratio)
+
+    # ------------------------------------------------------------------ #
+    # Total current
+    # ------------------------------------------------------------------ #
+    def drain_current(self, width: float, length: float, point: OperatingPoint) -> float:
+        """Total drain current [A] (subthreshold + strong inversion).
+
+        The current is defined positive for ``vds > 0`` and antisymmetric for
+        reverse drain-source bias, which is what the stack solver relies on.
+        """
+        if point.vds < 0.0:
+            # Swap the source and drain roles: the gate and body are now
+            # referenced to the old drain terminal.
+            mirrored = OperatingPoint(
+                vgs=point.vgs - point.vds,
+                vds=-point.vds,
+                vsb=point.vsb + point.vds,
+                temperature=point.temperature,
+                vdd=point.vdd,
+            )
+            return -self.drain_current(width, length, mirrored)
+        return self.subthreshold_current(width, length, point) + \
+            self.strong_inversion_current(width, length, point)
+
+    def off_current(
+        self,
+        width: float,
+        length: float,
+        vds: float,
+        temperature: float,
+        vdd: float,
+        vsb: float = 0.0,
+    ) -> float:
+        """OFF-state current [A]: ``VGS = 0`` with the given drain bias."""
+        point = OperatingPoint(
+            vgs=0.0, vds=vds, vsb=vsb, temperature=temperature, vdd=vdd
+        )
+        return self.drain_current(width, length, point)

@@ -1,0 +1,149 @@
+"""Gate- and netlist-level numerical leakage reference.
+
+The functions here wrap :class:`~repro.spice.dc_solver.NetworkDCSolver` to
+provide the "SPICE simulation" numbers the analytical model is compared
+against at the gate and circuit level:
+
+* :class:`GateLeakageReference` — exact OFF current of a logic gate for one
+  input vector (the full supply appears across the gate's non-conducting
+  network because the conducting network clamps the output to a rail);
+* :func:`netlist_leakage_reference` — exact leakage of every instance of a
+  combinational netlist for a primary-input assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..circuit.cells import LogicGate
+from ..circuit.netlist import Netlist
+from ..circuit.vectors import enumerate_vectors
+from ..technology.parameters import TechnologyParameters
+from .dc_solver import NetworkDCSolver
+
+
+@dataclass(frozen=True)
+class GateLeakageResult:
+    """Leakage of one gate for one input vector."""
+
+    gate_name: str
+    input_vector: Dict[str, int]
+    current: float
+    power: float
+    temperature: float
+
+
+class GateLeakageReference:
+    """Numerically exact gate leakage (the analytical model's reference).
+
+    Parameters
+    ----------
+    technology:
+        Technology parameters (device models, supply voltage).
+    """
+
+    def __init__(self, technology: TechnologyParameters) -> None:
+        self.technology = technology
+        self._solver = NetworkDCSolver(technology)
+
+    def off_current(
+        self,
+        gate: LogicGate,
+        inputs: Mapping[str, int],
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Rail-to-rail subthreshold current [A] of the gate for one vector."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        vector = {name: int(inputs[name]) for name in gate.inputs}
+        leaking_network = gate.leakage_network(vector)
+        return self._solver.network_current(
+            leaking_network, vector, 0.0, self.technology.vdd, temperature
+        )
+
+    def static_power(
+        self,
+        gate: LogicGate,
+        inputs: Mapping[str, int],
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Static power [W] of the gate for one input vector."""
+        return self.off_current(gate, inputs, temperature) * self.technology.vdd
+
+    def evaluate(
+        self,
+        gate: LogicGate,
+        inputs: Mapping[str, int],
+        temperature: Optional[float] = None,
+    ) -> GateLeakageResult:
+        """Full result object for one gate and vector."""
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        current = self.off_current(gate, inputs, temperature)
+        return GateLeakageResult(
+            gate_name=gate.name,
+            input_vector={name: int(inputs[name]) for name in gate.inputs},
+            current=current,
+            power=current * self.technology.vdd,
+            temperature=temperature,
+        )
+
+    def worst_case_vector(
+        self, gate: LogicGate, temperature: Optional[float] = None
+    ) -> GateLeakageResult:
+        """The input vector with the highest leakage (exhaustive search)."""
+        best: Optional[GateLeakageResult] = None
+        for vector in enumerate_vectors(gate.inputs):
+            result = self.evaluate(gate, vector, temperature)
+            if best is None or result.current > best.current:
+                best = result
+        assert best is not None  # gate.inputs is never empty
+        return best
+
+    def average_current(
+        self, gate: LogicGate, temperature: Optional[float] = None
+    ) -> float:
+        """Leakage current averaged uniformly over all input vectors."""
+        currents = [
+            self.off_current(gate, vector, temperature)
+            for vector in enumerate_vectors(gate.inputs)
+        ]
+        return sum(currents) / len(currents)
+
+
+def netlist_leakage_reference(
+    netlist: Netlist,
+    primary_inputs: Mapping[str, int],
+    technology: TechnologyParameters,
+    temperature: Optional[float] = None,
+) -> Dict[str, GateLeakageResult]:
+    """Exact per-instance leakage of a netlist for one primary-input vector."""
+    reference = GateLeakageReference(technology)
+    vectors = netlist.instance_input_vectors(primary_inputs)
+    results: Dict[str, GateLeakageResult] = {}
+    for instance in netlist.instances():
+        result = reference.evaluate(
+            instance.cell, vectors[instance.name], temperature
+        )
+        results[instance.name] = GateLeakageResult(
+            gate_name=instance.name,
+            input_vector=result.input_vector,
+            current=result.current,
+            power=result.power,
+            temperature=result.temperature,
+        )
+    return results
+
+
+def netlist_total_leakage_reference(
+    netlist: Netlist,
+    primary_inputs: Mapping[str, int],
+    technology: TechnologyParameters,
+    temperature: Optional[float] = None,
+) -> float:
+    """Total leakage power [W] of a netlist for one primary-input vector."""
+    results = netlist_leakage_reference(
+        netlist, primary_inputs, technology, temperature
+    )
+    return sum(result.power for result in results.values())

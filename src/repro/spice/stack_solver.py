@@ -1,0 +1,353 @@
+"""Numerical DC solution of series transistor stacks.
+
+This is the reference ("SPICE") solver the paper's analytical model is
+validated against in Figs. 3 and 8: given a stack of series-connected
+transistors biased between the rails, find the internal node voltages and
+the stack current such that the same current flows through every device,
+with each device described by the *full* numerical model of
+:mod:`repro.spice.device_model` (no ``VDS >> VT`` approximation, no
+linearisation).
+
+The solver uses a robust nested-bisection ("current continuation") scheme:
+
+1. guess the stack current ``I`` (in log space);
+2. walk the stack from the rail upwards, solving each internal node voltage
+   with a bracketed root find so that the device below it carries ``I``;
+3. the mismatch between the top device's current and ``I`` is the outer
+   residual, which is itself solved by bracketed bisection.
+
+Because every device current is monotone in its drain voltage and the outer
+residual is monotone in ``I``, the procedure converges for any stack depth
+and any mixture of ON and OFF devices, with no need for an initial guess.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from scipy.optimize import brentq
+
+from ..circuit.stack import TransistorStack
+from ..technology.parameters import TechnologyParameters
+from .device_model import MOSFETModel, OperatingPoint
+
+#: Voltage magnitudes are solved inside [0, vdd + _VOLTAGE_MARGIN].
+_VOLTAGE_MARGIN = 0.0
+#: Relative width of the log-current search bracket below the upper bound.
+_LOG_CURRENT_SPAN = 80.0
+
+
+@dataclass(frozen=True)
+class StackSolution:
+    """DC solution of a series transistor stack.
+
+    Attributes
+    ----------
+    current:
+        Stack (rail-to-rail) current [A].
+    node_magnitudes:
+        Internal node voltages V1 ... V(N-1) expressed as magnitudes measured
+        from the stack's source rail (ground for NMOS, VDD for PMOS).  Empty
+        for a single-device stack.
+    node_voltages:
+        The same internal nodes as absolute voltages referenced to ground.
+    device_currents:
+        Per-device currents [A] at the solution (equal to ``current`` up to
+        the solver tolerance); useful for verifying convergence.
+    temperature:
+        Temperature [K] the stack was solved at.
+    """
+
+    current: float
+    node_magnitudes: Tuple[float, ...]
+    node_voltages: Tuple[float, ...]
+    device_currents: Tuple[float, ...]
+    temperature: float
+
+    @property
+    def max_continuity_error(self) -> float:
+        """Largest relative mismatch between device currents (should be ~0)."""
+        if not self.device_currents:
+            return 0.0
+        reference = max(abs(c) for c in self.device_currents)
+        if reference == 0.0:
+            return 0.0
+        return max(
+            abs(c - self.current) / reference for c in self.device_currents
+        )
+
+
+class StackDCSolver:
+    """Reference DC solver for NMOS / PMOS series stacks.
+
+    Parameters
+    ----------
+    technology:
+        Technology parameter set providing device models and the supply.
+    xtol:
+        Absolute voltage tolerance of the inner node-voltage root finds [V].
+    rtol:
+        Relative tolerance of the outer log-current root find.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParameters,
+        xtol: float = 1e-12,
+        rtol: float = 1e-10,
+    ) -> None:
+        self.technology = technology
+        self.xtol = xtol
+        self.rtol = rtol
+
+    # ------------------------------------------------------------------ #
+    # Device helpers
+    # ------------------------------------------------------------------ #
+    def _model_for(self, stack: TransistorStack) -> MOSFETModel:
+        parameters = self.technology.device(stack.device_type)
+        return MOSFETModel(
+            parameters, reference_temperature=self.technology.reference_temperature
+        )
+
+    def _gate_magnitude(
+        self, stack: TransistorStack, logic_values: Sequence[int]
+    ) -> List[float]:
+        """Gate voltages expressed in the stack's magnitude domain.
+
+        In the magnitude domain (voltages measured from the stack's source
+        rail, increasing towards the opposite rail) an NMOS gate at logic 1
+        and a PMOS gate at logic 0 both sit at ``Vdd``.
+        """
+        vdd = self.technology.vdd
+        magnitudes = []
+        for device, value in zip(stack.devices, logic_values):
+            if value not in (0, 1):
+                raise ValueError("logic values must be 0 or 1")
+            if device.is_nmos:
+                magnitudes.append(vdd if value == 1 else 0.0)
+            else:
+                magnitudes.append(vdd if value == 0 else 0.0)
+        return magnitudes
+
+    def _device_current(
+        self,
+        model: MOSFETModel,
+        stack: TransistorStack,
+        index: int,
+        gate_magnitude: float,
+        source_magnitude: float,
+        drain_magnitude: float,
+        temperature: float,
+    ) -> float:
+        device = stack[index]
+        width = device.width
+        length = device.effective_length(self.technology)
+        point = OperatingPoint(
+            vgs=gate_magnitude - source_magnitude,
+            vds=drain_magnitude - source_magnitude,
+            vsb=source_magnitude,
+            temperature=temperature,
+            vdd=self.technology.vdd,
+        )
+        return model.drain_current(width, length, point)
+
+    # ------------------------------------------------------------------ #
+    # Solution
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        stack: TransistorStack,
+        logic_values: Sequence[int],
+        temperature: Optional[float] = None,
+    ) -> StackSolution:
+        """Solve a stack for the given gate logic values.
+
+        Parameters
+        ----------
+        stack:
+            The series chain, ordered from the source rail (T1) upwards.
+        logic_values:
+            One logic value per transistor, same order.
+        temperature:
+            Device temperature [K]; defaults to the technology's reference.
+        """
+        if len(logic_values) != len(stack):
+            raise ValueError(
+                f"expected {len(stack)} logic values, got {len(logic_values)}"
+            )
+        if temperature is None:
+            temperature = self.technology.reference_temperature
+        if temperature <= 0.0:
+            raise ValueError("temperature must be positive (Kelvin)")
+
+        model = self._model_for(stack)
+        gates = self._gate_magnitude(stack, logic_values)
+        vdd = self.technology.vdd
+        depth = len(stack)
+
+        if depth == 1:
+            current = self._device_current(
+                model, stack, 0, gates[0], 0.0, vdd, temperature
+            )
+            return self._solution_from_nodes(
+                stack, model, gates, (), current, temperature
+            )
+
+        v_max = vdd + _VOLTAGE_MARGIN
+
+        def node_voltage_for_current(
+            index: int, source_magnitude: float, target_current: float
+        ) -> Optional[float]:
+            """Drain magnitude making device ``index`` carry ``target_current``.
+
+            Returns ``None`` when the device cannot carry that much current
+            for any drain voltage up to the supply (infeasible trial).
+            """
+
+            def residual(drain_magnitude: float) -> float:
+                return (
+                    self._device_current(
+                        model, stack, index, gates[index], source_magnitude,
+                        drain_magnitude, temperature,
+                    )
+                    - target_current
+                )
+
+            low = source_magnitude
+            high = v_max
+            if residual(high) < 0.0:
+                return None
+            if residual(low) >= 0.0:
+                # Even a zero Vds already carries the target current, which
+                # only happens for a vanishing target; clamp to the source.
+                return low
+            return brentq(residual, low, high, xtol=self.xtol)
+
+        def top_current_for(trial_current: float) -> Optional[float]:
+            """Current through the top device when the lower devices carry
+            ``trial_current``; ``None`` when the trial is infeasible."""
+            source = 0.0
+            for index in range(depth - 1):
+                drain = node_voltage_for_current(index, source, trial_current)
+                if drain is None:
+                    return None
+                source = drain
+            return self._device_current(
+                model, stack, depth - 1, gates[depth - 1], source, vdd, temperature
+            )
+
+        # Upper bound: the bottom device's current can never exceed its value
+        # with the full supply across it (its drain magnitude is at most Vdd).
+        upper_current = self._device_current(
+            model, stack, 0, gates[0], 0.0, vdd, temperature
+        )
+        if upper_current <= 0.0:
+            raise RuntimeError("bottom device carries no current at full bias")
+
+        log_upper = math.log(upper_current)
+        log_lower = log_upper - _LOG_CURRENT_SPAN
+
+        def outer_residual(log_current: float) -> float:
+            trial = math.exp(log_current)
+            top = top_current_for(trial)
+            if top is None or top <= 0.0:
+                # Trial current too large to be feasible: push the bracket down.
+                return -1.0e6
+            return math.log(top) - log_current
+
+        res_low = outer_residual(log_lower)
+        res_high = outer_residual(log_upper)
+        if res_low <= 0.0:
+            # Degenerate: even a vanishing current cannot be sustained; the
+            # stack current is effectively the lower bound.
+            log_solution = log_lower
+        elif res_high >= 0.0:
+            # The unconstrained bottom-device current is already consistent.
+            log_solution = log_upper
+        else:
+            log_solution = brentq(
+                outer_residual, log_lower, log_upper, rtol=self.rtol
+            )
+
+        current = math.exp(log_solution)
+        nodes: List[float] = []
+        source = 0.0
+        for index in range(depth - 1):
+            drain = node_voltage_for_current(index, source, current)
+            if drain is None:
+                drain = v_max
+            nodes.append(drain)
+            source = drain
+        return self._solution_from_nodes(
+            stack, model, gates, tuple(nodes), current, temperature
+        )
+
+    def _solution_from_nodes(
+        self,
+        stack: TransistorStack,
+        model: MOSFETModel,
+        gates: Sequence[float],
+        node_magnitudes: Tuple[float, ...],
+        current: float,
+        temperature: float,
+    ) -> StackSolution:
+        vdd = self.technology.vdd
+        depth = len(stack)
+        boundaries = (0.0, *node_magnitudes, vdd)
+        device_currents = tuple(
+            self._device_current(
+                model, stack, index, gates[index], boundaries[index],
+                boundaries[index + 1], temperature,
+            )
+            for index in range(depth)
+        )
+        if stack.is_nmos:
+            node_voltages = node_magnitudes
+        else:
+            node_voltages = tuple(vdd - m for m in node_magnitudes)
+        return StackSolution(
+            current=current,
+            node_magnitudes=node_magnitudes,
+            node_voltages=node_voltages,
+            device_currents=device_currents,
+            temperature=temperature,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience entry points
+    # ------------------------------------------------------------------ #
+    def off_current(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+    ) -> float:
+        """Stack OFF current [A]; defaults to the all-OFF input vector."""
+        if logic_values is None:
+            logic_values = stack.all_off_vector()
+        return self.solve(stack, logic_values, temperature).current
+
+    def intermediate_node_voltage(
+        self,
+        stack: TransistorStack,
+        logic_values: Optional[Sequence[int]] = None,
+        temperature: Optional[float] = None,
+        node_index: int = 0,
+    ) -> float:
+        """Magnitude of one internal node voltage (Fig. 3's exact solution).
+
+        ``node_index = 0`` is the node just above T1; for a two-transistor
+        stack this is the quantity the paper's Eq. (10) approximates.
+        """
+        if len(stack) < 2:
+            raise ValueError("a stack needs at least two devices to have nodes")
+        solution = self.solve(
+            stack,
+            logic_values if logic_values is not None else stack.all_off_vector(),
+            temperature,
+        )
+        if not 0 <= node_index < len(solution.node_magnitudes):
+            raise IndexError("node_index out of range")
+        return solution.node_magnitudes[node_index]

@@ -1,0 +1,82 @@
+"""Technology substrate: constants, materials, device/technology parameters.
+
+This package provides every process-level input the power-thermal models
+need: physical constants, silicon/package material properties, compact
+subthreshold-model parameter sets for a range of CMOS nodes (0.8 um down to
+25 nm), and the ITRS-style scaling study used to regenerate the paper's
+Fig. 1 motivation plot.
+"""
+
+from .constants import (
+    BOLTZMANN,
+    BOLTZMANN_EV,
+    ELEMENTARY_CHARGE,
+    REFERENCE_TEMPERATURE_K,
+    ROOM_TEMPERATURE_K,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    microns,
+    milliwatts,
+    nanometers,
+    thermal_voltage,
+)
+from .materials import (
+    ALUMINIUM,
+    COPPER,
+    FR4,
+    SILICON,
+    SILICON_DIOXIDE,
+    THERMAL_INTERFACE,
+    Material,
+    available_materials,
+    get_material,
+)
+from .nodes import (
+    all_technologies,
+    cmos_012um,
+    cmos_035um,
+    make_technology,
+    node_names,
+)
+from .parameters import DeviceParameters, TechnologyParameters, ThermalParameters
+from .scaling import (
+    ChipScalingAssumptions,
+    NodePowerProjection,
+    TechnologyScalingStudy,
+    device_off_current,
+)
+
+__all__ = [
+    "BOLTZMANN",
+    "BOLTZMANN_EV",
+    "ELEMENTARY_CHARGE",
+    "REFERENCE_TEMPERATURE_K",
+    "ROOM_TEMPERATURE_K",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "microns",
+    "milliwatts",
+    "nanometers",
+    "thermal_voltage",
+    "Material",
+    "SILICON",
+    "SILICON_DIOXIDE",
+    "COPPER",
+    "ALUMINIUM",
+    "THERMAL_INTERFACE",
+    "FR4",
+    "available_materials",
+    "get_material",
+    "DeviceParameters",
+    "TechnologyParameters",
+    "ThermalParameters",
+    "all_technologies",
+    "cmos_012um",
+    "cmos_035um",
+    "make_technology",
+    "node_names",
+    "ChipScalingAssumptions",
+    "NodePowerProjection",
+    "TechnologyScalingStudy",
+    "device_off_current",
+]

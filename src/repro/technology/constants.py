@@ -1,0 +1,116 @@
+"""Physical constants and unit helpers used across the library.
+
+All quantities are expressed in SI units unless a function name says
+otherwise (e.g. ``celsius_to_kelvin``).  Keeping the constants in a single
+module avoids the subtle bugs that appear when different subsystems assume
+slightly different values for, say, Boltzmann's constant.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J / K].
+BOLTZMANN: float = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE: float = 1.602176634e-19
+
+#: Boltzmann constant expressed in eV / K (k / q).
+BOLTZMANN_EV: float = BOLTZMANN / ELEMENTARY_CHARGE
+
+#: Absolute zero expressed in degrees Celsius.
+ABSOLUTE_ZERO_CELSIUS: float = -273.15
+
+#: Conventional room temperature [K] (27 degC, the SPICE default).
+ROOM_TEMPERATURE_K: float = 300.15
+
+#: Conventional reference temperature used by the paper's results (25 degC).
+REFERENCE_TEMPERATURE_K: float = 298.15
+
+#: Silicon bandgap at 300 K [eV] (used by leakage temperature scaling).
+SILICON_BANDGAP_EV: float = 1.12
+
+#: Intrinsic carrier concentration of silicon at 300 K [1/m^3].
+SILICON_NI_300K: float = 1.0e16
+
+#: Stefan-Boltzmann constant [W / m^2 / K^4] (radiative losses are ignored by
+#: the paper's model but exposed for completeness of the thermal substrate).
+STEFAN_BOLTZMANN: float = 5.670374419e-8
+
+
+def celsius_to_kelvin(temperature_celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    kelvin = temperature_celsius - ABSOLUTE_ZERO_CELSIUS
+    if kelvin < 0.0:
+        raise ValueError(
+            f"temperature {temperature_celsius} degC is below absolute zero"
+        )
+    return kelvin
+
+
+def kelvin_to_celsius(temperature_kelvin: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    if temperature_kelvin < 0.0:
+        raise ValueError(f"temperature {temperature_kelvin} K is negative")
+    return temperature_kelvin + ABSOLUTE_ZERO_CELSIUS
+
+
+def thermal_voltage(temperature_kelvin: float) -> float:
+    """Return the thermal voltage ``kT/q`` [V] at the given temperature.
+
+    The thermal voltage is the natural voltage scale of subthreshold
+    conduction: the paper's Eq. (1) divides every node voltage by it.
+    """
+    if temperature_kelvin <= 0.0:
+        raise ValueError("temperature must be positive in Kelvin")
+    return BOLTZMANN * temperature_kelvin / ELEMENTARY_CHARGE
+
+
+def silicon_bandgap(temperature_kelvin: float) -> float:
+    """Temperature-dependent silicon bandgap [eV] (Varshni fit).
+
+    Eg(T) = 1.17 - 4.73e-4 * T^2 / (T + 636).
+    """
+    if temperature_kelvin <= 0.0:
+        raise ValueError("temperature must be positive in Kelvin")
+    return 1.17 - 4.73e-4 * temperature_kelvin**2 / (temperature_kelvin + 636.0)
+
+
+def intrinsic_carrier_concentration(temperature_kelvin: float) -> float:
+    """Intrinsic carrier concentration of silicon [1/m^3] at temperature T.
+
+    Uses the standard ``T^{3/2} exp(-Eg / 2kT)`` scaling anchored at the
+    300 K value.  Only the *relative* temperature dependence matters for the
+    leakage model; the anchor keeps absolute values physically plausible.
+    """
+    if temperature_kelvin <= 0.0:
+        raise ValueError("temperature must be positive in Kelvin")
+    t_ratio = temperature_kelvin / 300.0
+    eg_300 = silicon_bandgap(300.0)
+    eg_t = silicon_bandgap(temperature_kelvin)
+    exponent = (
+        eg_300 / (2.0 * BOLTZMANN_EV * 300.0)
+        - eg_t / (2.0 * BOLTZMANN_EV * temperature_kelvin)
+    )
+    return SILICON_NI_300K * t_ratio**1.5 * math.exp(exponent)
+
+
+def microns(value: float) -> float:
+    """Convert a length given in microns to meters."""
+    return value * 1.0e-6
+
+
+def nanometers(value: float) -> float:
+    """Convert a length given in nanometers to meters."""
+    return value * 1.0e-9
+
+
+def to_microns(value_meters: float) -> float:
+    """Convert a length in meters to microns."""
+    return value_meters * 1.0e6
+
+
+def milliwatts(value: float) -> float:
+    """Convert a power given in milliwatts to watts."""
+    return value * 1.0e-3

@@ -1,0 +1,146 @@
+"""Material thermal properties used by the thermal substrate.
+
+The paper's analytical thermal model (Section 3) only needs the silicon
+thermal conductivity ``k_Si``.  The numerical reference solvers
+(:mod:`repro.thermalsim`) additionally use volumetric heat capacity for
+transient analysis and the properties of the package/heat-sink stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Material:
+    """Thermal properties of a homogeneous material.
+
+    Attributes
+    ----------
+    name:
+        Human-readable material name.
+    thermal_conductivity:
+        Thermal conductivity ``k`` [W / m / K] at the reference temperature.
+    density:
+        Mass density [kg / m^3].
+    specific_heat:
+        Specific heat capacity [J / kg / K].
+    conductivity_exponent:
+        Exponent ``m`` of the ``k(T) = k_ref * (T / T_ref)^(-m)`` power-law
+        temperature dependence (0 disables the dependence).
+    reference_temperature:
+        Temperature [K] at which ``thermal_conductivity`` is specified.
+    """
+
+    name: str
+    thermal_conductivity: float
+    density: float
+    specific_heat: float
+    conductivity_exponent: float = 0.0
+    reference_temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_conductivity <= 0.0:
+            raise ValueError("thermal conductivity must be positive")
+        if self.density <= 0.0:
+            raise ValueError("density must be positive")
+        if self.specific_heat <= 0.0:
+            raise ValueError("specific heat must be positive")
+        if self.reference_temperature <= 0.0:
+            raise ValueError("reference temperature must be positive")
+
+    def conductivity_at(self, temperature_kelvin: float) -> float:
+        """Thermal conductivity [W/m/K] at the requested temperature."""
+        if temperature_kelvin <= 0.0:
+            raise ValueError("temperature must be positive in Kelvin")
+        if self.conductivity_exponent == 0.0:
+            return self.thermal_conductivity
+        ratio = temperature_kelvin / self.reference_temperature
+        return self.thermal_conductivity * ratio ** (-self.conductivity_exponent)
+
+    @property
+    def volumetric_heat_capacity(self) -> float:
+        """Volumetric heat capacity ``rho * c_p`` [J / m^3 / K]."""
+        return self.density * self.specific_heat
+
+    def diffusivity(self, temperature_kelvin: float = 300.0) -> float:
+        """Thermal diffusivity ``k / (rho c_p)`` [m^2 / s]."""
+        return self.conductivity_at(temperature_kelvin) / self.volumetric_heat_capacity
+
+
+#: Bulk crystalline silicon.  k = 148 W/m/K at 300 K with the classic ~T^-1.3
+#: decrease at higher temperatures.
+SILICON = Material(
+    name="silicon",
+    thermal_conductivity=148.0,
+    density=2330.0,
+    specific_heat=700.0,
+    conductivity_exponent=1.3,
+    reference_temperature=300.0,
+)
+
+#: Silicon dioxide (field / gate oxide, also the pre-metal dielectric).
+SILICON_DIOXIDE = Material(
+    name="silicon dioxide",
+    thermal_conductivity=1.4,
+    density=2200.0,
+    specific_heat=730.0,
+)
+
+#: Copper interconnect / heat spreader.
+COPPER = Material(
+    name="copper",
+    thermal_conductivity=400.0,
+    density=8960.0,
+    specific_heat=385.0,
+)
+
+#: Aluminium (legacy interconnect and many heat sinks).
+ALUMINIUM = Material(
+    name="aluminium",
+    thermal_conductivity=237.0,
+    density=2700.0,
+    specific_heat=900.0,
+)
+
+#: Generic thermal interface material between die and heat spreader.
+THERMAL_INTERFACE = Material(
+    name="thermal interface material",
+    thermal_conductivity=4.0,
+    density=2600.0,
+    specific_heat=800.0,
+)
+
+#: FR-4 board material (for completeness of package stacks).
+FR4 = Material(
+    name="FR-4",
+    thermal_conductivity=0.3,
+    density=1850.0,
+    specific_heat=1100.0,
+)
+
+_MATERIALS = {
+    material.name: material
+    for material in (
+        SILICON,
+        SILICON_DIOXIDE,
+        COPPER,
+        ALUMINIUM,
+        THERMAL_INTERFACE,
+        FR4,
+    )
+}
+
+
+def get_material(name: str) -> Material:
+    """Look up a built-in material by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _MATERIALS:
+        known = ", ".join(sorted(_MATERIALS))
+        raise KeyError(f"unknown material {name!r}; known materials: {known}")
+    return _MATERIALS[key]
+
+
+def available_materials() -> tuple:
+    """Names of all built-in materials."""
+    return tuple(sorted(_MATERIALS))

@@ -1,0 +1,167 @@
+"""Predefined CMOS technology nodes.
+
+The paper validates the static-power model against SPICE for a 0.12 um
+technology (Figs. 3 and 8), measures self-heating on a 0.35 um process
+(Figs. 9 and 10), and motivates the whole work with a scaling projection
+from 0.8 um down to 25 nm (Fig. 1).  This module provides plausible compact-
+model parameter sets for that whole range.  Absolute values follow public
+ITRS-era data (supply and threshold scaling, exponentially growing
+subthreshold leakage) rather than any proprietary foundry card: the paper's
+conclusions only depend on the *shape* of these trends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from .constants import REFERENCE_TEMPERATURE_K, microns, thermal_voltage
+from .parameters import DeviceParameters, TechnologyParameters, ThermalParameters
+
+#: Per-node electrical targets: feature size [um] -> (vdd [V], vt0_n [V],
+#: vt0_p [V], ideality n, DIBL sigma, KT [V/K], target NMOS off-current
+#: density [A/um] at 25 degC).
+_NODE_TARGETS: Dict[str, Tuple[float, float, float, float, float, float, float, float]] = {
+    # name: (feature um, vdd, vt0_n, vt0_p, n, sigma, kt, ioff_density A/um)
+    "0.8um": (0.80, 5.00, 0.75, 0.80, 1.55, 0.010, 0.8e-3, 1.0e-14),
+    "0.5um": (0.50, 3.30, 0.65, 0.70, 1.50, 0.015, 0.8e-3, 1.0e-13),
+    "0.35um": (0.35, 3.30, 0.60, 0.65, 1.50, 0.020, 0.9e-3, 5.0e-13),
+    "0.25um": (0.25, 2.50, 0.50, 0.55, 1.45, 0.030, 1.0e-3, 5.0e-12),
+    "0.18um": (0.18, 1.80, 0.42, 0.46, 1.45, 0.040, 1.0e-3, 5.0e-11),
+    "0.13um": (0.13, 1.50, 0.35, 0.38, 1.40, 0.060, 1.1e-3, 5.0e-10),
+    "0.12um": (0.12, 1.20, 0.32, 0.35, 1.40, 0.065, 1.1e-3, 1.0e-9),
+    "0.10um": (0.10, 1.10, 0.30, 0.32, 1.40, 0.080, 1.2e-3, 3.0e-9),
+    "70nm": (0.07, 1.00, 0.26, 0.28, 1.38, 0.100, 1.2e-3, 1.0e-8),
+    "50nm": (0.05, 0.90, 0.22, 0.24, 1.36, 0.120, 1.3e-3, 4.0e-8),
+    "35nm": (0.035, 0.80, 0.20, 0.21, 1.35, 0.140, 1.3e-3, 1.0e-7),
+    "25nm": (0.025, 0.70, 0.18, 0.19, 1.35, 0.160, 1.4e-3, 2.5e-7),
+}
+
+#: PMOS devices leak roughly 2-3x less than NMOS at equal geometry.
+_PMOS_LEAKAGE_RATIO = 0.4
+
+#: Gate-oxide capacitance per area [F/m^2] scales roughly inversely with the
+#: feature size; anchored at ~9 fF/um^2 for 0.12 um.
+_COX_ANCHOR = 9.0e-3  # F/m^2 at 0.12 um
+_COX_ANCHOR_FEATURE = 0.12
+
+
+def node_names() -> Tuple[str, ...]:
+    """Names of all predefined nodes, ordered from oldest to newest."""
+    return tuple(_NODE_TARGETS)
+
+
+def _prefactor_for_off_current(
+    ioff_density: float,
+    vt0: float,
+    n: float,
+    feature_um: float,
+    temperature: float = REFERENCE_TEMPERATURE_K,
+) -> float:
+    """Solve Eq. (1) for the pre-factor ``I0`` that hits an off-current target.
+
+    For a single OFF device with ``VGS = VSB = 0`` and ``VDS = VDD`` the
+    paper's Eq. (1)/(2) give
+    ``Ioff = (W/L) I0 exp(-VT0 / (n VT))`` (the DIBL term vanishes because
+    ``VDS = VDD`` and the drain factor is ~1).  We anchor ``I0`` so that a
+    device of W = 1 um at the reference temperature leaks ``ioff_density``.
+    """
+    vt = thermal_voltage(temperature)
+    length = microns(feature_um)
+    width = microns(1.0)
+    exponent = math.exp(-vt0 / (n * vt))
+    return ioff_density * length / (width * exponent)
+
+
+def make_technology(name: str, ambient_celsius: float = 25.0) -> TechnologyParameters:
+    """Build a :class:`TechnologyParameters` object for a predefined node.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`node_names` (e.g. ``"0.12um"``).
+    ambient_celsius:
+        Heat-sink temperature for the thermal environment, in Celsius.
+    """
+    if name not in _NODE_TARGETS:
+        known = ", ".join(node_names())
+        raise KeyError(f"unknown technology node {name!r}; known nodes: {known}")
+    (
+        feature_um,
+        vdd,
+        vt0_n,
+        vt0_p,
+        ideality,
+        dibl,
+        kt,
+        ioff_density,
+    ) = _NODE_TARGETS[name]
+
+    length = microns(feature_um)
+    nominal_width = microns(max(2.0 * feature_um, 4.0 * feature_um))
+
+    i0_n = _prefactor_for_off_current(ioff_density, vt0_n, ideality, feature_um)
+    i0_p = _prefactor_for_off_current(
+        ioff_density * _PMOS_LEAKAGE_RATIO, vt0_p, ideality, feature_um
+    )
+
+    nmos = DeviceParameters(
+        device_type="nmos",
+        i0=i0_n,
+        n=ideality,
+        vt0=vt0_n,
+        body_effect=0.20,
+        dibl=dibl,
+        kt=kt,
+        channel_length=length,
+        nominal_width=nominal_width,
+        saturation_current_density=600.0 + 300.0 * (0.8 - feature_um),
+    )
+    pmos = DeviceParameters(
+        device_type="pmos",
+        i0=i0_p,
+        n=ideality,
+        vt0=vt0_p,
+        body_effect=0.22,
+        dibl=dibl * 0.9,
+        kt=kt,
+        channel_length=length,
+        nominal_width=2.0 * nominal_width,
+        saturation_current_density=(600.0 + 300.0 * (0.8 - feature_um)) * 0.45,
+    )
+
+    cox = _COX_ANCHOR * _COX_ANCHOR_FEATURE / feature_um
+    gate_cap_per_width = cox * length * 1.5  # gate + overlap/fringe allowance
+
+    thermal = ThermalParameters(
+        ambient_temperature=273.15 + ambient_celsius,
+        die_thickness=500.0e-6 if feature_um >= 0.25 else 300.0e-6,
+    )
+
+    return TechnologyParameters(
+        name=name,
+        nmos=nmos,
+        pmos=pmos,
+        vdd=vdd,
+        oxide_capacitance=cox,
+        gate_capacitance_per_width=gate_cap_per_width,
+        reference_temperature=REFERENCE_TEMPERATURE_K,
+        thermal=thermal,
+        feature_size=length,
+        metadata={"ioff_density_per_um": ioff_density},
+    )
+
+
+def cmos_012um(ambient_celsius: float = 25.0) -> TechnologyParameters:
+    """The 0.12 um technology used by the paper's leakage validation."""
+    return make_technology("0.12um", ambient_celsius)
+
+
+def cmos_035um(ambient_celsius: float = 25.0) -> TechnologyParameters:
+    """The 0.35 um technology used by the paper's self-heating measurements."""
+    return make_technology("0.35um", ambient_celsius)
+
+
+def all_technologies(ambient_celsius: float = 25.0) -> Dict[str, TechnologyParameters]:
+    """Every predefined node, keyed by name (Fig. 1 scaling sweep)."""
+    return {name: make_technology(name, ambient_celsius) for name in node_names()}

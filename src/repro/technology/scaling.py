@@ -1,0 +1,296 @@
+"""Technology-scaling projection of dynamic and static power (Fig. 1).
+
+The paper opens with a projection (reproduced from Duarte et al., ICCD'02)
+showing that as CMOS scales from 0.8 um to 25 nm the static power grows
+exponentially — because threshold voltages drop with the supply — until it
+overtakes the dynamic power somewhere below 100 nm, and that the crossover
+moves to older nodes as the junction temperature rises (25 / 100 / 150 degC
+curves).
+
+This module regenerates that projection from first principles using the
+library's own compact models: a *representative chip* is scaled across the
+predefined nodes (transistor count, clock frequency and total device width
+follow Moore-style rules) and its dynamic and static power are evaluated per
+node and temperature.  Absolute watt values depend on the representative-chip
+assumptions; the claims that matter — exponential static growth, temperature
+sensitivity, and the sub-100nm crossover — are reproduced structurally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .constants import celsius_to_kelvin, thermal_voltage
+from .nodes import all_technologies, node_names
+from .parameters import DeviceParameters, TechnologyParameters
+
+
+@dataclass(frozen=True)
+class ChipScalingAssumptions:
+    """Assumptions describing the representative chip scaled across nodes.
+
+    Attributes
+    ----------
+    reference_node:
+        Node name the absolute anchors below refer to.
+    reference_transistors:
+        Transistor count of the representative chip at the reference node.
+    reference_frequency:
+        Clock frequency [Hz] at the reference node.
+    transistor_growth_per_node:
+        Multiplicative transistor-count growth from one predefined node to
+        the next (Moore's law ~2x per generation).
+    frequency_growth_per_node:
+        Multiplicative clock-frequency growth per generation.
+    activity_factor:
+        Average switching-activity factor ``alpha`` of the dynamic power
+        expression ``P = alpha f C Vdd^2``.
+    average_fanout_width_multiplier:
+        Ratio between the switched load width and the driver width (fanout
+        plus wire load expressed as equivalent gate width).
+    leaking_width_fraction:
+        Fraction of the total device width that contributes subthreshold
+        leakage (stacked / off devices leak less, captured as an average
+        stacking factor).
+    """
+
+    reference_node: str = "0.18um"
+    reference_transistors: float = 40.0e6
+    reference_frequency: float = 1.0e9
+    transistor_growth_per_node: float = 1.9
+    frequency_growth_per_node: float = 1.35
+    activity_factor: float = 0.12
+    average_fanout_width_multiplier: float = 3.0
+    leaking_width_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.reference_transistors <= 0.0:
+            raise ValueError("reference_transistors must be positive")
+        if self.reference_frequency <= 0.0:
+            raise ValueError("reference_frequency must be positive")
+        if self.transistor_growth_per_node <= 0.0:
+            raise ValueError("transistor_growth_per_node must be positive")
+        if self.frequency_growth_per_node <= 0.0:
+            raise ValueError("frequency_growth_per_node must be positive")
+        if not 0.0 < self.activity_factor <= 1.0:
+            raise ValueError("activity_factor must be in (0, 1]")
+        if self.average_fanout_width_multiplier <= 0.0:
+            raise ValueError("average_fanout_width_multiplier must be positive")
+        if not 0.0 < self.leaking_width_fraction <= 1.0:
+            raise ValueError("leaking_width_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class NodePowerProjection:
+    """Dynamic / static power of the representative chip at one node."""
+
+    node: str
+    feature_size: float
+    vdd: float
+    frequency: float
+    transistor_count: float
+    dynamic_power: float
+    static_power_by_temperature: Dict[float, float] = field(default_factory=dict)
+
+    def static_power(self, temperature_celsius: float) -> float:
+        """Static power [W] at one of the projected junction temperatures."""
+        if temperature_celsius not in self.static_power_by_temperature:
+            known = sorted(self.static_power_by_temperature)
+            raise KeyError(
+                f"temperature {temperature_celsius} degC not projected; "
+                f"available: {known}"
+            )
+        return self.static_power_by_temperature[temperature_celsius]
+
+    @property
+    def total_power(self) -> float:
+        """Dynamic plus the hottest projected static power [W]."""
+        if not self.static_power_by_temperature:
+            return self.dynamic_power
+        hottest = max(self.static_power_by_temperature)
+        return self.dynamic_power + self.static_power_by_temperature[hottest]
+
+
+def device_off_current(
+    device: DeviceParameters,
+    width: float,
+    vdd: float,
+    temperature: float,
+    reference_temperature: float,
+) -> float:
+    """Off-current [A] of a single device per the paper's Eq. (1)/(2).
+
+    The device is biased with ``VGS = VSB = 0`` and ``VDS = Vdd`` (the
+    worst-case single-transistor leakage condition).  This helper is the
+    scaling study's direct use of the subthreshold model; the full gate-level
+    machinery lives in :mod:`repro.core.leakage`.
+    """
+    if width <= 0.0:
+        raise ValueError("width must be positive")
+    if vdd <= 0.0:
+        raise ValueError("vdd must be positive")
+    vt = thermal_voltage(temperature)
+    vth = device.threshold_voltage(
+        vsb=0.0,
+        vds=vdd,
+        vdd=vdd,
+        temperature=temperature,
+        reference_temperature=reference_temperature,
+    )
+    prefactor = (
+        (width / device.channel_length)
+        * device.i0
+        * (temperature / reference_temperature) ** 2
+    )
+    drain_factor = 1.0 - math.exp(-vdd / vt)
+    return prefactor * math.exp(-vth / (device.n * vt)) * drain_factor
+
+
+class TechnologyScalingStudy:
+    """Project dynamic and static power of a representative chip per node.
+
+    Parameters
+    ----------
+    assumptions:
+        Representative-chip scaling assumptions.
+    temperatures_celsius:
+        Junction temperatures at which static power is projected (the paper
+        uses 25, 100 and 150 degC).
+    nodes:
+        Optional explicit node list; defaults to every predefined node.
+    """
+
+    def __init__(
+        self,
+        assumptions: Optional[ChipScalingAssumptions] = None,
+        temperatures_celsius: Sequence[float] = (25.0, 100.0, 150.0),
+        nodes: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.assumptions = assumptions or ChipScalingAssumptions()
+        if not temperatures_celsius:
+            raise ValueError("at least one projection temperature is required")
+        self.temperatures_celsius = tuple(temperatures_celsius)
+        self._node_names = tuple(nodes) if nodes is not None else node_names()
+        if self.assumptions.reference_node not in self._node_names:
+            raise ValueError(
+                f"reference node {self.assumptions.reference_node!r} is not in "
+                f"the projected node list"
+            )
+        self._technologies = {
+            name: tech
+            for name, tech in all_technologies().items()
+            if name in self._node_names
+        }
+
+    # ------------------------------------------------------------------ #
+    # Representative-chip scaling rules
+    # ------------------------------------------------------------------ #
+    def transistor_count(self, node: str) -> float:
+        """Transistor count of the representative chip at ``node``."""
+        offset = self._generation_offset(node)
+        return (
+            self.assumptions.reference_transistors
+            * self.assumptions.transistor_growth_per_node**offset
+        )
+
+    def clock_frequency(self, node: str) -> float:
+        """Clock frequency [Hz] of the representative chip at ``node``."""
+        offset = self._generation_offset(node)
+        return (
+            self.assumptions.reference_frequency
+            * self.assumptions.frequency_growth_per_node**offset
+        )
+
+    def _generation_offset(self, node: str) -> int:
+        names = list(self._node_names)
+        if node not in names:
+            raise KeyError(f"node {node!r} is not part of this study")
+        return names.index(node) - names.index(self.assumptions.reference_node)
+
+    def total_device_width(self, node: str) -> float:
+        """Total transistor width [m] on the chip at ``node``."""
+        tech = self._technologies[node]
+        average_width = 0.5 * (tech.nmos.nominal_width + tech.pmos.nominal_width)
+        return self.transistor_count(node) * average_width
+
+    # ------------------------------------------------------------------ #
+    # Power projections
+    # ------------------------------------------------------------------ #
+    def dynamic_power(self, node: str) -> float:
+        """Dynamic (switching) power [W] at ``node``: ``alpha f C Vdd^2``."""
+        tech = self._technologies[node]
+        switched_width = (
+            self.total_device_width(node)
+            * self.assumptions.average_fanout_width_multiplier
+        )
+        load = tech.gate_capacitance_per_width * switched_width
+        return (
+            self.assumptions.activity_factor
+            * self.clock_frequency(node)
+            * load
+            * tech.vdd**2
+        )
+
+    def static_power(self, node: str, temperature_celsius: float) -> float:
+        """Static (subthreshold) power [W] at ``node`` and junction temperature."""
+        tech = self._technologies[node]
+        temperature = celsius_to_kelvin(temperature_celsius)
+        leaking_width = (
+            self.total_device_width(node) * self.assumptions.leaking_width_fraction
+        )
+        # NMOS and PMOS halves of the leaking width, each leaking at Vds = Vdd.
+        i_n = device_off_current(
+            tech.nmos, 0.5 * leaking_width, tech.vdd, temperature,
+            tech.reference_temperature,
+        )
+        i_p = device_off_current(
+            tech.pmos, 0.5 * leaking_width, tech.vdd, temperature,
+            tech.reference_temperature,
+        )
+        return (i_n + i_p) * tech.vdd
+
+    def project_node(self, node: str) -> NodePowerProjection:
+        """Full dynamic + static projection for a single node."""
+        tech = self._technologies[node]
+        static = {
+            t: self.static_power(node, t) for t in self.temperatures_celsius
+        }
+        return NodePowerProjection(
+            node=node,
+            feature_size=tech.feature_size or tech.minimum_length,
+            vdd=tech.vdd,
+            frequency=self.clock_frequency(node),
+            transistor_count=self.transistor_count(node),
+            dynamic_power=self.dynamic_power(node),
+            static_power_by_temperature=static,
+        )
+
+    def project(self) -> List[NodePowerProjection]:
+        """Projection for every node in the study, oldest node first."""
+        return [self.project_node(node) for node in self._node_names]
+
+    def crossover_node(self, temperature_celsius: float) -> Optional[str]:
+        """First node (scaling downwards) where static power exceeds dynamic.
+
+        Returns ``None`` when static power never overtakes dynamic power at
+        the requested temperature within the projected node range.
+        """
+        for projection in self.project():
+            if projection.static_power(temperature_celsius) > projection.dynamic_power:
+                return projection.node
+        return None
+
+    def as_series(self) -> Dict[str, List[Tuple[str, float]]]:
+        """Figure-1-style series: one dynamic series plus one per temperature."""
+        projections = self.project()
+        series: Dict[str, List[Tuple[str, float]]] = {
+            "dynamic": [(p.node, p.dynamic_power) for p in projections]
+        }
+        for temperature in self.temperatures_celsius:
+            key = f"static_{temperature:g}C"
+            series[key] = [
+                (p.node, p.static_power(temperature)) for p in projections
+            ]
+        return series

@@ -1,0 +1,40 @@
+"""Numerical thermal reference solvers.
+
+Three substrates back the analytical thermal model of :mod:`repro.core.thermal`:
+
+* adaptive quadrature of the paper's surface integral, Eq. (17)
+  (:mod:`repro.thermalsim.quadrature`) — the "exact" curve of Fig. 5;
+* a 3-D finite-volume steady-state solver with the paper's boundary
+  conditions (:mod:`repro.thermalsim.fdm`);
+* transient thermal RC networks for self-heating simulation
+  (:mod:`repro.thermalsim.rc_network`) — the substrate behind the simulated
+  Fig. 9 / Fig. 10 measurements.
+"""
+
+from .fdm import FiniteVolumeThermalSolver, RectangularSource, SteadyStateResult
+from .quadrature import (
+    point_source_temperature_numeric,
+    rectangle_temperature_numeric,
+    rectangle_temperature_profile_numeric,
+)
+from .rc_network import (
+    CauerNetwork,
+    FosterNetwork,
+    FosterStage,
+    single_pole_network,
+    square_wave_power,
+)
+
+__all__ = [
+    "rectangle_temperature_numeric",
+    "rectangle_temperature_profile_numeric",
+    "point_source_temperature_numeric",
+    "FiniteVolumeThermalSolver",
+    "RectangularSource",
+    "SteadyStateResult",
+    "FosterStage",
+    "FosterNetwork",
+    "CauerNetwork",
+    "single_pole_network",
+    "square_wave_power",
+]

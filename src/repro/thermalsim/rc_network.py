@@ -1,0 +1,270 @@
+"""Transient thermal RC networks.
+
+The paper's self-heating measurements (Fig. 9) show an exponential rise of
+the device temperature when the transistor is pulsed ON — the signature of
+the device's thermal resistance charging its thermal capacitance.  This
+module provides the lumped transient substrate used to *simulate* those
+measurements:
+
+* :class:`FosterStage` / :class:`FosterNetwork` — parallel R‖C stages in
+  series; the step response is a sum of exponentials and arbitrary
+  piecewise-constant power waveforms are integrated exactly, stage by stage;
+* :class:`CauerNetwork` — the physical ladder topology, integrated with a
+  dense matrix-exponential stepper (small networks only).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+
+@dataclass(frozen=True)
+class FosterStage:
+    """One parallel R‖C stage of a Foster thermal network."""
+
+    resistance: float
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError("thermal resistance must be positive")
+        if self.capacitance <= 0.0:
+            raise ValueError("thermal capacitance must be positive")
+
+    @property
+    def time_constant(self) -> float:
+        """Stage time constant [s]: ``tau = R * C``."""
+        return self.resistance * self.capacitance
+
+    def step_response(self, time: float, power: float) -> float:
+        """Temperature rise [K] at ``time`` after a power step of ``power``."""
+        if time < 0.0:
+            raise ValueError("time must be non-negative")
+        return power * self.resistance * (1.0 - math.exp(-time / self.time_constant))
+
+
+class FosterNetwork:
+    """Series connection of Foster stages between junction and ambient.
+
+    The junction temperature rise is the sum of the per-stage rises; each
+    stage responds independently to the dissipated power, which allows an
+    exact exponential update for piecewise-constant power waveforms.
+    """
+
+    def __init__(self, stages: Sequence[FosterStage]) -> None:
+        if not stages:
+            raise ValueError("a Foster network needs at least one stage")
+        self._stages: Tuple[FosterStage, ...] = tuple(stages)
+
+    @property
+    def stages(self) -> Tuple[FosterStage, ...]:
+        return self._stages
+
+    @property
+    def total_resistance(self) -> float:
+        """Steady-state junction-to-ambient thermal resistance [K/W]."""
+        return sum(stage.resistance for stage in self._stages)
+
+    @property
+    def dominant_time_constant(self) -> float:
+        """Largest stage time constant [s]."""
+        return max(stage.time_constant for stage in self._stages)
+
+    def steady_state_rise(self, power: float) -> float:
+        """Steady-state temperature rise [K] for constant dissipation."""
+        return power * self.total_resistance
+
+    def step_response(self, time: float, power: float) -> float:
+        """Junction temperature rise [K] at ``time`` after a power step."""
+        return sum(stage.step_response(time, power) for stage in self._stages)
+
+    def simulate(
+        self,
+        times: Sequence[float],
+        powers: Sequence[float],
+        initial_rises: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Junction temperature rise [K] for a piecewise-constant power waveform.
+
+        Parameters
+        ----------
+        times:
+            Strictly increasing sample instants [s]; ``powers[i]`` is the
+            dissipation held constant over ``[times[i], times[i+1])``.
+        powers:
+            Dissipated power [W] per interval (same length as ``times``).
+        initial_rises:
+            Optional per-stage initial temperature rises [K].
+
+        Returns
+        -------
+        numpy.ndarray
+            Junction temperature rise at each sample instant.
+        """
+        t = np.asarray(times, dtype=float)
+        p = np.asarray(powers, dtype=float)
+        if t.ndim != 1 or p.ndim != 1 or t.shape != p.shape:
+            raise ValueError("times and powers must be 1-D arrays of equal length")
+        if t.size == 0:
+            return np.zeros(0)
+        if np.any(np.diff(t) <= 0.0):
+            raise ValueError("times must be strictly increasing")
+        state = np.zeros(len(self._stages))
+        if initial_rises is not None:
+            init = np.asarray(initial_rises, dtype=float)
+            if init.shape != state.shape:
+                raise ValueError("initial_rises must have one value per stage")
+            state = init.copy()
+
+        rises = np.empty_like(t)
+        rises[0] = state.sum()
+        for index in range(1, t.size):
+            dt = t[index] - t[index - 1]
+            power = p[index - 1]
+            for s, stage in enumerate(self._stages):
+                decay = math.exp(-dt / stage.time_constant)
+                target = power * stage.resistance
+                state[s] = target + (state[s] - target) * decay
+            rises[index] = state.sum()
+        return rises
+
+    def time_to_fraction(self, fraction: float) -> float:
+        """Time [s] for the step response to reach a fraction of its final value.
+
+        Solved by bisection on the monotone step response; useful for
+        extracting an effective time constant from simulated measurements.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        final = self.total_resistance
+        target = fraction * final
+
+        low, high = 0.0, 10.0 * self.dominant_time_constant
+        while self.step_response(high, 1.0) < target:
+            high *= 2.0
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            if self.step_response(mid, 1.0) < target:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+
+class CauerNetwork:
+    """Physical thermal RC ladder from junction to ambient.
+
+    Node 0 is the junction; resistance ``i`` connects node ``i`` to node
+    ``i+1`` and the last resistance connects to the isothermal ambient.
+    Every node has a capacitance to the thermal "ground" (ambient).
+    """
+
+    def __init__(
+        self, resistances: Sequence[float], capacitances: Sequence[float]
+    ) -> None:
+        r = list(resistances)
+        c = list(capacitances)
+        if not r or len(r) != len(c):
+            raise ValueError("need equal, non-zero numbers of R and C values")
+        if any(value <= 0.0 for value in r + c):
+            raise ValueError("all resistances and capacitances must be positive")
+        self.resistances = tuple(r)
+        self.capacitances = tuple(c)
+        self._order = len(r)
+        self._system = self._build_system()
+
+    def _build_system(self) -> Tuple[np.ndarray, np.ndarray]:
+        """State-space matrices: ``C dT/dt = -G T + b P``."""
+        n = self._order
+        conductances = [1.0 / r for r in self.resistances]
+        g = np.zeros((n, n))
+        for i in range(n):
+            # Conductance to the next node (or ambient for the last node).
+            g[i, i] += conductances[i]
+            if i + 1 < n:
+                g[i, i + 1] -= conductances[i]
+                g[i + 1, i] -= conductances[i]
+                g[i + 1, i + 1] += conductances[i]
+        c_inv = np.diag([1.0 / c for c in self.capacitances])
+        a = -c_inv @ g
+        b = c_inv @ np.eye(n)[:, 0]
+        return a, b
+
+    @property
+    def total_resistance(self) -> float:
+        """Steady-state junction-to-ambient resistance [K/W]."""
+        return sum(self.resistances)
+
+    def steady_state_rise(self, power: float) -> float:
+        """Steady-state junction temperature rise [K]."""
+        return power * self.total_resistance
+
+    def simulate(
+        self, times: Sequence[float], powers: Sequence[float]
+    ) -> np.ndarray:
+        """Junction temperature rise [K] for a piecewise-constant power input."""
+        t = np.asarray(times, dtype=float)
+        p = np.asarray(powers, dtype=float)
+        if t.ndim != 1 or p.ndim != 1 or t.shape != p.shape:
+            raise ValueError("times and powers must be 1-D arrays of equal length")
+        if t.size == 0:
+            return np.zeros(0)
+        if np.any(np.diff(t) <= 0.0):
+            raise ValueError("times must be strictly increasing")
+        a, b = self._system
+        n = self._order
+        state = np.zeros(n)
+        rises = np.empty_like(t)
+        rises[0] = state[0]
+        cache = {}
+        for index in range(1, t.size):
+            dt = t[index] - t[index - 1]
+            power = p[index - 1]
+            key = round(dt, 15)
+            if key not in cache:
+                # Exact exponential integrator for the affine system using the
+                # augmented-matrix trick.
+                augmented = np.zeros((n + 1, n + 1))
+                augmented[:n, :n] = a * dt
+                augmented[:n, n] = b * dt
+                cache[key] = expm(augmented)
+            phi = cache[key]
+            state = phi[:n, :n] @ state + phi[:n, n] * power
+            rises[index] = state[0]
+        return rises
+
+
+def single_pole_network(resistance: float, time_constant: float) -> FosterNetwork:
+    """One-stage Foster network from a resistance and a time constant."""
+    if time_constant <= 0.0:
+        raise ValueError("time_constant must be positive")
+    return FosterNetwork([FosterStage(resistance, time_constant / resistance)])
+
+
+def square_wave_power(
+    period: float,
+    duty_cycle: float,
+    on_power: float,
+    duration: float,
+    samples_per_period: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sampled square-wave power waveform (the Fig. 9 gate drive).
+
+    Returns ``(times, powers)`` suitable for :meth:`FosterNetwork.simulate`.
+    """
+    if period <= 0.0 or duration <= 0.0:
+        raise ValueError("period and duration must be positive")
+    if not 0.0 < duty_cycle < 1.0:
+        raise ValueError("duty_cycle must be in (0, 1)")
+    if samples_per_period < 4:
+        raise ValueError("samples_per_period must be at least 4")
+    dt = period / samples_per_period
+    times = np.arange(0.0, duration + 0.5 * dt, dt)
+    phase = np.mod(times, period) / period
+    powers = np.where(phase < duty_cycle, on_power, 0.0)
+    return times, powers

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.technology import cmos_012um, cmos_035um, make_technology
+
+
+@pytest.fixture(scope="session")
+def tech012():
+    """The 0.12 um technology used by the paper's leakage validation."""
+    return cmos_012um()
+
+
+@pytest.fixture(scope="session")
+def tech035():
+    """The 0.35 um technology used by the paper's thermal measurements."""
+    return cmos_035um()
+
+
+@pytest.fixture(scope="session")
+def tech100nm():
+    """A sub-100nm node for scaling-sensitive tests."""
+    return make_technology("70nm")

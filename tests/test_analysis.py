@@ -1,0 +1,197 @@
+"""Tests for repro.analysis (metrics, sweeps, grids, sections, isotherms)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.grids import SurfaceGrid, radial_distances, regular_grid
+from repro.analysis.isotherms import (
+    gradient_tangency_residual,
+    hotspot_location,
+    isotherm_levels,
+    isotherm_mask,
+    isotherm_statistics,
+)
+from repro.analysis.metrics import (
+    absolute_relative_error,
+    correlation,
+    log_accuracy_decades,
+    max_absolute_relative_error,
+    mean_absolute_relative_error,
+    relative_error,
+    rms_error,
+    rms_relative_error,
+)
+from repro.analysis.sections import cross_section_x, cross_section_y
+from repro.analysis.sweep import grid_sweep, logspace, sweep
+
+
+class TestMetrics:
+    def test_relative_error_signed(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(-0.1)
+        assert absolute_relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_aggregate_metrics(self):
+        estimates = [1.0, 2.2, 2.7]
+        references = [1.0, 2.0, 3.0]
+        assert mean_absolute_relative_error(estimates, references) == pytest.approx(
+            (0.0 + 0.1 + 0.1) / 3.0
+        )
+        assert max_absolute_relative_error(estimates, references) == pytest.approx(0.1)
+        assert rms_error([1.0, 3.0], [1.0, 1.0]) == pytest.approx(np.sqrt(2.0))
+        assert rms_relative_error([2.0], [1.0]) == pytest.approx(1.0)
+
+    def test_correlation(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+        with pytest.raises(ValueError):
+            correlation([1, 1], [2, 3])
+
+    def test_log_accuracy(self):
+        assert log_accuracy_decades([10.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            log_accuracy_decades([0.0], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rms_error([1.0], [1.0, 2.0])
+
+
+class TestSweep:
+    def test_sweep_multiple_series(self):
+        result = sweep("x", [1.0, 2.0, 3.0], {"square": lambda x: x**2, "id": lambda x: x})
+        assert result.values == [1.0, 2.0, 3.0]
+        assert list(result.series("square")) == [1.0, 4.0, 9.0]
+        assert result.labels() == ("square", "id")
+        rows = result.as_rows()
+        assert rows[1] == (2.0, 4.0, 2.0)
+
+    def test_unknown_series_rejected(self):
+        result = sweep("x", [1.0], {"y": lambda x: x})
+        with pytest.raises(KeyError):
+            result.series("z")
+
+    def test_sweep_requires_inputs(self):
+        with pytest.raises(ValueError):
+            sweep("x", [1.0], {})
+        with pytest.raises(ValueError):
+            sweep("x", [], {"y": lambda x: x})
+
+    def test_grid_sweep(self):
+        grid = grid_sweep([1.0, 2.0], [10.0, 20.0, 30.0], lambda x, y: x * y)
+        assert grid.shape == (2, 3)
+        assert grid[1, 2] == pytest.approx(60.0)
+
+    def test_logspace(self):
+        values = logspace(1.0, 100.0, 3)
+        assert values[1] == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            logspace(-1.0, 10.0, 3)
+
+
+class TestGrids:
+    def test_regular_grid(self):
+        grid = regular_grid(1e-3, 2e-3, nx=5, ny=9)
+        assert grid.shape == (5, 9)
+        xs, ys = grid.meshgrid()
+        assert xs.shape == (5, 9)
+
+    def test_grid_evaluate(self):
+        grid = regular_grid(1.0, 1.0, nx=3, ny=3)
+        field = grid.evaluate(lambda x, y: x + y)
+        assert field[2, 2] == pytest.approx(2.0)
+
+    def test_radial_distances(self):
+        linear = radial_distances(1e-6, 10e-6, count=10, logarithmic=False)
+        assert linear[0] == pytest.approx(1e-6)
+        assert linear[-1] == pytest.approx(10e-6)
+        log = radial_distances(1e-6, 100e-6, count=3)
+        assert log[1] == pytest.approx(10e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regular_grid(0.0, 1.0)
+        with pytest.raises(ValueError):
+            radial_distances(1e-6, 1e-7)
+
+
+class TestSections:
+    def _field(self, x, y):
+        # A smooth bump centred at (0.5, 0.5) with zero gradient at x=0 and 1.
+        return 300.0 + 10.0 * np.cos(np.pi * (x - 0.5)) ** 2
+
+    def test_cross_section_x(self):
+        section = cross_section_x(self._field, y=0.5, x_start=0.0, x_stop=1.0, samples=101)
+        assert section.peak_position == pytest.approx(0.5, abs=0.02)
+        assert section.peak_temperature == pytest.approx(310.0, abs=0.01)
+
+    def test_edge_gradients_vanish_for_symmetric_field(self):
+        section = cross_section_x(self._field, y=0.5, x_start=0.0, x_stop=1.0, samples=201)
+        left, right = section.normalized_edge_gradients()
+        assert left < 0.05 and right < 0.05
+
+    def test_cross_section_y(self):
+        section = cross_section_y(
+            lambda x, y: self._field(y, x), x=0.5, y_start=0.0, y_stop=1.0
+        )
+        assert section.axis == "y"
+        assert section.peak_temperature > 309.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cross_section_x(self._field, 0.5, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            cross_section_x(self._field, 0.5, 0.0, 1.0, samples=2)
+
+
+class TestIsotherms:
+    @pytest.fixture
+    def peaked_field(self):
+        x = np.linspace(0.0, 1.0, 41)
+        y = np.linspace(0.0, 1.0, 41)
+        xx, yy = np.meshgrid(x, y, indexing="ij")
+        field = 300.0 + 20.0 * np.exp(-((xx - 0.4) ** 2 + (yy - 0.6) ** 2) / 0.02)
+        return x, y, field
+
+    def test_levels_span_range(self, peaked_field):
+        _, _, field = peaked_field
+        levels = isotherm_levels(field, count=5)
+        assert len(levels) == 5
+        assert min(levels) > field.min() and max(levels) < field.max()
+
+    def test_statistics_monotone(self, peaked_field):
+        _, _, field = peaked_field
+        levels = isotherm_levels(field, count=6)
+        stats = isotherm_statistics(field, levels)
+        fractions = [s.enclosed_fraction for s in stats]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_mask(self, peaked_field):
+        _, _, field = peaked_field
+        mask = isotherm_mask(field, 310.0)
+        assert mask.dtype == bool
+        assert 0 < mask.sum() < mask.size
+
+    def test_hotspot_location(self, peaked_field):
+        x, y, field = peaked_field
+        hx, hy, value = hotspot_location(field, x, y)
+        assert hx == pytest.approx(0.4, abs=0.03)
+        assert hy == pytest.approx(0.6, abs=0.03)
+        assert value == pytest.approx(320.0, abs=0.5)
+
+    def test_gradient_tangency_residual_small_for_centered_bump(self):
+        # A field with zero normal gradient at the boundary (cos^2 bump).
+        x = np.linspace(0.0, 1.0, 41)
+        y = np.linspace(0.0, 1.0, 41)
+        xx, yy = np.meshgrid(x, y, indexing="ij")
+        field = 300.0 + 5.0 * (np.cos(np.pi * (xx - 0.5)) * np.cos(np.pi * (yy - 0.5))) ** 2
+        assert gradient_tangency_residual(field, x, y) < 0.1
+
+    def test_constant_field_has_no_contours(self):
+        field = np.full((5, 5), 300.0)
+        with pytest.raises(ValueError):
+            isotherm_levels(field)

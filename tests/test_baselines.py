@@ -1,0 +1,163 @@
+"""Tests for repro.baselines (prior-work leakage models)."""
+
+import pytest
+
+from repro.baselines.chen_roy import ChenRoyStackModel
+from repro.baselines.gu_elmasry import GuElmasryStackModel, UnsupportedStackDepthError
+from repro.baselines.narendra import (
+    NarendraFullChipModel,
+    NarendraStackModel,
+    UnsupportedStackDepthError as NarendraUnsupported,
+)
+from repro.baselines.series_resistance import SeriesResistanceStackModel
+from repro.circuit.stack import nmos_stack_from_widths, uniform_nmos_stack
+from repro.core.leakage.gate_leakage import GateLeakageModel
+from repro.core.leakage.subthreshold import single_device_off_current
+from repro.spice.stack_solver import StackDCSolver
+
+
+@pytest.fixture(scope="module")
+def spice(tech012):
+    return StackDCSolver(tech012)
+
+
+@pytest.fixture(scope="module")
+def proposed(tech012):
+    return GateLeakageModel(tech012)
+
+
+class TestChenRoy:
+    def test_single_device_matches_closed_form(self, tech012):
+        model = ChenRoyStackModel(tech012)
+        stack = uniform_nmos_stack(1, 1e-6)
+        expected = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, tech012.reference_temperature,
+            tech012.reference_temperature,
+        )
+        assert model.stack_off_current(stack) == pytest.approx(expected, rel=0.01)
+
+    def test_stacking_reduces_current(self, tech012):
+        model = ChenRoyStackModel(tech012)
+        currents = [
+            model.stack_off_current(uniform_nmos_stack(n, 1e-6)) for n in (1, 2, 3, 4)
+        ]
+        assert all(b < a for a, b in zip(currents, currents[1:]))
+
+    def test_less_accurate_than_proposed_model(self, tech012, spice, proposed):
+        # The Fig. 8 claim: the proposed collapsing tracks SPICE better than
+        # the Chen et al. baseline for deeper stacks.
+        for depth in (2, 3, 4):
+            stack = uniform_nmos_stack(depth, 1e-6)
+            reference = spice.off_current(stack)
+            proposed_error = abs(proposed.stack_off_current(stack) - reference) / reference
+            chen = ChenRoyStackModel(tech012).stack_off_current(stack)
+            chen_error = abs(chen - reference) / reference
+            assert proposed_error < chen_error
+
+    def test_estimate_reports_node_voltages(self, tech012):
+        model = ChenRoyStackModel(tech012)
+        estimate = model.evaluate_stack(uniform_nmos_stack(3, 1e-6))
+        assert len(estimate.node_voltages) == 2
+        assert estimate.effective_width > 0.0
+
+    def test_all_on_stack_rejected(self, tech012):
+        model = ChenRoyStackModel(tech012)
+        with pytest.raises(ValueError):
+            model.evaluate_stack(uniform_nmos_stack(2, 1e-6), (1, 1))
+
+
+class TestGuElmasry:
+    def test_supports_up_to_three(self, tech012):
+        model = GuElmasryStackModel(tech012)
+        for depth in (1, 2, 3):
+            current = model.stack_off_current(uniform_nmos_stack(depth, 1e-6))
+            assert current > 0.0
+
+    def test_rejects_depth_four(self, tech012):
+        model = GuElmasryStackModel(tech012)
+        with pytest.raises(UnsupportedStackDepthError):
+            model.stack_off_current(uniform_nmos_stack(4, 1e-6))
+
+    def test_depth_limit_counts_off_devices_only(self, tech012):
+        model = GuElmasryStackModel(tech012)
+        stack = uniform_nmos_stack(4, 1e-6)
+        # Only three devices OFF: within the model's scope.
+        current = model.stack_off_current(stack, (0, 0, 1, 0))
+        assert current > 0.0
+
+    def test_reasonable_agreement_with_spice_for_two_stack(self, tech012, spice):
+        model = GuElmasryStackModel(tech012)
+        stack = uniform_nmos_stack(2, 1e-6)
+        assert model.stack_off_current(stack) == pytest.approx(
+            spice.off_current(stack), rel=0.6
+        )
+
+
+class TestNarendra:
+    def test_two_stack_factor_below_one(self, tech012):
+        model = NarendraStackModel(tech012)
+        factor = model.two_stack_factor("nmos")
+        assert 0.0 < factor < 1.0
+
+    def test_two_stack_estimate_uses_factor(self, tech012):
+        model = NarendraStackModel(tech012)
+        single = model.stack_off_current(uniform_nmos_stack(1, 1e-6))
+        double = model.stack_off_current(uniform_nmos_stack(2, 1e-6))
+        assert double == pytest.approx(
+            single * model.two_stack_factor("nmos"), rel=1e-6
+        )
+
+    def test_rejects_depth_three(self, tech012):
+        model = NarendraStackModel(tech012)
+        with pytest.raises(NarendraUnsupported):
+            model.stack_off_current(uniform_nmos_stack(3, 1e-6))
+
+    def test_order_of_magnitude_against_spice(self, tech012, spice):
+        model = NarendraStackModel(tech012)
+        stack = uniform_nmos_stack(2, 1e-6)
+        estimate = model.stack_off_current(stack)
+        reference = spice.off_current(stack)
+        assert 0.2 < estimate / reference < 5.0
+
+    def test_unequal_width_stack_supported(self, tech012):
+        model = NarendraStackModel(tech012)
+        current = model.stack_off_current(nmos_stack_from_widths([1e-6, 3e-6]))
+        assert current > 0.0
+
+    def test_full_chip_model(self, tech012):
+        chip = NarendraFullChipModel(tech012, stacked_fraction=0.5)
+        power = chip.chip_leakage_power(1.0e-3 * 1e3, 2.0e-3 * 1e3)  # widths in m
+        assert power > 0.0
+        more_stacking = NarendraFullChipModel(tech012, stacked_fraction=0.9)
+        assert more_stacking.chip_leakage_power(1.0, 2.0) < chip.chip_leakage_power(1.0, 2.0)
+
+    def test_full_chip_validation(self, tech012):
+        with pytest.raises(ValueError):
+            NarendraFullChipModel(tech012, stacked_fraction=1.5)
+        chip = NarendraFullChipModel(tech012)
+        with pytest.raises(ValueError):
+            chip.chip_leakage_current(-1.0, 0.0)
+
+
+class TestSeriesResistanceHeuristic:
+    def test_overestimates_stack_leakage(self, tech012, spice):
+        model = SeriesResistanceStackModel(tech012)
+        stack = uniform_nmos_stack(3, 1e-6)
+        naive = model.stack_off_current(stack)
+        reference = spice.off_current(stack)
+        assert naive > 3.0 * reference
+
+    def test_single_device_matches(self, tech012):
+        model = SeriesResistanceStackModel(tech012)
+        stack = uniform_nmos_stack(1, 1e-6)
+        expected = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, tech012.reference_temperature,
+            tech012.reference_temperature,
+        )
+        assert model.stack_off_current(stack) == pytest.approx(expected)
+
+    def test_scaling_is_one_over_n(self, tech012):
+        model = SeriesResistanceStackModel(tech012)
+        one = model.stack_off_current(uniform_nmos_stack(1, 1e-6))
+        four = model.stack_off_current(uniform_nmos_stack(4, 1e-6))
+        assert four == pytest.approx(one / 4.0)

@@ -1,0 +1,160 @@
+"""Tests for repro.circuit.cells (standard-cell library)."""
+
+import pytest
+
+from repro.circuit.cells import (
+    LogicGate,
+    aoi21,
+    aoi22,
+    inverter,
+    nand_gate,
+    nor_gate,
+    oai21,
+    standard_cell,
+    standard_cell_names,
+)
+from repro.circuit.devices import nmos, pmos
+from repro.circuit.topology import DeviceLeaf
+from repro.circuit.vectors import enumerate_vectors
+
+
+class TestInverter:
+    def test_truth_table(self, tech012):
+        gate = inverter(tech012)
+        assert gate.evaluate({"A": 0}) == 1
+        assert gate.evaluate({"A": 1}) == 0
+
+    def test_device_count_and_width(self, tech012):
+        gate = inverter(tech012)
+        assert gate.device_count() == 2
+        assert gate.total_width() == pytest.approx(
+            tech012.nmos.nominal_width + tech012.pmos.nominal_width
+        )
+
+    def test_size_scales_widths(self, tech012):
+        small = inverter(tech012, size=1.0)
+        big = inverter(tech012, size=4.0)
+        assert big.total_width() == pytest.approx(4.0 * small.total_width())
+
+
+class TestNandNor:
+    @pytest.mark.parametrize("fan_in", [2, 3, 4])
+    def test_nand_truth_table(self, tech012, fan_in):
+        gate = nand_gate(tech012, fan_in)
+        for vector in enumerate_vectors(gate.inputs):
+            expected = 0 if all(vector[name] for name in gate.inputs) else 1
+            assert gate.evaluate(vector) == expected
+
+    @pytest.mark.parametrize("fan_in", [2, 3, 4])
+    def test_nor_truth_table(self, tech012, fan_in):
+        gate = nor_gate(tech012, fan_in)
+        for vector in enumerate_vectors(gate.inputs):
+            expected = 0 if any(vector[name] for name in gate.inputs) else 1
+            assert gate.evaluate(vector) == expected
+
+    def test_nand_series_devices_are_upsized(self, tech012):
+        gate = nand_gate(tech012, 3)
+        nmos_widths = {d.width for d in gate.pull_down.devices()}
+        assert nmos_widths == {3 * tech012.nmos.nominal_width}
+
+    def test_custom_input_names(self, tech012):
+        gate = nand_gate(tech012, 2, input_names=("X", "Y"))
+        assert gate.inputs == ("X", "Y")
+        assert gate.evaluate({"X": 1, "Y": 0}) == 1
+
+    def test_input_name_count_mismatch_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            nand_gate(tech012, 3, input_names=("A", "B"))
+
+
+class TestComplexGates:
+    def test_aoi21_function(self, tech012):
+        gate = aoi21(tech012)
+        for vector in enumerate_vectors(gate.inputs):
+            a, b, c = vector["A"], vector["B"], vector["C"]
+            expected = 0 if (a and b) or c else 1
+            assert gate.evaluate(vector) == expected
+
+    def test_aoi22_function(self, tech012):
+        gate = aoi22(tech012)
+        for vector in enumerate_vectors(gate.inputs):
+            a, b, c, d = (vector[k] for k in "ABCD")
+            expected = 0 if (a and b) or (c and d) else 1
+            assert gate.evaluate(vector) == expected
+
+    def test_oai21_function(self, tech012):
+        gate = oai21(tech012)
+        for vector in enumerate_vectors(gate.inputs):
+            a, b, c = vector["A"], vector["B"], vector["C"]
+            expected = 0 if (a or b) and c else 1
+            assert gate.evaluate(vector) == expected
+
+
+class TestGateInvariants:
+    def test_complementarity_of_every_library_cell(self, tech012):
+        # Exactly one network conducts for every vector of every cell.
+        for name in standard_cell_names():
+            gate = standard_cell(name, tech012)
+            for vector in enumerate_vectors(gate.inputs):
+                gate.evaluate(vector)  # raises on crowbar / floating states
+
+    def test_leakage_network_is_the_non_conducting_one(self, tech012):
+        gate = nand_gate(tech012, 2)
+        network = gate.leakage_network({"A": 1, "B": 1})
+        assert network is gate.pull_up
+        network = gate.leakage_network({"A": 0, "B": 0})
+        assert network is gate.pull_down
+
+    def test_mismatched_networks_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            LogicGate(
+                name="BAD",
+                inputs=("A",),
+                pull_up=DeviceLeaf(nmos("MN1", 1e-6, "A")),
+                pull_down=DeviceLeaf(nmos("MN2", 1e-6, "A")),
+            )
+
+    def test_undeclared_input_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            LogicGate(
+                name="BAD",
+                inputs=("A",),
+                pull_up=DeviceLeaf(pmos("MP1", 1e-6, "B")),
+                pull_down=DeviceLeaf(nmos("MN1", 1e-6, "B")),
+            )
+
+    def test_missing_vector_entry_rejected(self, tech012):
+        gate = nand_gate(tech012, 2)
+        with pytest.raises(KeyError):
+            gate.evaluate({"A": 1})
+
+
+class TestCapacitances:
+    def test_output_capacitance_grows_with_external_load(self, tech012):
+        gate = inverter(tech012)
+        bare = gate.output_capacitance(tech012)
+        loaded = gate.output_capacitance(tech012, external_load=5e-15)
+        assert loaded == pytest.approx(bare + 5e-15)
+
+    def test_input_capacitance_positive(self, tech012):
+        gate = nand_gate(tech012, 2)
+        assert gate.input_capacitance(tech012, "A") > 0.0
+
+    def test_input_capacitance_unknown_pin(self, tech012):
+        gate = nand_gate(tech012, 2)
+        with pytest.raises(KeyError):
+            gate.input_capacitance(tech012, "Z9")
+
+
+class TestLibraryRegistry:
+    def test_standard_cell_lookup(self, tech012):
+        gate = standard_cell("nand3", tech012)
+        assert gate.name == "NAND3"
+        assert len(gate.inputs) == 3
+
+    def test_unknown_cell_raises(self, tech012):
+        with pytest.raises(KeyError):
+            standard_cell("XOR9", tech012)
+
+    def test_library_has_at_least_ten_cells(self):
+        assert len(standard_cell_names()) >= 10

@@ -1,0 +1,81 @@
+"""Tests for repro.technology.constants."""
+
+import math
+
+import pytest
+
+from repro.technology import constants
+
+
+class TestTemperatureConversions:
+    def test_celsius_to_kelvin_room(self):
+        assert constants.celsius_to_kelvin(25.0) == pytest.approx(298.15)
+
+    def test_kelvin_to_celsius_roundtrip(self):
+        assert constants.kelvin_to_celsius(
+            constants.celsius_to_kelvin(85.0)
+        ) == pytest.approx(85.0)
+
+    def test_celsius_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            constants.celsius_to_kelvin(-300.0)
+
+    def test_negative_kelvin_rejected(self):
+        with pytest.raises(ValueError):
+            constants.kelvin_to_celsius(-1.0)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        # kT/q at 300 K is the textbook 25.85 mV.
+        assert constants.thermal_voltage(300.0) == pytest.approx(0.025852, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        assert constants.thermal_voltage(600.0) == pytest.approx(
+            2.0 * constants.thermal_voltage(300.0)
+        )
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+
+
+class TestSiliconPhysics:
+    def test_bandgap_at_300K(self):
+        assert constants.silicon_bandgap(300.0) == pytest.approx(1.12, abs=0.01)
+
+    def test_bandgap_decreases_with_temperature(self):
+        assert constants.silicon_bandgap(400.0) < constants.silicon_bandgap(300.0)
+
+    def test_intrinsic_concentration_anchored_at_300K(self):
+        assert constants.intrinsic_carrier_concentration(300.0) == pytest.approx(
+            constants.SILICON_NI_300K
+        )
+
+    def test_intrinsic_concentration_grows_exponentially(self):
+        cold = constants.intrinsic_carrier_concentration(300.0)
+        hot = constants.intrinsic_carrier_concentration(400.0)
+        assert hot > 50.0 * cold
+
+    def test_bandgap_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            constants.silicon_bandgap(-10.0)
+
+
+class TestUnitHelpers:
+    def test_microns(self):
+        assert constants.microns(0.12) == pytest.approx(0.12e-6)
+
+    def test_nanometers(self):
+        assert constants.nanometers(70.0) == pytest.approx(70.0e-9)
+
+    def test_to_microns_roundtrip(self):
+        assert constants.to_microns(constants.microns(3.5)) == pytest.approx(3.5)
+
+    def test_milliwatts(self):
+        assert constants.milliwatts(10.0) == pytest.approx(0.01)
+
+    def test_boltzmann_ev_consistency(self):
+        assert constants.BOLTZMANN_EV == pytest.approx(
+            constants.BOLTZMANN / constants.ELEMENTARY_CHARGE
+        )

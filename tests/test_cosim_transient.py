@@ -1,0 +1,139 @@
+"""Tests for repro.core.cosim.transient (block-level transient cosimulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cosim import (
+    ElectroThermalEngine,
+    TransientElectroThermalSimulator,
+    block_models_from_powers,
+    square_wave_activity_profile,
+    step_activity_profile,
+)
+from repro.floorplan import three_block_floorplan
+
+AMBIENT = 318.15
+
+
+@pytest.fixture(scope="module")
+def engine(tech012):
+    plan = three_block_floorplan()
+    models = block_models_from_powers(
+        tech012,
+        {"core": 0.25, "cache": 0.10, "io": 0.05},
+        {"core": 0.05, "cache": 0.02, "io": 0.01},
+    )
+    return ElectroThermalEngine(tech012, plan, models, ambient_temperature=AMBIENT)
+
+
+@pytest.fixture(scope="module")
+def simulator(engine):
+    # Millisecond-scale time constants keep the tests fast while preserving
+    # the block-to-block ratios of the default derivation.
+    return TransientElectroThermalSimulator(
+        engine, time_constants={"core": 2e-3, "cache": 1.5e-3, "io": 1e-3}
+    )
+
+
+class TestConstruction:
+    def test_default_time_constants_positive(self, engine):
+        simulator = TransientElectroThermalSimulator(engine)
+        constants = simulator.time_constants
+        assert set(constants) == {"core", "cache", "io"}
+        assert all(value > 0.0 for value in constants.values())
+
+    def test_unknown_block_rejected(self, engine):
+        with pytest.raises(KeyError):
+            TransientElectroThermalSimulator(engine, time_constants={"gpu": 1e-3})
+
+    def test_invalid_time_constant_rejected(self, engine):
+        with pytest.raises(ValueError):
+            TransientElectroThermalSimulator(engine, time_constants={"core": 0.0})
+
+
+class TestConstantWorkload:
+    def test_converges_to_steady_state_engine(self, engine, simulator):
+        steady = engine.solve(tolerance=1e-4, max_iterations=200)
+        result = simulator.simulate(duration=30e-3, time_step=0.05e-3)
+        for name in ("core", "cache", "io"):
+            assert result.final_temperature(name) == pytest.approx(
+                steady.block_temperatures[name], abs=0.2
+            )
+
+    def test_temperature_rise_is_monotone_from_ambient(self, simulator):
+        result = simulator.simulate(duration=10e-3, time_step=0.05e-3)
+        core = result.block_temperatures["core"]
+        assert core[0] == pytest.approx(AMBIENT)
+        assert np.all(np.diff(core) >= -1e-9)
+
+    def test_leakage_grows_as_the_die_heats(self, simulator):
+        result = simulator.simulate(duration=20e-3, time_step=0.05e-3)
+        core_power = result.block_powers["core"]
+        assert core_power[-1] > core_power[0]
+
+    def test_energy_accounting(self, simulator):
+        result = simulator.simulate(duration=5e-3, time_step=0.05e-3)
+        total_power_range = (
+            sum(result.block_powers[name][0] for name in result.block_names),
+            sum(result.block_powers[name][-1] for name in result.block_names),
+        )
+        energy = result.total_energy()
+        assert total_power_range[0] * 5e-3 <= energy <= total_power_range[1] * 5e-3 * 1.01
+
+
+class TestWorkloadProfiles:
+    def test_step_profile_delays_heating(self, simulator):
+        profile = step_activity_profile({"core": 1.0, "cache": 1.0, "io": 1.0}, 5e-3)
+        result = simulator.simulate(
+            duration=15e-3, time_step=0.05e-3, activity_profile=profile
+        )
+        core = result.block_temperatures["core"]
+        times = result.times
+        before = core[np.searchsorted(times, 4.5e-3)]
+        after = core[-1]
+        # Idle phase: only leakage heats the die (a few Kelvin at a 45 degC
+        # sink); the workload step then adds several more Kelvin on top.
+        assert before - AMBIENT < 3.5
+        assert after - AMBIENT > (before - AMBIENT) + 3.0
+
+    def test_square_wave_produces_ripple(self, simulator):
+        profile = square_wave_activity_profile(4e-3, 0.5, ["core", "cache", "io"])
+        result = simulator.simulate(
+            duration=24e-3, time_step=0.05e-3, activity_profile=profile
+        )
+        core = result.block_temperatures["core"]
+        # Look at the second half (past the initial charge-up): the pulsed
+        # workload leaves a visible temperature ripple.
+        tail = core[len(core) // 2:]
+        assert tail.max() - tail.min() > 0.3
+        # And the mean sits between the idle and fully-on steady states.
+        assert AMBIENT < tail.mean() < simulator.engine.solve().peak_temperature
+
+    def test_negative_multiplier_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.simulate(
+                duration=1e-3, time_step=0.1e-3,
+                activity_profile=lambda t: {"core": -1.0},
+            )
+
+
+class TestValidation:
+    def test_invalid_durations_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.simulate(duration=0.0, time_step=1e-4)
+        with pytest.raises(ValueError):
+            simulator.simulate(duration=1e-3, time_step=0.0)
+        with pytest.raises(ValueError):
+            simulator.simulate(duration=1e-3, time_step=2e-3)
+
+    def test_invalid_ceiling_rejected(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.simulate(duration=1e-3, time_step=1e-4, max_temperature=300.0)
+
+    def test_profile_validation_helpers(self):
+        with pytest.raises(ValueError):
+            step_activity_profile({"core": 1.0}, -1.0)
+        with pytest.raises(ValueError):
+            square_wave_activity_profile(0.0, 0.5, ["core"])
+        with pytest.raises(ValueError):
+            square_wave_activity_profile(1.0, 1.5, ["core"])

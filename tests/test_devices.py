@@ -1,0 +1,98 @@
+"""Tests for repro.circuit.devices."""
+
+import pytest
+
+from repro.circuit.devices import MOSFET, BiasedDevice, auto_name, nmos, pmos
+
+
+class TestConstruction:
+    def test_nmos_helper(self):
+        device = nmos("MN1", 1e-6, gate_input="A")
+        assert device.is_nmos and not device.is_pmos
+        assert device.gate_input == "A"
+
+    def test_pmos_helper(self):
+        device = pmos("MP1", 2e-6)
+        assert device.is_pmos
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            nmos("MN1", 0.0)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            MOSFET(name="M1", device_type="nmos", width=1e-6, length=-1e-7)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            MOSFET(name="M1", device_type="finfet", width=1e-6)
+
+    def test_auto_name_unique(self):
+        assert auto_name("M") != auto_name("M")
+
+
+class TestConductionState:
+    def test_nmos_on_when_gate_high(self):
+        device = nmos("MN1", 1e-6)
+        assert device.is_on(1) and device.is_off(0)
+
+    def test_pmos_on_when_gate_low(self):
+        device = pmos("MP1", 1e-6)
+        assert device.is_on(0) and device.is_off(1)
+
+    def test_invalid_logic_value_rejected(self):
+        with pytest.raises(ValueError):
+            nmos("MN1", 1e-6).is_on(2)
+
+
+class TestTechnologyIntegration:
+    def test_effective_length_falls_back_to_technology(self, tech012):
+        device = nmos("MN1", 1e-6)
+        assert device.effective_length(tech012) == pytest.approx(
+            tech012.nmos.channel_length
+        )
+
+    def test_explicit_length_wins(self, tech012):
+        device = nmos("MN1", 1e-6, length=0.25e-6)
+        assert device.effective_length(tech012) == pytest.approx(0.25e-6)
+
+    def test_parameters_lookup(self, tech012):
+        assert nmos("MN1", 1e-6).parameters(tech012) is tech012.nmos
+        assert pmos("MP1", 1e-6).parameters(tech012) is tech012.pmos
+
+    def test_gate_voltage(self, tech012):
+        device = nmos("MN1", 1e-6)
+        assert device.gate_voltage(1, tech012.vdd) == pytest.approx(tech012.vdd)
+        assert device.gate_voltage(0, tech012.vdd) == pytest.approx(0.0)
+
+    def test_with_width_copy(self):
+        device = nmos("MN1", 1e-6)
+        wider = device.with_width(3e-6)
+        assert wider.width == pytest.approx(3e-6)
+        assert device.width == pytest.approx(1e-6)
+
+
+class TestBiasedDevice:
+    def test_nmos_magnitudes(self):
+        bias = BiasedDevice(
+            device=nmos("MN1", 1e-6),
+            gate_voltage=0.0,
+            drain_voltage=1.2,
+            source_voltage=0.1,
+            body_voltage=0.0,
+        )
+        assert bias.vgs == pytest.approx(-0.1)
+        assert bias.vds == pytest.approx(1.1)
+        assert bias.vsb == pytest.approx(0.1)
+
+    def test_pmos_magnitudes_mirror_nmos(self):
+        bias = BiasedDevice(
+            device=pmos("MP1", 1e-6),
+            gate_voltage=1.2,
+            drain_voltage=0.1,
+            source_voltage=1.1,
+            body_voltage=1.2,
+        )
+        assert bias.vgs == pytest.approx(-0.1)
+        assert bias.vds == pytest.approx(1.0)
+        assert bias.vsb == pytest.approx(0.1)

@@ -1,0 +1,176 @@
+"""Tests for repro.core.dynamic (switching, short-circuit, total power)."""
+
+import pytest
+
+from repro.circuit.cells import inverter, nand_gate
+from repro.circuit.netlist import Netlist, chain_of_inverters
+from repro.core.dynamic.short_circuit import (
+    TransitionEnvironment,
+    overlap_voltage,
+    short_circuit_charge,
+    short_circuit_fraction,
+    short_circuit_power,
+)
+from repro.core.dynamic.switching import (
+    SwitchingActivity,
+    gate_switching_power,
+    netlist_switching_power,
+    switching_energy_per_transition,
+    switching_power,
+)
+from repro.core.dynamic.total import PowerBreakdown, TotalPowerModel, ZERO_POWER
+
+
+class TestSwitchingPower:
+    def test_alpha_f_c_v_squared(self):
+        assert switching_power(0.1, 1e9, 10e-15, 1.2) == pytest.approx(
+            0.1 * 1e9 * 10e-15 * 1.44
+        )
+
+    def test_energy_per_transition(self):
+        assert switching_energy_per_transition(10e-15, 1.2) == pytest.approx(
+            10e-15 * 1.44
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            switching_power(1.5, 1e9, 1e-15, 1.2)
+        with pytest.raises(ValueError):
+            switching_power(0.1, 0.0, 1e-15, 1.2)
+        with pytest.raises(ValueError):
+            switching_power(0.1, 1e9, -1e-15, 1.2)
+        with pytest.raises(ValueError):
+            SwitchingActivity(activity=-0.1)
+
+    def test_gate_switching_power_scales_with_load(self, tech012):
+        gate = inverter(tech012)
+        light = gate_switching_power(gate, tech012, SwitchingActivity())
+        heavy = gate_switching_power(
+            gate, tech012, SwitchingActivity(external_load=50e-15)
+        )
+        assert heavy > light
+
+    def test_netlist_switching_power_per_instance(self, tech012):
+        netlist = chain_of_inverters(tech012, 4)
+        powers = netlist_switching_power(netlist, tech012)
+        assert len(powers) == 4
+        assert all(p > 0.0 for p in powers.values())
+
+    def test_netlist_switching_respects_overrides(self, tech012):
+        netlist = chain_of_inverters(tech012, 2)
+        overrides = {"U1": SwitchingActivity(activity=0.5)}
+        powers = netlist_switching_power(netlist, tech012, activities=overrides)
+        assert powers["U1"] == pytest.approx(5.0 * powers["U2"], rel=1e-9)
+
+
+class TestShortCircuit:
+    def test_overlap_voltage(self, tech012):
+        assert overlap_voltage(tech012) == pytest.approx(
+            tech012.vdd - tech012.nmos.vt0 - tech012.pmos.vt0
+        )
+
+    def test_charge_grows_with_transition_time(self, tech012):
+        gate = inverter(tech012)
+        slow = short_circuit_charge(
+            gate, tech012, TransitionEnvironment(input_transition_time=200e-12)
+        )
+        fast = short_circuit_charge(
+            gate, tech012, TransitionEnvironment(input_transition_time=20e-12)
+        )
+        assert slow > fast
+
+    def test_power_attenuated_by_load(self, tech012):
+        gate = inverter(tech012)
+        unloaded = short_circuit_power(
+            gate, tech012, TransitionEnvironment(input_transition_time=50e-12)
+        )
+        loaded = short_circuit_power(
+            gate, tech012,
+            TransitionEnvironment(input_transition_time=50e-12, load_capacitance=100e-15),
+        )
+        assert loaded < unloaded
+
+    def test_vanishes_without_overlap(self, tech012):
+        low_vdd = tech012.with_supply(0.5)  # below Vthn + Vthp
+        gate = inverter(low_vdd)
+        assert short_circuit_power(
+            gate, low_vdd, TransitionEnvironment(input_transition_time=50e-12)
+        ) == 0.0
+
+    def test_fraction_is_modest_for_equal_edges(self, tech012):
+        gate = inverter(tech012)
+        environment = TransitionEnvironment(
+            input_transition_time=50e-12, load_capacitance=0.0
+        )
+        fraction = short_circuit_fraction(gate, tech012, environment)
+        assert 0.0 < fraction < 0.6
+
+    def test_environment_validation(self):
+        with pytest.raises(ValueError):
+            TransitionEnvironment(input_transition_time=0.0)
+        with pytest.raises(ValueError):
+            TransitionEnvironment(input_transition_time=1e-12, activity=2.0)
+
+
+class TestPowerBreakdown:
+    def test_totals(self):
+        breakdown = PowerBreakdown(switching=1.0, short_circuit=0.2, static=0.8)
+        assert breakdown.dynamic == pytest.approx(1.2)
+        assert breakdown.total == pytest.approx(2.0)
+        assert breakdown.static_fraction == pytest.approx(0.4)
+
+    def test_addition(self):
+        a = PowerBreakdown(1.0, 0.1, 0.5)
+        b = PowerBreakdown(2.0, 0.2, 0.3)
+        c = a + b
+        assert c.switching == pytest.approx(3.0)
+        assert c.static == pytest.approx(0.8)
+
+    def test_zero_power_identity(self):
+        a = PowerBreakdown(1.0, 0.1, 0.5)
+        assert (a + ZERO_POWER).total == pytest.approx(a.total)
+        assert ZERO_POWER.static_fraction == 0.0
+
+
+class TestTotalPowerModel:
+    @pytest.fixture
+    def netlist(self, tech012):
+        netlist = Netlist("tiny", primary_inputs=("A", "B"))
+        netlist.add_instance(
+            "U1", nand_gate(tech012, 2), {"A": "A", "B": "B", "Z": "N1"}, block="core"
+        )
+        netlist.add_instance("U2", inverter(tech012), {"A": "N1", "Z": "OUT"}, block="core")
+        return netlist
+
+    def test_instance_breakdown_covers_all(self, tech012, netlist):
+        model = TotalPowerModel(tech012)
+        breakdowns = model.instance_breakdown(netlist, {"A": 0, "B": 1})
+        assert set(breakdowns) == {"U1", "U2"}
+        assert all(b.total > 0.0 for b in breakdowns.values())
+
+    def test_total_is_sum(self, tech012, netlist):
+        model = TotalPowerModel(tech012)
+        total = model.total(netlist, {"A": 0, "B": 1})
+        breakdowns = model.instance_breakdown(netlist, {"A": 0, "B": 1})
+        assert total.total == pytest.approx(
+            sum(b.total for b in breakdowns.values())
+        )
+
+    def test_static_grows_with_temperature_dynamic_does_not(self, tech012, netlist):
+        model = TotalPowerModel(tech012)
+        cold = model.total(netlist, {"A": 0, "B": 1}, temperature=298.15)
+        hot = model.total(netlist, {"A": 0, "B": 1}, temperature=398.15)
+        assert hot.static > 10.0 * cold.static
+        assert hot.switching == pytest.approx(cold.switching)
+
+    def test_block_breakdown(self, tech012, netlist):
+        model = TotalPowerModel(tech012)
+        blocks = model.block_breakdown(netlist, {"A": 1, "B": 1})
+        assert set(blocks) == {"core"}
+        assert blocks["core"].total == pytest.approx(
+            model.total(netlist, {"A": 1, "B": 1}).total
+        )
+
+    def test_invalid_transition_time_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            TotalPowerModel(tech012, default_transition_time=0.0)

@@ -1,0 +1,178 @@
+"""Cross-module integration tests.
+
+These tests exercise whole paper workflows end to end: analytical leakage
+against the numerical reference across cells and temperatures, the analytical
+chip thermal model against the finite-volume solver, the electro-thermal
+fixed point against a brute-force alternating solve, and the full
+netlist -> floorplan -> co-simulation pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import max_absolute_relative_error
+from repro.circuit.cells import nand_gate, nor_gate, standard_cell, standard_cell_names
+from repro.circuit.netlist import Netlist
+from repro.circuit.vectors import enumerate_vectors
+from repro.core.cosim import ElectroThermalEngine, NetlistBlockModel, block_models_from_powers
+from repro.core.leakage import CircuitLeakageModel, GateLeakageModel
+from repro.core.thermal import ChipThermalModel, DieGeometry, HeatSource
+from repro.floorplan import Block, Floorplan, three_block_floorplan
+from repro.spice import GateLeakageReference, StackDCSolver
+from repro.spice.gate_solver import netlist_total_leakage_reference
+from repro.thermalsim import FiniteVolumeThermalSolver, RectangularSource
+
+
+class TestLeakageModelVsReference:
+    def test_every_library_cell_fully_off_vectors(self, tech012):
+        """Analytical vs numerical leakage for all cells, all-OFF leaking nets."""
+        model = GateLeakageModel(tech012)
+        reference = GateLeakageReference(tech012)
+        for name in standard_cell_names():
+            gate = standard_cell(name, tech012)
+            for vector in enumerate_vectors(gate.inputs):
+                estimate = model.evaluate(gate, vector)
+                chains = estimate.chains
+                # Restrict the tight check to vectors whose leaking chains
+                # contain only OFF devices at full depth (the Fig. 8 regime).
+                leaking = gate.leakage_network(vector)
+                devices_off = all(
+                    device.is_off(vector[device.gate_input])
+                    for device in leaking.devices()
+                )
+                if not devices_off:
+                    continue
+                numeric = reference.off_current(gate, vector)
+                assert estimate.current == pytest.approx(numeric, rel=0.15), (
+                    f"{name} {vector}"
+                )
+
+    def test_temperature_sweep_tracks_reference(self, tech012):
+        from repro.circuit.stack import uniform_nmos_stack
+
+        model = GateLeakageModel(tech012)
+        solver = StackDCSolver(tech012)
+        stack = uniform_nmos_stack(3, 0.5e-6)
+        temperatures = [298.15, 323.15, 348.15, 373.15, 398.15]
+        analytic = [model.stack_off_current(stack, temperature=t) for t in temperatures]
+        numeric = [solver.off_current(stack, temperature=t) for t in temperatures]
+        assert max_absolute_relative_error(analytic, numeric) < 0.12
+
+    def test_netlist_level_total_matches_reference(self, tech012):
+        netlist = Netlist("mix", primary_inputs=("A", "B", "C", "D"))
+        netlist.add_instance("U1", nand_gate(tech012, 2), {"A": "A", "B": "B", "Z": "N1"})
+        netlist.add_instance("U2", nor_gate(tech012, 2), {"A": "C", "B": "D", "Z": "N2"})
+        netlist.add_instance("U3", nand_gate(tech012, 2), {"A": "N1", "B": "N2", "Z": "OUT"})
+        model = CircuitLeakageModel(tech012)
+        vector = {"A": 0, "B": 0, "C": 1, "D": 1}
+        analytic = model.total_power(netlist, vector)
+        numeric = netlist_total_leakage_reference(netlist, vector, tech012)
+        # Mixed ON/OFF chains are over-estimated by the collapse; circuit
+        # totals stay within a factor of ~1.5 of the exact solution.
+        assert analytic == pytest.approx(numeric, rel=0.6)
+        assert analytic >= numeric * 0.9
+
+
+class TestThermalModelVsFiniteVolume:
+    def test_three_block_map_matches_fdm(self):
+        """Analytical Eq. 20/21 + images vs the 3-D finite-volume solver."""
+        plan = three_block_floorplan()
+        powers = {"core": 0.25, "cache": 0.12, "io": 0.06}
+        chip = ChipThermalModel(plan.die, ambient_temperature=318.15, image_rings=1)
+        chip.add_sources(plan.to_heat_sources(powers))
+
+        fdm = FiniteVolumeThermalSolver(
+            die_width=plan.die.width,
+            die_length=plan.die.length,
+            die_thickness=plan.die.thickness,
+            nx=24, ny=24, nz=6,
+            ambient_temperature=318.15,
+        )
+        sources = [
+            RectangularSource(x=s.x, y=s.y, width=s.width, length=s.length,
+                              power=s.power, name=s.name)
+            for s in plan.to_heat_sources(powers)
+        ]
+        numeric = fdm.solve(sources)
+
+        for block in plan.blocks():
+            analytic_rise = chip.temperature_rise_at(block.x, block.y)
+            numeric_rise = numeric.rise_at(block.x, block.y)
+            # The block footprints (~0.3 mm) are comparable to the die
+            # thickness, the hardest regime for the truncated image series;
+            # the analytical estimate stays within a factor of two of the
+            # finite-volume reference and is conservative (never colder).
+            assert 0.8 * numeric_rise <= analytic_rise <= 2.0 * numeric_rise
+
+        # Both agree on which block is hottest.
+        analytic_ranking = sorted(
+            plan.block_names(),
+            key=lambda name: chip.temperature_rise_at(
+                plan.block(name).x, plan.block(name).y
+            ),
+        )
+        numeric_ranking = sorted(
+            plan.block_names(),
+            key=lambda name: numeric.rise_at(plan.block(name).x, plan.block(name).y),
+        )
+        assert analytic_ranking == numeric_ranking
+
+
+class TestElectroThermalFixedPoint:
+    def test_engine_matches_brute_force_alternation(self, tech012):
+        plan = three_block_floorplan()
+        models = block_models_from_powers(
+            tech012,
+            {"core": 0.2, "cache": 0.08, "io": 0.04},
+            {"core": 0.04, "cache": 0.015, "io": 0.008},
+        )
+        engine = ElectroThermalEngine(tech012, plan, models, ambient_temperature=318.15)
+        result = engine.solve(tolerance=1e-4, max_iterations=200)
+
+        # Brute force: alternate power evaluation and the full analytical
+        # thermal model (no reduced resistance matrix) until converged.
+        temperatures = {name: 318.15 for name in plan.block_names()}
+        for _ in range(200):
+            powers = {
+                name: models[name].total_power(temperatures[name])
+                for name in plan.block_names()
+            }
+            chip = ChipThermalModel(plan.die, ambient_temperature=318.15, image_rings=1)
+            chip.add_sources(plan.to_heat_sources(powers))
+            updated = {
+                name: chip.temperature_at(plan.block(name).x, plan.block(name).y)
+                for name in plan.block_names()
+            }
+            if max(abs(updated[n] - temperatures[n]) for n in temperatures) < 1e-4:
+                temperatures = updated
+                break
+            temperatures = updated
+
+        for name in plan.block_names():
+            assert result.block_temperatures[name] == pytest.approx(
+                temperatures[name], abs=0.05
+            )
+
+    def test_netlist_backed_blocks_full_pipeline(self, tech012):
+        """Gate-level netlist -> blocks -> electro-thermal fixed point."""
+        die = DieGeometry(width=0.4e-3, length=0.4e-3, thickness=0.3e-3)
+        plan = Floorplan(die)
+        plan.add_block(Block("logic", x=0.2e-3, y=0.2e-3, width=0.3e-3, length=0.3e-3))
+
+        netlist = Netlist("cluster", primary_inputs=("A", "B"))
+        netlist.add_instance(
+            "U1", nand_gate(tech012, 2), {"A": "A", "B": "B", "Z": "N1"}, block="logic"
+        )
+        netlist.add_instance(
+            "U2", nor_gate(tech012, 2), {"A": "N1", "B": "B", "Z": "OUT"}, block="logic"
+        )
+        block_model = NetlistBlockModel(
+            "logic", netlist, {"A": 0, "B": 1}, tech012
+        )
+        engine = ElectroThermalEngine(
+            tech012, plan, {"logic": block_model}, ambient_temperature=348.15
+        )
+        result = engine.solve()
+        assert result.converged
+        assert result.block_temperatures["logic"] > 348.15
+        assert result.total_power > 0.0

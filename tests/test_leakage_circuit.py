@@ -1,0 +1,112 @@
+"""Tests for repro.core.leakage.circuit_leakage."""
+
+import pytest
+
+from repro.circuit.cells import inverter, nand_gate, nor_gate
+from repro.circuit.netlist import Netlist, chain_of_inverters
+from repro.core.leakage.circuit_leakage import CircuitLeakageModel
+
+
+@pytest.fixture(scope="module")
+def model(tech012):
+    return CircuitLeakageModel(tech012)
+
+
+@pytest.fixture
+def blocked_netlist(tech012):
+    netlist = Netlist("blocked", primary_inputs=("A", "B", "C"))
+    netlist.add_instance(
+        "U1", nand_gate(tech012, 2), {"A": "A", "B": "B", "Z": "N1"}, block="alu"
+    )
+    netlist.add_instance(
+        "U2", nor_gate(tech012, 2), {"A": "N1", "B": "C", "Z": "N2"}, block="alu"
+    )
+    netlist.add_instance("U3", inverter(tech012), {"A": "N2", "Z": "OUT"}, block="io")
+    return netlist
+
+
+class TestAnalysis:
+    def test_total_is_sum_of_instances(self, model, blocked_netlist):
+        report = model.analyze(blocked_netlist, {"A": 0, "B": 1, "C": 0})
+        assert report.total_power == pytest.approx(
+            sum(e.power for e in report.instance_estimates.values())
+        )
+        assert report.total_current == pytest.approx(
+            sum(e.current for e in report.instance_estimates.values())
+        )
+
+    def test_block_power_partition(self, model, blocked_netlist):
+        report = model.analyze(blocked_netlist, {"A": 0, "B": 1, "C": 0})
+        assert set(report.block_power) == {"alu", "io"}
+        assert sum(report.block_power.values()) == pytest.approx(report.total_power)
+
+    def test_leakage_depends_on_input_vector(self, model, blocked_netlist):
+        low = model.total_power(blocked_netlist, {"A": 0, "B": 0, "C": 0})
+        high = model.total_power(blocked_netlist, {"A": 1, "B": 1, "C": 1})
+        assert low != pytest.approx(high, rel=1e-3)
+
+    def test_instances_sorted_by_power(self, model, blocked_netlist):
+        report = model.analyze(blocked_netlist, {"A": 1, "B": 0, "C": 1})
+        ordered = report.instances_sorted_by_power()
+        powers = [e.power for e in ordered]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_average_over_vectors(self, model, blocked_netlist):
+        vectors = {
+            "v0": {"A": 0, "B": 0, "C": 0},
+            "v1": {"A": 1, "B": 1, "C": 1},
+        }
+        average = model.average_total_power(blocked_netlist, vectors)
+        individual = [
+            model.total_power(blocked_netlist, vector) for vector in vectors.values()
+        ]
+        assert average == pytest.approx(sum(individual) / 2.0)
+
+    def test_average_requires_vectors(self, model, blocked_netlist):
+        with pytest.raises(ValueError):
+            model.average_total_power(blocked_netlist, {})
+
+
+class TestTemperatureHandling:
+    def test_uniform_temperature_scaling(self, model, blocked_netlist):
+        cold = model.total_power(blocked_netlist, {"A": 0, "B": 0, "C": 0}, 298.15)
+        hot = model.total_power(blocked_netlist, {"A": 0, "B": 0, "C": 0}, 398.15)
+        assert hot > 10.0 * cold
+
+    def test_per_block_temperatures(self, model, blocked_netlist, tech012):
+        uniform = model.analyze(
+            blocked_netlist, {"A": 0, "B": 0, "C": 0}, temperature=350.0
+        )
+        hot_alu = model.analyze(
+            blocked_netlist,
+            {"A": 0, "B": 0, "C": 0},
+            temperature={"alu": 350.0, "io": tech012.reference_temperature},
+        )
+        assert hot_alu.block_power["alu"] == pytest.approx(
+            uniform.block_power["alu"]
+        )
+        assert hot_alu.block_power["io"] < uniform.block_power["io"]
+
+    def test_unlisted_block_falls_back_to_reference(self, model, blocked_netlist, tech012):
+        report = model.analyze(
+            blocked_netlist, {"A": 0, "B": 0, "C": 0}, temperature={"alu": 360.0}
+        )
+        reference_report = model.analyze(
+            blocked_netlist, {"A": 0, "B": 0, "C": 0},
+            temperature=tech012.reference_temperature,
+        )
+        assert report.block_power["io"] == pytest.approx(
+            reference_report.block_power["io"]
+        )
+
+
+class TestScalesToLargerNetlists:
+    def test_inverter_chain_total_scales_with_depth(self, model, tech012):
+        shallow = model.total_power(chain_of_inverters(tech012, 10), {"IN": 0})
+        deep = model.total_power(chain_of_inverters(tech012, 40), {"IN": 0})
+        assert deep == pytest.approx(4.0 * shallow, rel=0.15)
+
+    def test_report_covers_every_instance(self, model, tech012):
+        netlist = chain_of_inverters(tech012, 25)
+        report = model.analyze(netlist, {"IN": 1})
+        assert len(report.instance_estimates) == 25

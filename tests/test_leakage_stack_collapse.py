@@ -1,0 +1,196 @@
+"""Tests for repro.core.leakage.stack_collapse (paper Eqs. 3–12)."""
+
+import math
+
+import pytest
+
+from repro.circuit.stack import nmos_stack_from_widths, uniform_nmos_stack
+from repro.core.leakage.stack_collapse import StackCollapser
+from repro.technology import thermal_voltage
+
+
+@pytest.fixture(scope="module")
+def collapser(tech012):
+    return StackCollapser(tech012)
+
+
+class TestBuildingBlocks:
+    def test_alpha_definition(self, collapser, tech012):
+        device = tech012.nmos
+        expected = device.n / (1.0 + device.body_effect + 2.0 * device.dibl)
+        assert collapser.alpha("nmos") == pytest.approx(expected)
+
+    def test_stacking_exponent_definition(self, collapser, tech012):
+        device = tech012.nmos
+        assert collapser.stacking_exponent("nmos") == pytest.approx(
+            1.0 + device.body_effect + device.dibl
+        )
+
+    def test_f_value_equal_widths_is_dibl_term(self, collapser, tech012):
+        device = tech012.nmos
+        vt = thermal_voltage(tech012.reference_temperature)
+        expected = device.dibl * tech012.vdd / (device.n * vt)
+        assert collapser.f_value(1e-6, 1e-6, "nmos") == pytest.approx(expected)
+
+    def test_f_value_monotone_in_width_ratio(self, collapser):
+        values = [
+            collapser.f_value(r * 1e-6, 1e-6, "nmos")
+            for r in (0.1, 0.5, 1.0, 2.0, 10.0)
+        ]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_f_value_rejects_bad_widths(self, collapser):
+        with pytest.raises(ValueError):
+            collapser.f_value(0.0, 1e-6, "nmos")
+
+
+class TestNodeVoltage:
+    def test_matches_strong_asymptote_for_wide_top(self, collapser):
+        # A top device 1000x wider drives f >> 1: Eq. (10) must approach
+        # the Eq. (7) asymptote.
+        unified = collapser.node_voltage(1000e-6, 1e-6, "nmos")
+        strong = collapser.node_voltage_strong(1000e-6, 1e-6, "nmos")
+        assert unified == pytest.approx(strong, rel=0.02)
+
+    def test_matches_weak_asymptote_for_narrow_top(self, collapser, tech012):
+        # A top device 10000x narrower drives f << 0: Eq. (10) must approach
+        # the Eq. (8) asymptote VT * exp(f).
+        unified = collapser.node_voltage(1e-10, 1e-6, "nmos")
+        weak = collapser.node_voltage_weak(1e-10, 1e-6, "nmos")
+        assert unified == pytest.approx(weak, rel=0.02)
+
+    def test_monotone_in_width_ratio(self, collapser):
+        voltages = [
+            collapser.node_voltage(r * 1e-6, 1e-6, "nmos")
+            for r in (0.01, 0.1, 1.0, 10.0, 100.0)
+        ]
+        assert all(b > a for a, b in zip(voltages, voltages[1:]))
+
+    def test_always_positive(self, collapser):
+        assert collapser.node_voltage(1e-9, 1e-6, "nmos") > 0.0
+
+    @pytest.mark.parametrize("ratio", [0.05, 0.2, 1.0, 5.0, 25.0])
+    def test_tracks_exact_solution_fig3(self, collapser, ratio):
+        # The Fig. 3 claim: Eq. (10) is a good approximation to the exact
+        # (numerically solved) node voltage across width ratios.
+        lower = 1e-6
+        upper = ratio * lower
+        approx = collapser.node_voltage(upper, lower, "nmos")
+        exact = collapser.exact_pair_node_voltage(upper, lower, "nmos")
+        assert approx == pytest.approx(exact, rel=0.10, abs=2e-3)
+
+    def test_exact_solver_balances_currents(self, collapser, tech012):
+        from repro.core.leakage.subthreshold import SubthresholdBias, subthreshold_current
+
+        node = collapser.exact_pair_node_voltage(2e-6, 1e-6, "nmos")
+        device = tech012.nmos
+        lower = subthreshold_current(
+            device, 1e-6,
+            SubthresholdBias(vgs=0.0, vds=node, vsb=0.0, vdd=tech012.vdd),
+            tech012.reference_temperature,
+        )
+        upper = subthreshold_current(
+            device, 2e-6,
+            SubthresholdBias(
+                vgs=-node, vds=tech012.vdd - node, vsb=node, vdd=tech012.vdd
+            ),
+            tech012.reference_temperature,
+        )
+        assert lower == pytest.approx(upper, rel=1e-6)
+
+
+class TestPairCollapse:
+    def test_equivalent_width_formula(self, collapser, tech012):
+        pair = collapser.collapse_pair(2e-6, 1e-6, "nmos")
+        device = tech012.nmos
+        vt = thermal_voltage(tech012.reference_temperature)
+        expected = 2e-6 * math.exp(
+            -(1.0 + device.body_effect + device.dibl)
+            * pair.node_voltage / (device.n * vt)
+        )
+        assert pair.equivalent_width == pytest.approx(expected)
+
+    def test_equivalent_width_below_upper_width(self, collapser):
+        pair = collapser.collapse_pair(2e-6, 1e-6, "nmos")
+        assert 0.0 < pair.equivalent_width < 2e-6
+
+
+class TestChainCollapse:
+    def test_single_device_is_identity(self, collapser):
+        result = collapser.collapse_chain_widths([1e-6], "nmos")
+        assert result.effective_width == pytest.approx(1e-6)
+        assert result.stack_depth == 1
+        assert result.node_voltages == ()
+
+    def test_effective_width_decreases_with_depth(self, collapser):
+        widths = [
+            collapser.collapse_chain_widths([1e-6] * n, "nmos").effective_width
+            for n in (1, 2, 3, 4, 5)
+        ]
+        assert all(b < a for a, b in zip(widths, widths[1:]))
+
+    def test_node_voltage_sum_is_top_node(self, collapser):
+        result = collapser.collapse_chain_widths([1e-6, 1e-6, 1e-6], "nmos")
+        assert result.top_node_voltage == pytest.approx(sum(result.node_voltages))
+        assert len(result.node_voltages) == 2
+
+    def test_final_width_consistent_with_eq11(self, collapser, tech012):
+        # Eq. (11): W_eff = W_top * exp(-(1+gamma'+sigma) * V_{N-1} / (n VT)).
+        result = collapser.collapse_chain_widths([1e-6, 1e-6, 1e-6], "nmos")
+        device = tech012.nmos
+        vt = thermal_voltage(tech012.reference_temperature)
+        expected = 1e-6 * math.exp(
+            -(1.0 + device.body_effect + device.dibl)
+            * result.top_node_voltage / (device.n * vt)
+        )
+        assert result.effective_width == pytest.approx(expected, rel=1e-9)
+
+    def test_stacking_factor_definition(self, collapser):
+        result = collapser.collapse_chain_widths([2e-6, 1e-6], "nmos")
+        assert result.stacking_factor == pytest.approx(
+            result.effective_width / 1e-6
+        )
+
+    def test_empty_chain_rejected(self, collapser):
+        with pytest.raises(ValueError):
+            collapser.collapse_chain_widths([], "nmos")
+
+    def test_negative_width_rejected(self, collapser):
+        with pytest.raises(ValueError):
+            collapser.collapse_chain_widths([1e-6, -1e-6], "nmos")
+
+
+class TestStackCollapse:
+    def test_on_devices_excluded(self, collapser):
+        stack = uniform_nmos_stack(3, 1e-6)
+        mixed = collapser.collapse_stack(stack, (0, 1, 0))
+        pair = collapser.collapse_chain_widths([1e-6, 1e-6], "nmos")
+        assert mixed.effective_width == pytest.approx(pair.effective_width)
+
+    def test_all_on_chain_rejected(self, collapser):
+        stack = uniform_nmos_stack(2, 1e-6)
+        with pytest.raises(ValueError):
+            collapser.collapse_stack(stack, (1, 1))
+
+    def test_default_vector_is_all_off(self, collapser):
+        stack = nmos_stack_from_widths([1e-6, 2e-6])
+        default = collapser.collapse_stack(stack)
+        explicit = collapser.collapse_stack(stack, (0, 0))
+        assert default.effective_width == pytest.approx(explicit.effective_width)
+
+    def test_parallel_chain_widths_add(self, collapser):
+        a = collapser.collapse_chain_widths([1e-6, 1e-6], "nmos")
+        b = collapser.collapse_chain_widths([2e-6, 2e-6], "nmos")
+        total = collapser.effective_width_of_parallel_chains([a, b])
+        assert total == pytest.approx(a.effective_width + b.effective_width)
+
+    def test_parallel_chains_must_share_polarity(self, collapser):
+        a = collapser.collapse_chain_widths([1e-6], "nmos")
+        b = collapser.collapse_chain_widths([1e-6], "pmos")
+        with pytest.raises(ValueError):
+            collapser.effective_width_of_parallel_chains([a, b])
+
+    def test_temperature_raises_node_voltages(self, collapser):
+        cold = collapser.collapse_chain_widths([1e-6, 1e-6], "nmos", temperature=298.15)
+        hot = collapser.collapse_chain_widths([1e-6, 1e-6], "nmos", temperature=398.15)
+        assert hot.top_node_voltage > cold.top_node_voltage

@@ -1,0 +1,173 @@
+"""Tests for repro.core.leakage.subthreshold (paper Eqs. 1–2, 13)."""
+
+import math
+
+import pytest
+
+from repro.core.leakage.subthreshold import (
+    SubthresholdBias,
+    effective_width_off_current,
+    leakage_temperature_slope,
+    single_device_off_current,
+    subthreshold_current,
+    threshold_voltage,
+)
+from repro.technology import thermal_voltage
+
+
+class TestBiasValidation:
+    def test_defaults(self):
+        bias = SubthresholdBias()
+        assert bias.temperature > 0.0
+
+    def test_bad_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            SubthresholdBias(temperature=-1.0)
+
+    def test_bad_vdd_rejected(self):
+        with pytest.raises(ValueError):
+            SubthresholdBias(vdd=0.0)
+
+
+class TestThresholdVoltage:
+    def test_matches_device_parameters(self, tech012):
+        bias = SubthresholdBias(vds=1.2, vsb=0.1, vdd=1.2, temperature=358.15)
+        expected = tech012.nmos.threshold_voltage(
+            vsb=0.1, vds=1.2, vdd=1.2, temperature=358.15,
+            reference_temperature=tech012.reference_temperature,
+        )
+        assert threshold_voltage(
+            tech012.nmos, bias, tech012.reference_temperature
+        ) == pytest.approx(expected)
+
+
+class TestSubthresholdCurrent:
+    def test_linear_in_width(self, tech012):
+        bias = SubthresholdBias(vds=tech012.vdd, vdd=tech012.vdd)
+        one = subthreshold_current(tech012.nmos, 1e-6, bias, tech012.reference_temperature)
+        three = subthreshold_current(tech012.nmos, 3e-6, bias, tech012.reference_temperature)
+        assert three == pytest.approx(3.0 * one)
+
+    def test_exponential_suppression_by_source_voltage(self, tech012):
+        # Raising the source by n*VT*(1 + gamma' + sigma) suppresses the
+        # current by e (the stacking-effect mechanism).
+        vt = thermal_voltage(298.15)
+        device = tech012.nmos
+        base_bias = SubthresholdBias(vgs=0.0, vds=tech012.vdd, vsb=0.0, vdd=tech012.vdd)
+        step = device.n * vt / (1.0 + device.body_effect + device.dibl)
+        raised_bias = SubthresholdBias(
+            vgs=-step, vds=tech012.vdd - step, vsb=step, vdd=tech012.vdd
+        )
+        base = subthreshold_current(
+            device, 1e-6, base_bias, tech012.reference_temperature,
+            include_drain_factor=False,
+        )
+        raised = subthreshold_current(
+            device, 1e-6, raised_bias, tech012.reference_temperature,
+            include_drain_factor=False,
+        )
+        assert base / raised == pytest.approx(math.e, rel=1e-6)
+
+    def test_drain_factor_is_exactly_the_saturation_term(self, tech012):
+        vt = thermal_voltage(298.15)
+        for vds in (0.01, 0.05, tech012.vdd):
+            bias = SubthresholdBias(vds=vds, vdd=tech012.vdd)
+            with_factor = subthreshold_current(
+                tech012.nmos, 1e-6, bias, tech012.reference_temperature
+            )
+            without = subthreshold_current(
+                tech012.nmos, 1e-6, bias, tech012.reference_temperature,
+                include_drain_factor=False,
+            )
+            assert with_factor / without == pytest.approx(
+                1.0 - math.exp(-vds / vt), rel=1e-9
+            )
+
+    def test_drain_factor_negligible_at_full_supply(self, tech012):
+        bias = SubthresholdBias(vds=tech012.vdd, vdd=tech012.vdd)
+        with_factor = subthreshold_current(
+            tech012.nmos, 1e-6, bias, tech012.reference_temperature
+        )
+        without = subthreshold_current(
+            tech012.nmos, 1e-6, bias, tech012.reference_temperature,
+            include_drain_factor=False,
+        )
+        assert with_factor == pytest.approx(without, rel=1e-6)
+
+    def test_explicit_length_override(self, tech012):
+        bias = SubthresholdBias(vds=tech012.vdd, vdd=tech012.vdd)
+        nominal = subthreshold_current(
+            tech012.nmos, 1e-6, bias, tech012.reference_temperature
+        )
+        double_length = subthreshold_current(
+            tech012.nmos, 1e-6, bias, tech012.reference_temperature,
+            length=2.0 * tech012.nmos.channel_length,
+        )
+        assert double_length == pytest.approx(0.5 * nominal)
+
+    def test_invalid_width_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            subthreshold_current(
+                tech012.nmos, 0.0, SubthresholdBias(), tech012.reference_temperature
+            )
+
+
+class TestOffCurrent:
+    def test_single_device_off_current_positive(self, tech012):
+        current = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, 298.15, tech012.reference_temperature
+        )
+        assert current > 0.0
+
+    def test_grows_exponentially_with_temperature(self, tech012):
+        cold = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, 298.15, tech012.reference_temperature
+        )
+        hot = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, 398.15, tech012.reference_temperature
+        )
+        assert hot / cold > 20.0
+
+    def test_effective_width_wrapper(self, tech012):
+        direct = single_device_off_current(
+            tech012.nmos, 2.5e-6, tech012.vdd, tech012.reference_temperature,
+            tech012.reference_temperature,
+        )
+        wrapped = effective_width_off_current(tech012, "nmos", 2.5e-6)
+        assert wrapped == pytest.approx(direct)
+
+    def test_effective_width_rejects_non_positive(self, tech012):
+        with pytest.raises(ValueError):
+            effective_width_off_current(tech012, "nmos", 0.0)
+
+    def test_forward_body_bias_increases_leakage(self, tech012):
+        nominal = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, 298.15, tech012.reference_temperature,
+            body_voltage=0.0,
+        )
+        forward = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, 298.15, tech012.reference_temperature,
+            body_voltage=0.2,
+        )
+        assert forward > nominal
+
+
+class TestTemperatureSlope:
+    def test_slope_predicts_finite_difference(self, tech012):
+        slope = leakage_temperature_slope(tech012, "nmos", 330.0)
+        delta = 0.5
+        low = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, 330.0 - delta, tech012.reference_temperature
+        )
+        high = single_device_off_current(
+            tech012.nmos, 1e-6, tech012.vdd, 330.0 + delta, tech012.reference_temperature
+        )
+        numeric = (math.log(high) - math.log(low)) / (2.0 * delta)
+        assert slope == pytest.approx(numeric, rel=0.02)
+
+    def test_slope_is_positive(self, tech012):
+        assert leakage_temperature_slope(tech012, "pmos") > 0.0
+
+    def test_bad_temperature_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            leakage_temperature_slope(tech012, "nmos", temperature=-5.0)

@@ -1,0 +1,78 @@
+"""Tests for repro.technology.materials."""
+
+import pytest
+
+from repro.technology.materials import (
+    ALUMINIUM,
+    COPPER,
+    SILICON,
+    SILICON_DIOXIDE,
+    Material,
+    available_materials,
+    get_material,
+)
+
+
+class TestMaterialValidation:
+    def test_negative_conductivity_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", -1.0, 1000.0, 700.0)
+
+    def test_zero_density_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", 100.0, 0.0, 700.0)
+
+    def test_zero_specific_heat_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", 100.0, 1000.0, 0.0)
+
+
+class TestConductivityTemperatureDependence:
+    def test_silicon_reference_value(self):
+        assert SILICON.conductivity_at(300.0) == pytest.approx(148.0)
+
+    def test_silicon_conductivity_drops_when_hot(self):
+        assert SILICON.conductivity_at(400.0) < SILICON.conductivity_at(300.0)
+
+    def test_oxide_conductivity_is_temperature_independent(self):
+        assert SILICON_DIOXIDE.conductivity_at(400.0) == pytest.approx(
+            SILICON_DIOXIDE.conductivity_at(300.0)
+        )
+
+    def test_power_law_exponent(self):
+        ratio = SILICON.conductivity_at(330.0) / SILICON.conductivity_at(300.0)
+        assert ratio == pytest.approx((330.0 / 300.0) ** (-1.3), rel=1e-12)
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            SILICON.conductivity_at(0.0)
+
+
+class TestDerivedQuantities:
+    def test_volumetric_heat_capacity(self):
+        assert SILICON.volumetric_heat_capacity == pytest.approx(2330.0 * 700.0)
+
+    def test_diffusivity_definition(self):
+        expected = SILICON.conductivity_at(300.0) / SILICON.volumetric_heat_capacity
+        assert SILICON.diffusivity(300.0) == pytest.approx(expected)
+
+    def test_copper_conducts_better_than_aluminium(self):
+        assert COPPER.thermal_conductivity > ALUMINIUM.thermal_conductivity
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_material("silicon") is SILICON
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_material("  Silicon ") is SILICON
+
+    def test_unknown_material_raises(self):
+        with pytest.raises(KeyError):
+            get_material("unobtainium")
+
+    def test_available_materials_contains_core_set(self):
+        names = available_materials()
+        assert "silicon" in names
+        assert "copper" in names
+        assert len(names) >= 5

@@ -1,0 +1,164 @@
+"""Tests for repro.measurement (simulated self-heating bench, Figs. 9-10)."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.calibration import TemperatureCalibration
+from repro.measurement.instruments import (
+    Oscilloscope,
+    PulseGenerator,
+    SenseResistor,
+    WaveformTrace,
+)
+from repro.measurement.selfheating import (
+    DeviceUnderTest,
+    SelfHeatingBench,
+    default_test_devices,
+)
+
+
+@pytest.fixture(scope="module")
+def bench(tech035):
+    return SelfHeatingBench(tech035)
+
+
+@pytest.fixture(scope="module")
+def device(tech035):
+    return default_test_devices(tech035)[1]  # 10 um wide nMOS
+
+
+class TestInstruments:
+    def test_waveform_trace_basic(self):
+        trace = WaveformTrace(
+            times=np.array([0.0, 1.0, 2.0]), values=np.array([1.0, 2.0, 3.0])
+        )
+        assert trace.duration == pytest.approx(2.0)
+        assert trace.sample_period == pytest.approx(1.0)
+        assert trace.mean() == pytest.approx(2.0)
+        assert trace.steady_state_value(0.34) == pytest.approx(3.0)
+
+    def test_waveform_window(self):
+        trace = WaveformTrace(times=np.linspace(0, 9, 10), values=np.arange(10.0))
+        window = trace.window(2.0, 5.0)
+        assert window.times[0] == pytest.approx(2.0)
+        assert window.times[-1] == pytest.approx(5.0)
+
+    def test_waveform_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WaveformTrace(times=np.array([0.0, 1.0]), values=np.array([1.0]))
+
+    def test_pulse_generator_waveform(self):
+        pulse = PulseGenerator(frequency=3.0, duty_cycle=0.5, high_level=3.3)
+        trace = pulse.waveform(duration=1.0, samples_per_period=100)
+        assert trace.values.max() == pytest.approx(3.3)
+        assert trace.values.min() == pytest.approx(0.0)
+        on_fraction = float((trace.values > 0).mean())
+        assert on_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_pulse_generator_validation(self):
+        with pytest.raises(ValueError):
+            PulseGenerator(frequency=0.0)
+        with pytest.raises(ValueError):
+            PulseGenerator(duty_cycle=1.5)
+
+    def test_sense_resistor(self):
+        resistor = SenseResistor(resistance=10.0)
+        assert resistor.voltage(np.array([1e-3]))[0] == pytest.approx(1e-2)
+        with pytest.raises(ValueError):
+            SenseResistor(resistance=0.0)
+
+    def test_oscilloscope_noise_is_reproducible(self):
+        scope = Oscilloscope(noise_rms=1e-3, seed=42)
+        times = np.linspace(0, 1, 100)
+        values = np.ones(100)
+        first = scope.capture(times, values).values
+        second = scope.capture(times, values).values
+        assert np.allclose(first, second)
+        assert not np.allclose(first, values)  # noise actually added
+
+    def test_oscilloscope_quantisation(self):
+        scope = Oscilloscope(noise_rms=0.0, vertical_resolution=0.5)
+        trace = scope.capture(np.array([0.0, 1.0]), np.array([0.26, 0.74]))
+        assert trace.values[0] == pytest.approx(0.5)
+        assert trace.values[1] == pytest.approx(0.5)
+
+
+class TestCalibration:
+    def test_linear_fit(self):
+        calibration = TemperatureCalibration.from_points(
+            {30.0: 1.00, 35.0: 0.99, 40.0: 0.98}
+        )
+        assert calibration.slope == pytest.approx(-0.002, rel=1e-6)
+        assert calibration.voltage_to_temperature(0.99) == pytest.approx(35.0, abs=1e-6)
+        assert calibration.temperature_to_voltage(30.0) == pytest.approx(1.00, abs=1e-9)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            TemperatureCalibration.from_points({30.0: 1.0})
+
+    def test_voltage_drop_conversion(self):
+        calibration = TemperatureCalibration.from_points({30.0: 1.0, 40.0: 0.9})
+        assert calibration.voltage_drop_to_temperature_rise(-0.05) == pytest.approx(5.0)
+
+
+class TestDeviceUnderTest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceUnderTest("bad", width=0.0, length=1e-6)
+        with pytest.raises(ValueError):
+            DeviceUnderTest("bad", width=1e-6, length=1e-6, temperature_coefficient=0.01)
+
+    def test_default_devices_span_widths(self, tech035):
+        devices = default_test_devices(tech035)
+        assert len(devices) == 4
+        widths = [d.width for d in devices]
+        assert widths == sorted(widths)
+        assert widths[-1] / widths[0] == pytest.approx(8.0)
+
+
+class TestBench:
+    def test_trace_shows_exponential_heating(self, bench, device):
+        record = bench.simulate(device, ambient_celsius=30.0)
+        times, rise = bench.extract_on_transient(record, bench.calibrate(device))
+        assert rise[0] == pytest.approx(0.0, abs=1.0)
+        assert rise[-1] > 3.0  # visible self-heating by the end of the pulse
+        # Exponential shape: the first half rises more than the second half.
+        half = len(rise) // 2
+        assert (rise[half] - rise[0]) > (rise[-1] - rise[half])
+
+    def test_hotter_ambient_lowers_initial_voltage(self, bench, device):
+        cold = bench.simulate(device, ambient_celsius=30.0).initial_on_voltage()
+        hot = bench.simulate(device, ambient_celsius=40.0).initial_on_voltage()
+        assert hot < cold
+
+    def test_calibration_recovers_ambient_spacing(self, bench, device):
+        calibration = bench.calibrate(device, ambients_celsius=(30.0, 35.0, 40.0))
+        assert calibration.slope < 0.0
+        assert calibration.residual < 5e-3
+
+    def test_measured_rth_matches_analytical_model(self, bench, device):
+        measurement = bench.measure_thermal_resistance(device)
+        assert measurement.resistance > 0.0
+        # Fig. 10: model and measurement agree well (here within 20%).
+        assert abs(measurement.relative_error) < 0.2
+
+    def test_rth_decreases_with_device_width(self, bench, tech035):
+        devices = default_test_devices(tech035)
+        resistances = [
+            bench.measure_thermal_resistance(device).resistance for device in devices
+        ]
+        assert all(b < a for a, b in zip(resistances, resistances[1:]))
+
+    def test_average_on_power_positive(self, bench, device):
+        record = bench.simulate(device, ambient_celsius=30.0)
+        assert record.average_on_power() > 0.0
+
+    def test_time_constant_extraction(self, bench, device):
+        measurement = bench.measure_thermal_resistance(device)
+        assert measurement.time_constant == pytest.approx(
+            bench.response_time_constant, rel=0.3
+        )
+
+    def test_invalid_time_constant_rejected(self, tech035):
+        with pytest.raises(ValueError):
+            SelfHeatingBench(tech035, response_time_constant=0.0)

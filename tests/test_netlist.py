@@ -1,0 +1,121 @@
+"""Tests for repro.circuit.netlist."""
+
+import pytest
+
+from repro.circuit.cells import inverter, nand_gate, nor_gate
+from repro.circuit.netlist import Netlist, chain_of_inverters
+
+
+@pytest.fixture
+def small_netlist(tech012):
+    """A 2-level netlist: Z = NOT(NAND(A, B) NOR C) structure.
+
+    U1: N1 = NAND2(A, B)
+    U2: N2 = NOR2(N1, C)
+    U3: OUT = INV(N2)
+    """
+    netlist = Netlist("small", primary_inputs=("A", "B", "C"))
+    netlist.add_instance(
+        "U1", nand_gate(tech012, 2), {"A": "A", "B": "B", "Z": "N1"}, block="left"
+    )
+    netlist.add_instance(
+        "U2", nor_gate(tech012, 2), {"A": "N1", "B": "C", "Z": "N2"}, block="right"
+    )
+    netlist.add_instance("U3", inverter(tech012), {"A": "N2", "Z": "OUT"}, block="right")
+    return netlist
+
+
+class TestConstruction:
+    def test_instance_count_and_devices(self, small_netlist):
+        assert len(small_netlist) == 3
+        assert small_netlist.device_count() == 4 + 4 + 2
+
+    def test_duplicate_instance_rejected(self, small_netlist, tech012):
+        with pytest.raises(ValueError):
+            small_netlist.add_instance("U1", inverter(tech012), {"A": "A", "Z": "X"})
+
+    def test_duplicate_driver_rejected(self, small_netlist, tech012):
+        with pytest.raises(ValueError):
+            small_netlist.add_instance("U9", inverter(tech012), {"A": "A", "Z": "N1"})
+
+    def test_driving_primary_input_rejected(self, small_netlist, tech012):
+        with pytest.raises(ValueError):
+            small_netlist.add_instance("U9", inverter(tech012), {"A": "N1", "Z": "A"})
+
+    def test_unconnected_pin_rejected(self, tech012):
+        netlist = Netlist("bad", primary_inputs=("A", "B"))
+        with pytest.raises(ValueError):
+            netlist.add_instance("U1", nand_gate(tech012, 2), {"A": "A", "Z": "N1"})
+
+    def test_unknown_pin_rejected(self, tech012):
+        netlist = Netlist("bad", primary_inputs=("A",))
+        with pytest.raises(ValueError):
+            netlist.add_instance(
+                "U1", inverter(tech012), {"A": "A", "Q": "N1", "Z": "N2"}
+            )
+
+    def test_nets_and_outputs(self, small_netlist):
+        assert set(small_netlist.nets()) == {"A", "B", "C", "N1", "N2", "OUT"}
+        assert small_netlist.primary_outputs() == ("OUT",)
+
+
+class TestEvaluation:
+    def test_topological_order_respects_dependencies(self, small_netlist):
+        order = [inst.name for inst in small_netlist.topological_order()]
+        assert order.index("U1") < order.index("U2") < order.index("U3")
+
+    @pytest.mark.parametrize(
+        "a,b,c,expected",
+        [(0, 0, 0, 1), (1, 1, 0, 0), (1, 1, 1, 1), (0, 1, 1, 1)],
+    )
+    def test_logic_evaluation(self, small_netlist, a, b, c, expected):
+        # OUT = NOT(NOR(NAND(A, B), C)) = NAND(A, B) OR C.
+        values = small_netlist.evaluate({"A": a, "B": b, "C": c})
+        assert values["OUT"] == expected
+        assert values["N1"] == (0 if (a and b) else 1)
+
+    def test_missing_primary_input_rejected(self, small_netlist):
+        with pytest.raises(KeyError):
+            small_netlist.evaluate({"A": 1, "B": 0})
+
+    def test_instance_input_vectors(self, small_netlist):
+        vectors = small_netlist.instance_input_vectors({"A": 1, "B": 1, "C": 0})
+        assert vectors["U1"] == {"A": 1, "B": 1}
+        assert vectors["U2"] == {"A": 0, "B": 0}
+        assert vectors["U3"] == {"A": 1}
+
+    def test_undriven_net_detected(self, tech012):
+        netlist = Netlist("bad", primary_inputs=("A",))
+        netlist.add_instance("U1", nand_gate(tech012, 2), {"A": "A", "B": "QQ", "Z": "N1"})
+        with pytest.raises(ValueError, match="undriven"):
+            netlist.topological_order()
+
+    def test_combinational_loop_detected(self, tech012):
+        netlist = Netlist("loop", primary_inputs=("A",))
+        netlist.add_instance("U1", nand_gate(tech012, 2), {"A": "A", "B": "N2", "Z": "N1"})
+        netlist.add_instance("U2", inverter(tech012), {"A": "N1", "Z": "N2"})
+        with pytest.raises(ValueError, match="loop"):
+            netlist.topological_order()
+
+
+class TestBlocks:
+    def test_blocks_listed(self, small_netlist):
+        assert small_netlist.blocks() == ("left", "right")
+
+    def test_instances_in_block(self, small_netlist):
+        right = small_netlist.instances_in_block("right")
+        assert {inst.name for inst in right} == {"U2", "U3"}
+
+
+class TestInverterChain:
+    def test_chain_depth_and_logic(self, tech012):
+        chain = chain_of_inverters(tech012, 5)
+        assert len(chain) == 5
+        values = chain.evaluate({"IN": 1})
+        assert values["N5"] == 0  # odd number of inversions
+        values = chain.evaluate({"IN": 0})
+        assert values["N5"] == 1
+
+    def test_bad_depth_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            chain_of_inverters(tech012, 0)

@@ -1,0 +1,92 @@
+"""Tests for repro.technology.nodes."""
+
+import pytest
+
+from repro.technology import microns
+from repro.technology.nodes import (
+    all_technologies,
+    cmos_012um,
+    cmos_035um,
+    make_technology,
+    node_names,
+)
+from repro.technology.scaling import device_off_current
+
+
+class TestNodeCatalogue:
+    def test_node_list_is_ordered_old_to_new(self):
+        names = node_names()
+        assert names[0] == "0.8um"
+        assert names[-1] == "25nm"
+        assert "0.12um" in names and "0.35um" in names
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            make_technology("3nm")
+
+    def test_all_technologies_covers_every_node(self):
+        technologies = all_technologies()
+        assert set(technologies) == set(node_names())
+
+
+class TestNodeParameters:
+    def test_012um_matches_paper_setup(self):
+        tech = cmos_012um()
+        assert tech.feature_size == pytest.approx(microns(0.12))
+        assert tech.vdd == pytest.approx(1.2)
+        assert tech.nmos.channel_length == pytest.approx(microns(0.12))
+
+    def test_035um_supply(self):
+        tech = cmos_035um()
+        assert tech.vdd == pytest.approx(3.3)
+
+    def test_supply_voltage_decreases_with_scaling(self):
+        supplies = [make_technology(name).vdd for name in node_names()]
+        assert all(b <= a for a, b in zip(supplies, supplies[1:]))
+
+    def test_threshold_voltage_decreases_with_scaling(self):
+        thresholds = [make_technology(name).nmos.vt0 for name in node_names()]
+        assert all(b <= a for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_ambient_temperature_follows_argument(self):
+        tech = make_technology("0.18um", ambient_celsius=85.0)
+        assert tech.thermal.ambient_temperature == pytest.approx(273.15 + 85.0)
+
+
+class TestOffCurrentCalibration:
+    @pytest.mark.parametrize("name", ["0.35um", "0.18um", "0.12um", "70nm", "25nm"])
+    def test_nmos_off_current_density_matches_target(self, name):
+        tech = make_technology(name)
+        target = tech.metadata["ioff_density_per_um"]
+        current = device_off_current(
+            tech.nmos, microns(1.0), tech.vdd, tech.reference_temperature,
+            tech.reference_temperature,
+        )
+        # The calibration drops the (1 - exp(-Vdd/VT)) factor, which is < 1%.
+        assert current == pytest.approx(target, rel=0.02)
+
+    def test_pmos_leaks_less_than_nmos(self):
+        tech = cmos_012um()
+        nmos_current = device_off_current(
+            tech.nmos, microns(1.0), tech.vdd, tech.reference_temperature,
+            tech.reference_temperature,
+        )
+        pmos_current = device_off_current(
+            tech.pmos, microns(1.0), tech.vdd, tech.reference_temperature,
+            tech.reference_temperature,
+        )
+        assert pmos_current < nmos_current
+
+    def test_leakage_density_grows_with_scaling(self):
+        densities = []
+        for name in node_names():
+            tech = make_technology(name)
+            densities.append(
+                device_off_current(
+                    tech.nmos, microns(1.0), tech.vdd, tech.reference_temperature,
+                    tech.reference_temperature,
+                )
+            )
+        assert all(b > a for a, b in zip(densities, densities[1:]))
+        # The sweep spans many orders of magnitude (0.8um to 25nm).
+        assert densities[-1] / densities[0] > 1e5

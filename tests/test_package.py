@@ -1,0 +1,45 @@
+"""Public-API smoke tests for the top-level package."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        # The snippet from the package docstring must run as written.
+        tech = repro.cmos_012um()
+        gate = repro.nand_gate(tech, fan_in=2)
+        model = repro.GateLeakageModel(tech)
+        worst = model.worst_case_vector(gate)
+        assert worst.current > 0.0
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.circuit
+        import repro.core
+        import repro.floorplan
+        import repro.measurement
+        import repro.reporting
+        import repro.spice
+        import repro.technology
+        import repro.thermalsim
+
+        assert repro.core.leakage is not None
+        assert repro.core.thermal is not None
+
+    def test_key_types_exported(self):
+        assert repro.TechnologyParameters is not None
+        assert repro.ElectroThermalEngine is not None
+        assert repro.ChipThermalModel is not None
+        assert repro.StackDCSolver is not None

@@ -1,0 +1,144 @@
+"""Tests for repro.technology.parameters."""
+
+import pytest
+
+from repro.technology import REFERENCE_TEMPERATURE_K, thermal_voltage
+from repro.technology.parameters import (
+    DeviceParameters,
+    TechnologyParameters,
+    ThermalParameters,
+)
+
+
+def make_device(**overrides):
+    base = dict(
+        device_type="nmos",
+        i0=5.0e-7,
+        n=1.4,
+        vt0=0.32,
+        body_effect=0.2,
+        dibl=0.065,
+        kt=1.1e-3,
+        channel_length=0.12e-6,
+        nominal_width=0.5e-6,
+    )
+    base.update(overrides)
+    return DeviceParameters(**base)
+
+
+class TestDeviceParametersValidation:
+    def test_valid_construction(self):
+        device = make_device()
+        assert device.is_nmos
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_device(device_type="jfet")
+
+    def test_negative_i0_rejected(self):
+        with pytest.raises(ValueError):
+            make_device(i0=-1.0)
+
+    def test_sub_unity_ideality_rejected(self):
+        with pytest.raises(ValueError):
+            make_device(n=0.9)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_device(channel_length=0.0)
+
+
+class TestThresholdVoltage:
+    def test_zero_bias_equals_vt0(self):
+        device = make_device()
+        vth = device.threshold_voltage(vsb=0.0, vds=1.2, vdd=1.2)
+        assert vth == pytest.approx(device.vt0)
+
+    def test_body_effect_raises_threshold(self):
+        device = make_device()
+        assert device.threshold_voltage(vsb=0.5, vds=1.2, vdd=1.2) > device.vt0
+
+    def test_dibl_lowers_threshold_at_high_vds(self):
+        device = make_device()
+        low_vds = device.threshold_voltage(vds=0.1, vdd=1.2)
+        high_vds = device.threshold_voltage(vds=1.2, vdd=1.2)
+        assert high_vds < low_vds
+
+    def test_temperature_lowers_threshold(self):
+        device = make_device()
+        hot = device.threshold_voltage(vds=1.2, vdd=1.2, temperature=398.15)
+        cold = device.threshold_voltage(vds=1.2, vdd=1.2, temperature=298.15)
+        assert hot < cold
+        assert cold - hot == pytest.approx(device.kt * 100.0)
+
+    def test_subthreshold_swing(self):
+        device = make_device()
+        import math
+
+        expected = device.n * thermal_voltage(300.0) * math.log(10.0)
+        assert device.subthreshold_swing(300.0) == pytest.approx(expected)
+
+
+class TestDeviceParameterCopies:
+    def test_with_width(self):
+        device = make_device()
+        wider = device.with_width(2.0e-6)
+        assert wider.nominal_width == pytest.approx(2.0e-6)
+        assert wider.vt0 == device.vt0
+
+    def test_scaled_overrides(self):
+        device = make_device()
+        scaled = device.scaled(vt0=0.25, dibl=0.1)
+        assert scaled.vt0 == pytest.approx(0.25)
+        assert scaled.dibl == pytest.approx(0.1)
+
+
+class TestThermalParameters:
+    def test_defaults_are_valid(self):
+        thermal = ThermalParameters()
+        assert thermal.ambient_temperature > 0.0
+        assert thermal.conductivity > 0.0
+
+    def test_invalid_thickness_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalParameters(die_thickness=0.0)
+
+    def test_negative_sink_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalParameters(heat_sink_resistance=-1.0)
+
+
+class TestTechnologyParameters:
+    def test_fixture_is_consistent(self, tech012):
+        assert tech012.vdd == pytest.approx(1.2)
+        assert tech012.nmos.is_nmos
+        assert not tech012.pmos.is_nmos
+
+    def test_device_lookup(self, tech012):
+        assert tech012.device("nmos") is tech012.nmos
+        assert tech012.device("pmos") is tech012.pmos
+        with pytest.raises(ValueError):
+            tech012.device("bjt")
+
+    def test_gate_capacitance_scales_with_width(self, tech012):
+        narrow = tech012.gate_input_capacitance(0.5e-6)
+        wide = tech012.gate_input_capacitance(1.0e-6)
+        assert wide == pytest.approx(2.0 * narrow)
+
+    def test_gate_capacitance_rejects_bad_width(self, tech012):
+        with pytest.raises(ValueError):
+            tech012.gate_input_capacitance(0.0)
+
+    def test_with_supply(self, tech012):
+        lowered = tech012.with_supply(1.0)
+        assert lowered.vdd == pytest.approx(1.0)
+        assert tech012.vdd == pytest.approx(1.2)
+
+    def test_thermal_voltage_defaults_to_reference(self, tech012):
+        assert tech012.thermal_voltage() == pytest.approx(
+            thermal_voltage(REFERENCE_TEMPERATURE_K)
+        )
+
+    def test_invalid_vdd_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            tech012.with_supply(-1.0)

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The invariants exercised here are the ones DESIGN.md calls out:
+
+* leakage is positive, linear in width and monotone in temperature and Vdd;
+* the collapsed effective width is positive, bounded by the top device's
+  width, and shrinks monotonically as the chain deepens;
+* the unified node-voltage formula (Eq. 10) is bracketed by its two
+  published asymptotes and tracks the exact pair solution;
+* the analytical thermal field is positive, linear in power, bounded by the
+  centre value, and decays with distance;
+* superposition is additive and the image expansion conserves per-cell power;
+* thermal RC step responses are monotone and converge to R * P.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.leakage.stack_collapse import StackCollapser
+from repro.core.leakage.subthreshold import single_device_off_current
+from repro.core.thermal.images import DieGeometry, ImageExpansion
+from repro.core.thermal.profile import (
+    rectangle_center_temperature,
+    rectangle_temperature,
+)
+from repro.core.thermal.sources import HeatSource, square_center_temperature
+from repro.core.thermal.superposition import superposed_temperature_rise
+from repro.technology import cmos_012um
+from repro.thermalsim.rc_network import FosterNetwork, FosterStage
+
+TECH = cmos_012um()
+COLLAPSER = StackCollapser(TECH)
+K_SI = 148.0
+
+DEFAULT_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+widths = st.floats(min_value=0.05e-6, max_value=50e-6)
+powers = st.floats(min_value=1e-6, max_value=10.0)
+lengths = st.floats(min_value=0.05e-6, max_value=5e-6)
+temperatures = st.floats(min_value=250.0, max_value=450.0)
+
+
+class TestLeakageProperties:
+    @DEFAULT_SETTINGS
+    @given(width=widths, temperature=temperatures)
+    def test_off_current_positive_and_linear_in_width(self, width, temperature):
+        base = single_device_off_current(
+            TECH.nmos, width, TECH.vdd, temperature, TECH.reference_temperature
+        )
+        doubled = single_device_off_current(
+            TECH.nmos, 2.0 * width, TECH.vdd, temperature, TECH.reference_temperature
+        )
+        assert base > 0.0
+        assert doubled == pytest.approx(2.0 * base, rel=1e-9)
+
+    @DEFAULT_SETTINGS
+    @given(width=widths, t1=temperatures, t2=temperatures)
+    def test_off_current_monotone_in_temperature(self, width, t1, t2):
+        low, high = sorted((t1, t2))
+        cold = single_device_off_current(
+            TECH.nmos, width, TECH.vdd, low, TECH.reference_temperature
+        )
+        hot = single_device_off_current(
+            TECH.nmos, width, TECH.vdd, high, TECH.reference_temperature
+        )
+        assert hot >= cold
+
+    @DEFAULT_SETTINGS
+    @given(
+        width=widths,
+        vdd_low=st.floats(min_value=0.6, max_value=1.2),
+        vdd_delta=st.floats(min_value=0.0, max_value=0.6),
+    )
+    def test_off_current_monotone_in_supply(self, width, vdd_low, vdd_delta):
+        low = single_device_off_current(
+            TECH.nmos, width, vdd_low, 298.15, TECH.reference_temperature
+        )
+        high = single_device_off_current(
+            TECH.nmos, width, vdd_low + vdd_delta, 298.15, TECH.reference_temperature
+        )
+        assert high >= low
+
+
+class TestCollapseProperties:
+    @DEFAULT_SETTINGS
+    @given(chain=st.lists(widths, min_size=1, max_size=6))
+    def test_effective_width_positive_and_bounded(self, chain):
+        result = COLLAPSER.collapse_chain_widths(chain, "nmos")
+        assert result.effective_width > 0.0
+        assert result.effective_width <= chain[-1] + 1e-18
+        assert all(v >= 0.0 for v in result.node_voltages)
+
+    @DEFAULT_SETTINGS
+    @given(chain=st.lists(widths, min_size=1, max_size=5), extra=widths)
+    def test_deeper_chain_leaks_less(self, chain, extra):
+        shallow = COLLAPSER.collapse_chain_widths(chain, "nmos").effective_width
+        # Prepending a device at the bottom of the chain can only reduce the
+        # effective width (more stacking).
+        deeper = COLLAPSER.collapse_chain_widths([extra] + chain, "nmos").effective_width
+        assert deeper <= shallow * (1.0 + 1e-9)
+
+    @DEFAULT_SETTINGS
+    @given(upper=widths, lower=widths)
+    def test_node_voltage_bracketed_by_asymptotes(self, upper, lower):
+        unified = COLLAPSER.node_voltage(upper, lower, "nmos")
+        strong = COLLAPSER.node_voltage_strong(upper, lower, "nmos")
+        weak = COLLAPSER.node_voltage_weak(upper, lower, "nmos")
+        assert unified > 0.0
+        assert unified <= max(strong, weak) * 1.05 + 1e-9
+
+    @DEFAULT_SETTINGS
+    @given(
+        upper=st.floats(min_value=0.1e-6, max_value=20e-6),
+        lower=st.floats(min_value=0.1e-6, max_value=20e-6),
+    )
+    def test_node_voltage_tracks_exact_pair_solution(self, upper, lower):
+        approximate = COLLAPSER.node_voltage(upper, lower, "nmos")
+        exact = COLLAPSER.exact_pair_node_voltage(upper, lower, "nmos")
+        assert approximate == pytest.approx(exact, rel=0.15, abs=3e-3)
+
+
+class TestThermalProperties:
+    @DEFAULT_SETTINGS
+    @given(power=powers, width=lengths, length=lengths)
+    def test_center_temperature_positive_and_linear(self, power, width, length):
+        base = square_center_temperature(power, width, length, K_SI)
+        doubled = square_center_temperature(2.0 * power, width, length, K_SI)
+        assert base > 0.0
+        assert doubled == pytest.approx(2.0 * base, rel=1e-9)
+
+    @DEFAULT_SETTINGS
+    @given(
+        power=powers,
+        width=lengths,
+        length=lengths,
+        x=st.floats(min_value=-50e-6, max_value=50e-6),
+        y=st.floats(min_value=-50e-6, max_value=50e-6),
+    )
+    def test_profile_bounded_by_center_value(self, power, width, length, x, y):
+        source = HeatSource(0.0, 0.0, width, length, power)
+        value = rectangle_temperature(x, y, source, K_SI)
+        assert 0.0 <= value <= rectangle_center_temperature(source, K_SI) + 1e-12
+
+    @DEFAULT_SETTINGS
+    @given(
+        power=powers,
+        width=lengths,
+        length=lengths,
+        d1=st.floats(min_value=1e-6, max_value=30e-6),
+        d2=st.floats(min_value=30e-6, max_value=500e-6),
+    )
+    def test_profile_decays_with_distance(self, power, width, length, d1, d2):
+        source = HeatSource(0.0, 0.0, width, length, power)
+        near = rectangle_temperature(max(width, length) + d1, 0.0, source, K_SI)
+        far = rectangle_temperature(max(width, length) + d1 + d2, 0.0, source, K_SI)
+        assert far <= near + 1e-15
+
+    @DEFAULT_SETTINGS
+    @given(p1=powers, p2=powers)
+    def test_superposition_is_additive(self, p1, p2):
+        a = HeatSource(-5e-6, 0.0, 2e-6, 1e-6, p1)
+        b = HeatSource(5e-6, 3e-6, 1e-6, 1e-6, p2)
+        combined = superposed_temperature_rise(1e-6, 1e-6, [a, b], K_SI)
+        individual = superposed_temperature_rise(1e-6, 1e-6, [a], K_SI) + \
+            superposed_temperature_rise(1e-6, 1e-6, [b], K_SI)
+        assert combined == pytest.approx(individual, rel=1e-12)
+
+    @DEFAULT_SETTINGS
+    @given(
+        power=powers,
+        x=st.floats(min_value=0.1, max_value=0.9),
+        y=st.floats(min_value=0.1, max_value=0.9),
+        rings=st.integers(min_value=0, max_value=2),
+    )
+    def test_image_expansion_conserves_power_balance(self, power, x, y, rings):
+        die = DieGeometry(width=1e-3, length=1e-3, thickness=0.3e-3)
+        source = HeatSource(x * 1e-3, y * 1e-3, 0.05e-3, 0.05e-3, power)
+        expansion = ImageExpansion(die, rings=rings, include_bottom_images=True)
+        images = expansion.expand([source])
+        # Every surface image is paired with an equal-and-opposite buried sink.
+        assert sum(i.power for i in images) == pytest.approx(0.0, abs=1e-12 * power + 1e-15)
+        surface_power = sum(i.power for i in images if i.depth == 0.0)
+        assert surface_power > 0.0
+
+
+class TestThermalRCProperties:
+    @DEFAULT_SETTINGS
+    @given(
+        resistance=st.floats(min_value=1.0, max_value=1e4),
+        capacitance=st.floats(min_value=1e-9, max_value=1e-2),
+        power=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_step_response_monotone_and_converges(self, resistance, capacitance, power):
+        network = FosterNetwork([FosterStage(resistance, capacitance)])
+        tau = resistance * capacitance
+        samples = [network.step_response(t * tau, power) for t in (0.0, 0.5, 1.0, 3.0, 10.0)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+        assert samples[0] == pytest.approx(0.0)
+        assert samples[-1] == pytest.approx(power * resistance, rel=1e-3)

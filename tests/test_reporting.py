@@ -1,0 +1,110 @@
+"""Tests for repro.reporting (tables and figure series)."""
+
+import pytest
+
+from repro.reporting.series import FigureData, Series
+from repro.reporting.tables import format_table, format_value, print_table
+
+
+class TestFormatValue:
+    def test_integers_and_bools(self):
+        assert format_value(42) == "42"
+        assert format_value(True) == "True"
+
+    def test_plain_floats(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_scientific_for_small_values(self):
+        assert "e" in format_value(1.23e-9)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert format_value("NAND2") == "NAND2"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 2.5]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert len(lines) == 6
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_print_table_returns_text(self, capsys):
+        text = print_table(["x"], [[1.0]])
+        captured = capsys.readouterr()
+        assert "x" in text and "x" in captured.out
+
+
+class TestSeries:
+    def test_construction_and_interp(self):
+        series = Series.from_arrays("model", [0.0, 1.0, 2.0], [0.0, 10.0, 20.0])
+        assert series.value_at(0.5) == pytest.approx(5.0)
+        assert series.peak == pytest.approx(20.0)
+        assert series.is_monotonic_increasing()
+        assert not series.is_monotonic_decreasing()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("bad", x=(1.0,), y=(1.0, 2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("bad", x=(), y=())
+
+    def test_as_arrays(self):
+        series = Series.from_arrays("s", [1, 2], [3, 4])
+        xs, ys = series.as_arrays()
+        assert xs.tolist() == [1.0, 2.0]
+        assert ys.tolist() == [3.0, 4.0]
+
+
+class TestFigureData:
+    def test_add_and_get(self):
+        figure = FigureData(figure_id="fig5", title="thermal profile")
+        figure.add(Series.from_arrays("exact", [1.0, 2.0], [4.0, 2.0]))
+        figure.add(Series.from_arrays("model", [1.0, 2.0], [4.1, 2.1]))
+        assert figure.labels() == ("exact", "model")
+        assert figure.get("exact").peak == pytest.approx(4.0)
+
+    def test_duplicate_label_rejected(self):
+        figure = FigureData(figure_id="f", title="t")
+        figure.add(Series.from_arrays("a", [1.0], [1.0]))
+        with pytest.raises(ValueError):
+            figure.add(Series.from_arrays("a", [1.0], [2.0]))
+
+    def test_unknown_series_rejected(self):
+        figure = FigureData(figure_id="f", title="t")
+        with pytest.raises(ValueError):
+            figure.to_table()
+        figure.add(Series.from_arrays("a", [1.0], [1.0]))
+        with pytest.raises(KeyError):
+            figure.get("b")
+
+    def test_table_rendering_with_notes(self):
+        figure = FigureData(figure_id="fig8", title="stack currents")
+        figure.add(Series.from_arrays("spice", [1, 2], [1e-9, 1e-10], x_label="N"))
+        figure.add(Series.from_arrays("model", [1, 2], [1.05e-9, 1.1e-10], x_label="N"))
+        figure.add_note("model tracks spice within 10%")
+        text = figure.to_table()
+        assert "fig8" in text
+        assert "note:" in text
+        assert "spice" in text and "model" in text
+
+    def test_print(self, capsys):
+        figure = FigureData(figure_id="f", title="t")
+        figure.add(Series.from_arrays("a", [1.0], [1.0]))
+        figure.print()
+        assert "f: t" in capsys.readouterr().out

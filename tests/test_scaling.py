@@ -1,0 +1,116 @@
+"""Tests for repro.technology.scaling (the Fig. 1 projection engine)."""
+
+import pytest
+
+from repro.technology.scaling import (
+    ChipScalingAssumptions,
+    TechnologyScalingStudy,
+    device_off_current,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return TechnologyScalingStudy()
+
+
+class TestAssumptionsValidation:
+    def test_defaults_valid(self):
+        assumptions = ChipScalingAssumptions()
+        assert assumptions.reference_node == "0.18um"
+
+    def test_bad_activity_rejected(self):
+        with pytest.raises(ValueError):
+            ChipScalingAssumptions(activity_factor=0.0)
+
+    def test_bad_growth_rejected(self):
+        with pytest.raises(ValueError):
+            ChipScalingAssumptions(transistor_growth_per_node=-1.0)
+
+    def test_unknown_reference_node_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyScalingStudy(
+                ChipScalingAssumptions(reference_node="0.18um"),
+                nodes=("0.12um", "70nm"),
+            )
+
+
+class TestScalingRules:
+    def test_transistor_count_at_reference(self, study):
+        assert study.transistor_count("0.18um") == pytest.approx(40.0e6)
+
+    def test_transistor_count_grows_per_node(self, study):
+        assert study.transistor_count("0.13um") == pytest.approx(
+            40.0e6 * 1.9, rel=1e-9
+        )
+
+    def test_frequency_at_reference(self, study):
+        assert study.clock_frequency("0.18um") == pytest.approx(1.0e9)
+
+    def test_frequency_decreases_for_older_nodes(self, study):
+        assert study.clock_frequency("0.8um") < study.clock_frequency("0.18um")
+
+    def test_unknown_node_raises(self, study):
+        with pytest.raises(KeyError):
+            study.transistor_count("5nm")
+
+
+class TestPowerProjection:
+    def test_static_power_increases_with_temperature(self, study):
+        node = "0.10um"
+        assert study.static_power(node, 100.0) > study.static_power(node, 25.0)
+        assert study.static_power(node, 150.0) > study.static_power(node, 100.0)
+
+    def test_static_power_grows_monotonically_with_scaling(self, study):
+        values = [p.static_power(100.0) for p in study.project()]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_dynamic_power_is_positive_everywhere(self, study):
+        assert all(p.dynamic_power > 0.0 for p in study.project())
+
+    def test_crossover_moves_earlier_when_hotter(self, study):
+        nodes = list(study._node_names)
+        hot = study.crossover_node(150.0)
+        warm = study.crossover_node(100.0)
+        assert hot is not None and warm is not None
+        assert nodes.index(hot) <= nodes.index(warm)
+
+    def test_no_crossover_at_room_temperature(self, study):
+        # At 25 degC static power stays below dynamic for every projected node
+        # (the paper's Fig. 1 shows the same).
+        assert study.crossover_node(25.0) is None
+
+    def test_crossover_is_sub_100nm(self, study):
+        node = study.crossover_node(150.0)
+        assert node in ("0.10um", "70nm", "50nm", "35nm", "25nm")
+
+    def test_projection_object_round_trip(self, study):
+        projection = study.project_node("70nm")
+        assert projection.node == "70nm"
+        assert projection.static_power(150.0) == pytest.approx(
+            projection.static_power_by_temperature[150.0]
+        )
+        with pytest.raises(KeyError):
+            projection.static_power(60.0)
+
+    def test_total_power_uses_hottest_projection(self, study):
+        projection = study.project_node("70nm")
+        assert projection.total_power == pytest.approx(
+            projection.dynamic_power + projection.static_power(150.0)
+        )
+
+    def test_series_layout(self, study):
+        series = study.as_series()
+        assert set(series) == {"dynamic", "static_25C", "static_100C", "static_150C"}
+        assert len(series["dynamic"]) == len(list(study.project()))
+
+
+class TestDeviceOffCurrentHelper:
+    def test_rejects_bad_width(self, tech012):
+        with pytest.raises(ValueError):
+            device_off_current(tech012.nmos, -1.0, 1.2, 300.0, 298.15)
+
+    def test_increases_with_temperature(self, tech012):
+        cold = device_off_current(tech012.nmos, 1e-6, 1.2, 298.15, 298.15)
+        hot = device_off_current(tech012.nmos, 1e-6, 1.2, 398.15, 298.15)
+        assert hot > 10.0 * cold

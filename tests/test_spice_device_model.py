@@ -1,0 +1,119 @@
+"""Tests for repro.spice.device_model."""
+
+import math
+
+import pytest
+
+from repro.spice.device_model import MOSFETModel, OperatingPoint
+from repro.technology import thermal_voltage
+
+
+@pytest.fixture
+def nmodel(tech012):
+    return MOSFETModel(tech012.nmos, reference_temperature=tech012.reference_temperature)
+
+
+def point(vgs=0.0, vds=1.2, vsb=0.0, temperature=298.15, vdd=1.2):
+    return OperatingPoint(vgs=vgs, vds=vds, vsb=vsb, temperature=temperature, vdd=vdd)
+
+
+class TestSubthresholdCurrent:
+    def test_scales_linearly_with_width(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        narrow = nmodel.subthreshold_current(1e-6, length, point())
+        wide = nmodel.subthreshold_current(2e-6, length, point())
+        assert wide == pytest.approx(2.0 * narrow)
+
+    def test_scales_inversely_with_length(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        short = nmodel.subthreshold_current(1e-6, length, point())
+        long = nmodel.subthreshold_current(1e-6, 2.0 * length, point())
+        assert short == pytest.approx(2.0 * long)
+
+    def test_exponential_in_vgs(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        vt = thermal_voltage(298.15)
+        base = nmodel.subthreshold_current(1e-6, length, point(vgs=0.0))
+        raised = nmodel.subthreshold_current(
+            1e-6, length, point(vgs=tech012.nmos.n * vt)
+        )
+        assert raised / base == pytest.approx(math.e, rel=1e-3)
+
+    def test_drain_factor_kills_current_at_zero_vds(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        assert nmodel.subthreshold_current(1e-6, length, point(vds=0.0)) == 0.0
+
+    def test_increases_with_temperature(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        cold = nmodel.subthreshold_current(1e-6, length, point(temperature=298.15))
+        hot = nmodel.subthreshold_current(1e-6, length, point(temperature=358.15))
+        assert hot > 5.0 * cold
+
+    def test_rejects_bad_geometry(self, nmodel):
+        with pytest.raises(ValueError):
+            nmodel.subthreshold_current(0.0, 1e-7, point())
+
+
+class TestStrongInversion:
+    def test_zero_below_threshold(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        assert nmodel.strong_inversion_current(1e-6, length, point(vgs=0.1)) == 0.0
+
+    def test_on_current_scale(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        on = nmodel.strong_inversion_current(
+            1e-6, length, point(vgs=1.2, vds=1.2)
+        )
+        expected = tech012.nmos.saturation_current_density * 1e-6
+        assert on == pytest.approx(expected, rel=0.1)
+
+    def test_triode_below_saturation(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        saturated = nmodel.strong_inversion_current(1e-6, length, point(vgs=1.2, vds=1.2))
+        triode = nmodel.strong_inversion_current(1e-6, length, point(vgs=1.2, vds=0.05))
+        assert 0.0 < triode < saturated
+
+    def test_on_current_drops_with_temperature(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        cold = nmodel.strong_inversion_current(1e-6, length, point(vgs=1.2, vds=1.2))
+        hot = nmodel.strong_inversion_current(
+            1e-6, length, point(vgs=1.2, vds=1.2, temperature=398.15)
+        )
+        assert hot < cold
+
+
+class TestTotalCurrent:
+    def test_monotone_in_drain_voltage(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        currents = [
+            nmodel.drain_current(1e-6, length, point(vgs=0.0, vds=v))
+            for v in (0.01, 0.05, 0.2, 0.6, 1.2)
+        ]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+    def test_antisymmetric_in_reverse_bias(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        forward = nmodel.drain_current(1e-6, length, point(vgs=0.3, vds=0.2))
+        reverse = nmodel.drain_current(
+            1e-6, length, point(vgs=0.1, vds=-0.2, vsb=0.2)
+        )
+        # Swapping source and drain mirrors the current sign.
+        assert reverse == pytest.approx(-forward, rel=1e-9)
+
+    def test_off_current_helper(self, nmodel, tech012):
+        length = tech012.nmos.channel_length
+        off = nmodel.off_current(1e-6, length, vds=1.2, temperature=298.15, vdd=1.2)
+        direct = nmodel.drain_current(1e-6, length, point(vgs=0.0, vds=1.2))
+        assert off == pytest.approx(direct)
+
+    def test_pmos_model_has_lower_leakage(self, tech012):
+        nmos_model = MOSFETModel(tech012.nmos)
+        pmos_model = MOSFETModel(tech012.pmos)
+        length = tech012.nmos.channel_length
+        assert pmos_model.off_current(
+            1e-6, length, 1.2, 298.15, 1.2
+        ) < nmos_model.off_current(1e-6, length, 1.2, 298.15, 1.2)
+
+    def test_invalid_alpha_rejected(self, tech012):
+        with pytest.raises(ValueError):
+            MOSFETModel(tech012.nmos, alpha=-1.0)

@@ -1,0 +1,120 @@
+"""Tests for repro.spice.dc_solver and repro.spice.gate_solver."""
+
+import pytest
+
+from repro.circuit.cells import aoi22, inverter, nand_gate, nor_gate
+from repro.circuit.netlist import Netlist
+from repro.circuit.stack import uniform_nmos_stack
+from repro.circuit.topology import network_from_stack, parallel_of_devices
+from repro.circuit.devices import nmos
+from repro.spice.dc_solver import NetworkDCSolver
+from repro.spice.gate_solver import (
+    GateLeakageReference,
+    netlist_leakage_reference,
+    netlist_total_leakage_reference,
+)
+from repro.spice.stack_solver import StackDCSolver
+
+
+@pytest.fixture(scope="module")
+def network_solver(tech012):
+    return NetworkDCSolver(tech012)
+
+
+@pytest.fixture(scope="module")
+def reference(tech012):
+    return GateLeakageReference(tech012)
+
+
+class TestNetworkDCSolver:
+    def test_series_network_matches_stack_solver(self, network_solver, tech012):
+        stack = uniform_nmos_stack(3, 1e-6)
+        network = network_from_stack(stack)
+        inputs = {f"IN{i}": 0 for i in (1, 2, 3)}
+        series_current = network_solver.network_current(
+            network, inputs, 0.0, tech012.vdd
+        )
+        stack_current = StackDCSolver(tech012).off_current(stack)
+        assert series_current == pytest.approx(stack_current, rel=1e-4)
+
+    def test_parallel_network_adds_currents(self, network_solver, tech012):
+        single = parallel_of_devices([nmos("MN1", 1e-6, "A")])
+        double = parallel_of_devices(
+            [nmos("MN1", 1e-6, "A"), nmos("MN2", 1e-6, "B")]
+        )
+        one = network_solver.network_current(single, {"A": 0}, 0.0, tech012.vdd)
+        two = network_solver.network_current(
+            double, {"A": 0, "B": 0}, 0.0, tech012.vdd
+        )
+        assert two == pytest.approx(2.0 * one, rel=1e-9)
+
+    def test_zero_span_gives_zero_current(self, network_solver):
+        network = parallel_of_devices([nmos("MN1", 1e-6, "A")])
+        assert network_solver.network_current(network, {"A": 0}, 0.0, 0.0) == 0.0
+
+    def test_inverted_span_rejected(self, network_solver):
+        network = parallel_of_devices([nmos("MN1", 1e-6, "A")])
+        with pytest.raises(ValueError):
+            network_solver.network_current(network, {"A": 0}, 1.0, 0.0)
+
+    def test_missing_input_rejected(self, network_solver, tech012):
+        network = parallel_of_devices([nmos("MN1", 1e-6, "A")])
+        with pytest.raises(KeyError):
+            network_solver.network_current(network, {}, 0.0, tech012.vdd)
+
+
+class TestGateLeakageReference:
+    def test_inverter_two_states(self, reference, tech012):
+        gate = inverter(tech012)
+        leak_high_output = reference.off_current(gate, {"A": 0})  # NMOS leaks
+        leak_low_output = reference.off_current(gate, {"A": 1})  # PMOS leaks
+        assert leak_high_output > 0.0 and leak_low_output > 0.0
+        # NMOS device leaks more than the PMOS at these parameters even
+        # though the PMOS is drawn wider.
+        assert leak_high_output != pytest.approx(leak_low_output, rel=0.01)
+
+    def test_nand_all_zero_is_minimum_leakage(self, reference, tech012):
+        gate = nand_gate(tech012, 2)
+        currents = {
+            (a, b): reference.off_current(gate, {"A": a, "B": b})
+            for a in (0, 1) for b in (0, 1)
+        }
+        assert min(currents, key=currents.get) == (0, 0)
+
+    def test_worst_case_vector_search(self, reference, tech012):
+        gate = nand_gate(tech012, 2)
+        worst = reference.worst_case_vector(gate)
+        assert worst.current == pytest.approx(
+            max(
+                reference.off_current(gate, {"A": a, "B": b})
+                for a in (0, 1) for b in (0, 1)
+            )
+        )
+
+    def test_average_current_between_extremes(self, reference, tech012):
+        gate = nor_gate(tech012, 2)
+        average = reference.average_current(gate)
+        worst = reference.worst_case_vector(gate).current
+        assert 0.0 < average < worst
+
+    def test_static_power_is_current_times_vdd(self, reference, tech012):
+        gate = inverter(tech012)
+        assert reference.static_power(gate, {"A": 0}) == pytest.approx(
+            reference.off_current(gate, {"A": 0}) * tech012.vdd
+        )
+
+    def test_complex_gate_solves(self, reference, tech012):
+        gate = aoi22(tech012)
+        current = reference.off_current(gate, {"A": 1, "B": 0, "C": 0, "D": 0})
+        assert current > 0.0
+
+
+class TestNetlistReference:
+    def test_per_instance_and_total(self, tech012):
+        netlist = Netlist("pair", primary_inputs=("A", "B"))
+        netlist.add_instance("U1", nand_gate(tech012, 2), {"A": "A", "B": "B", "Z": "N1"})
+        netlist.add_instance("U2", inverter(tech012), {"A": "N1", "Z": "OUT"})
+        results = netlist_leakage_reference(netlist, {"A": 0, "B": 1}, tech012)
+        assert set(results) == {"U1", "U2"}
+        total = netlist_total_leakage_reference(netlist, {"A": 0, "B": 1}, tech012)
+        assert total == pytest.approx(sum(r.power for r in results.values()))

@@ -1,0 +1,103 @@
+"""Tests for repro.spice.stack_solver (the numerical stack reference)."""
+
+import pytest
+
+from repro.circuit.stack import (
+    nmos_stack_from_widths,
+    uniform_nmos_stack,
+    uniform_pmos_stack,
+)
+from repro.spice.device_model import MOSFETModel
+from repro.spice.stack_solver import StackDCSolver
+
+
+@pytest.fixture(scope="module")
+def solver(tech012):
+    return StackDCSolver(tech012)
+
+
+class TestSingleDevice:
+    def test_matches_device_model(self, solver, tech012):
+        stack = uniform_nmos_stack(1, 1e-6)
+        model = MOSFETModel(tech012.nmos, reference_temperature=tech012.reference_temperature)
+        expected = model.off_current(
+            1e-6, tech012.nmos.channel_length, tech012.vdd,
+            tech012.reference_temperature, tech012.vdd,
+        )
+        assert solver.off_current(stack) == pytest.approx(expected, rel=1e-6)
+
+    def test_on_device_carries_strong_current(self, solver):
+        stack = uniform_nmos_stack(1, 1e-6)
+        on = solver.solve(stack, (1,)).current
+        off = solver.solve(stack, (0,)).current
+        assert on > 1e4 * off
+
+
+class TestStackSolutions:
+    def test_current_continuity(self, solver):
+        stack = uniform_nmos_stack(4, 1e-6)
+        solution = solver.solve(stack, stack.all_off_vector())
+        assert solution.max_continuity_error < 1e-6
+
+    def test_node_voltages_are_ordered_and_bounded(self, solver, tech012):
+        stack = uniform_nmos_stack(4, 1e-6)
+        solution = solver.solve(stack, stack.all_off_vector())
+        nodes = solution.node_magnitudes
+        assert len(nodes) == 3
+        assert all(0.0 <= v <= tech012.vdd for v in nodes)
+        assert all(b >= a for a, b in zip(nodes, nodes[1:]))
+
+    def test_stacking_reduces_current(self, solver):
+        currents = [
+            solver.off_current(uniform_nmos_stack(n, 1e-6)) for n in (1, 2, 3, 4)
+        ]
+        assert all(b < a for a, b in zip(currents, currents[1:]))
+        # The first stacking step is the big one (factor of several).
+        assert currents[0] / currents[1] > 3.0
+
+    def test_on_transistors_barely_change_current(self, solver):
+        # A 3-stack with the middle device ON behaves close to a 2-stack of
+        # the two OFF devices (the ON device is a tiny series resistance).
+        mixed = solver.off_current(uniform_nmos_stack(3, 1e-6), (0, 1, 0))
+        pair = solver.off_current(uniform_nmos_stack(2, 1e-6), (0, 0))
+        assert mixed == pytest.approx(pair, rel=0.05)
+
+    def test_pmos_stack_solves(self, solver, tech012):
+        stack = uniform_pmos_stack(2, 2e-6)
+        solution = solver.solve(stack, stack.all_off_vector())
+        assert solution.current > 0.0
+        # PMOS node voltages are referenced to VDD: absolute voltages near VDD.
+        assert all(v > 0.5 * tech012.vdd for v in solution.node_voltages)
+
+    def test_wider_top_device_raises_intermediate_node(self, solver):
+        balanced = solver.intermediate_node_voltage(
+            nmos_stack_from_widths([1e-6, 1e-6])
+        )
+        top_heavy = solver.intermediate_node_voltage(
+            nmos_stack_from_widths([1e-6, 10e-6])
+        )
+        assert top_heavy > balanced
+
+    def test_temperature_raises_current(self, solver):
+        stack = uniform_nmos_stack(2, 1e-6)
+        cold = solver.off_current(stack, temperature=298.15)
+        hot = solver.off_current(stack, temperature=358.15)
+        assert hot > 5.0 * cold
+
+    def test_vector_length_mismatch_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve(uniform_nmos_stack(2, 1e-6), (0,))
+
+    def test_bad_temperature_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver.solve(uniform_nmos_stack(2, 1e-6), (0, 0), temperature=-10.0)
+
+    def test_node_index_out_of_range(self, solver):
+        with pytest.raises(IndexError):
+            solver.intermediate_node_voltage(
+                uniform_nmos_stack(2, 1e-6), node_index=5
+            )
+
+    def test_single_device_has_no_internal_nodes(self, solver):
+        with pytest.raises(ValueError):
+            solver.intermediate_node_voltage(uniform_nmos_stack(1, 1e-6))

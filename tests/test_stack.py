@@ -1,0 +1,102 @@
+"""Tests for repro.circuit.stack."""
+
+import pytest
+
+from repro.circuit.devices import nmos, pmos
+from repro.circuit.stack import (
+    TransistorStack,
+    nmos_stack_from_widths,
+    pmos_stack_from_widths,
+    uniform_nmos_stack,
+    uniform_pmos_stack,
+)
+
+
+class TestConstruction:
+    def test_uniform_nmos_stack(self):
+        stack = uniform_nmos_stack(3, 1e-6)
+        assert len(stack) == 3
+        assert stack.is_nmos
+        assert stack.widths == (1e-6, 1e-6, 1e-6)
+        assert stack.input_names() == ("IN1", "IN2", "IN3")
+
+    def test_uniform_pmos_stack(self):
+        stack = uniform_pmos_stack(2, 2e-6)
+        assert not stack.is_nmos
+        assert stack.device_type == "pmos"
+
+    def test_widths_constructor_preserves_order(self):
+        stack = nmos_stack_from_widths([1e-6, 2e-6, 3e-6])
+        assert stack.widths == (1e-6, 2e-6, 3e-6)
+        assert stack[0].width == pytest.approx(1e-6)
+
+    def test_mixed_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            TransistorStack([nmos("MN1", 1e-6), pmos("MP1", 1e-6)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TransistorStack([nmos("M", 1e-6), nmos("M", 1e-6)])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            TransistorStack([])
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_nmos_stack(0, 1e-6)
+        with pytest.raises(ValueError):
+            nmos_stack_from_widths([])
+
+
+class TestStructure:
+    def test_internal_node_count(self):
+        assert uniform_nmos_stack(4, 1e-6).internal_node_count == 3
+        assert uniform_nmos_stack(1, 1e-6).internal_node_count == 0
+
+    def test_iteration_and_indexing(self):
+        stack = uniform_nmos_stack(3, 1e-6)
+        assert [d.name for d in stack] == ["MN1", "MN2", "MN3"]
+        assert stack[2].name == "MN3"
+
+    def test_subchain(self):
+        stack = nmos_stack_from_widths([1e-6, 2e-6, 3e-6])
+        sub = stack.subchain([0, 2])
+        assert sub.widths == (1e-6, 3e-6)
+
+    def test_repr_mentions_polarity_and_depth(self):
+        text = repr(uniform_pmos_stack(2, 1e-6))
+        assert "pmos" in text and "N=2" in text
+
+
+class TestInputVectors:
+    def test_all_off_vector_nmos(self):
+        stack = uniform_nmos_stack(3, 1e-6)
+        assert stack.all_off_vector() == (0, 0, 0)
+        assert stack.all_on_vector() == (1, 1, 1)
+
+    def test_all_off_vector_pmos(self):
+        stack = uniform_pmos_stack(2, 1e-6)
+        assert stack.all_off_vector() == (1, 1)
+        assert stack.all_on_vector() == (0, 0)
+
+    def test_off_devices_selects_off_only(self):
+        stack = uniform_nmos_stack(3, 1e-6)
+        off = stack.off_devices((0, 1, 0))
+        assert [d.name for d in off] == ["MN1", "MN3"]
+
+    def test_chain_classification(self):
+        stack = uniform_nmos_stack(2, 1e-6)
+        assert stack.is_off_chain((0, 1))
+        assert stack.is_on_chain((1, 1))
+        assert not stack.is_off_chain((1, 1))
+
+    def test_wrong_vector_length_rejected(self):
+        stack = uniform_nmos_stack(2, 1e-6)
+        with pytest.raises(ValueError):
+            stack.apply_inputs((0,))
+
+    def test_invalid_logic_value_rejected(self):
+        stack = uniform_nmos_stack(2, 1e-6)
+        with pytest.raises(ValueError):
+            stack.apply_inputs((0, 2))

@@ -1,0 +1,148 @@
+"""Tests for repro.core.thermal.images (method of images, Section 3.3)."""
+
+import pytest
+
+from repro.core.thermal.images import DieGeometry, ImageExpansion
+from repro.core.thermal.sources import HeatSource
+from repro.core.thermal.superposition import superposed_temperature_rise
+
+K_SI = 148.0
+
+
+@pytest.fixture
+def die():
+    return DieGeometry(width=1e-3, length=1e-3, thickness=0.3e-3)
+
+
+@pytest.fixture
+def corner_source():
+    return HeatSource(x=0.2e-3, y=0.25e-3, width=0.1e-3, length=0.1e-3, power=0.2,
+                      name="blk")
+
+
+class TestDieGeometry:
+    def test_contains_point(self, die):
+        assert die.contains(0.5e-3, 0.5e-3)
+        assert not die.contains(2e-3, 0.5e-3)
+
+    def test_contains_source(self, die, corner_source):
+        assert die.contains_source(corner_source)
+        outside = HeatSource(x=0.99e-3, y=0.5e-3, width=0.1e-3, length=0.1e-3, power=1.0)
+        assert not die.contains_source(outside)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DieGeometry(width=0.0, length=1e-3)
+
+
+class TestImageGeneration:
+    def test_ring_zero_keeps_original_plus_bottom_ladder(self, die, corner_source):
+        expansion = ImageExpansion(die, rings=0, include_bottom_images=True)
+        images = expansion.expand([corner_source])
+        # Original + 3-term vertical ladder (last term half-weighted).
+        assert len(images) == 4
+        surface = [i for i in images if i.depth == 0.0]
+        buried = sorted((i.depth, i.power) for i in images if i.depth > 0.0)
+        assert len(surface) == 1 and surface[0].power == pytest.approx(0.2)
+        assert buried[0] == (pytest.approx(2 * die.thickness), pytest.approx(-0.4))
+        assert buried[1] == (pytest.approx(4 * die.thickness), pytest.approx(0.4))
+        assert buried[2] == (pytest.approx(6 * die.thickness), pytest.approx(-0.2))
+        # The ladder is power-balanced: it cancels the source exactly.
+        assert sum(i.power for i in images) == pytest.approx(0.0, abs=1e-15)
+
+    def test_single_bottom_term_reproduces_single_sink(self, die, corner_source):
+        expansion = ImageExpansion(
+            die, rings=0, include_bottom_images=True, bottom_image_terms=1
+        )
+        images = expansion.expand([corner_source])
+        assert len(images) == 2
+        assert sorted(i.power for i in images) == pytest.approx([-0.2, 0.2])
+
+    def test_ring_one_count(self, die, corner_source):
+        expansion = ImageExpansion(die, rings=1, include_bottom_images=False)
+        images = expansion.expand([corner_source])
+        # 6 x-positions times 6 y-positions for a generic interior source.
+        assert len(images) == 36
+        assert expansion.image_count(1) == 36
+
+    def test_bottom_images_multiply_the_count(self, die, corner_source):
+        with_bottom = ImageExpansion(
+            die, rings=1, include_bottom_images=True, bottom_image_terms=3
+        )
+        without = ImageExpansion(die, rings=1, include_bottom_images=False)
+        assert len(with_bottom.expand([corner_source])) == 4 * len(
+            without.expand([corner_source])
+        )
+        assert with_bottom.image_count(1) == 4 * without.image_count(1)
+
+    def test_invalid_bottom_terms_rejected(self, die):
+        with pytest.raises(ValueError):
+            ImageExpansion(die, bottom_image_terms=0)
+
+    def test_total_lateral_image_power_is_preserved_per_cell(self, die, corner_source):
+        expansion = ImageExpansion(die, rings=1, include_bottom_images=True)
+        images = expansion.expand([corner_source])
+        # Surface sources and buried sinks cancel exactly.
+        assert sum(i.power for i in images) == pytest.approx(0.0, abs=1e-15)
+
+    def test_source_outside_die_rejected(self, die):
+        expansion = ImageExpansion(die)
+        outside = HeatSource(x=2e-3, y=0.5e-3, width=0.1e-3, length=0.1e-3, power=1.0)
+        with pytest.raises(ValueError):
+            expansion.expand([outside])
+
+    def test_buried_input_source_rejected(self, die):
+        expansion = ImageExpansion(die)
+        buried = HeatSource(x=0.5e-3, y=0.5e-3, width=0.1e-3, length=0.1e-3,
+                            power=1.0, depth=1e-4)
+        with pytest.raises(ValueError):
+            expansion.expand([buried])
+
+    def test_empty_source_list_rejected(self, die):
+        with pytest.raises(ValueError):
+            ImageExpansion(die).expand([])
+
+    def test_negative_rings_rejected(self, die):
+        with pytest.raises(ValueError):
+            ImageExpansion(die, rings=-1)
+
+
+class TestBoundaryConditions:
+    def test_images_raise_temperature_near_the_wall(self, die, corner_source):
+        # The adiabatic sides prevent lateral heat escape, so the bounded die
+        # runs hotter than the semi-infinite one near the source.
+        free = ImageExpansion(die, rings=0, include_bottom_images=False)
+        walled = ImageExpansion(die, rings=1, include_bottom_images=False)
+        free_rise = superposed_temperature_rise(
+            corner_source.x, corner_source.y, free.expand([corner_source]), K_SI
+        )
+        walled_rise = superposed_temperature_rise(
+            corner_source.x, corner_source.y, walled.expand([corner_source]), K_SI
+        )
+        assert walled_rise > free_rise
+
+    def test_bottom_images_cool_the_die(self, die, corner_source):
+        without = ImageExpansion(die, rings=1, include_bottom_images=False)
+        with_bottom = ImageExpansion(die, rings=1, include_bottom_images=True)
+        hot = superposed_temperature_rise(
+            corner_source.x, corner_source.y, without.expand([corner_source]), K_SI
+        )
+        cooled = superposed_temperature_rise(
+            corner_source.x, corner_source.y, with_bottom.expand([corner_source]), K_SI
+        )
+        assert cooled < hot
+
+    def test_boundary_flux_residual_improves_with_rings(self, die, corner_source):
+        residuals = []
+        for rings in (0, 1, 2):
+            expansion = ImageExpansion(die, rings=rings, include_bottom_images=False)
+            residuals.append(
+                expansion.boundary_flux_residual([corner_source], K_SI, samples=7)
+            )
+        assert residuals[1] < residuals[0]
+        assert residuals[2] <= residuals[1] * 1.5  # already converged region
+
+    def test_one_ring_residual_is_small(self, die, corner_source):
+        expansion = ImageExpansion(die, rings=1, include_bottom_images=False)
+        residual = expansion.boundary_flux_residual([corner_source], K_SI, samples=7)
+        assert residual < 0.2

@@ -1,0 +1,121 @@
+"""Tests for repro.core.thermal.profile (paper Eq. 20, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.thermal.profile import (
+    point_source_profile,
+    radial_profile,
+    rectangle_center_temperature,
+    rectangle_far_field_temperature,
+    rectangle_temperature,
+    saturation_distance,
+)
+from repro.core.thermal.sources import HeatSource, square_center_temperature
+from repro.thermalsim.quadrature import rectangle_temperature_numeric
+
+K_SI = 148.0
+
+
+@pytest.fixture(scope="module")
+def fig5_source():
+    """The paper's Fig. 5 device: W = 1 um, L = 0.1 um dissipating 10 mW."""
+    return HeatSource(x=0.0, y=0.0, width=1e-6, length=0.1e-6, power=10e-3)
+
+
+class TestMinCombination:
+    def test_saturates_at_center_value(self, fig5_source):
+        center = rectangle_center_temperature(fig5_source, K_SI)
+        assert rectangle_temperature(0.0, 0.0, fig5_source, K_SI) == pytest.approx(center)
+        assert rectangle_temperature(0.1e-6, 0.0, fig5_source, K_SI) == pytest.approx(center)
+
+    def test_far_field_selected_away_from_source(self, fig5_source):
+        far = rectangle_temperature(5e-6, 0.0, fig5_source, K_SI)
+        center = rectangle_center_temperature(fig5_source, K_SI)
+        assert far < center
+
+    def test_never_exceeds_center_value(self, fig5_source):
+        center = rectangle_center_temperature(fig5_source, K_SI)
+        for x, y in ((0.0, 0.0), (0.3e-6, 0.0), (1e-6, 1e-6), (10e-6, 0.0)):
+            assert rectangle_temperature(x, y, fig5_source, K_SI) <= center + 1e-12
+
+    def test_monotone_decay_along_x(self, fig5_source):
+        distances = np.array([0.6e-6, 1e-6, 2e-6, 5e-6, 20e-6])
+        values = radial_profile(distances, fig5_source, K_SI, direction="x")
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_zero_power_source(self):
+        source = HeatSource(0.0, 0.0, 1e-6, 1e-6, 0.0)
+        assert rectangle_temperature(1e-6, 0.0, source, K_SI) == 0.0
+
+    def test_negative_power_mirrors_positive(self, fig5_source):
+        sink = HeatSource(0.0, 0.0, 1e-6, 0.1e-6, -10e-3)
+        assert rectangle_temperature(2e-6, 0.0, sink, K_SI) == pytest.approx(
+            -rectangle_temperature(2e-6, 0.0, fig5_source, K_SI)
+        )
+
+    def test_buried_source_treated_as_point(self):
+        buried = HeatSource(0.0, 0.0, 1e-6, 1e-6, 1e-3, depth=600e-6)
+        from repro.core.thermal.sources import buried_point_source_temperature
+
+        assert rectangle_temperature(10e-6, 0.0, buried, K_SI) == pytest.approx(
+            buried_point_source_temperature(10e-6, 600e-6, 1e-3, K_SI)
+        )
+
+
+class TestAgainstNumericalReference:
+    @pytest.mark.parametrize("distance_um", [1.0, 2.0, 5.0, 20.0, 100.0])
+    def test_far_field_accuracy_fig5(self, fig5_source, distance_um):
+        # Fig. 5: beyond the source footprint the analytical profile tracks
+        # the numerical solution of Eq. (17) closely.
+        d = distance_um * 1e-6
+        analytic = rectangle_temperature(d, 0.0, fig5_source, K_SI)
+        numeric = rectangle_temperature_numeric(d, 0.0, 10e-3, 1e-6, 0.1e-6, K_SI)
+        assert analytic == pytest.approx(numeric, rel=0.05)
+
+    def test_center_is_exact(self, fig5_source):
+        analytic = rectangle_temperature(0.0, 0.0, fig5_source, K_SI)
+        numeric = rectangle_temperature_numeric(0.0, 0.0, 10e-3, 1e-6, 0.1e-6, K_SI)
+        assert analytic == pytest.approx(numeric, rel=0.005)
+
+    def test_transition_region_error_is_bounded(self, fig5_source):
+        # Inside the source (but away from its centre) the min() saturates;
+        # the worst-case error stays within roughly a factor of two.
+        d = 0.45e-6
+        analytic = rectangle_temperature(d, 0.0, fig5_source, K_SI)
+        numeric = rectangle_temperature_numeric(d, 0.0, 10e-3, 1e-6, 0.1e-6, K_SI)
+        assert analytic / numeric < 2.0
+        assert analytic / numeric > 0.5
+
+
+class TestHelpers:
+    def test_far_field_uses_longer_dimension(self):
+        wide = HeatSource(0.0, 0.0, 4e-6, 1e-6, 1e-3)
+        tall = HeatSource(0.0, 0.0, 1e-6, 4e-6, 1e-3)
+        # Swapping the roles of x and y must swap the field.
+        assert rectangle_far_field_temperature(3e-6, 1e-6, wide, K_SI) == pytest.approx(
+            rectangle_far_field_temperature(1e-6, 3e-6, tall, K_SI)
+        )
+
+    def test_radial_profile_directions(self, fig5_source):
+        distances = [1e-6, 2e-6]
+        for direction in ("x", "y", "diagonal"):
+            values = radial_profile(distances, fig5_source, K_SI, direction)
+            assert values.shape == (2,)
+            assert (values > 0.0).all()
+        with pytest.raises(ValueError):
+            radial_profile(distances, fig5_source, K_SI, "spiral")
+
+    def test_point_source_profile(self):
+        values = point_source_profile([1e-6, 2e-6], 1e-3, K_SI)
+        assert values[0] == pytest.approx(2.0 * values[1])
+
+    def test_saturation_distance_brackets_source(self, fig5_source):
+        distance = saturation_distance(fig5_source, K_SI)
+        # The cap region extends roughly over the source footprint.
+        assert 0.1e-6 < distance < 3e-6
+        center = rectangle_center_temperature(fig5_source, K_SI)
+        just_outside = rectangle_far_field_temperature(
+            distance * 1.01, 0.0, fig5_source, K_SI
+        )
+        assert just_outside < center

@@ -1,0 +1,110 @@
+"""Tests for repro.core.thermal.resistance (Fig. 10 model)."""
+
+import pytest
+
+from repro.core.thermal.images import DieGeometry
+from repro.core.thermal.resistance import (
+    bounded_self_heating_resistance,
+    device_thermal_resistance,
+    mutual_thermal_resistance,
+    resistance_matrix,
+    self_heating_resistance,
+)
+from repro.core.thermal.sources import HeatSource, square_center_temperature
+
+K_SI = 148.0
+
+
+class TestSelfHeatingResistance:
+    def test_consistent_with_eq18(self):
+        resistance = self_heating_resistance(1e-6, 0.1e-6, conductivity=K_SI)
+        assert resistance == pytest.approx(
+            square_center_temperature(1.0, 1e-6, 0.1e-6, K_SI)
+        )
+
+    def test_smaller_device_has_higher_resistance(self):
+        small = self_heating_resistance(1e-6, 0.35e-6, conductivity=K_SI)
+        large = self_heating_resistance(10e-6, 0.35e-6, conductivity=K_SI)
+        assert small > large
+
+    def test_magnitude_for_035um_device(self):
+        # A 10 um x 0.35 um transistor on bulk silicon: order 1e3 K/W.
+        resistance = self_heating_resistance(10e-6, 0.35e-6, conductivity=K_SI)
+        assert 300.0 < resistance < 5000.0
+
+    def test_material_temperature_dependence(self):
+        cold = self_heating_resistance(1e-6, 1e-6, temperature=300.0)
+        hot = self_heating_resistance(1e-6, 1e-6, temperature=400.0)
+        assert hot > cold  # silicon conducts worse when hot
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            self_heating_resistance(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            self_heating_resistance(1e-6, 1e-6, conductivity=-1.0)
+
+    def test_device_wrapper_area_factor(self):
+        bare = device_thermal_resistance(1e-6, 0.1e-6, conductivity=K_SI)
+        spread = device_thermal_resistance(
+            1e-6, 0.1e-6, conductivity=K_SI, heated_area_factor=2.0
+        )
+        assert spread < bare
+        with pytest.raises(ValueError):
+            device_thermal_resistance(1e-6, 0.1e-6, heated_area_factor=0.0)
+
+
+class TestBoundedResistance:
+    def test_bottom_sink_reduces_resistance_for_large_blocks(self):
+        die = DieGeometry(width=1e-3, length=1e-3, thickness=0.2e-3)
+        block = HeatSource(x=0.5e-3, y=0.5e-3, width=0.4e-3, length=0.4e-3, power=1.0)
+        free = self_heating_resistance(0.4e-3, 0.4e-3, conductivity=K_SI)
+        bounded = bounded_self_heating_resistance(block, die, conductivity=K_SI)
+        assert bounded < free
+
+    def test_requires_positive_power(self):
+        die = DieGeometry(width=1e-3, length=1e-3)
+        block = HeatSource(x=0.5e-3, y=0.5e-3, width=0.1e-3, length=0.1e-3, power=0.0)
+        with pytest.raises(ValueError):
+            bounded_self_heating_resistance(block, die)
+
+
+class TestMutualResistance:
+    def test_decreases_with_distance(self):
+        source = HeatSource(x=0.0, y=0.0, width=0.1e-3, length=0.1e-3, power=1.0)
+        near = mutual_thermal_resistance(source, 0.2e-3, 0.0, conductivity=K_SI)
+        far = mutual_thermal_resistance(source, 0.6e-3, 0.0, conductivity=K_SI)
+        assert near > far > 0.0
+
+    def test_requires_non_zero_power_probe(self):
+        source = HeatSource(x=0.0, y=0.0, width=0.1e-3, length=0.1e-3, power=0.0)
+        with pytest.raises(ValueError):
+            mutual_thermal_resistance(source, 1e-3, 0.0, conductivity=K_SI)
+
+
+class TestResistanceMatrix:
+    def test_shape_and_symmetry_structure(self):
+        sources = [
+            HeatSource(x=0.2e-3, y=0.2e-3, width=0.1e-3, length=0.1e-3, power=1.0),
+            HeatSource(x=0.8e-3, y=0.8e-3, width=0.1e-3, length=0.1e-3, power=1.0),
+        ]
+        matrix = resistance_matrix(sources, K_SI)
+        assert len(matrix) == 2 and len(matrix[0]) == 2
+        # Diagonal (self-heating) dominates the coupling terms.
+        assert matrix[0][0] > matrix[0][1]
+        assert matrix[1][1] > matrix[1][0]
+        # Equal-footprint sources produce a symmetric matrix.
+        assert matrix[0][1] == pytest.approx(matrix[1][0], rel=1e-9)
+
+    def test_diagonal_matches_self_heating(self):
+        source = HeatSource(x=0.5e-3, y=0.5e-3, width=0.2e-3, length=0.1e-3, power=2.0)
+        matrix = resistance_matrix([source], K_SI)
+        assert matrix[0][0] == pytest.approx(
+            self_heating_resistance(0.2e-3, 0.1e-3, conductivity=K_SI)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resistance_matrix([], K_SI)
+        source = HeatSource(x=0.0, y=0.0, width=0.1e-3, length=0.1e-3, power=1.0)
+        with pytest.raises(ValueError):
+            resistance_matrix([source], 0.0)

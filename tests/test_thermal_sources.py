@@ -1,0 +1,153 @@
+"""Tests for repro.core.thermal.sources (Eqs. 16, 18, 19)."""
+
+import math
+
+import pytest
+
+from repro.core.thermal.sources import (
+    HeatSource,
+    buried_point_source_temperature,
+    equivalent_point_distance,
+    line_source_temperature,
+    point_source_temperature,
+    square_center_temperature,
+)
+
+K_SI = 148.0
+
+
+class TestHeatSource:
+    def test_area_and_density(self):
+        source = HeatSource(0.0, 0.0, 2e-6, 1e-6, 4e-3)
+        assert source.area == pytest.approx(2e-12)
+        assert source.power_density == pytest.approx(2e9)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            HeatSource(0.0, 0.0, 0.0, 1e-6, 1e-3)
+        with pytest.raises(ValueError):
+            HeatSource(0.0, 0.0, 1e-6, 1e-6, 1e-3, depth=-1e-6)
+
+    def test_geometric_transforms(self):
+        source = HeatSource(1e-6, 2e-6, 1e-6, 1e-6, 1e-3)
+        assert source.translated(1e-6, -1e-6).x == pytest.approx(2e-6)
+        assert source.mirrored_x(0.0).x == pytest.approx(-1e-6)
+        assert source.mirrored_y(5e-6).y == pytest.approx(8e-6)
+
+    def test_sink_image(self):
+        source = HeatSource(0.0, 0.0, 1e-6, 1e-6, 1e-3)
+        sink = source.as_sink(600e-6)
+        assert sink.power == pytest.approx(-1e-3)
+        assert sink.depth == pytest.approx(600e-6)
+
+    def test_scaled_power(self):
+        source = HeatSource(0.0, 0.0, 1e-6, 1e-6, 1e-3)
+        assert source.scaled_power(2.0).power == pytest.approx(2e-3)
+
+
+class TestPointSource:
+    def test_eq16_value(self):
+        # T = P / (2 pi k r).
+        assert point_source_temperature(1e-6, 1e-3, K_SI) == pytest.approx(
+            1e-3 / (2.0 * math.pi * K_SI * 1e-6)
+        )
+
+    def test_inverse_distance(self):
+        assert point_source_temperature(1e-6, 1e-3, K_SI) == pytest.approx(
+            2.0 * point_source_temperature(2e-6, 1e-3, K_SI)
+        )
+
+    def test_buried_source_reduces_to_surface_at_zero_depth(self):
+        assert buried_point_source_temperature(3e-6, 0.0, 1e-3, K_SI) == pytest.approx(
+            point_source_temperature(3e-6, 1e-3, K_SI)
+        )
+
+    def test_buried_source_uses_3d_distance(self):
+        value = buried_point_source_temperature(3e-6, 4e-6, 1e-3, K_SI)
+        assert value == pytest.approx(point_source_temperature(5e-6, 1e-3, K_SI))
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            point_source_temperature(0.0, 1e-3, K_SI)
+        with pytest.raises(ValueError):
+            point_source_temperature(1e-6, 1e-3, -1.0)
+        with pytest.raises(ValueError):
+            buried_point_source_temperature(0.0, 0.0, 1e-3, K_SI)
+
+
+class TestSquareCenter:
+    def test_symmetric_in_w_and_l(self):
+        assert square_center_temperature(1e-3, 1e-6, 0.1e-6, K_SI) == pytest.approx(
+            square_center_temperature(1e-3, 0.1e-6, 1e-6, K_SI)
+        )
+
+    def test_linear_in_power(self):
+        assert square_center_temperature(2e-3, 1e-6, 1e-6, K_SI) == pytest.approx(
+            2.0 * square_center_temperature(1e-3, 1e-6, 1e-6, K_SI)
+        )
+
+    def test_smaller_source_runs_hotter(self):
+        small = square_center_temperature(1e-3, 0.5e-6, 0.5e-6, K_SI)
+        large = square_center_temperature(1e-3, 2e-6, 2e-6, K_SI)
+        assert small > large
+
+    def test_square_closed_form(self):
+        # For W = L the bracket reduces to 2 W asinh(1).
+        width = 1e-6
+        expected = 1e-3 * 2.0 * width * math.asinh(1.0) / (
+            math.pi * K_SI * width * width
+        )
+        assert square_center_temperature(1e-3, width, width, K_SI) == pytest.approx(
+            expected
+        )
+
+    def test_paper_fig5_magnitude(self):
+        # The paper's Fig. 5 example: W = 1 um, L = 0.1 um, P = 10 mW.
+        value = square_center_temperature(10e-3, 1e-6, 0.1e-6, K_SI)
+        assert 50.0 < value < 150.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            square_center_temperature(1e-3, -1e-6, 1e-6, K_SI)
+        with pytest.raises(ValueError):
+            square_center_temperature(1e-3, 1e-6, 1e-6, 0.0)
+
+
+class TestLineSource:
+    def test_symmetric_about_center(self):
+        left = line_source_temperature(-2e-6, 1e-6, 1e-3, 4e-6, K_SI)
+        right = line_source_temperature(2e-6, 1e-6, 1e-3, 4e-6, K_SI)
+        assert left == pytest.approx(right, rel=1e-9)
+
+    def test_axis_choice_swaps_coordinates(self):
+        along_x = line_source_temperature(1e-6, 3e-6, 1e-3, 4e-6, K_SI, axis="x")
+        along_y = line_source_temperature(3e-6, 1e-6, 1e-3, 4e-6, K_SI, axis="y")
+        assert along_x == pytest.approx(along_y)
+
+    def test_far_field_matches_point_source(self):
+        distance = 200e-6
+        line = line_source_temperature(0.0, distance, 1e-3, 4e-6, K_SI)
+        point = point_source_temperature(distance, 1e-3, K_SI)
+        assert line == pytest.approx(point, rel=1e-3)
+
+    def test_diverges_on_the_line(self):
+        on_line = line_source_temperature(0.0, 0.0, 1e-3, 4e-6, K_SI)
+        near_line = line_source_temperature(0.0, 1e-6, 1e-3, 4e-6, K_SI)
+        assert on_line > near_line > 0.0
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            line_source_temperature(0.0, 1e-6, 1e-3, 4e-6, K_SI, axis="z")
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            line_source_temperature(0.0, 1e-6, 1e-3, 0.0, K_SI)
+
+
+class TestEquivalentPointDistance:
+    def test_half_diagonal(self):
+        assert equivalent_point_distance(3e-6, 4e-6) == pytest.approx(2.5e-6)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            equivalent_point_distance(0.0, 1e-6)

@@ -1,0 +1,131 @@
+"""Tests for repro.core.thermal.superposition (Eq. 21 and ChipThermalModel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.thermal.images import DieGeometry
+from repro.core.thermal.sources import HeatSource
+from repro.core.thermal.superposition import (
+    ChipThermalModel,
+    superposed_temperature_rise,
+)
+
+K_SI = 148.0
+AMBIENT = 298.15
+
+
+@pytest.fixture
+def die():
+    return DieGeometry(width=1e-3, length=1e-3, thickness=0.3e-3)
+
+
+@pytest.fixture
+def two_sources():
+    return [
+        HeatSource(x=0.3e-3, y=0.3e-3, width=0.1e-3, length=0.1e-3, power=0.3, name="a"),
+        HeatSource(x=0.7e-3, y=0.6e-3, width=0.15e-3, length=0.1e-3, power=0.2, name="b"),
+    ]
+
+
+@pytest.fixture
+def model(die, two_sources):
+    chip = ChipThermalModel(die, ambient_temperature=AMBIENT, image_rings=1)
+    chip.add_sources(two_sources)
+    return chip
+
+
+class TestSuperposition:
+    def test_linearity(self, two_sources):
+        a, b = two_sources
+        combined = superposed_temperature_rise(0.5e-3, 0.5e-3, [a, b], K_SI)
+        separate = superposed_temperature_rise(0.5e-3, 0.5e-3, [a], K_SI) + \
+            superposed_temperature_rise(0.5e-3, 0.5e-3, [b], K_SI)
+        assert combined == pytest.approx(separate)
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            superposed_temperature_rise(0.0, 0.0, [], K_SI)
+
+
+class TestChipThermalModel:
+    def test_ambient_without_sources(self, die):
+        chip = ChipThermalModel(die, ambient_temperature=AMBIENT)
+        assert chip.temperature_at(0.5e-3, 0.5e-3) == pytest.approx(AMBIENT)
+
+    def test_rise_positive_on_die(self, model):
+        assert model.temperature_rise_at(0.5e-3, 0.5e-3) > 0.0
+
+    def test_source_temperatures_named(self, model):
+        temps = model.source_temperatures()
+        assert set(temps) == {"a", "b"}
+        assert temps["a"] > AMBIENT
+
+    def test_bigger_power_block_is_hotter(self, model):
+        temps = model.source_temperatures()
+        assert temps["a"] > temps["b"]
+
+    def test_total_power(self, model):
+        assert model.total_power() == pytest.approx(0.5)
+
+    def test_source_outside_die_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_source(
+                HeatSource(x=2e-3, y=0.5e-3, width=0.1e-3, length=0.1e-3, power=0.1)
+            )
+
+    def test_set_source_powers(self, model):
+        before = model.temperature_rise_at(0.3e-3, 0.3e-3)
+        model.set_source_powers({"a": 0.6})
+        after = model.temperature_rise_at(0.3e-3, 0.3e-3)
+        assert after > before
+        model.set_source_powers({"a": 0.3})
+
+    def test_clear_sources(self, die, two_sources):
+        chip = ChipThermalModel(die, ambient_temperature=AMBIENT)
+        chip.add_sources(two_sources)
+        chip.clear_sources()
+        assert chip.sources == ()
+        assert chip.temperature_rise_at(0.5e-3, 0.5e-3) == 0.0
+
+    def test_invalid_ambient_rejected(self, die):
+        with pytest.raises(ValueError):
+            ChipThermalModel(die, ambient_temperature=-1.0)
+
+
+class TestSurfaceMap:
+    def test_map_shape_and_peak(self, model):
+        surface = model.surface_map(nx=21, ny=21)
+        assert surface.temperature.shape == (21, 21)
+        assert surface.peak_temperature > AMBIENT
+        x, y = surface.peak_location
+        # The hotspot sits inside the strongest block.
+        assert abs(x - 0.3e-3) < 0.15e-3
+        assert abs(y - 0.3e-3) < 0.15e-3
+
+    def test_rise_property(self, model):
+        surface = model.surface_map(nx=11, ny=11)
+        assert np.allclose(surface.rise, surface.temperature - AMBIENT)
+
+    def test_cross_sections(self, model):
+        surface = model.surface_map(nx=15, ny=15)
+        xs, temps = surface.cross_section_x(0.3e-3)
+        assert xs.shape == temps.shape == (15,)
+        ys, temps_y = surface.cross_section_y(0.3e-3)
+        assert ys.shape == temps_y.shape == (15,)
+
+    def test_map_resolution_validation(self, model):
+        with pytest.raises(ValueError):
+            model.surface_map(nx=1, ny=10)
+
+    def test_cross_section_method(self, model):
+        xs, temps = model.cross_section(y=0.5e-3, samples=31)
+        assert xs.shape == temps.shape == (31,)
+        assert temps.max() > AMBIENT
+
+    def test_edge_flux_residual_small(self, model):
+        assert model.edge_flux_residual(samples=5) < 0.2
+
+    def test_edge_flux_requires_sources(self, die):
+        chip = ChipThermalModel(die, ambient_temperature=AMBIENT)
+        with pytest.raises(ValueError):
+            chip.edge_flux_residual()

@@ -1,0 +1,102 @@
+"""Tests for repro.core.thermal.transient (Fig. 9 lumped model)."""
+
+import math
+
+import pytest
+
+from repro.core.thermal.resistance import self_heating_resistance
+from repro.core.thermal.transient import (
+    device_thermal_network,
+    device_thermal_parameters,
+    effective_heated_volume,
+    self_heating_transient,
+    steady_state_self_heating,
+)
+
+
+class TestHeatedVolume:
+    def test_hemispherical_formula(self):
+        volume = effective_heated_volume(1e-6, 1e-6, spreading_factor=1.0)
+        radius = math.sqrt(1e-12 / math.pi)
+        assert volume == pytest.approx((2.0 / 3.0) * math.pi * radius**3)
+
+    def test_spreading_factor_cubes(self):
+        base = effective_heated_volume(1e-6, 1e-6, spreading_factor=1.0)
+        spread = effective_heated_volume(1e-6, 1e-6, spreading_factor=2.0)
+        assert spread == pytest.approx(8.0 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_heated_volume(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            effective_heated_volume(1e-6, 1e-6, spreading_factor=0.0)
+
+
+class TestDeviceThermalParameters:
+    def test_resistance_matches_analytical(self):
+        parameters = device_thermal_parameters(10e-6, 0.35e-6)
+        assert parameters.resistance == pytest.approx(
+            self_heating_resistance(10e-6, 0.35e-6, temperature=300.0)
+        )
+
+    def test_time_constant_is_rc(self):
+        parameters = device_thermal_parameters(10e-6, 0.35e-6)
+        assert parameters.time_constant == pytest.approx(
+            parameters.resistance * parameters.capacitance
+        )
+
+    def test_microsecond_scale_for_bare_device(self):
+        # A bare transistor's intrinsic thermal time constant is far below a
+        # millisecond — which is why the 3 Hz measurement sees the probe
+        # environment rather than the device itself.
+        parameters = device_thermal_parameters(10e-6, 0.35e-6)
+        assert parameters.time_constant < 1e-3
+
+
+class TestNetworks:
+    def test_single_stage_steady_state(self):
+        network = device_thermal_network(10e-6, 0.35e-6, stages=1)
+        assert network.total_resistance == pytest.approx(
+            self_heating_resistance(10e-6, 0.35e-6, temperature=300.0)
+        )
+
+    def test_two_stage_preserves_total_resistance(self):
+        one = device_thermal_network(10e-6, 0.35e-6, stages=1)
+        two = device_thermal_network(10e-6, 0.35e-6, stages=2)
+        assert two.total_resistance == pytest.approx(one.total_resistance)
+        assert len(two.stages) == 2
+
+    def test_unsupported_stage_count(self):
+        with pytest.raises(ValueError):
+            device_thermal_network(10e-6, 0.35e-6, stages=3)
+
+
+class TestTransients:
+    def test_steady_state_rise(self):
+        rise = steady_state_self_heating(10e-3, 10e-6, 0.35e-6)
+        assert rise == pytest.approx(
+            10e-3 * self_heating_resistance(10e-6, 0.35e-6, temperature=300.0)
+        )
+
+    def test_transient_is_monotone_and_converges(self):
+        parameters = device_thermal_parameters(10e-6, 0.35e-6)
+        tau = parameters.time_constant
+        times = [0.0, tau, 2 * tau, 5 * tau, 20 * tau]
+        rises = self_heating_transient(5e-3, 10e-6, 0.35e-6, times)
+        assert rises[0] == pytest.approx(0.0)
+        assert all(b >= a for a, b in zip(rises, rises[1:]))
+        assert rises[-1] == pytest.approx(
+            steady_state_self_heating(5e-3, 10e-6, 0.35e-6), rel=1e-6
+        )
+
+    def test_one_tau_point(self):
+        parameters = device_thermal_parameters(10e-6, 0.35e-6)
+        rises = self_heating_transient(
+            5e-3, 10e-6, 0.35e-6, [parameters.time_constant]
+        )
+        final = steady_state_self_heating(5e-3, 10e-6, 0.35e-6)
+        assert rises[0] == pytest.approx(final * (1.0 - math.exp(-1.0)), rel=1e-6)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_self_heating(-1.0, 1e-6, 1e-6)

@@ -1,0 +1,83 @@
+"""Tests for repro.thermalsim.quadrature (numerical Eq. 17 reference)."""
+
+import math
+
+import pytest
+
+from repro.core.thermal.sources import square_center_temperature
+from repro.thermalsim.quadrature import (
+    point_source_temperature_numeric,
+    rectangle_temperature_numeric,
+    rectangle_temperature_profile_numeric,
+)
+
+K_SI = 148.0
+
+
+class TestPointSource:
+    def test_inverse_distance_law(self):
+        near = point_source_temperature_numeric(1e-6, 1e-3, K_SI)
+        far = point_source_temperature_numeric(2e-6, 1e-3, K_SI)
+        assert near == pytest.approx(2.0 * far)
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ValueError):
+            point_source_temperature_numeric(0.0, 1e-3, K_SI)
+
+
+class TestRectangleQuadrature:
+    def test_center_matches_closed_form(self):
+        # The paper's Eq. (18) is the exact value of the Eq. (17) integral at
+        # the rectangle centre; the numerical quadrature must agree.
+        numeric = rectangle_temperature_numeric(0.0, 0.0, 10e-3, 1e-6, 0.1e-6, K_SI)
+        closed = square_center_temperature(10e-3, 1e-6, 0.1e-6, K_SI)
+        assert numeric == pytest.approx(closed, rel=1e-3)
+
+    def test_center_of_square_source(self):
+        numeric = rectangle_temperature_numeric(0.0, 0.0, 1e-3, 2e-6, 2e-6, K_SI)
+        closed = square_center_temperature(1e-3, 2e-6, 2e-6, K_SI)
+        assert numeric == pytest.approx(closed, rel=1e-3)
+
+    def test_far_field_approaches_point_source(self):
+        distance = 50e-6  # 50x the source size
+        numeric = rectangle_temperature_numeric(distance, 0.0, 1e-3, 1e-6, 1e-6, K_SI)
+        point = point_source_temperature_numeric(distance, 1e-3, K_SI)
+        assert numeric == pytest.approx(point, rel=1e-3)
+
+    def test_linear_in_power(self):
+        small = rectangle_temperature_numeric(2e-6, 0.0, 1e-3, 1e-6, 0.5e-6, K_SI)
+        large = rectangle_temperature_numeric(2e-6, 0.0, 3e-3, 1e-6, 0.5e-6, K_SI)
+        assert large == pytest.approx(3.0 * small, rel=1e-9)
+
+    def test_negative_power_gives_negative_rise(self):
+        sink = rectangle_temperature_numeric(2e-6, 0.0, -1e-3, 1e-6, 0.5e-6, K_SI)
+        source = rectangle_temperature_numeric(2e-6, 0.0, 1e-3, 1e-6, 0.5e-6, K_SI)
+        assert sink == pytest.approx(-source)
+
+    def test_zero_power_gives_zero(self):
+        assert rectangle_temperature_numeric(2e-6, 0.0, 0.0, 1e-6, 0.5e-6, K_SI) == 0.0
+
+    def test_symmetry_in_x(self):
+        left = rectangle_temperature_numeric(-3e-6, 1e-6, 1e-3, 2e-6, 1e-6, K_SI)
+        right = rectangle_temperature_numeric(3e-6, 1e-6, 1e-3, 2e-6, 1e-6, K_SI)
+        assert left == pytest.approx(right, rel=1e-6)
+
+    def test_monotone_decay_with_distance(self):
+        distances = [0.0, 1e-6, 2e-6, 5e-6, 10e-6, 30e-6]
+        values = [
+            rectangle_temperature_numeric(d, 0.0, 1e-3, 1e-6, 0.5e-6, K_SI)
+            for d in distances
+        ]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            rectangle_temperature_numeric(0.0, 0.0, 1e-3, -1e-6, 1e-6, K_SI)
+        with pytest.raises(ValueError):
+            rectangle_temperature_numeric(0.0, 0.0, 1e-3, 1e-6, 1e-6, 0.0)
+
+    def test_profile_wrapper(self):
+        points = [(0.0, 0.0), (2e-6, 0.0), (0.0, 2e-6)]
+        values = rectangle_temperature_profile_numeric(points, 1e-3, 1e-6, 1e-6, K_SI)
+        assert values.shape == (3,)
+        assert values[0] > values[1] and values[0] > values[2]

@@ -1,0 +1,140 @@
+"""Tests for repro.thermalsim.rc_network (transient thermal RC networks)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.thermalsim.rc_network import (
+    CauerNetwork,
+    FosterNetwork,
+    FosterStage,
+    single_pole_network,
+    square_wave_power,
+)
+
+
+class TestFosterStage:
+    def test_time_constant(self):
+        stage = FosterStage(resistance=100.0, capacitance=1e-3)
+        assert stage.time_constant == pytest.approx(0.1)
+
+    def test_step_response_limits(self):
+        stage = FosterStage(100.0, 1e-3)
+        assert stage.step_response(0.0, 1.0) == pytest.approx(0.0)
+        assert stage.step_response(10.0, 1.0) == pytest.approx(100.0, rel=1e-6)
+
+    def test_one_tau_point(self):
+        stage = FosterStage(100.0, 1e-3)
+        assert stage.step_response(0.1, 1.0) == pytest.approx(
+            100.0 * (1.0 - math.exp(-1.0))
+        )
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            FosterStage(0.0, 1e-3)
+        with pytest.raises(ValueError):
+            FosterStage(10.0, -1e-3)
+
+
+class TestFosterNetwork:
+    def test_total_resistance(self):
+        network = FosterNetwork([FosterStage(60.0, 1e-3), FosterStage(40.0, 1e-4)])
+        assert network.total_resistance == pytest.approx(100.0)
+        assert network.steady_state_rise(0.5) == pytest.approx(50.0)
+
+    def test_step_response_sums_stages(self):
+        stages = [FosterStage(60.0, 1e-3), FosterStage(40.0, 1e-4)]
+        network = FosterNetwork(stages)
+        t = 0.01
+        assert network.step_response(t, 2.0) == pytest.approx(
+            sum(stage.step_response(t, 2.0) for stage in stages)
+        )
+
+    def test_simulate_step_matches_closed_form(self):
+        network = single_pole_network(resistance=100.0, time_constant=0.05)
+        times = np.linspace(0.0, 0.5, 200)
+        powers = np.full_like(times, 0.02)
+        rises = network.simulate(times, powers)
+        expected = 0.02 * 100.0 * (1.0 - np.exp(-times / 0.05))
+        assert np.allclose(rises, expected, atol=1e-9)
+
+    def test_simulate_square_wave_settles_between_extremes(self):
+        network = single_pole_network(resistance=1000.0, time_constant=0.06)
+        times, powers = square_wave_power(
+            period=1.0 / 3.0, duty_cycle=0.5, on_power=0.01, duration=2.0
+        )
+        rises = network.simulate(times, powers)
+        steady = network.steady_state_rise(0.01)
+        assert rises.max() < steady  # never reaches the DC value at 3 Hz
+        assert rises.max() > 0.5 * steady
+        assert rises.min() >= 0.0
+
+    def test_time_to_fraction(self):
+        network = single_pole_network(resistance=100.0, time_constant=0.05)
+        assert network.time_to_fraction(1.0 - math.exp(-1.0)) == pytest.approx(
+            0.05, rel=1e-3
+        )
+
+    def test_initial_state_support(self):
+        network = single_pole_network(100.0, 0.05)
+        times = np.array([0.0, 1.0])
+        rises = network.simulate(times, np.zeros(2), initial_rises=[5.0])
+        assert rises[0] == pytest.approx(5.0)
+        assert rises[1] < 1e-6
+
+    def test_invalid_inputs_rejected(self):
+        network = single_pole_network(100.0, 0.05)
+        with pytest.raises(ValueError):
+            network.simulate([0.0, 0.0], [1.0, 1.0])  # non-increasing times
+        with pytest.raises(ValueError):
+            network.simulate([0.0, 1.0], [1.0])  # length mismatch
+        with pytest.raises(ValueError):
+            FosterNetwork([])
+
+
+class TestCauerNetwork:
+    def test_steady_state_matches_total_resistance(self):
+        network = CauerNetwork([50.0, 50.0], [1e-4, 1e-3])
+        times = np.linspace(0.0, 5.0, 500)
+        powers = np.full_like(times, 0.01)
+        rises = network.simulate(times, powers)
+        assert rises[-1] == pytest.approx(network.steady_state_rise(0.01), rel=1e-3)
+
+    def test_monotone_step_response(self):
+        network = CauerNetwork([100.0], [1e-3])
+        times = np.linspace(0.0, 1.0, 100)
+        rises = network.simulate(times, np.full_like(times, 0.02))
+        assert all(b >= a - 1e-12 for a, b in zip(rises, rises[1:]))
+
+    def test_single_stage_matches_foster(self):
+        cauer = CauerNetwork([100.0], [1e-3])
+        foster = single_pole_network(100.0, 0.1)
+        times = np.linspace(0.0, 0.5, 100)
+        powers = np.full_like(times, 0.05)
+        assert np.allclose(
+            cauer.simulate(times, powers), foster.simulate(times, powers), rtol=1e-6
+        )
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            CauerNetwork([], [])
+        with pytest.raises(ValueError):
+            CauerNetwork([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            CauerNetwork([1.0], [-1.0])
+
+
+class TestSquareWave:
+    def test_duty_cycle_fraction(self):
+        times, powers = square_wave_power(1.0, 0.25, 4.0, 10.0, samples_per_period=100)
+        on_fraction = float((powers > 0).mean())
+        assert on_fraction == pytest.approx(0.25, abs=0.02)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            square_wave_power(0.0, 0.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            square_wave_power(1.0, 1.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            square_wave_power(1.0, 0.5, 1.0, 1.0, samples_per_period=2)

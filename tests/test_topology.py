@@ -1,0 +1,127 @@
+"""Tests for repro.circuit.topology (series/parallel networks, OFF chains)."""
+
+import pytest
+
+from repro.circuit.devices import nmos, pmos
+from repro.circuit.stack import TransistorStack
+from repro.circuit.topology import (
+    DeviceLeaf,
+    ParallelNetwork,
+    SeriesNetwork,
+    network_from_stack,
+    parallel,
+    parallel_of_devices,
+    series,
+    series_of_devices,
+)
+
+
+@pytest.fixture
+def nand2_pulldown():
+    # Series NMOS chain of a NAND2 (A closest to ground).
+    return series_of_devices([nmos("MN1", 1e-6, "A"), nmos("MN2", 1e-6, "B")])
+
+
+@pytest.fixture
+def nand2_pullup():
+    return parallel_of_devices([pmos("MP1", 2e-6, "A"), pmos("MP2", 2e-6, "B")])
+
+
+class TestConstruction:
+    def test_leaf_devices(self):
+        leaf = DeviceLeaf(nmos("MN1", 1e-6, "A"))
+        assert len(leaf.devices()) == 1
+        assert leaf.input_names() == ("A",)
+
+    def test_mixed_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            series_of_devices([nmos("MN1", 1e-6, "A"), pmos("MP1", 1e-6, "B")])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesNetwork([])
+
+    def test_empty_parallel_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelNetwork([])
+
+    def test_nested_composition(self):
+        network = series(
+            DeviceLeaf(nmos("MN1", 1e-6, "A")),
+            parallel(
+                DeviceLeaf(nmos("MN2", 1e-6, "B")),
+                DeviceLeaf(nmos("MN3", 1e-6, "C")),
+            ),
+        )
+        assert len(network.devices()) == 3
+        assert network.input_names() == ("A", "B", "C")
+
+
+class TestConduction:
+    def test_series_requires_all_on(self, nand2_pulldown):
+        assert nand2_pulldown.conducts({"A": 1, "B": 1})
+        assert not nand2_pulldown.conducts({"A": 1, "B": 0})
+
+    def test_parallel_requires_any_on(self, nand2_pullup):
+        assert nand2_pullup.conducts({"A": 0, "B": 1})
+        assert not nand2_pullup.conducts({"A": 1, "B": 1})
+
+    def test_missing_input_raises(self, nand2_pulldown):
+        with pytest.raises(KeyError):
+            nand2_pulldown.conducts({"A": 1})
+
+    def test_invalid_logic_value_raises(self, nand2_pulldown):
+        with pytest.raises(ValueError):
+            nand2_pulldown.conducts({"A": 1, "B": 3})
+
+
+class TestChains:
+    def test_series_has_single_chain(self, nand2_pulldown):
+        chains = nand2_pulldown.chains()
+        assert len(chains) == 1
+        assert [d.name for d in chains[0]] == ["MN1", "MN2"]
+
+    def test_parallel_has_one_chain_per_branch(self, nand2_pullup):
+        assert len(nand2_pullup.chains()) == 2
+
+    def test_series_of_parallel_enumerates_paths(self):
+        network = series(
+            parallel(
+                DeviceLeaf(nmos("MN1", 1e-6, "A")),
+                DeviceLeaf(nmos("MN2", 1e-6, "B")),
+            ),
+            DeviceLeaf(nmos("MN3", 1e-6, "C")),
+        )
+        chains = network.chains()
+        assert len(chains) == 2
+        assert all(chain[-1].name == "MN3" for chain in chains)
+
+
+class TestOffChains:
+    def test_all_off_series_returns_whole_chain(self, nand2_pulldown):
+        off = nand2_pulldown.off_chains({"A": 0, "B": 0})
+        assert len(off) == 1
+        assert len(off[0]) == 2
+
+    def test_partial_off_series_keeps_only_off_devices(self, nand2_pulldown):
+        off = nand2_pulldown.off_chains({"A": 0, "B": 1})
+        assert len(off) == 1
+        assert [d.name for d in off[0].devices] == ["MN1"]
+
+    def test_conducting_network_yields_no_off_chains(self, nand2_pulldown):
+        assert nand2_pulldown.off_chains({"A": 1, "B": 1}) == ()
+
+    def test_parallel_off_chains_all_reported(self, nand2_pullup):
+        off = nand2_pullup.off_chains({"A": 1, "B": 1})
+        assert len(off) == 2
+
+    def test_parallel_with_one_on_branch_discards_off_branches(self, nand2_pullup):
+        # One PMOS conducting shorts the output to VDD: the other OFF branch
+        # carries no rail-to-rail leakage (the paper's discard rule).
+        assert nand2_pullup.off_chains({"A": 0, "B": 1}) == ()
+
+    def test_network_from_stack_round_trip(self):
+        stack = TransistorStack([nmos("MN1", 1e-6, "A"), nmos("MN2", 2e-6, "B")])
+        network = network_from_stack(stack)
+        off = network.off_chains({"A": 0, "B": 0})
+        assert off[0].widths == (1e-6, 2e-6)

@@ -1,0 +1,90 @@
+"""Tests for repro.circuit.vectors."""
+
+import pytest
+
+from repro.circuit.vectors import (
+    VectorDistribution,
+    enumerate_vectors,
+    vector_from_bits,
+    vector_label,
+    vector_to_bits,
+)
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert len(list(enumerate_vectors(["A"]))) == 2
+        assert len(list(enumerate_vectors(["A", "B", "C"]))) == 8
+
+    def test_order_is_binary_ascending(self):
+        vectors = list(enumerate_vectors(["A", "B"]))
+        assert vectors[0] == {"A": 0, "B": 0}
+        assert vectors[-1] == {"A": 1, "B": 1}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_vectors(["A", "A"]))
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_vectors([]))
+
+
+class TestConversions:
+    def test_from_bits(self):
+        assert vector_from_bits(["A", "B"], [1, 0]) == {"A": 1, "B": 0}
+
+    def test_to_bits(self):
+        assert vector_to_bits(["B", "A"], {"A": 1, "B": 0}) == (0, 1)
+
+    def test_roundtrip(self):
+        names = ["X", "Y", "Z"]
+        bits = (1, 1, 0)
+        assert vector_to_bits(names, vector_from_bits(names, bits)) == bits
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            vector_from_bits(["A", "B"], [1])
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(KeyError):
+            vector_to_bits(["A", "B"], {"A": 1})
+
+    def test_label(self):
+        assert vector_label(["A", "B"], {"A": 0, "B": 1}) == "A=0 B=1"
+
+
+class TestVectorDistribution:
+    def test_uniform_sums_to_one(self):
+        distribution = VectorDistribution.uniform(["A", "B"])
+        assert sum(p for _, p in distribution.items()) == pytest.approx(1.0)
+        assert len(list(distribution.items())) == 4
+
+    def test_signal_probabilities(self):
+        distribution = VectorDistribution.from_signal_probabilities({"A": 0.9, "B": 0.5})
+        probabilities = {
+            tuple(v[name] for name in ("A", "B")): p for v, p in distribution.items()
+        }
+        assert probabilities[(1, 1)] == pytest.approx(0.45)
+        assert probabilities[(0, 0)] == pytest.approx(0.05)
+
+    def test_expectation(self):
+        distribution = VectorDistribution.uniform(["A"])
+        expected = distribution.expectation(lambda v: 10.0 if v["A"] else 2.0)
+        assert expected == pytest.approx(6.0)
+
+    def test_invalid_probability_sum_rejected(self):
+        with pytest.raises(ValueError):
+            VectorDistribution(
+                input_names=("A",), probabilities=(((0,), 0.4), ((1,), 0.4))
+            )
+
+    def test_invalid_signal_probability_rejected(self):
+        with pytest.raises(ValueError):
+            VectorDistribution.from_signal_probabilities({"A": 1.5})
+
+    def test_vector_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorDistribution(
+                input_names=("A", "B"), probabilities=(((0,), 1.0),)
+            )
