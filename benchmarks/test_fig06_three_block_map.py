@@ -18,8 +18,7 @@ import pytest
 from repro.analysis.isotherms import (
     gradient_tangency_residual,
     hotspot_location,
-    isotherm_levels,
-    isotherm_statistics,
+    isotherm_summary,
 )
 from repro.core.thermal.superposition import ChipThermalModel
 from repro.floorplan import three_block_floorplan
@@ -55,8 +54,7 @@ def test_fig06_three_block_map(benchmark):
         title="fig6: three-block IC block temperatures",
     )
 
-    levels = isotherm_levels(surface.temperature, count=6)
-    stats = isotherm_statistics(surface.temperature, levels)
+    stats = isotherm_summary(surface.temperature, count=6)
     print_table(
         ["isotherm (K)", "enclosed fraction"],
         [[s.temperature, s.enclosed_fraction] for s in stats],

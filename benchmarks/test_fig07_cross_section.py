@@ -26,11 +26,12 @@ def build_cross_section(samples: int = 121):
     chip = ChipThermalModel(plan.die, ambient_temperature=AMBIENT, image_rings=1)
     chip.add_sources(plan.to_heat_sources(BLOCK_POWERS))
     section = cross_section_x(
-        chip.temperature_at,
+        chip.temperatures,
         y=0.5 * plan.die.length,
         x_start=0.0,
         x_stop=plan.die.width,
         samples=samples,
+        batched=True,
     )
     no_images = ChipThermalModel(
         plan.die, ambient_temperature=AMBIENT, image_rings=0,
@@ -38,11 +39,12 @@ def build_cross_section(samples: int = 121):
     )
     no_images.add_sources(plan.to_heat_sources(BLOCK_POWERS))
     free_section = cross_section_x(
-        no_images.temperature_at,
+        no_images.temperatures,
         y=0.5 * plan.die.length,
         x_start=0.0,
         x_stop=plan.die.width,
         samples=samples,
+        batched=True,
     )
     return plan, section, free_section
 

@@ -89,12 +89,14 @@ def main() -> None:
         title="analytical block temperatures (method of images, 1 ring)",
     )
 
-    surface = chip.surface_map(nx=48, ny=48)
+    # One batched kernel call evaluates the entire 192x192 grid.
+    surface = chip.surface_map(nx=192, ny=192)
     print("\nsurface temperature-rise map (hotter = denser):\n")
     print(ascii_heat_map(surface))
 
     section = cross_section_x(
-        chip.temperature_at, y=1.45e-3, x_start=0.0, x_stop=plan.die.width, samples=13
+        chip.temperatures, y=1.45e-3, x_start=0.0, x_stop=plan.die.width,
+        samples=13, batched=True,
     )
     print_table(
         ["x (um)", "temperature (degC)"],

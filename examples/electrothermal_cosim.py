@@ -144,6 +144,24 @@ def main() -> None:
         f"{result.peak_temperature - 273.15:.1f} degC"
     )
 
+    # Whole-die view through the batched kernel.  The 85 degC case above is
+    # a thermal runaway (result.converged is False, its powers are clamped),
+    # so map a heat-sink temperature whose fixed point truly converges: a
+    # 150x150 map plus the mid-die cut, each a single vectorized evaluation.
+    cool_engine = ElectroThermalEngine(
+        technology, plan, block_models, ambient_temperature=273.15 + 45.0
+    )
+    cool = cool_engine.solve()
+    chip = cool_engine.thermal_model(cool)
+    surface = chip.surface_map(nx=150, ny=150)
+    xs, cut = chip.cross_section(y=0.5 * plan.die.length, samples=7)
+    print(
+        f"45 degC heat sink (converged={cool.converged}): surface peak "
+        f"{surface.peak_temperature - 273.15:.1f} degC; mid-die cut "
+        + ", ".join(f"{t - 273.15:.1f}" for t in cut)
+        + " degC"
+    )
+
 
 if __name__ == "__main__":
     main()

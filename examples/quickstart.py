@@ -109,6 +109,16 @@ def cosim_demo() -> None:
         f"({coupled.total_static_power / naive.total_static_power:.2f}x)"
     )
 
+    # Full-chip surface map of the converged solution: the 200x200 grid is a
+    # single call into the vectorized thermal kernel.
+    surface = engine.thermal_model(coupled).surface_map(nx=200, ny=200)
+    peak_x, peak_y = surface.peak_location
+    print(
+        f"converged surface map (200x200 samples): peak "
+        f"{surface.peak_temperature - 273.15:.1f} degC at "
+        f"({peak_x * 1e6:.0f} um, {peak_y * 1e6:.0f} um)"
+    )
+
 
 def main() -> None:
     leakage_demo()

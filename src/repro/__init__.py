@@ -69,12 +69,15 @@ from .core.thermal import (
     ChipThermalModel,
     DieGeometry,
     HeatSource,
+    SourceArray,
     device_thermal_network,
     line_source_temperature,
+    pairwise_rise,
     point_source_temperature,
     rectangle_temperature,
     self_heating_resistance,
     square_center_temperature,
+    temperature_rise,
 )
 from .core.cosim import TransientElectroThermalSimulator
 from .floorplan import Block, Floorplan, three_block_floorplan
@@ -125,6 +128,9 @@ __all__ = [
     "HeatSource",
     "DieGeometry",
     "ChipThermalModel",
+    "SourceArray",
+    "temperature_rise",
+    "pairwise_rise",
     "point_source_temperature",
     "square_center_temperature",
     "line_source_temperature",

@@ -8,6 +8,7 @@ from .isotherms import (
     isotherm_levels,
     isotherm_mask,
     isotherm_statistics,
+    isotherm_summary,
 )
 from .metrics import (
     absolute_relative_error,
@@ -19,7 +20,12 @@ from .metrics import (
     rms_error,
     rms_relative_error,
 )
-from .sections import CrossSection, cross_section_x, cross_section_y
+from .sections import (
+    BatchedTemperatureField,
+    CrossSection,
+    cross_section_x,
+    cross_section_y,
+)
 from .sweep import SweepResult, grid_sweep, logspace, sweep
 
 __all__ = [
@@ -27,11 +33,13 @@ __all__ = [
     "regular_grid",
     "radial_distances",
     "CrossSection",
+    "BatchedTemperatureField",
     "cross_section_x",
     "cross_section_y",
     "IsothermLevel",
     "isotherm_levels",
     "isotherm_statistics",
+    "isotherm_summary",
     "isotherm_mask",
     "hotspot_location",
     "gradient_tangency_residual",

@@ -35,13 +35,32 @@ class SurfaceGrid:
         """Full coordinate meshes (indexing='ij')."""
         return np.meshgrid(self.x_coordinates, self.y_coordinates, indexing="ij")
 
+    def points(self) -> np.ndarray:
+        """Every grid sample as an ``(nx * ny, 2)`` array, row-major in x."""
+        mesh_x, mesh_y = self.meshgrid()
+        return np.column_stack([mesh_x.ravel(), mesh_y.ravel()])
+
     def evaluate(self, field: Callable[[float, float], float]) -> np.ndarray:
-        """Sample a scalar field over the grid."""
+        """Sample a scalar field over the grid, one call per sample."""
         values = np.empty(self.shape)
         for i, x in enumerate(self.x_coordinates):
             for j, y in enumerate(self.y_coordinates):
                 values[i, j] = field(float(x), float(y))
         return values
+
+    def evaluate_batched(
+        self, field: Callable[[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Sample a batched field over the grid in a single call.
+
+        ``field`` receives the full ``(nx * ny, 2)`` point array (see
+        :meth:`points`) and must return one value per point — the calling
+        convention of the vectorized thermal kernel.
+        """
+        values = np.asarray(field(self.points()), dtype=float)
+        if values.shape != (self.x_coordinates.size * self.y_coordinates.size,):
+            raise ValueError("the batched field must return one value per point")
+        return values.reshape(self.shape)
 
 
 def regular_grid(

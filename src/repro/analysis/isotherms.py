@@ -75,6 +75,23 @@ def isotherm_statistics(
     return statistics
 
 
+def isotherm_summary(
+    temperature: np.ndarray,
+    count: int = 8,
+    minimum: float = None,
+    maximum: float = None,
+) -> List[IsothermLevel]:
+    """Levels plus enclosed-area statistics of a sampled field in one call.
+
+    Convenience wrapper combining :func:`isotherm_levels` and
+    :func:`isotherm_statistics`; pairs naturally with the batched surface
+    maps produced by the vectorized thermal kernel
+    (``isotherm_summary(model.surface_map(nx, ny).temperature)``).
+    """
+    levels = isotherm_levels(temperature, count=count, minimum=minimum, maximum=maximum)
+    return isotherm_statistics(temperature, levels)
+
+
 def isotherm_mask(temperature: np.ndarray, level: float) -> np.ndarray:
     """Boolean mask of samples at or above an isotherm level."""
     return np.asarray(temperature, dtype=float) >= level

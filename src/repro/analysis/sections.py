@@ -16,6 +16,10 @@ import numpy as np
 
 TemperatureField = Callable[[float, float], float]
 
+#: A field evaluated on a whole ``(N, 2)`` batch of points at once, e.g.
+#: :meth:`repro.core.thermal.superposition.ChipThermalModel.temperatures`.
+BatchedTemperatureField = Callable[[np.ndarray], np.ndarray]
+
 
 @dataclass(frozen=True)
 class CrossSection:
@@ -71,20 +75,41 @@ class CrossSection:
         return abs(first) / interior_peak, abs(last) / interior_peak
 
 
+def _sample_line(
+    field, positions: np.ndarray, fixed: float, axis: str, batched: bool
+) -> np.ndarray:
+    if batched:
+        fixed_column = np.full(positions.size, fixed)
+        if axis == "x":
+            points = np.column_stack([positions, fixed_column])
+        else:
+            points = np.column_stack([fixed_column, positions])
+        return np.asarray(field(points), dtype=float)
+    if axis == "x":
+        return np.asarray([field(float(p), fixed) for p in positions])
+    return np.asarray([field(fixed, float(p)) for p in positions])
+
+
 def cross_section_x(
     field: TemperatureField,
     y: float,
     x_start: float,
     x_stop: float,
     samples: int = 101,
+    batched: bool = False,
 ) -> CrossSection:
-    """Sample a temperature field along x at fixed ``y``."""
+    """Sample a temperature field along x at fixed ``y``.
+
+    With ``batched=True`` the field is a :data:`BatchedTemperatureField`
+    called once with every ``(x, y)`` sample — the fast path for the
+    vectorized thermal kernel.
+    """
     if samples < 3:
         raise ValueError("at least three samples are required")
     if x_stop <= x_start:
         raise ValueError("x_stop must exceed x_start")
     positions = np.linspace(x_start, x_stop, samples)
-    temperatures = np.asarray([field(float(x), y) for x in positions])
+    temperatures = _sample_line(field, positions, y, "x", batched)
     return CrossSection(
         positions=positions, temperatures=temperatures, axis="x", fixed_coordinate=y
     )
@@ -96,14 +121,19 @@ def cross_section_y(
     y_start: float,
     y_stop: float,
     samples: int = 101,
+    batched: bool = False,
 ) -> CrossSection:
-    """Sample a temperature field along y at fixed ``x``."""
+    """Sample a temperature field along y at fixed ``x``.
+
+    ``batched=True`` follows the same single-call convention as
+    :func:`cross_section_x`.
+    """
     if samples < 3:
         raise ValueError("at least three samples are required")
     if y_stop <= y_start:
         raise ValueError("y_stop must exceed y_start")
     positions = np.linspace(y_start, y_stop, samples)
-    temperatures = np.asarray([field(x, float(y)) for y in positions])
+    temperatures = _sample_line(field, positions, x, "y", batched)
     return CrossSection(
         positions=positions, temperatures=temperatures, axis="y", fixed_coordinate=x
     )

@@ -14,6 +14,8 @@ from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from .grids import SurfaceGrid
+
 
 @dataclass
 class SweepResult:
@@ -87,11 +89,23 @@ def sweep(
 def grid_sweep(
     x_values: Sequence[float],
     y_values: Sequence[float],
-    evaluator: Callable[[float, float], float],
+    evaluator: Callable[..., float],
+    batched: bool = False,
 ) -> np.ndarray:
-    """Evaluate a function over a 2-D grid, returning a (len(x), len(y)) array."""
+    """Evaluate a function over a 2-D grid, returning a (len(x), len(y)) array.
+
+    With ``batched=True`` the evaluator is called once with the full
+    ``(len(x) * len(y), 2)`` array of parameter pairs and must return one
+    value per pair — the convention of the vectorized thermal kernel, which
+    turns whole-floorplan sweeps into a single broadcast.
+    """
     if not len(x_values) or not len(y_values):
         raise ValueError("both parameter axes need at least one value")
+    if batched:
+        return SurfaceGrid(
+            x_coordinates=np.asarray(x_values, dtype=float),
+            y_coordinates=np.asarray(y_values, dtype=float),
+        ).evaluate_batched(evaluator)
     grid = np.empty((len(x_values), len(y_values)))
     for i, x in enumerate(x_values):
         for j, y in enumerate(y_values):

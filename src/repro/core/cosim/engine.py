@@ -23,16 +23,15 @@ finite-volume reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ...floorplan.floorplan import Floorplan
 from ...technology.parameters import TechnologyParameters
 from ..thermal.images import ImageExpansion
-from ..thermal.sources import HeatSource
-from ..thermal.superposition import ChipThermalModel, superposed_temperature_rise
+from ..thermal.kernel import pairwise_rise
+from ..thermal.superposition import ChipThermalModel
 from .coupling import BlockPowerModel
 from .result import CosimIteration, CosimResult
 
@@ -102,26 +101,28 @@ class ElectroThermalEngine:
         """Block-to-block thermal resistance matrix [K/W], images included.
 
         Entry ``[i, j]`` is the temperature rise at block ``i``'s centre per
-        watt dissipated uniformly over block ``j``'s footprint.
+        watt dissipated uniformly over block ``j``'s footprint.  The whole
+        matrix is one grouped :func:`~repro.core.thermal.kernel.pairwise_rise`
+        call: every block's unit-power image family is packed into a single
+        :class:`~repro.core.thermal.kernel.SourceArray` and the per-image
+        contributions are summed back per emitting block.
         """
         expansion = ImageExpansion(
             self.floorplan.die,
             rings=self.image_rings,
             include_bottom_images=self.include_bottom_images,
         )
-        conductivity = self.conductivity
-        count = len(self._modelled_blocks)
-        matrix = np.zeros((count, count))
-        for j, emitter_name in enumerate(self._modelled_blocks):
-            emitter = self.floorplan.block(emitter_name)
-            unit_source = emitter.to_heat_source(1.0)
-            expanded = expansion.expand([unit_source])
-            for i, observer_name in enumerate(self._modelled_blocks):
-                observer = self.floorplan.block(observer_name)
-                matrix[i, j] = superposed_temperature_rise(
-                    observer.x, observer.y, expanded, conductivity
-                )
-        return matrix
+        blocks = [self.floorplan.block(name) for name in self._modelled_blocks]
+        unit_sources = [block.to_heat_source(1.0) for block in blocks]
+        expanded, groups = expansion.expand_arrays(unit_sources)
+        observers = np.asarray([[block.x, block.y] for block in blocks])
+        return pairwise_rise(
+            observers,
+            expanded,
+            self.conductivity,
+            groups=groups,
+            group_count=len(blocks),
+        )
 
     @property
     def resistance_matrix(self) -> np.ndarray:

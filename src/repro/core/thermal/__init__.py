@@ -6,7 +6,13 @@ boundary conditions, thermal-resistance extraction (Fig. 10) and the lumped
 transient self-heating model (Fig. 9).
 """
 
-from .images import DieGeometry, ImageExpansion
+from .images import DieGeometry, ImageExpansion, lateral_axis_positions
+from .kernel import (
+    SourceArray,
+    pairwise_rise,
+    scalar_reference_rise,
+    temperature_rise,
+)
 from .profile import (
     point_source_profile,
     radial_profile,
@@ -57,6 +63,11 @@ __all__ = [
     "saturation_distance",
     "DieGeometry",
     "ImageExpansion",
+    "lateral_axis_positions",
+    "SourceArray",
+    "temperature_rise",
+    "pairwise_rise",
+    "scalar_reference_rise",
     "ChipThermalModel",
     "SurfaceMap",
     "superposed_temperature_rise",

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from .sources import HeatSource
 
 
@@ -68,6 +70,40 @@ class DieGeometry:
             and source.y - 0.5 * source.length >= -1e-12
             and source.y + 0.5 * source.length <= self.length + 1e-12
         )
+
+
+def lateral_axis_positions(coord: float, extent: float, rings: int) -> np.ndarray:
+    """Mirrored positions of one coordinate for a given ring count.
+
+    The adiabatic-walls problem on ``[0, extent]`` unfolds into a periodic
+    pattern of period ``2 * extent``: the images of ``coord`` are
+    ``2 m extent + coord`` and ``2 m extent - coord`` for every integer
+    ``m`` with ``|m| <= rings``.  Each image is indexed by the integer
+    ``q = 2 m`` (the ``+coord`` copies) or ``q = 2 m - 1`` (the ``-coord``
+    copies), so its position is ``q * extent + coord`` for even ``q`` and
+    ``q * extent + (extent - coord)`` for odd ``q`` and distinct indices are
+    distinct images by construction — no floating-point rounding is ever
+    used to deduplicate, so physically distinct images can never collapse.
+    Only when the coordinate sits *exactly* on a mirror plane (``coord`` is
+    0 or ``extent``) do index pairs coincide, and then every position is an
+    exact integer multiple of ``extent``; those are deduplicated
+    symbolically on the integer multiple.
+    """
+    if rings < 0:
+        raise ValueError("rings must be non-negative")
+    if rings == 0:
+        return np.asarray([coord], dtype=float)
+    indices = np.arange(-2 * rings - 1, 2 * rings + 1)
+    even = indices % 2 == 0
+    if coord == 0.0 or coord == extent:
+        # On a mirror plane each position is n * extent exactly; collapse
+        # coincident index pairs via the integer multiple, never via floats.
+        if coord == 0.0:
+            multiples = np.where(even, indices, indices + 1)
+        else:
+            multiples = np.where(even, indices + 1, indices)
+        return np.unique(multiples) * extent
+    return indices * extent + np.where(even, coord, extent - coord)
 
 
 class ImageExpansion:
@@ -115,25 +151,13 @@ class ImageExpansion:
     def _lateral_positions(self, x: float, y: float) -> List[Tuple[float, float]]:
         """All mirrored positions of a point for the configured ring count.
 
-        The adiabatic-sides problem on ``[0, W] x [0, L]`` unfolds into a
-        periodic pattern of period ``2W`` / ``2L``: the images of a point at
-        ``x`` are ``2 m W + x`` and ``2 m W - x`` for every integer ``m``
-        (and likewise along y).
+        Positions come from :func:`lateral_axis_positions`, which indexes
+        every image by an integer mirror index instead of deduplicating
+        rounded floats, so physically distinct images are never collapsed.
         """
-        width = self.die.width
-        length = self.die.length
-        xs = []
-        ys = []
-        for m in range(-self.rings, self.rings + 1):
-            xs.append(2.0 * m * width + x)
-            xs.append(2.0 * m * width - x)
-            ys.append(2.0 * m * length + y)
-            ys.append(2.0 * m * length - y)
-        # Deduplicate while keeping a stable order (mirroring x = 0 when the
-        # source sits exactly on the axis would otherwise double-count).
-        unique_xs = sorted(set(round(v, 15) for v in xs))
-        unique_ys = sorted(set(round(v, 15) for v in ys))
-        return [(vx, vy) for vx in unique_xs for vy in unique_ys]
+        xs = lateral_axis_positions(x, self.die.width, self.rings)
+        ys = lateral_axis_positions(y, self.die.length, self.rings)
+        return [(float(vx), float(vy)) for vx in xs for vy in ys]
 
     def expand(self, sources: Sequence[HeatSource]) -> List[HeatSource]:
         """Full image set (originals + lateral images + bottom sinks)."""
@@ -167,6 +191,71 @@ class ImageExpansion:
                 if self.include_bottom_images:
                     expanded.extend(self._vertical_images(image))
         return expanded
+
+    def _ladder_constants(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-entry depth and power-scale of one surface source's family.
+
+        Entry 0 is the surface source itself (depth 0, scale 1); entries
+        ``n = 1 .. bottom_image_terms`` are the buried ladder at depth
+        ``2 n t_die`` with power scale ``2 (-1)^n`` (last term
+        half-weighted), matching :meth:`_vertical_images` term by term.
+        """
+        terms = np.arange(1, self.bottom_image_terms + 1)
+        weights = np.where(terms < self.bottom_image_terms, 2.0, 1.0)
+        depths = np.concatenate(([0.0], 2.0 * terms * self.die.thickness))
+        scales = np.concatenate(([1.0], weights * (-1.0) ** terms))
+        return depths, scales
+
+    def expand_arrays(self, sources: Sequence[HeatSource]) -> "Tuple[object, np.ndarray]":
+        """Full image set in struct-of-arrays form, with origin labels.
+
+        Returns ``(source_array, groups)`` where ``source_array`` is a
+        :class:`~repro.core.thermal.kernel.SourceArray` holding originals +
+        lateral images + bottom sinks in the same order as :meth:`expand`,
+        and ``groups[i]`` is the index (into ``sources``) of the original
+        source that image ``i`` belongs to.  The mirror offsets are computed
+        by broadcasting integer mirror indices instead of per-image list
+        comprehensions, so packing stays cheap even for large ring counts.
+        """
+        from .kernel import SourceArray
+
+        if not sources:
+            raise ValueError("at least one source is required")
+        for source in sources:
+            if not self.die.contains_source(source):
+                raise ValueError(
+                    f"source {source.name or source} lies outside the die"
+                )
+            if source.depth != 0.0:
+                raise ValueError("expand_arrays() expects surface sources only")
+
+        if self.include_bottom_images:
+            ladder_depths, ladder_scales = self._ladder_constants()
+        else:
+            ladder_depths = np.asarray([0.0])
+            ladder_scales = np.asarray([1.0])
+        family = ladder_depths.size
+
+        columns = {name: [] for name in ("x", "y", "width", "length", "power", "depth")}
+        counts = []
+        for source in sources:
+            xs = lateral_axis_positions(source.x, self.die.width, self.rings)
+            ys = lateral_axis_positions(source.y, self.die.length, self.rings)
+            lateral = xs.size * ys.size
+            # Lateral grid (x outer, y inner), each position followed by its
+            # vertical family — the exact :meth:`expand` emission order.
+            columns["x"].append(np.repeat(np.repeat(xs, ys.size), family))
+            columns["y"].append(np.repeat(np.tile(ys, xs.size), family))
+            columns["depth"].append(np.tile(ladder_depths, lateral))
+            columns["power"].append(np.tile(ladder_scales * source.power, lateral))
+            columns["width"].append(np.full(lateral * family, source.width))
+            columns["length"].append(np.full(lateral * family, source.length))
+            counts.append(lateral * family)
+        groups = np.repeat(np.arange(len(sources)), counts)
+        return (
+            SourceArray(**{name: np.concatenate(parts) for name, parts in columns.items()}),
+            groups,
+        )
 
     def _vertical_images(self, surface_image: HeatSource) -> List[HeatSource]:
         """Truncated isothermal-bottom image ladder for one surface source.
@@ -215,39 +304,41 @@ class ImageExpansion:
 
         With a perfect image expansion the temperature's normal derivative
         vanishes on every die side.  This diagnostic samples the four edges,
-        estimates the normal derivative by central differences of the
+        estimates the normal derivative by one-sided differences of the
         analytical profile, and returns the worst value normalised by the
         peak tangential gradient scale — the convergence metric of the
-        image-count ablation benchmark.
+        image-count ablation benchmark.  All edge samples (and their
+        finite-difference companions) are evaluated in a single batched
+        kernel call.
         """
-        from .superposition import superposed_temperature_rise
+        from .kernel import temperature_rise
 
-        expanded = self.expand(sources)
+        expanded, _ = self.expand_arrays(sources)
         width = self.die.width
         length = self.die.length
         h = finite_difference
 
-        def rise(x: float, y: float) -> float:
-            return superposed_temperature_rise(x, y, expanded, conductivity)
-
-        max_normal = 0.0
-        reference = max(abs(rise(0.5 * width, 0.5 * length)), 1e-30)
-        for index in range(samples):
-            fraction = (index + 0.5) / samples
-            # Left and right edges: derivative along x.
-            y = fraction * length
-            for x_edge, sign in ((0.0, 1.0), (width, -1.0)):
-                gradient = (
-                    rise(x_edge + sign * h, y) - rise(x_edge, y)
-                ) / h
-                max_normal = max(max_normal, abs(gradient))
-            # Bottom and top edges: derivative along y.
-            x = fraction * width
-            for y_edge, sign in ((0.0, 1.0), (length, -1.0)):
-                gradient = (
-                    rise(x, y_edge + sign * h) - rise(x, y_edge)
-                ) / h
-                max_normal = max(max_normal, abs(gradient))
+        fractions = (np.arange(samples) + 0.5) / samples
+        edge_points = []
+        inner_points = []
+        # Left and right edges: derivative along x.
+        for x_edge, sign in ((0.0, 1.0), (width, -1.0)):
+            for y in fractions * length:
+                edge_points.append((x_edge, y))
+                inner_points.append((x_edge + sign * h, y))
+        # Bottom and top edges: derivative along y.
+        for y_edge, sign in ((0.0, 1.0), (length, -1.0)):
+            for x in fractions * width:
+                edge_points.append((x, y_edge))
+                inner_points.append((x, y_edge + sign * h))
+        points = np.asarray(
+            [(0.5 * width, 0.5 * length)] + edge_points + inner_points
+        )
+        rises = temperature_rise(points, expanded, conductivity)
+        reference = max(abs(float(rises[0])), 1e-30)
+        count = len(edge_points)
+        gradients = (rises[1 + count :] - rises[1 : 1 + count]) / h
+        max_normal = float(np.abs(gradients).max())
         # Normalise by a representative interior gradient: peak rise over the
         # half-die span.
         normalisation = reference / (0.5 * min(width, length))

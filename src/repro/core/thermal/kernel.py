@@ -1,0 +1,363 @@
+"""Vectorized struct-of-arrays thermal kernel (paper Eqs. 18/19/20/21).
+
+The scalar helpers in :mod:`repro.core.thermal.profile` evaluate one point
+against one source per call, which makes full-chip surface maps and
+resistance-matrix assembly O(points x image-sources) Python-level calls.
+This module packs a set of :class:`~repro.core.thermal.sources.HeatSource`
+objects into a :class:`SourceArray` (contiguous ``ndarray`` per field) and
+evaluates the complete Eq. 20/21 recipe — centre cap (Eq. 18), line-source
+far field (Eq. 19), buried point-source images and superposition (Eq. 21) —
+for every point x source pair in a handful of NumPy broadcasts.
+
+The arithmetic intentionally mirrors the scalar path operation-by-operation
+(same association order, same ``1e-15`` across-axis floor, same
+``min``/clip combination) so the two agree to round-off; the parity suite
+in ``tests/test_thermal_kernel.py`` pins the agreement to <= 1e-10 K.  The
+scalar path stays in the tree as the readable reference implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .sources import HeatSource
+
+#: Floor applied to the across-line distance, matching the scalar
+#: :func:`~repro.core.thermal.sources.line_source_temperature` regulariser.
+_ACROSS_FLOOR = 1e-15
+
+#: Default cap on point x source elements evaluated per broadcast block.
+#: Bounds peak memory (a few 16 MiB float64 temporaries) while keeping each
+#: block large enough to amortise the NumPy dispatch overhead.
+_DEFAULT_CHUNK_ELEMENTS = 2**21
+
+
+@dataclass(frozen=True)
+class SourceArray:
+    """A set of rectangular heat sources in struct-of-arrays layout.
+
+    Attributes
+    ----------
+    x, y:
+        Centre coordinates [m], shape ``(M,)``.
+    width, length:
+        Footprint extents [m] along x and y.
+    power:
+        Total dissipated power [W]; negative for image sinks.
+    depth:
+        Depth [m] below the surface; 0 for surface sources.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    width: np.ndarray
+    length: np.ndarray
+    power: np.ndarray
+    depth: np.ndarray
+
+    def __post_init__(self) -> None:
+        fields = (self.x, self.y, self.width, self.length, self.power, self.depth)
+        for field in fields:
+            if field.ndim != 1 or field.shape != self.x.shape:
+                raise ValueError("all SourceArray fields must be 1-D and equally sized")
+        if self.x.size:
+            if not (np.all(self.width > 0.0) and np.all(self.length > 0.0)):
+                raise ValueError("source dimensions must be positive")
+            if not np.all(self.depth >= 0.0):
+                raise ValueError("depth must be non-negative")
+
+    @classmethod
+    def from_sources(cls, sources: Sequence[HeatSource]) -> "SourceArray":
+        """Pack a sequence of :class:`HeatSource` into contiguous arrays."""
+        return cls(
+            x=np.asarray([s.x for s in sources], dtype=float),
+            y=np.asarray([s.y for s in sources], dtype=float),
+            width=np.asarray([s.width for s in sources], dtype=float),
+            length=np.asarray([s.length for s in sources], dtype=float),
+            power=np.asarray([s.power for s in sources], dtype=float),
+            depth=np.asarray([s.depth for s in sources], dtype=float),
+        )
+
+    def __len__(self) -> int:
+        return int(self.x.size)
+
+    def to_sources(self) -> List[HeatSource]:
+        """Unpack back into scalar :class:`HeatSource` objects."""
+        return [
+            HeatSource(
+                x=float(self.x[i]),
+                y=float(self.y[i]),
+                width=float(self.width[i]),
+                length=float(self.length[i]),
+                power=float(self.power[i]),
+                depth=float(self.depth[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def with_powers(self, power: np.ndarray) -> "SourceArray":
+        """Copy with the power column replaced (same geometry)."""
+        power = np.asarray(power, dtype=float)
+        if power.shape != self.x.shape:
+            raise ValueError("power must match the source count")
+        return replace(self, power=power)
+
+    def total_power(self) -> float:
+        """Signed total power [W] over every packed source."""
+        return float(self.power.sum())
+
+
+SourceSetLike = Union[SourceArray, Sequence[HeatSource]]
+
+
+def _as_source_array(sources: SourceSetLike) -> SourceArray:
+    if isinstance(sources, SourceArray):
+        return sources
+    return SourceArray.from_sources(sources)
+
+
+class _SurfacePartition:
+    """Constants for surface sources whose line source runs along one axis.
+
+    Splitting wide (line along x) and tall (line along y) sources into two
+    partitions removes every per-element ``np.where`` from the hot loop:
+    each partition evaluates one straight-line formula with in-place ufuncs.
+    """
+
+    def __init__(
+        self, sources: SourceArray, index: np.ndarray, c1: float, c2: float
+    ) -> None:
+        self.index = index
+        width = sources.width[index]
+        length = sources.length[index]
+        power = sources.power[index]
+        self.x = sources.x[index]
+        self.y = sources.y[index]
+        self.sign = np.sign(power)
+        magnitude = np.abs(power)
+        # Eq. 18 centre cap.
+        term = width * np.arcsinh(length / width) + length * np.arcsinh(
+            width / length
+        )
+        self.center = magnitude / (c1 * width * length) * term
+        # Eq. 19 line source along the longer footprint dimension.
+        extent = np.maximum(width, length)
+        self.half = 0.5 * extent
+        self.far_coefficient = magnitude / (c2 * extent)
+
+    def rises(self, along_delta: np.ndarray, across_delta: np.ndarray) -> np.ndarray:
+        """Eq. 20 rises given point-source deltas along/across the line.
+
+        Both inputs are freshly allocated ``(n, m)`` arrays and are consumed
+        as scratch space.
+        """
+        across = np.abs(across_delta, out=across_delta)
+        np.maximum(across, _ACROSS_FLOOR, out=across)
+        upper = along_delta + self.half
+        upper /= across
+        np.arcsinh(upper, out=upper)
+        lower = along_delta
+        lower -= self.half
+        lower /= across
+        np.arcsinh(lower, out=lower)
+        far = upper
+        far -= lower
+        far *= self.far_coefficient
+        # Underflow of the far field extremely far out clips to zero, then
+        # Eq. 20 takes the smaller magnitude and restores the sign.
+        np.maximum(far, 0.0, out=far)
+        np.minimum(far, self.center, out=far)
+        far *= self.sign
+        return far
+
+
+class _KernelPlan:
+    """Per-source constants of the Eq. 20 evaluation, computed once.
+
+    The packed sources split into three populations — surface sources whose
+    far-field line runs along x (``width >= length``), surface sources whose
+    line runs along y, and buried point-source images — so every broadcast
+    block runs exactly the formula branch the scalar
+    ``rectangle_temperature`` would take, with no per-element branching.
+    """
+
+    def __init__(self, sources: SourceArray, conductivity: float) -> None:
+        if conductivity <= 0.0:
+            raise ValueError("conductivity must be positive")
+        self.count = len(sources)
+        # Match the scalar association order: pi*k and 2.0*pi*k are the
+        # exact left-folded prefixes of the scalar denominators.
+        c1 = math.pi * conductivity
+        c2 = 2.0 * math.pi * conductivity
+
+        surface = sources.depth == 0.0
+        wide = surface & (sources.width >= sources.length)
+        tall = surface & ~wide
+        # (partition, line-along-x) pairs; empty populations are dropped.
+        self.partitions = [
+            (_SurfacePartition(sources, np.flatnonzero(mask), c1, c2), along_x)
+            for mask, along_x in ((wide, True), (tall, False))
+            if mask.any()
+        ]
+
+        self.buried_index = np.flatnonzero(~surface)
+        if self.buried_index.size:
+            sub = self.buried_index
+            self.bx = sources.x[sub]
+            self.by = sources.y[sub]
+            self.bdepth_sq = sources.depth[sub] * sources.depth[sub]
+            self.bpower = sources.power[sub]
+            self.c2 = c2
+
+    def _buried_rises(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Point-source image rises, ``(n, buried)``; in-place throughout."""
+        dx = px[:, np.newaxis] - self.bx
+        dy = py[:, np.newaxis] - self.by
+        dx *= dx
+        dy *= dy
+        dx += dy
+        dx += self.bdepth_sq
+        np.sqrt(dx, out=dx)
+        dx *= self.c2
+        return np.divide(self.bpower, dx, out=dx)
+
+    def _surface_rises(
+        self, partition: _SurfacePartition, along_x: bool, px: np.ndarray, py: np.ndarray
+    ) -> np.ndarray:
+        dx = px[:, np.newaxis] - partition.x
+        dy = py[:, np.newaxis] - partition.y
+        if along_x:
+            return partition.rises(dx, dy)
+        return partition.rises(dy, dx)
+
+    def block(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Per-pair temperature rises, shape ``(len(px), count)``."""
+        out = np.zeros((px.size, self.count))
+        for partition, along_x in self.partitions:
+            out[:, partition.index] = self._surface_rises(partition, along_x, px, py)
+        if self.buried_index.size:
+            out[:, self.buried_index] = self._buried_rises(px, py)
+        return out
+
+    def row_sums(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """Eq. 21 superposed rises, shape ``(len(px),)``.
+
+        Sums each partition's contributions directly instead of scattering
+        into the full ``(n, count)`` matrix — the hot path for maps.
+        """
+        total = np.zeros(px.size)
+        for partition, along_x in self.partitions:
+            total += self._surface_rises(partition, along_x, px, py).sum(axis=1)
+        if self.buried_index.size:
+            total += self._buried_rises(px, py).sum(axis=1)
+        return total
+
+
+def as_points(points) -> np.ndarray:
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError("points must have shape (N, 2)")
+    return array
+
+
+def _chunk_size(source_count: int, chunk_elements: int) -> int:
+    return max(1, chunk_elements // max(1, source_count))
+
+
+def temperature_rise(
+    points,
+    sources: SourceSetLike,
+    conductivity: float,
+    chunk_elements: int = _DEFAULT_CHUNK_ELEMENTS,
+) -> np.ndarray:
+    """Superposed temperature rise [K] at every point (Eq. 21), batched.
+
+    Parameters
+    ----------
+    points:
+        Observation points, shape ``(N, 2)`` of ``(x, y)`` [m].
+    sources:
+        A :class:`SourceArray` or a sequence of :class:`HeatSource`
+        (typically the image-expanded set).
+    conductivity:
+        Substrate thermal conductivity [W/m/K].
+    chunk_elements:
+        Cap on point x source pairs evaluated per broadcast block; bounds
+        peak memory without changing the result.
+    """
+    pts = as_points(points)
+    array = _as_source_array(sources)
+    if len(array) == 0:
+        raise ValueError("at least one source is required")
+    plan = _KernelPlan(array, conductivity)
+    out = np.empty(pts.shape[0])
+    step = _chunk_size(len(array), chunk_elements)
+    for start in range(0, pts.shape[0], step):
+        stop = start + step
+        out[start:stop] = plan.row_sums(pts[start:stop, 0], pts[start:stop, 1])
+    return out
+
+
+def pairwise_rise(
+    points,
+    sources: SourceSetLike,
+    conductivity: float,
+    groups: Optional[np.ndarray] = None,
+    group_count: Optional[int] = None,
+    chunk_elements: int = _DEFAULT_CHUNK_ELEMENTS,
+) -> np.ndarray:
+    """Per-source temperature rises [K] at every point, shape ``(N, M)``.
+
+    Entry ``[i, j]`` is the Eq. 20 rise at point ``i`` due to source ``j``
+    alone.  When ``groups`` is given (one integer label per source, e.g.
+    the originating-source index of each image produced by
+    :meth:`~repro.core.thermal.images.ImageExpansion.expand_arrays`), the
+    columns are summed per label and the result has shape
+    ``(N, group_count)`` — exactly the block-to-block thermal-resistance
+    matrix when the points are block centres and each group is one block's
+    unit-power image family.
+    """
+    pts = as_points(points)
+    array = _as_source_array(sources)
+    if len(array) == 0:
+        raise ValueError("at least one source is required")
+    if groups is not None:
+        groups = np.asarray(groups)
+        if groups.shape != (len(array),):
+            raise ValueError("groups must provide one label per source")
+        columns = int(group_count) if group_count is not None else int(groups.max()) + 1
+        indicator = np.zeros((len(array), columns))
+        indicator[np.arange(len(array)), groups] = 1.0
+    else:
+        columns = len(array)
+        indicator = None
+    plan = _KernelPlan(array, conductivity)
+    out = np.empty((pts.shape[0], columns))
+    step = _chunk_size(len(array), chunk_elements)
+    for start in range(0, pts.shape[0], step):
+        stop = start + step
+        block = plan.block(pts[start:stop, 0], pts[start:stop, 1])
+        out[start:stop] = block if indicator is None else block @ indicator
+    return out
+
+
+def scalar_reference_rise(
+    x: float, y: float, sources: SourceSetLike, conductivity: float
+) -> float:
+    """Scalar-path rise [K] at one point — the kernel's parity oracle.
+
+    Evaluates the same source set through the original per-source Python
+    implementation (:func:`~repro.core.thermal.profile.rectangle_temperature`
+    summed left to right), which is what the vectorized kernel must match.
+    """
+    from .profile import rectangle_temperature
+
+    array = _as_source_array(sources)
+    return sum(
+        rectangle_temperature(x, y, source, conductivity)
+        for source in array.to_sources()
+    )

@@ -11,13 +11,18 @@ surface maps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...technology.materials import SILICON, Material
 from .images import DieGeometry, ImageExpansion
+from .kernel import (
+    SourceArray,
+    as_points,
+    temperature_rise as kernel_temperature_rise,
+)
 from .profile import rectangle_temperature
 from .sources import HeatSource
 
@@ -115,7 +120,7 @@ class ChipThermalModel:
             die, rings=image_rings, include_bottom_images=include_bottom_images
         )
         self._sources: List[HeatSource] = []
-        self._expanded: Optional[List[HeatSource]] = None
+        self._expanded_array: Optional[SourceArray] = None
 
     # ------------------------------------------------------------------ #
     # Source management
@@ -135,7 +140,7 @@ class ChipThermalModel:
         if not self.die.contains_source(source):
             raise ValueError(f"source {source.name or source} lies outside the die")
         self._sources.append(source)
-        self._expanded = None
+        self._invalidate()
 
     def add_sources(self, sources: Iterable[HeatSource]) -> None:
         """Add several heat sources."""
@@ -145,48 +150,69 @@ class ChipThermalModel:
     def clear_sources(self) -> None:
         """Remove every source."""
         self._sources.clear()
-        self._expanded = None
+        self._invalidate()
 
     def set_source_powers(self, powers: Dict[str, float]) -> None:
-        """Update powers of named sources in place (co-simulation hook)."""
-        updated: List[HeatSource] = []
-        for source in self._sources:
-            if source.name in powers:
-                updated.append(
-                    HeatSource(
-                        x=source.x,
-                        y=source.y,
-                        width=source.width,
-                        length=source.length,
-                        power=powers[source.name],
-                        depth=source.depth,
-                        name=source.name,
-                    )
-                )
-            else:
-                updated.append(source)
-        self._sources = updated
-        self._expanded = None
+        """Update powers of named sources in place (co-simulation hook).
+
+        Raises
+        ------
+        KeyError
+            When ``powers`` names sources that do not exist on the model —
+            a silent no-op here would make a co-simulation quietly run with
+            stale powers.
+        """
+        unknown = set(powers) - {source.name for source in self._sources}
+        if unknown:
+            raise KeyError(
+                f"unknown source names: {sorted(unknown)}; "
+                f"known sources: {sorted(s.name for s in self._sources if s.name)}"
+            )
+        self._sources = [
+            replace(source, power=powers[source.name])
+            if source.name in powers
+            else source
+            for source in self._sources
+        ]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._expanded_array = None
 
     def total_power(self) -> float:
         """Total power [W] of the user-supplied sources."""
         return sum(source.power for source in self._sources)
 
-    def _expanded_sources(self) -> List[HeatSource]:
-        if self._expanded is None:
-            self._expanded = self.expansion.expand(self._sources)
-        return self._expanded
+    def _expanded_source_array(self) -> SourceArray:
+        if self._expanded_array is None:
+            self._expanded_array, _ = self.expansion.expand_arrays(self._sources)
+        return self._expanded_array
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
+    def temperature_rises(self, points) -> np.ndarray:
+        """Temperature rises [K] above ambient at ``(N, 2)`` surface points.
+
+        This is the batched hot path: one vectorized kernel call over the
+        cached image-expanded source array.
+        """
+        points = as_points(points)
+        if not self._sources:
+            return np.zeros(points.shape[0])
+        return kernel_temperature_rise(
+            points, self._expanded_source_array(), self.conductivity
+        )
+
+    def temperatures(self, points) -> np.ndarray:
+        """Absolute temperatures [K] at ``(N, 2)`` surface points."""
+        return self.ambient_temperature + self.temperature_rises(points)
+
     def temperature_rise_at(self, x: float, y: float) -> float:
         """Temperature rise [K] above ambient at a surface point."""
         if not self._sources:
             return 0.0
-        return superposed_temperature_rise(
-            x, y, self._expanded_sources(), self.conductivity
-        )
+        return float(self.temperature_rises(np.asarray([[x, y]]))[0])
 
     def temperature_at(self, x: float, y: float) -> float:
         """Absolute surface temperature [K] at a point."""
@@ -194,22 +220,29 @@ class ChipThermalModel:
 
     def source_temperatures(self) -> Dict[str, float]:
         """Absolute temperature [K] at the centre of every named source."""
+        if not self._sources:
+            return {}
+        centres = np.asarray([[source.x, source.y] for source in self._sources])
+        values = self.temperatures(centres)
         temperatures = {}
-        for source in self._sources:
+        for source, value in zip(self._sources, values):
             key = source.name or f"source@({source.x:.3e},{source.y:.3e})"
-            temperatures[key] = self.temperature_at(source.x, source.y)
+            temperatures[key] = float(value)
         return temperatures
 
     def surface_map(self, nx: int = 50, ny: int = 50) -> SurfaceMap:
-        """Sampled absolute-temperature map of the whole die surface."""
+        """Sampled absolute-temperature map of the whole die surface.
+
+        The full ``nx * ny`` grid is evaluated by a single batched kernel
+        call over the image-expanded sources.
+        """
         if nx < 2 or ny < 2:
             raise ValueError("the map needs at least 2 samples per axis")
         xs = np.linspace(0.0, self.die.width, nx)
         ys = np.linspace(0.0, self.die.length, ny)
-        values = np.empty((nx, ny))
-        for i, x in enumerate(xs):
-            for j, y in enumerate(ys):
-                values[i, j] = self.temperature_at(float(x), float(y))
+        mesh_x, mesh_y = np.meshgrid(xs, ys, indexing="ij")
+        points = np.column_stack([mesh_x.ravel(), mesh_y.ravel()])
+        values = self.temperatures(points).reshape(nx, ny)
         return SurfaceMap(
             x_coordinates=xs,
             y_coordinates=ys,
@@ -222,8 +255,8 @@ class ChipThermalModel:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Absolute temperature along an x cut at height ``y`` (Fig. 7)."""
         xs = np.linspace(0.0, self.die.width, samples)
-        temperatures = np.asarray([self.temperature_at(float(x), y) for x in xs])
-        return xs, temperatures
+        points = np.column_stack([xs, np.full(samples, y)])
+        return xs, self.temperatures(points)
 
     def edge_flux_residual(self, samples: int = 21) -> float:
         """Normalised normal-gradient residual on the die edges (diagnostic)."""

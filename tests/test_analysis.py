@@ -10,6 +10,7 @@ from repro.analysis.isotherms import (
     isotherm_levels,
     isotherm_mask,
     isotherm_statistics,
+    isotherm_summary,
 )
 from repro.analysis.metrics import (
     absolute_relative_error,
@@ -195,3 +196,67 @@ class TestIsotherms:
         field = np.full((5, 5), 300.0)
         with pytest.raises(ValueError):
             isotherm_levels(field)
+
+
+class TestBatchedRouting:
+    """The batched (kernel-convention) entry points must match the scalar ones."""
+
+    @staticmethod
+    def scalar_field(x, y):
+        return 300.0 + 40.0 * x - 25.0 * y + 3.0 * x * y
+
+    @classmethod
+    def batched_field(cls, points):
+        return cls.scalar_field(points[:, 0], points[:, 1])
+
+    def test_cross_section_x_batched_matches_scalar(self):
+        scalar = cross_section_x(self.scalar_field, 0.3, 0.0, 1.0, samples=17)
+        batched = cross_section_x(
+            self.batched_field, 0.3, 0.0, 1.0, samples=17, batched=True
+        )
+        assert np.allclose(scalar.temperatures, batched.temperatures)
+        assert np.array_equal(scalar.positions, batched.positions)
+
+    def test_cross_section_y_batched_matches_scalar(self):
+        scalar = cross_section_y(self.scalar_field, 0.7, 0.0, 2.0, samples=11)
+        batched = cross_section_y(
+            self.batched_field, 0.7, 0.0, 2.0, samples=11, batched=True
+        )
+        assert np.allclose(scalar.temperatures, batched.temperatures)
+
+    def test_grid_points_ordering(self):
+        grid = regular_grid(1.0, 2.0, nx=3, ny=4)
+        points = grid.points()
+        assert points.shape == (12, 2)
+        # Row-major in x: the first ny points share x_coordinates[0].
+        assert np.allclose(points[:4, 0], grid.x_coordinates[0])
+        assert np.allclose(points[:4, 1], grid.y_coordinates)
+
+    def test_grid_evaluate_batched_matches_scalar(self):
+        grid = regular_grid(1.0, 1.0, nx=5, ny=7)
+        scalar = grid.evaluate(self.scalar_field)
+        batched = grid.evaluate_batched(self.batched_field)
+        assert np.allclose(scalar, batched)
+
+    def test_grid_evaluate_batched_validates_shape(self):
+        grid = regular_grid(1.0, 1.0, nx=3, ny=3)
+        with pytest.raises(ValueError):
+            grid.evaluate_batched(lambda points: points[:, 0][:-1])
+
+    def test_grid_sweep_batched_matches_scalar(self):
+        xs = np.linspace(0.0, 1.0, 4)
+        ys = np.linspace(0.0, 1.0, 6)
+        scalar = grid_sweep(xs, ys, self.scalar_field)
+        batched = grid_sweep(xs, ys, self.batched_field, batched=True)
+        assert np.allclose(scalar, batched)
+
+    def test_grid_sweep_batched_validates_shape(self):
+        with pytest.raises(ValueError):
+            grid_sweep([0.0, 1.0], [0.0, 1.0], lambda pairs: pairs, batched=True)
+
+    def test_isotherm_summary_combines_levels_and_statistics(self):
+        field = np.linspace(300.0, 340.0, 100).reshape(10, 10)
+        summary = isotherm_summary(field, count=5)
+        assert len(summary) == 5
+        fractions = [level.enclosed_fraction for level in summary]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
