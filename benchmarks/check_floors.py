@@ -1,0 +1,61 @@
+"""Fail CI when a tracked benchmark speedup regresses below its floor.
+
+Every throughput benchmark persists its measurements to a
+``BENCH_*.json`` record containing the measured ``speedup`` and the
+committed floor ``required_speedup`` (the acceptance criterion of the PR
+that introduced it).  The CI ``benchmarks`` job regenerates the records in
+smoke mode and then runs this script, which exits non-zero if any tracked
+ratio fell below its floor — so a perf regression fails the pipeline even
+if the benchmark's own assertion was skipped or relaxed.
+
+Run locally with::
+
+    python benchmarks/check_floors.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def check_floors(directory: Path = BENCH_DIR) -> int:
+    """Validate every ``BENCH_*.json`` record; return the failure count."""
+    records = sorted(directory.glob("BENCH_*.json"))
+    if not records:
+        print(f"no BENCH_*.json records found under {directory}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in records:
+        record = json.loads(path.read_text())
+        name = record.get("benchmark", path.stem)
+        speedup = record.get("speedup")
+        floor = record.get("required_speedup")
+        if speedup is None or floor is None:
+            print(f"  {path.name}: no tracked speedup ratio (skipped)")
+            continue
+        status = "ok" if speedup >= floor else "REGRESSION"
+        print(
+            f"  {path.name}: {name} speedup {speedup:.1f}x "
+            f"(floor {floor:g}x) {status}"
+        )
+        if speedup < floor:
+            failures += 1
+    return failures
+
+
+def main() -> int:
+    print(f"checking benchmark floors under {BENCH_DIR}")
+    failures = check_floors()
+    if failures:
+        print(f"{failures} benchmark(s) below their committed floor", file=sys.stderr)
+        return 1
+    print("all tracked benchmark ratios at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

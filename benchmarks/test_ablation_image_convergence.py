@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.core.thermal.images import ImageExpansion
 from repro.floorplan import three_block_floorplan

@@ -5,14 +5,20 @@ voltage of a pair of OFF devices — Eq. (7) for ``dV >> VT`` and Eq. (8) for
 ``dV < VT`` — and then proposes the empirical Eq. (10) that bridges them.
 This ablation quantifies what the unified formula buys: each asymptote is
 accurate only in its own regime, while Eq. (10) stays accurate everywhere.
+
+The three closed forms are evaluated for the whole width-ratio sweep in
+one broadcast each through the batched leakage kernel (the scalar
+:class:`~repro.core.leakage.stack_collapse.StackCollapser` remains the
+oracle for the exact numerical balance, which needs a root find per
+point).
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.metrics import max_absolute_relative_error
+from repro.core.leakage import kernel
 from repro.core.leakage.stack_collapse import StackCollapser
 from repro.reporting import FigureData, Series
 
@@ -23,13 +29,22 @@ BOTTOM_WIDTH = 1.0e-6
 def build_regime_sweep(technology):
     """Evaluate Eq. 7, Eq. 8, Eq. 10 and the exact balance over the sweep."""
     collapser = StackCollapser(technology)
-    exact, unified, strong, weak = [], [], [], []
-    for ratio in WIDTH_RATIOS:
-        upper = ratio * BOTTOM_WIDTH
-        exact.append(collapser.exact_pair_node_voltage(upper, BOTTOM_WIDTH, "nmos"))
-        unified.append(collapser.node_voltage(upper, BOTTOM_WIDTH, "nmos"))
-        strong.append(collapser.node_voltage_strong(upper, BOTTOM_WIDTH, "nmos"))
-        weak.append(collapser.node_voltage_weak(upper, BOTTOM_WIDTH, "nmos"))
+    upper_widths = WIDTH_RATIOS * BOTTOM_WIDTH
+    devices = kernel.DeviceArray.from_device(technology.nmos)
+    temperature = technology.reference_temperature
+    unified = kernel.node_voltage(
+        upper_widths, BOTTOM_WIDTH, devices, technology.vdd, temperature
+    )
+    strong = kernel.node_voltage_strong(
+        upper_widths, BOTTOM_WIDTH, devices, technology.vdd, temperature
+    )
+    weak = kernel.node_voltage_weak(
+        upper_widths, BOTTOM_WIDTH, devices, technology.vdd, temperature
+    )
+    exact = [
+        collapser.exact_pair_node_voltage(upper, BOTTOM_WIDTH, "nmos")
+        for upper in upper_widths
+    ]
 
     figure = FigureData(
         figure_id="ablationA",

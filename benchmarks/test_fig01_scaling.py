@@ -11,7 +11,6 @@ and asserts those qualitative claims.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.reporting import FigureData, Series
 from repro.technology.scaling import TechnologyScalingStudy

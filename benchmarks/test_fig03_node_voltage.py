@@ -11,7 +11,6 @@ and asserts the agreement the figure shows.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.metrics import max_absolute_relative_error
 from repro.circuit.stack import nmos_stack_from_widths

@@ -12,8 +12,6 @@ the hottest-block ranking against the finite-volume reference.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis.isotherms import (
     gradient_tangency_residual,
@@ -23,7 +21,7 @@ from repro.analysis.isotherms import (
 from repro.core.thermal.superposition import ChipThermalModel
 from repro.floorplan import three_block_floorplan
 from repro.floorplan.powermap import fdm_sources_from_blocks
-from repro.reporting import FigureData, Series, print_table
+from repro.reporting import print_table
 from repro.thermalsim.fdm import FiniteVolumeThermalSolver
 
 #: Per-block powers [W] for the 1 mm die (realistic 0.12 um-class density).

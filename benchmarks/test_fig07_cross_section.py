@@ -8,8 +8,6 @@ enforced by the method of images.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis.sections import cross_section_x
 from repro.core.thermal.superposition import ChipThermalModel

@@ -12,7 +12,6 @@ Gu–Elmasry and naive series-resistance baselines for context.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.metrics import max_absolute_relative_error
 from repro.baselines.chen_roy import ChenRoyStackModel

@@ -13,8 +13,6 @@ exponential shape and the calibration linearity.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.measurement import SelfHeatingBench, default_test_devices
 from repro.reporting import FigureData, Series, print_table

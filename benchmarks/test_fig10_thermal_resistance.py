@@ -11,7 +11,6 @@ the four-device comparison and checks the agreement and the geometric trend.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.measurement import SelfHeatingBench, default_test_devices
 from repro.reporting import FigureData, Series

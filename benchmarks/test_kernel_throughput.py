@@ -18,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.thermal.images import DieGeometry, ImageExpansion
+from repro.core.thermal.images import DieGeometry
 from repro.core.thermal.sources import HeatSource
 from repro.core.thermal.superposition import ChipThermalModel, superposed_temperature_rise
 from repro.reporting import print_table

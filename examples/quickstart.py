@@ -14,7 +14,6 @@ The script walks through the three capabilities the paper combines:
 from __future__ import annotations
 
 from repro import (
-    ChipThermalModel,
     ElectroThermalEngine,
     GateLeakageModel,
     HeatSource,

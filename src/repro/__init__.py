@@ -55,7 +55,10 @@ from .core.cosim import (
     ElectroThermalEngine,
     NetlistBlockModel,
     ScaledLeakageBlockModel,
+    Scenario,
+    ScenarioEngine,
     block_models_from_powers,
+    scenario_grid,
 )
 from .core.dynamic import PowerBreakdown, SwitchingActivity, TotalPowerModel
 from .core.leakage import (
@@ -146,6 +149,9 @@ __all__ = [
     "ScaledLeakageBlockModel",
     "NetlistBlockModel",
     "block_models_from_powers",
+    "Scenario",
+    "ScenarioEngine",
+    "scenario_grid",
     "exhaustive_sleep_vector",
     "greedy_sleep_vector",
     # substrates

@@ -26,7 +26,7 @@ from .sections import (
     cross_section_x,
     cross_section_y,
 )
-from .sweep import SweepResult, grid_sweep, logspace, sweep
+from .sweep import SweepResult, grid_sweep, logspace, scenario_sweep, sweep
 
 __all__ = [
     "SurfaceGrid",
@@ -53,6 +53,7 @@ __all__ = [
     "log_accuracy_decades",
     "SweepResult",
     "sweep",
+    "scenario_sweep",
     "grid_sweep",
     "logspace",
 ]

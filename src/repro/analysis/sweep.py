@@ -2,18 +2,24 @@
 
 Benchmarks and examples repeatedly evaluate a model over a one- or
 two-dimensional grid of parameters (stack depth, width ratio, temperature,
-technology node ...).  :class:`ParameterSweep` packages that pattern: it
+technology node ...).  :class:`SweepResult` packages that pattern: it
 records the swept values together with the evaluated results and exposes
 them as aligned arrays for reporting.
+
+Electro-thermal sweeps are thin wrappers over scenario batches: declare
+the swept operating points as :class:`~repro.core.cosim.scenarios.Scenario`
+objects and :func:`scenario_sweep` solves them all in one batched
+fixed-point call instead of looping whole co-simulations per value.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.cosim.scenarios import Scenario, ScenarioBatchResult, ScenarioEngine
 from .grids import SurfaceGrid
 
 
@@ -111,6 +117,57 @@ def grid_sweep(
         for j, y in enumerate(y_values):
             grid[i, j] = evaluator(float(x), float(y))
     return grid
+
+
+def scenario_sweep(
+    engine: ScenarioEngine,
+    parameter_name: str,
+    values: Sequence[float],
+    scenarios: Sequence[Scenario],
+    extra_series: Optional[
+        Dict[str, Callable[[ScenarioBatchResult, int], float]]
+    ] = None,
+    **solve_kwargs,
+) -> SweepResult:
+    """One batched fixed point packaged as a :class:`SweepResult`.
+
+    The electro-thermal counterpart of :func:`sweep`: instead of calling a
+    scalar evaluator per value, the swept operating points are declared as
+    scenarios and solved concurrently by the
+    :class:`~repro.core.cosim.scenarios.ScenarioEngine`.
+
+    Parameters
+    ----------
+    engine:
+        Scenario engine over the swept floorplan.
+    parameter_name:
+        Name of the swept parameter (reporting only).
+    values:
+        The swept parameter value of each scenario (same order/length).
+    scenarios:
+        One scenario per swept value.
+    extra_series:
+        Optional extra series, each computed as ``fn(batch, index)``.
+    solve_kwargs:
+        Forwarded to :meth:`~repro.core.cosim.scenarios.ScenarioEngine.solve`.
+    """
+    if len(values) != len(scenarios):
+        raise ValueError("values and scenarios must align one-to-one")
+    batch = engine.solve(list(scenarios), **solve_kwargs)
+    result = SweepResult(parameter_name=parameter_name)
+    result.values = [float(value) for value in values]
+    result.results = {
+        "peak_temperature": [float(v) for v in batch.peak_temperature],
+        "peak_rise": [float(v) for v in batch.peak_rise],
+        "total_power": [float(v) for v in batch.total_power],
+        "total_static_power": [float(v) for v in batch.total_static_power],
+        "converged": [float(v) for v in batch.converged],
+    }
+    for label, evaluator in (extra_series or {}).items():
+        result.results[label] = [
+            float(evaluator(batch, index)) for index in range(len(batch))
+        ]
+    return result
 
 
 def logspace(start: float, stop: float, count: int) -> np.ndarray:

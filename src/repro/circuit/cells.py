@@ -11,7 +11,7 @@ cell geometries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..technology.parameters import TechnologyParameters
 from .devices import MOSFET, nmos, pmos

@@ -14,7 +14,7 @@ the gate-level topology extraction (:mod:`repro.circuit.topology`) produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from .devices import MOSFET, nmos, pmos
 

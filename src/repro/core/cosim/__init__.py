@@ -6,9 +6,17 @@ from .coupling import (
     ScaledLeakageBlockModel,
     block_models_from_powers,
     leakage_temperature_ratio,
+    leakage_temperature_ratio_batch,
 )
 from .engine import ElectroThermalEngine
+from .resistance_cache import unit_resistance_matrix
 from .result import CosimIteration, CosimResult
+from .scenarios import (
+    Scenario,
+    ScenarioBatchResult,
+    ScenarioEngine,
+    scenario_grid,
+)
 from .transient import (
     TransientCosimResult,
     TransientElectroThermalSimulator,
@@ -26,7 +34,13 @@ __all__ = [
     "NetlistBlockModel",
     "block_models_from_powers",
     "leakage_temperature_ratio",
+    "leakage_temperature_ratio_batch",
     "ElectroThermalEngine",
     "CosimIteration",
     "CosimResult",
+    "Scenario",
+    "ScenarioBatchResult",
+    "ScenarioEngine",
+    "scenario_grid",
+    "unit_resistance_matrix",
 ]

@@ -19,8 +19,11 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from ...circuit.netlist import Netlist
 from ...technology.parameters import TechnologyParameters
+from ..leakage import kernel as leakage_kernel
 from ..dynamic.switching import SwitchingActivity
 from ..dynamic.total import PowerBreakdown, TotalPowerModel
 from ..leakage.subthreshold import single_device_off_current
@@ -41,6 +44,18 @@ class BlockPowerModel(ABC):
     def total_power(self, temperature: float) -> float:
         """Total power [W] at the given junction temperature [K]."""
         return self.breakdown(temperature).total
+
+    def total_power_batch(self, temperatures) -> np.ndarray:
+        """Total power [W] at every junction temperature of an array.
+
+        The base implementation loops the scalar path; models whose physics
+        vectorize (e.g. :class:`ScaledLeakageBlockModel` through the batched
+        leakage kernel) override it with a broadcast evaluation.
+        """
+        temperatures = np.asarray(temperatures, dtype=float)
+        return np.asarray(
+            [self.total_power(float(t)) for t in temperatures.ravel()]
+        ).reshape(temperatures.shape)
 
 
 def leakage_temperature_ratio(
@@ -69,6 +84,31 @@ def leakage_temperature_ratio(
         technology.reference_temperature,
     )
     return hot / cold
+
+
+def leakage_temperature_ratio_batch(
+    technology: TechnologyParameters,
+    temperatures,
+    reference_temperature: Optional[float] = None,
+    device_type: str = "nmos",
+) -> np.ndarray:
+    """Batched :func:`leakage_temperature_ratio` over a temperature array.
+
+    One broadcast evaluation of the paper's Eq. (13) through the vectorized
+    leakage kernel, mirroring the scalar arithmetic; this is what lets the
+    scenario engine rescale every (scenario, block) static power at once.
+    """
+    if reference_temperature is None:
+        reference_temperature = technology.reference_temperature
+    device = technology.device(device_type)
+    return leakage_kernel.leakage_temperature_ratio(
+        leakage_kernel.DeviceArray.from_device(device),
+        technology.vdd,
+        np.asarray(temperatures, dtype=float),
+        reference_temperature,
+        parameter_reference_temperature=technology.reference_temperature,
+        width=np.asarray(device.nominal_width),
+    )
 
 
 @dataclass
@@ -115,6 +155,13 @@ class ScaledLeakageBlockModel(BlockPowerModel):
             short_circuit=0.0,
             static=self.static_power_at_reference * ratio,
         )
+
+    def total_power_batch(self, temperatures) -> np.ndarray:
+        """Broadcast total power through the batched leakage kernel."""
+        ratio = leakage_temperature_ratio_batch(
+            self.technology, temperatures, device_type=self.device_type
+        )
+        return self.dynamic_power + self.static_power_at_reference * ratio
 
 
 class NetlistBlockModel(BlockPowerModel):

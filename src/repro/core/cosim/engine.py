@@ -29,10 +29,9 @@ import numpy as np
 
 from ...floorplan.floorplan import Floorplan
 from ...technology.parameters import TechnologyParameters
-from ..thermal.images import ImageExpansion
-from ..thermal.kernel import pairwise_rise
 from ..thermal.superposition import ChipThermalModel
 from .coupling import BlockPowerModel
+from .resistance_cache import unit_resistance_matrix
 from .result import CosimIteration, CosimResult
 
 
@@ -101,27 +100,21 @@ class ElectroThermalEngine:
         """Block-to-block thermal resistance matrix [K/W], images included.
 
         Entry ``[i, j]`` is the temperature rise at block ``i``'s centre per
-        watt dissipated uniformly over block ``j``'s footprint.  The whole
-        matrix is one grouped :func:`~repro.core.thermal.kernel.pairwise_rise`
-        call: every block's unit-power image family is packed into a single
-        :class:`~repro.core.thermal.kernel.SourceArray` and the per-image
-        contributions are summed back per emitting block.
+        watt dissipated uniformly over block ``j``'s footprint.  The
+        geometry-only (unit-conductivity) reduction comes from the shared
+        :func:`~repro.core.cosim.resistance_cache.unit_resistance_matrix`
+        cache — one grouped kernel call per floorplan/image configuration,
+        reused by every engine and every scenario batch over the same
+        geometry — and is scaled here by this engine's conductivity.
         """
-        expansion = ImageExpansion(
-            self.floorplan.die,
-            rings=self.image_rings,
-            include_bottom_images=self.include_bottom_images,
-        )
-        blocks = [self.floorplan.block(name) for name in self._modelled_blocks]
-        unit_sources = [block.to_heat_source(1.0) for block in blocks]
-        expanded, groups = expansion.expand_arrays(unit_sources)
-        observers = np.asarray([[block.x, block.y] for block in blocks])
-        return pairwise_rise(
-            observers,
-            expanded,
-            self.conductivity,
-            groups=groups,
-            group_count=len(blocks),
+        return (
+            unit_resistance_matrix(
+                self.floorplan,
+                self._modelled_blocks,
+                image_rings=self.image_rings,
+                include_bottom_images=self.include_bottom_images,
+            )
+            / self.conductivity
         )
 
     @property

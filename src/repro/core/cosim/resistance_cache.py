@@ -1,0 +1,109 @@
+"""Cached block-to-block thermal-resistance reduction.
+
+The reduced thermal-resistance matrix of a floorplan — entry ``[i, j]`` is
+the temperature rise at block ``i``'s centre per watt dissipated over block
+``j``'s footprint, boundary images included — depends only on *geometry*
+(die, block footprints, image configuration) and on the substrate
+conductivity, never on the dissipated powers.  Because every closed form of
+the thermal model (Eqs. 18/19/20) carries the conductivity as a single
+``1/k`` prefactor, the matrix factorises as ``R(k) = R(k=1) / k``.
+
+This module caches the unit-conductivity matrix per geometry so that
+
+* :class:`~repro.core.cosim.engine.ElectroThermalEngine` instances over the
+  same floorplan (e.g. one per ambient temperature) reduce it once, and
+* :class:`~repro.core.cosim.scenarios.ScenarioEngine` reuses one reduction
+  across *every* scenario sharing a floorplan, whatever its technology
+  node, supply, ambient temperature or workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ...floorplan.floorplan import Floorplan
+from ..thermal.images import ImageExpansion
+from ..thermal.kernel import pairwise_rise
+
+#: Unit-conductivity matrices keyed by the full geometric description.
+_CACHE: Dict[Tuple, np.ndarray] = {}
+
+#: Entries kept before the cache is cleared (a whole-sweep working set is a
+#: handful of floorplans; the bound only guards pathological churn).
+_CACHE_LIMIT = 64
+
+
+def _geometry_key(
+    floorplan: Floorplan,
+    block_names: Sequence[str],
+    image_rings: int,
+    include_bottom_images: bool,
+) -> Tuple:
+    """Hashable description of everything the reduction depends on."""
+    die = floorplan.die
+    blocks = tuple(
+        (name, block.x, block.y, block.width, block.length)
+        for name, block in (
+            (name, floorplan.block(name)) for name in block_names
+        )
+    )
+    return (
+        die.width,
+        die.length,
+        die.thickness,
+        blocks,
+        int(image_rings),
+        bool(include_bottom_images),
+    )
+
+
+def unit_resistance_matrix(
+    floorplan: Floorplan,
+    block_names: Sequence[str],
+    image_rings: int = 1,
+    include_bottom_images: bool = True,
+) -> np.ndarray:
+    """Unit-conductivity block-to-block resistance matrix [K*m/W... /k].
+
+    Multiplying by ``1/k`` (the substrate conductivity [W/m/K]) yields the
+    physical matrix in [K/W].  The returned array is a cached, read-only
+    view; divide (don't mutate) it.
+    """
+    key = _geometry_key(floorplan, block_names, image_rings, include_bottom_images)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    expansion = ImageExpansion(
+        floorplan.die,
+        rings=image_rings,
+        include_bottom_images=include_bottom_images,
+    )
+    blocks = [floorplan.block(name) for name in block_names]
+    unit_sources = [block.to_heat_source(1.0) for block in blocks]
+    expanded, groups = expansion.expand_arrays(unit_sources)
+    observers = np.asarray([[block.x, block.y] for block in blocks])
+    matrix = pairwise_rise(
+        observers,
+        expanded,
+        1.0,
+        groups=groups,
+        group_count=len(blocks),
+    )
+    matrix.setflags(write=False)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[key] = matrix
+    return matrix
+
+
+def cache_size() -> int:
+    """Number of cached geometry reductions (test/diagnostic hook)."""
+    return len(_CACHE)
+
+
+def clear_cache() -> None:
+    """Drop every cached reduction (test hook)."""
+    _CACHE.clear()

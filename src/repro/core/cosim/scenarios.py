@@ -1,0 +1,545 @@
+"""Multi-scenario electro-thermal engine: batched fixed points.
+
+:class:`~repro.core.cosim.engine.ElectroThermalEngine` solves *one*
+operating condition at a time; every sweep over technology nodes, supply
+voltages, ambient temperatures or workloads therefore loops whole fixed
+points in Python.  This module batches that outer loop the same way the
+thermal kernel batched point evaluation:
+
+* a :class:`Scenario` names one operating condition — a technology node, a
+  supply voltage, an ambient (heat-sink) temperature and a per-block
+  activity scaling;
+* :func:`scenario_grid` builds the full cross product of those axes;
+* :class:`ScenarioEngine` evaluates *all* scenarios concurrently: block
+  powers go through the vectorized leakage kernel (one broadcast Eq. 13
+  evaluation per fixed-point iteration for every scenario x block pair),
+  the block-to-block thermal-resistance matrix is reduced **once** per
+  floorplan geometry (it is power-independent; per-scenario conductivity
+  enters as a ``1/k`` scale, see
+  :mod:`~repro.core.cosim.resistance_cache`), and the damped fixed point
+  of the scalar engine runs as array operations over the whole batch.
+
+Scenario powers derive from per-block reference powers exactly like
+:class:`~repro.core.cosim.coupling.ScaledLeakageBlockModel`, with two
+closed-form scalings on top: dynamic power follows ``activity x
+(Vdd / Vdd_nominal)^2`` (the ``a C V^2 f`` law) and static power follows
+``Vdd / Vdd_nominal`` (the model's OFF current is supply-independent
+because the DIBL term of Eq. 2 cancels at ``VDS = VDD``, so only the
+``I x Vdd`` product scales).  :meth:`ScenarioEngine.solve_scalar` runs the
+identical physics through a per-scenario
+:class:`~repro.core.cosim.engine.ElectroThermalEngine`, which is both the
+parity oracle of ``tests/test_scenarios.py`` and the baseline of
+``benchmarks/test_scenario_throughput.py``.
+"""
+
+from __future__ import annotations
+
+from collections import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...floorplan.floorplan import Floorplan
+from ...technology.constants import BOLTZMANN, ELEMENTARY_CHARGE
+from ...technology.parameters import TechnologyParameters
+from ..dynamic.total import PowerBreakdown
+from ..leakage import kernel as leakage_kernel
+from .coupling import BlockPowerModel, ScaledLeakageBlockModel
+from .engine import ElectroThermalEngine
+from .resistance_cache import unit_resistance_matrix
+from .result import CosimResult
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One operating condition of a floorplan.
+
+    Attributes
+    ----------
+    technology:
+        Technology node (device compact models, nominal supply, thermal
+        environment defaults).
+    supply_voltage:
+        Operating supply [V]; the node's nominal ``Vdd`` when ``None``.
+    ambient_temperature:
+        Heat-sink temperature [K]; the node's thermal default when ``None``.
+    activity:
+        Dynamic-power scaling — a single factor for every block, or a
+        per-block mapping (missing blocks default to 1.0).
+    label:
+        Optional display name; :meth:`describe` derives one otherwise.
+    """
+
+    technology: TechnologyParameters
+    supply_voltage: Optional[float] = None
+    ambient_temperature: Optional[float] = None
+    activity: Union[float, Mapping[str, float]] = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.supply_voltage is not None and self.supply_voltage <= 0.0:
+            raise ValueError("supply_voltage must be positive")
+        if self.ambient_temperature is not None and self.ambient_temperature <= 0.0:
+            raise ValueError("ambient_temperature must be positive (Kelvin)")
+        if isinstance(self.activity, abc.Mapping):
+            if any(value < 0.0 for value in self.activity.values()):
+                raise ValueError("activity factors must be non-negative")
+        elif self.activity < 0.0:
+            raise ValueError("activity must be non-negative")
+
+    @property
+    def vdd(self) -> float:
+        """Operating supply voltage [V]."""
+        if self.supply_voltage is not None:
+            return self.supply_voltage
+        return self.technology.vdd
+
+    @property
+    def supply_scale(self) -> float:
+        """Operating supply as a fraction of the node's nominal ``Vdd``."""
+        return self.vdd / self.technology.vdd
+
+    @property
+    def ambient(self) -> float:
+        """Heat-sink temperature [K]."""
+        if self.ambient_temperature is not None:
+            return self.ambient_temperature
+        return self.technology.thermal.ambient_temperature
+
+    def activity_factor(self, block_name: str) -> float:
+        """Dynamic-power scaling of one block (1.0 when unspecified)."""
+        if isinstance(self.activity, abc.Mapping):
+            return float(self.activity.get(block_name, 1.0))
+        return float(self.activity)
+
+    def describe(self) -> str:
+        """Human-readable scenario name."""
+        if self.label:
+            return self.label
+        return (
+            f"{self.technology.name}@{self.vdd:.2f}V"
+            f"/{self.ambient:.1f}K/act{self.activity!r}"
+        )
+
+
+def scenario_grid(
+    technologies: Sequence[TechnologyParameters],
+    supply_scales: Iterable[float] = (1.0,),
+    ambient_temperatures: Iterable[Optional[float]] = (None,),
+    activities: Iterable[Union[float, Mapping[str, float]]] = (1.0,),
+) -> List[Scenario]:
+    """Cross product of the four scenario axes, in deterministic order.
+
+    Parameters
+    ----------
+    technologies:
+        Technology nodes to cover.
+    supply_scales:
+        Supply voltages as fractions of each node's nominal ``Vdd`` (so one
+        grid spans nodes with very different absolute supplies).
+    ambient_temperatures:
+        Heat-sink temperatures [K]; ``None`` selects each node's default.
+    activities:
+        Per-scenario activity scalings (scalar or per-block mapping).
+    """
+    if not technologies:
+        raise ValueError("at least one technology is required")
+    # Materialize the axes so one-shot iterators (generators) survive the
+    # re-iteration inside the nested cross-product loops.
+    supply_scales = tuple(supply_scales)
+    ambient_temperatures = tuple(ambient_temperatures)
+    activities = tuple(activities)
+    scenarios = []
+    for technology in technologies:
+        for scale in supply_scales:
+            for ambient in ambient_temperatures:
+                for activity in activities:
+                    scenarios.append(
+                        Scenario(
+                            technology=technology,
+                            supply_voltage=scale * technology.vdd,
+                            ambient_temperature=ambient,
+                            activity=activity,
+                        )
+                    )
+    return scenarios
+
+
+@dataclass(frozen=True)
+class ScenarioBatchResult:
+    """Converged (or best-effort) solutions of a scenario batch.
+
+    Array attributes are indexed ``[scenario, block]`` (or ``[scenario]``),
+    with blocks ordered as :attr:`block_names`.
+    """
+
+    scenarios: Tuple[Scenario, ...]
+    block_names: Tuple[str, ...]
+    block_temperatures: np.ndarray
+    dynamic_power: np.ndarray
+    static_power: np.ndarray
+    ambient_temperatures: np.ndarray
+    converged: np.ndarray
+    iteration_counts: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def total_power(self) -> np.ndarray:
+        """Chip total power [W] per scenario."""
+        return (self.dynamic_power + self.static_power).sum(axis=1)
+
+    @property
+    def total_static_power(self) -> np.ndarray:
+        """Chip static power [W] per scenario."""
+        return self.static_power.sum(axis=1)
+
+    @property
+    def total_dynamic_power(self) -> np.ndarray:
+        """Chip dynamic power [W] per scenario."""
+        return self.dynamic_power.sum(axis=1)
+
+    @property
+    def peak_temperature(self) -> np.ndarray:
+        """Hottest block junction temperature [K] per scenario."""
+        return self.block_temperatures.max(axis=1)
+
+    @property
+    def peak_rise(self) -> np.ndarray:
+        """Hottest block rise [K] above each scenario's ambient."""
+        return self.peak_temperature - self.ambient_temperatures
+
+    def hottest_blocks(self) -> Tuple[str, ...]:
+        """Name of the hottest block per scenario."""
+        indices = np.argmax(self.block_temperatures, axis=1)
+        return tuple(self.block_names[i] for i in indices)
+
+    def temperatures_of(self, block_name: str) -> np.ndarray:
+        """Junction temperature [K] of one block across the batch."""
+        return self.block_temperatures[:, self.block_names.index(block_name)]
+
+    def scenario_result(self, index: int) -> CosimResult:
+        """Repackage one scenario as a scalar-engine :class:`CosimResult`.
+
+        The per-iteration history is not recorded in batch mode, so the
+        result's ``iterations`` tuple is empty.
+        """
+        breakdowns = {
+            name: PowerBreakdown(
+                switching=float(self.dynamic_power[index, column]),
+                short_circuit=0.0,
+                static=float(self.static_power[index, column]),
+            )
+            for column, name in enumerate(self.block_names)
+        }
+        return CosimResult(
+            block_temperatures={
+                name: float(self.block_temperatures[index, column])
+                for column, name in enumerate(self.block_names)
+            },
+            block_breakdowns=breakdowns,
+            ambient_temperature=float(self.ambient_temperatures[index]),
+            converged=bool(self.converged[index]),
+            iterations=(),
+        )
+
+    def as_rows(self) -> List[Tuple]:
+        """Reporting rows: (label, peak T, total power, converged)."""
+        return [
+            (
+                scenario.describe(),
+                float(self.peak_temperature[index]),
+                float(self.total_power[index]),
+                bool(self.converged[index]),
+            )
+            for index, scenario in enumerate(self.scenarios)
+        ]
+
+
+class ScenarioEngine:
+    """Batched electro-thermal fixed points over a grid of scenarios.
+
+    Parameters
+    ----------
+    floorplan:
+        Die floorplan shared by every scenario (the cached resistance
+        reduction keys on it).
+    dynamic_powers:
+        Per-block dynamic power [W] at nominal supply and unit activity.
+    static_powers_at_reference:
+        Per-block static power [W] at nominal supply and each scenario
+        technology's reference temperature.
+    image_rings, include_bottom_images:
+        Boundary-image configuration, as for the scalar engine.
+    device_type:
+        Polarity used for the leakage temperature law.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        dynamic_powers: Mapping[str, float],
+        static_powers_at_reference: Mapping[str, float],
+        image_rings: int = 1,
+        include_bottom_images: bool = True,
+        device_type: str = "nmos",
+    ) -> None:
+        self.floorplan = floorplan
+        named = set(dynamic_powers) | set(static_powers_at_reference)
+        if not named:
+            raise ValueError("at least one block power must be given")
+        unknown = named - set(floorplan.block_names())
+        if unknown:
+            raise KeyError(f"block powers reference unknown blocks: {sorted(unknown)}")
+        self.dynamic_powers = {
+            name: float(dynamic_powers.get(name, 0.0)) for name in named
+        }
+        self.static_powers_at_reference = {
+            name: float(static_powers_at_reference.get(name, 0.0)) for name in named
+        }
+        self.image_rings = image_rings
+        self.include_bottom_images = include_bottom_images
+        self.device_type = device_type
+        self._block_names: Tuple[str, ...] = tuple(
+            name for name in floorplan.block_names() if name in named
+        )
+        self._unit_matrix = unit_resistance_matrix(
+            floorplan,
+            self._block_names,
+            image_rings=image_rings,
+            include_bottom_images=include_bottom_images,
+        )
+
+    @property
+    def block_names(self) -> Tuple[str, ...]:
+        """Modelled blocks, in resistance-matrix row order."""
+        return self._block_names
+
+    # ------------------------------------------------------------------ #
+    # Per-scenario power scaling (shared by batched and scalar paths)
+    # ------------------------------------------------------------------ #
+    def scenario_block_powers(
+        self, scenario: Scenario
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Reference powers of one scenario: ``(dynamic, static_ref)``.
+
+        Both the batched solver and the scalar oracle consume these exact
+        floats, so the two paths scale supply and activity identically.
+        """
+        scale = scenario.supply_scale
+        dynamic = {
+            name: self.dynamic_powers[name]
+            * (scale * scale * scenario.activity_factor(name))
+            for name in self._block_names
+        }
+        static = {
+            name: self.static_powers_at_reference[name] * scale
+            for name in self._block_names
+        }
+        return dynamic, static
+
+    def block_models(self, scenario: Scenario) -> Dict[str, BlockPowerModel]:
+        """Scalar block models reproducing one scenario's power laws."""
+        dynamic, static = self.scenario_block_powers(scenario)
+        return {
+            name: ScaledLeakageBlockModel(
+                name=name,
+                technology=scenario.technology,
+                dynamic_power=dynamic[name],
+                static_power_at_reference=static[name],
+                device_type=self.device_type,
+            )
+            for name in self._block_names
+        }
+
+    def scalar_engine(self, scenario: Scenario) -> ElectroThermalEngine:
+        """The equivalent single-scenario engine (parity/benchmark oracle)."""
+        return ElectroThermalEngine(
+            scenario.technology,
+            self.floorplan,
+            self.block_models(scenario),
+            ambient_temperature=scenario.ambient,
+            image_rings=self.image_rings,
+            include_bottom_images=self.include_bottom_images,
+        )
+
+    def solve_scalar(self, scenario: Scenario, **solve_kwargs) -> CosimResult:
+        """One scenario through the looped scalar engine."""
+        return self.scalar_engine(scenario).solve(**solve_kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Batched fixed point
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        scenarios: Sequence[Scenario],
+        max_iterations: int = 50,
+        tolerance: float = 0.01,
+        damping: float = 1.0,
+        max_temperature: float = 500.0,
+    ) -> ScenarioBatchResult:
+        """Damped fixed point for every scenario, as array operations.
+
+        Parameters mirror :meth:`ElectroThermalEngine.solve`; each scenario
+        converges (and freezes) independently, so results are invariant
+        under permutation of the scenario list.
+        """
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+
+        scenarios = tuple(scenarios)
+        count = len(scenarios)
+        blocks = len(self._block_names)
+
+        # Grids repeat a handful of technology nodes across hundreds of
+        # scenarios; per-node constants are computed once per distinct node
+        # and fanned out by index.
+        node_index: Dict[int, int] = {}
+        nodes: List[TechnologyParameters] = []
+        node_of = np.empty(count, dtype=int)
+        for row, scenario in enumerate(scenarios):
+            key = id(scenario.technology)
+            if key not in node_index:
+                node_index[key] = len(nodes)
+                nodes.append(scenario.technology)
+            node_of[row] = node_index[key]
+
+        ambient = np.asarray([s.ambient for s in scenarios])
+        if max_temperature <= ambient.max():
+            raise ValueError("max_temperature must exceed every ambient temperature")
+        conductivity_cache: Dict[Tuple[int, float], float] = {}
+        for scenario in scenarios:
+            key = (id(scenario.technology), scenario.ambient)
+            if key not in conductivity_cache:
+                conductivity_cache[key] = (
+                    scenario.technology.thermal.silicon.conductivity_at(
+                        scenario.ambient
+                    )
+                )
+        conductivity = np.asarray(
+            [
+                conductivity_cache[(id(s.technology), s.ambient)]
+                for s in scenarios
+            ]
+        )
+        heat_sink = np.asarray([t.thermal.heat_sink_resistance for t in nodes])[
+            node_of
+        ]
+        reference = np.asarray([t.reference_temperature for t in nodes])[
+            node_of, np.newaxis
+        ]
+        node_devices = [t.device(self.device_type) for t in nodes]
+        devices = leakage_kernel.DeviceArray.from_devices(node_devices).take(
+            node_of
+        ).reshape((count, 1))
+        width = np.asarray([d.nominal_width for d in node_devices])[
+            node_of, np.newaxis
+        ]
+        vdd = np.asarray([t.vdd for t in nodes])[node_of, np.newaxis]
+
+        # Supply / activity scalings — the same floating-point operations,
+        # in the same order, as :meth:`scenario_block_powers`.
+        scale = np.asarray([s.supply_scale for s in scenarios])
+        activity = np.empty((count, blocks))
+        for row, scenario in enumerate(scenarios):
+            if isinstance(scenario.activity, abc.Mapping):
+                for column, name in enumerate(self._block_names):
+                    activity[row, column] = scenario.activity_factor(name)
+            else:
+                activity[row, :] = float(scenario.activity)
+        dynamic_ref = np.asarray(
+            [self.dynamic_powers[name] for name in self._block_names]
+        )
+        static_base = np.asarray(
+            [self.static_powers_at_reference[name] for name in self._block_names]
+        )
+        dynamic = dynamic_ref * ((scale * scale)[:, np.newaxis] * activity)
+        static_ref = static_base * scale[:, np.newaxis]
+
+        # Eq. 13 pieces hoisted out of the iteration.  The denominator of
+        # the leakage temperature ratio is temperature-independent, so it is
+        # evaluated once through the kernel; the per-iteration numerator is
+        # inlined below with the identical arithmetic (at VGS = 0 and
+        # VDS = Vdd the body and DIBL terms of Eq. 2 are exact float zeros,
+        # so dropping them preserves bit-level parity with the scalar path).
+        cold = leakage_kernel.single_device_off_current(
+            devices, width, vdd, reference, reference
+        )
+        prefactor_base = (width / devices.channel_length) * devices.i0
+        vt0 = devices.vt0.reshape((count, 1))
+        kt = devices.kt.reshape((count, 1))
+        ideality = devices.n.reshape((count, 1))
+
+        def static_powers(temps, rows):
+            """Static power [W] of the given scenario rows at ``temps``."""
+            vth = vt0[rows] - kt[rows] * (temps - reference[rows])
+            # kT/q inline (same association as technology.constants); the
+            # positivity check lives with the scenario construction.
+            vt = BOLTZMANN * temps / ELEMENTARY_CHARGE
+            gate_factor = leakage_kernel.safe_exp(
+                (0.0 - vth) / (ideality[rows] * vt)
+            )
+            hot = (
+                prefactor_base[rows] * (temps / reference[rows]) ** 2 * gate_factor
+            )
+            return static_ref[rows] * (hot / cold[rows])
+
+        temperatures = np.broadcast_to(ambient[:, np.newaxis], (count, blocks)).copy()
+        converged = np.zeros(count, dtype=bool)
+        iteration_counts = np.zeros(count, dtype=int)
+
+        # The batch iterates on the still-active subset only: rows are
+        # compacted away as their scenarios converge (each row's trajectory
+        # is independent, which is also what makes the result permutation
+        # invariant in the scenario order).
+        index_map = np.arange(count)
+        temps = temperatures
+        for index in range(max_iterations):
+            rows = index_map
+            powers = dynamic[rows] + static_powers(temps, rows)
+            heat_sink_extra = heat_sink[rows] * powers.sum(axis=1)
+            rises = (powers @ self._unit_matrix.T) / conductivity[rows, np.newaxis]
+            updated = (
+                ambient[rows, np.newaxis] + heat_sink_extra[:, np.newaxis] + rises
+            )
+            proposed = damping * updated + (1.0 - damping) * temps
+            np.minimum(proposed, max_temperature, out=proposed)
+            change = np.abs(proposed - temps).max(axis=1)
+            temps = proposed
+            iteration_counts[rows] += 1
+            if index > 0:
+                settled = change < tolerance
+                if settled.any():
+                    converged[rows[settled]] = True
+                    temperatures[rows[settled]] = temps[settled]
+                    keep = ~settled
+                    index_map = rows[keep]
+                    temps = temps[keep]
+            if index_map.size == 0:
+                break
+        temperatures[index_map] = temps
+
+        # Scenarios that hit the runaway ceiling report non-convergence, as
+        # in the scalar engine.
+        runaway = (temperatures >= max_temperature - 1e-9).any(axis=1)
+        converged &= ~runaway
+
+        static_power = static_powers(temperatures, slice(None))
+        return ScenarioBatchResult(
+            scenarios=scenarios,
+            block_names=self._block_names,
+            block_temperatures=temperatures,
+            dynamic_power=dynamic,
+            static_power=static_power,
+            ambient_temperatures=ambient,
+            converged=converged,
+            iteration_counts=iteration_counts,
+        )

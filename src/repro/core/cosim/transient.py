@@ -27,7 +27,6 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..thermal.transient import device_thermal_parameters
 from .engine import ElectroThermalEngine
 
 #: A workload profile: maps time [s] to a per-block dynamic-power multiplier.

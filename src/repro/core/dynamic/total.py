@@ -10,7 +10,7 @@ temperature-dependent static component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 from ...circuit.netlist import Netlist

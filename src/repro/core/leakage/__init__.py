@@ -1,23 +1,34 @@
 """Analytical static-power model (paper Section 2).
 
 Subthreshold device model (Eqs. 1–2), OFF-chain stack collapsing
-(Eqs. 3–12), gate-level leakage (Eq. 13) and circuit-level aggregation.
+(Eqs. 3–12), gate-level leakage (Eq. 13), circuit-level aggregation, and
+the vectorized struct-of-arrays kernel (:mod:`repro.core.leakage.kernel`)
+that evaluates the same closed forms for whole batches of devices,
+chains and scenarios.
 """
 
 from .circuit_leakage import CircuitLeakageModel, CircuitLeakageReport
 from .gate_leakage import GateLeakageEstimate, GateLeakageModel
+from .kernel import DeviceArray, StackArray, StackCollapseBatch
 from .stack_collapse import PairCollapseResult, StackCollapseResult, StackCollapser
 from .subthreshold import (
+    MAX_EXPONENT,
     SubthresholdBias,
     effective_width_off_current,
     leakage_temperature_slope,
+    safe_exp,
     single_device_off_current,
     subthreshold_current,
     threshold_voltage,
 )
 
 __all__ = [
+    "MAX_EXPONENT",
+    "safe_exp",
     "SubthresholdBias",
+    "DeviceArray",
+    "StackArray",
+    "StackCollapseBatch",
     "subthreshold_current",
     "threshold_voltage",
     "single_device_off_current",

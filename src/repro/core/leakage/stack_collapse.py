@@ -45,18 +45,8 @@ from scipy.optimize import brentq
 
 from ...circuit.stack import TransistorStack
 from ...technology.constants import thermal_voltage
-from ...technology.parameters import DeviceParameters, TechnologyParameters
-from .subthreshold import SubthresholdBias, subthreshold_current
-
-_MAX_EXPONENT = 250.0
-
-
-def _safe_exp(value: float) -> float:
-    if value > _MAX_EXPONENT:
-        return math.exp(_MAX_EXPONENT)
-    if value < -_MAX_EXPONENT:
-        return 0.0
-    return math.exp(value)
+from ...technology.parameters import TechnologyParameters
+from .subthreshold import SubthresholdBias, safe_exp as _safe_exp, subthreshold_current
 
 
 @dataclass(frozen=True)

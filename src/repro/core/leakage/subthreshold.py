@@ -25,16 +25,31 @@ from typing import Optional
 from ...technology.constants import thermal_voltage
 from ...technology.parameters import DeviceParameters, TechnologyParameters
 
-_MAX_EXPONENT = 250.0
+#: Symmetric clamp applied to every exponent before ``exp``.  The scalar
+#: path (:func:`safe_exp`) and the batched path
+#: (:func:`repro.core.leakage.kernel.safe_exp` via ``np.clip`` before
+#: ``np.exp``) share this single constant so they agree to round-off;
+#: ``exp(+-250)`` stays comfortably inside float64 range (~1e108 / ~1e-109).
+MAX_EXPONENT = 250.0
 
 
-def _safe_exp(value: float) -> float:
-    """Overflow-protected exponential (voltages handed in by optimisers)."""
-    if value > _MAX_EXPONENT:
-        return math.exp(_MAX_EXPONENT)
-    if value < -_MAX_EXPONENT:
-        return 0.0
+def safe_exp(value: float) -> float:
+    """Overflow-protected exponential (voltages handed in by optimisers).
+
+    The argument is clamped to ``[-MAX_EXPONENT, +MAX_EXPONENT]`` — i.e.
+    ``exp(-1e6)`` returns ``exp(-250)``, not ``0.0`` — so the clamp is
+    symmetric and the batched kernel can reproduce it exactly with
+    ``np.exp(np.clip(x, -MAX_EXPONENT, MAX_EXPONENT))``.
+    """
+    if value > MAX_EXPONENT:
+        return math.exp(MAX_EXPONENT)
+    if value < -MAX_EXPONENT:
+        return math.exp(-MAX_EXPONENT)
     return math.exp(value)
+
+
+#: Backwards-compatible private alias (historical name of :func:`safe_exp`).
+_safe_exp = safe_exp
 
 
 @dataclass(frozen=True)

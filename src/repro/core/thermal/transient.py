@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from ...technology.materials import SILICON, Material
 from ...thermalsim.rc_network import FosterNetwork, FosterStage

@@ -10,7 +10,7 @@ source".
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from ..core.thermal.sources import HeatSource
 

@@ -12,7 +12,7 @@ the voltage droop observed during a pulse into a junction temperature rise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Mapping, Tuple
 
 import numpy as np
 

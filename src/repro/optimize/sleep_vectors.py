@@ -18,7 +18,7 @@ model of :mod:`repro.core.leakage` (which is what makes them cheap):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from ..circuit.netlist import Netlist
 from ..circuit.vectors import enumerate_vectors

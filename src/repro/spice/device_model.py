@@ -17,24 +17,14 @@ devices; callers translate absolute node voltages into magnitudes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+# The solver shares the leakage layer's symmetric exponent clamp so the
+# "SPICE" reference and the analytical/batched models saturate identically
+# when Newton iterations momentarily wander into unphysical voltage regions.
+from ..core.leakage.subthreshold import safe_exp as _safe_exp
 from ..technology.constants import thermal_voltage
 from ..technology.parameters import DeviceParameters
-
-#: Largest exponent handed to ``math.exp`` (protects Newton iterations that
-#: momentarily wander into unphysical voltage regions).
-_MAX_EXPONENT = 250.0
-
-
-def _safe_exp(value: float) -> float:
-    """``exp`` clamped to avoid overflow during intermediate solver steps."""
-    if value > _MAX_EXPONENT:
-        return math.exp(_MAX_EXPONENT)
-    if value < -_MAX_EXPONENT:
-        return 0.0
-    return math.exp(value)
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .constants import celsius_to_kelvin, thermal_voltage
 from .nodes import all_technologies, node_names
-from .parameters import DeviceParameters, TechnologyParameters
+from .parameters import DeviceParameters
 
 
 @dataclass(frozen=True)

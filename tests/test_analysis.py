@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.grids import SurfaceGrid, radial_distances, regular_grid
+from repro.analysis.grids import radial_distances, regular_grid
 from repro.analysis.isotherms import (
     gradient_tangency_residual,
     hotspot_location,

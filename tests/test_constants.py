@@ -1,6 +1,5 @@
 """Tests for repro.technology.constants."""
 
-import math
 
 import pytest
 

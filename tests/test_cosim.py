@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.circuit.cells import inverter
 from repro.circuit.netlist import chain_of_inverters
 from repro.core.cosim.coupling import (
     NetlistBlockModel,

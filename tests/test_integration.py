@@ -7,7 +7,6 @@ fixed point against a brute-force alternating solve, and the full
 netlist -> floorplan -> co-simulation pipeline.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import max_absolute_relative_error
@@ -16,7 +15,7 @@ from repro.circuit.netlist import Netlist
 from repro.circuit.vectors import enumerate_vectors
 from repro.core.cosim import ElectroThermalEngine, NetlistBlockModel, block_models_from_powers
 from repro.core.leakage import CircuitLeakageModel, GateLeakageModel
-from repro.core.thermal import ChipThermalModel, DieGeometry, HeatSource
+from repro.core.thermal import ChipThermalModel, DieGeometry
 from repro.floorplan import Block, Floorplan, three_block_floorplan
 from repro.spice import GateLeakageReference, StackDCSolver
 from repro.spice.gate_solver import netlist_total_leakage_reference

@@ -1,0 +1,300 @@
+"""Parity suite: batched leakage kernel vs the scalar reference path.
+
+The vectorized kernel must reproduce the scalar Eqs. 1–2 / 6–13
+arithmetic to <= 1e-12 relative error across the *full* predefined
+technology-node table (0.8 um down to 25 nm spans ~7 decades of leakage
+magnitudes), for both polarities — subthreshold bias sweeps, Eq. 13
+gate currents, the node-voltage closed forms, and whole-chain stack
+collapses.  The shared symmetric exponent clamp is pinned here too.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cosim.coupling import (
+    leakage_temperature_ratio,
+    leakage_temperature_ratio_batch,
+)
+from repro.core.leakage import kernel
+from repro.core.leakage.stack_collapse import StackCollapser
+from repro.core.leakage.subthreshold import (
+    MAX_EXPONENT,
+    SubthresholdBias,
+    effective_width_off_current,
+    safe_exp,
+    single_device_off_current,
+    subthreshold_current,
+    threshold_voltage,
+)
+from repro.technology.nodes import all_technologies, node_names
+
+PARITY = 1e-12
+
+ALL_NODES = sorted(all_technologies().items())
+
+
+def relative_gap(batched: np.ndarray, scalar: np.ndarray) -> float:
+    batched = np.asarray(batched, dtype=float)
+    scalar = np.asarray(scalar, dtype=float)
+    scale = np.maximum(np.abs(scalar), 1e-300)
+    return float((np.abs(batched - scalar) / scale).max())
+
+
+# --------------------------------------------------------------------- #
+# The shared exponent clamp
+# --------------------------------------------------------------------- #
+class TestSafeExp:
+    def test_scalar_clamp_is_symmetric(self):
+        assert safe_exp(MAX_EXPONENT + 1.0) == math.exp(MAX_EXPONENT)
+        assert safe_exp(1e9) == math.exp(MAX_EXPONENT)
+        assert safe_exp(-MAX_EXPONENT - 1.0) == math.exp(-MAX_EXPONENT)
+        assert safe_exp(-1e9) == math.exp(-MAX_EXPONENT)
+        assert safe_exp(-1e9) > 0.0
+        assert safe_exp(0.0) == 1.0
+
+    def test_batched_clamp_matches_scalar_everywhere(self):
+        values = np.array([-1e9, -MAX_EXPONENT - 1.0, -MAX_EXPONENT, -1.0, 0.0,
+                           1.0, MAX_EXPONENT, MAX_EXPONENT + 1.0, 1e9])
+        batched = kernel.safe_exp(values)
+        scalar = np.array([safe_exp(float(v)) for v in values])
+        assert np.array_equal(batched, scalar)
+
+
+# --------------------------------------------------------------------- #
+# Eq. 1–2: subthreshold current over the full node table
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("node_name,technology", ALL_NODES)
+@pytest.mark.parametrize("device_type", ["nmos", "pmos"])
+def test_subthreshold_parity(node_name, technology, device_type):
+    device = technology.device(device_type)
+    devices = kernel.DeviceArray.from_device(device)
+    rng = np.random.default_rng(hash((node_name, device_type)) % 2**32)
+    count = 40
+    temperature = rng.uniform(250.0, 450.0, count)
+    vgs = rng.uniform(-0.3, 0.4, count)
+    vds = rng.uniform(0.005, technology.vdd, count)
+    vsb = rng.uniform(0.0, 0.5, count)
+    width = rng.uniform(0.05e-6, 20e-6, count)
+
+    for include_drain in (True, False):
+        batched = kernel.subthreshold_current(
+            devices, width, vgs, vds, vsb, technology.vdd, temperature,
+            technology.reference_temperature, include_drain_factor=include_drain,
+        )
+        scalar = [
+            subthreshold_current(
+                device,
+                width[i],
+                SubthresholdBias(
+                    vgs=vgs[i], vds=vds[i], vsb=vsb[i], vdd=technology.vdd,
+                    temperature=temperature[i],
+                ),
+                technology.reference_temperature,
+                include_drain_factor=include_drain,
+            )
+            for i in range(count)
+        ]
+        assert relative_gap(batched, scalar) <= PARITY
+
+    batched_vth = devices.threshold_voltage(
+        vsb, vds, technology.vdd, temperature, technology.reference_temperature
+    )
+    scalar_vth = [
+        threshold_voltage(
+            device,
+            SubthresholdBias(
+                vgs=vgs[i], vds=vds[i], vsb=vsb[i], vdd=technology.vdd,
+                temperature=temperature[i],
+            ),
+            technology.reference_temperature,
+        )
+        for i in range(count)
+    ]
+    assert relative_gap(batched_vth, scalar_vth) <= PARITY
+
+
+@pytest.mark.parametrize("node_name,technology", ALL_NODES)
+@pytest.mark.parametrize("device_type", ["nmos", "pmos"])
+def test_gate_leakage_parity(node_name, technology, device_type):
+    """Eq. 13: effective-width gate current across nodes and temperatures."""
+    devices = kernel.DeviceArray.from_device(technology.device(device_type))
+    rng = np.random.default_rng(hash((node_name, device_type, 13)) % 2**32)
+    count = 30
+    effective_width = rng.uniform(0.02e-6, 40e-6, count)
+    temperature = rng.uniform(250.0, 450.0, count)
+
+    batched = kernel.gate_leakage(
+        devices, effective_width, technology.vdd, temperature,
+        technology.reference_temperature,
+    )
+    scalar = [
+        effective_width_off_current(
+            technology, device_type, effective_width[i], temperature[i]
+        )
+        for i in range(count)
+    ]
+    assert relative_gap(batched, scalar) <= PARITY
+    assert np.all(batched > 0.0)
+
+
+@pytest.mark.parametrize("node_name,technology", ALL_NODES)
+def test_node_voltage_parity(node_name, technology):
+    """Eqs. 7/8/9/10 closed forms match the scalar collapser, broadcast."""
+    collapser = StackCollapser(technology)
+    devices = kernel.DeviceArray.from_device(technology.nmos)
+    ratios = np.logspace(-2.0, 2.0, 17)
+    lower = 1.0e-6
+    upper = ratios * lower
+    temperature = technology.reference_temperature
+
+    pairs = (
+        (kernel.f_value, collapser.f_value),
+        (kernel.node_voltage, collapser.node_voltage),
+        (kernel.node_voltage_strong, collapser.node_voltage_strong),
+        (kernel.node_voltage_weak, collapser.node_voltage_weak),
+    )
+    for batched_fn, scalar_fn in pairs:
+        batched = batched_fn(upper, lower, devices, technology.vdd, temperature)
+        scalar = [scalar_fn(u, lower, "nmos", temperature) for u in upper]
+        # f crosses zero inside the sweep, so compare f on an absolute scale.
+        if scalar_fn is collapser.f_value:
+            assert np.abs(batched - np.asarray(scalar)).max() <= 1e-12
+        else:
+            assert relative_gap(batched, scalar) <= PARITY
+    assert float(kernel.alpha(devices)) == collapser.alpha("nmos")
+
+
+@pytest.mark.parametrize("node_name,technology", ALL_NODES)
+@pytest.mark.parametrize("device_type", ["nmos", "pmos"])
+@pytest.mark.parametrize("depth", [1, 2, 3, 4, 6])
+def test_stack_collapse_parity(node_name, technology, device_type, depth):
+    """Whole-chain collapse and Eq. 13 current match the scalar recursion."""
+    collapser = StackCollapser(technology)
+    rng = np.random.default_rng(hash((node_name, device_type, depth)) % 2**32)
+    count = 15
+    chains = rng.uniform(0.05e-6, 10e-6, (count, depth))
+    stacks = kernel.StackArray(widths=chains)
+    devices = kernel.DeviceArray.from_device(technology.device(device_type))
+    temperature = 330.0
+
+    batch = kernel.collapse_stacks(stacks, devices, technology.vdd, temperature)
+    currents = kernel.collapsed_stack_current(
+        stacks, devices, technology.vdd, temperature,
+        technology.reference_temperature,
+    )
+    for i in range(count):
+        reference = collapser.collapse_chain_widths(
+            list(chains[i]), device_type, temperature
+        )
+        assert relative_gap(
+            batch.effective_width[i], reference.effective_width
+        ) <= PARITY
+        assert batch.node_voltages.shape == (count, depth - 1)
+        if depth > 1:
+            assert relative_gap(
+                batch.node_voltages[i], np.asarray(reference.node_voltages)
+            ) <= PARITY
+            assert relative_gap(
+                batch.stacking_factor[i], reference.stacking_factor
+            ) <= PARITY
+        reference_current = effective_width_off_current(
+            technology, device_type, reference.effective_width, temperature
+        )
+        assert relative_gap(currents[i], reference_current) <= PARITY
+
+
+@pytest.mark.parametrize("node_name,technology", ALL_NODES)
+def test_leakage_temperature_ratio_parity(node_name, technology):
+    """The cosim coupling ratio (Eq. 13 based) matches, per node."""
+    temperatures = np.linspace(260.0, 440.0, 19)
+    batched = leakage_temperature_ratio_batch(technology, temperatures)
+    scalar = [leakage_temperature_ratio(technology, t) for t in temperatures]
+    assert relative_gap(batched, scalar) <= PARITY
+
+
+# --------------------------------------------------------------------- #
+# Container semantics
+# --------------------------------------------------------------------- #
+class TestContainers:
+    def test_device_array_packs_full_node_table(self):
+        technologies = list(all_technologies().values())
+        devices = kernel.DeviceArray.from_technologies(technologies, "nmos")
+        assert devices.i0.shape == (len(node_names()),)
+        taken = devices.take(np.array([0, 0, 3]))
+        assert taken.vt0.shape == (3,)
+        assert taken.vt0[0] == taken.vt0[1] == devices.vt0[0]
+        reshaped = devices.reshape((len(node_names()), 1))
+        assert reshaped.kt.shape == (len(node_names()), 1)
+
+    def test_stack_array_rejects_mixed_depths(self):
+        with pytest.raises(ValueError):
+            kernel.StackArray.from_chains([[1e-6, 2e-6], [1e-6]])
+
+    def test_stack_array_rejects_non_positive_widths(self):
+        with pytest.raises(ValueError):
+            kernel.StackArray(widths=np.array([[1e-6, 0.0]]))
+
+    def test_subthreshold_rejects_non_positive_width(self, tech012):
+        devices = kernel.DeviceArray.from_device(tech012.nmos)
+        with pytest.raises(ValueError):
+            kernel.subthreshold_current(
+                devices, 0.0, 0.0, 1.2, 0.0, 1.2, 300.0, 298.15
+            )
+
+    def test_gate_leakage_rejects_non_positive_width(self, tech012):
+        devices = kernel.DeviceArray.from_device(tech012.nmos)
+        with pytest.raises(ValueError):
+            kernel.gate_leakage(
+                devices, np.array([1e-6, -1e-6]), 1.2, 300.0, 298.15
+            )
+
+    def test_collapse_broadcasts_temperature_batches(self, tech012):
+        """A (scenarios, 1) temperature batch collapses per scenario x stack."""
+        collapser = StackCollapser(tech012)
+        chains = np.array([[1.0e-6, 2.0e-6, 4.0e-6], [3.0e-6, 1.0e-6, 0.5e-6]])
+        stacks = kernel.StackArray(widths=chains)
+        devices = kernel.DeviceArray.from_device(tech012.nmos)
+        temperatures = np.array([[300.0], [350.0], [400.0]])
+        batch = kernel.collapse_stacks(stacks, devices, tech012.vdd, temperatures)
+        assert batch.effective_width.shape == (3, 2)
+        assert batch.node_voltages.shape == (3, 2, 2)
+        assert batch.top_node_voltage.shape == (3, 2)
+        for row in range(3):
+            for chain in range(2):
+                reference = collapser.collapse_chain_widths(
+                    list(chains[chain]), "nmos", float(temperatures[row, 0])
+                )
+                assert relative_gap(
+                    batch.effective_width[row, chain], reference.effective_width
+                ) <= PARITY
+                assert relative_gap(
+                    batch.node_voltages[row, chain],
+                    np.asarray(reference.node_voltages),
+                ) <= PARITY
+
+    def test_single_chain_depth_one_is_identity(self, tech012):
+        stacks = kernel.StackArray(widths=np.array([[3.0e-6]]))
+        devices = kernel.DeviceArray.from_device(tech012.nmos)
+        batch = kernel.collapse_stacks(stacks, devices, tech012.vdd, 300.0)
+        assert batch.effective_width[0] == 3.0e-6
+        assert batch.node_voltages.shape == (1, 0)
+        assert batch.stacking_factor[0] == 1.0
+
+    def test_off_current_parity_with_scalar(self, tech012):
+        devices = kernel.DeviceArray.from_device(tech012.nmos)
+        temperature = np.array([280.0, 300.0, 380.0])
+        batched = kernel.single_device_off_current(
+            devices, 2e-6, tech012.vdd, temperature,
+            tech012.reference_temperature,
+        )
+        scalar = [
+            single_device_off_current(
+                tech012.nmos, 2e-6, tech012.vdd, t, tech012.reference_temperature
+            )
+            for t in temperature
+        ]
+        assert relative_gap(batched, scalar) <= PARITY

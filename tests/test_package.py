@@ -1,6 +1,5 @@
 """Public-API smoke tests for the top-level package."""
 
-import pytest
 
 import repro
 

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.technology import REFERENCE_TEMPERATURE_K, thermal_voltage
-from repro.technology.parameters import (
-    DeviceParameters,
-    TechnologyParameters,
-    ThermalParameters,
-)
+from repro.technology.parameters import DeviceParameters, ThermalParameters
 
 
 def make_device(**overrides):

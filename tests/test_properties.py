@@ -13,7 +13,6 @@ The invariants exercised here are the ones DESIGN.md calls out:
 * thermal RC step responses are monotone and converge to R * P.
 """
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings

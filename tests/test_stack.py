@@ -6,7 +6,6 @@ from repro.circuit.devices import nmos, pmos
 from repro.circuit.stack import (
     TransistorStack,
     nmos_stack_from_widths,
-    pmos_stack_from_widths,
     uniform_nmos_stack,
     uniform_pmos_stack,
 )

@@ -11,7 +11,7 @@ from repro.core.thermal.profile import (
     rectangle_temperature,
     saturation_distance,
 )
-from repro.core.thermal.sources import HeatSource, square_center_temperature
+from repro.core.thermal.sources import HeatSource
 from repro.thermalsim.quadrature import rectangle_temperature_numeric
 
 K_SI = 148.0

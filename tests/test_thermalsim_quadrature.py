@@ -1,6 +1,5 @@
 """Tests for repro.thermalsim.quadrature (numerical Eq. 17 reference)."""
 
-import math
 
 import pytest
 
