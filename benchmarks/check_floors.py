@@ -6,7 +6,12 @@ committed floor ``required_speedup`` (the acceptance criterion of the PR
 that introduced it).  The CI ``benchmarks`` job regenerates the records in
 smoke mode and then runs this script, which exits non-zero if any tracked
 ratio fell below its floor — so a perf regression fails the pipeline even
-if the benchmark's own assertion was skipped or relaxed.
+if the benchmark's own assertion was skipped or relaxed.  Records listed
+in :data:`REQUIRED_RECORDS` must exist: a benchmark that silently stopped
+writing its record is itself a failure.
+
+Regressions are reported diff-style, one line per failed floor with the
+absolute and relative shortfall.
 
 Run locally with::
 
@@ -18,17 +23,33 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
+from typing import List
 
 BENCH_DIR = Path(__file__).resolve().parent
 
+#: Records every healthy checkout must produce (one per tracked
+#: throughput benchmark); extend this tuple when a new BENCH record lands.
+REQUIRED_RECORDS = (
+    "BENCH_kernel.json",
+    "BENCH_scenarios.json",
+    "BENCH_transient.json",
+)
 
-def check_floors(directory: Path = BENCH_DIR) -> int:
-    """Validate every ``BENCH_*.json`` record; return the failure count."""
+
+def check_floors(directory: Path = BENCH_DIR) -> List[str]:
+    """Validate every ``BENCH_*.json`` record; return diff-style failures."""
     records = sorted(directory.glob("BENCH_*.json"))
+    failures: List[str] = []
+    present = {path.name for path in records}
+    for required in REQUIRED_RECORDS:
+        if required not in present:
+            failures.append(
+                f"- {required}: record missing (benchmark did not run or "
+                "stopped persisting its measurements)"
+            )
     if not records:
         print(f"no BENCH_*.json records found under {directory}", file=sys.stderr)
-        return 1
-    failures = 0
+        return failures
     for path in records:
         record = json.loads(path.read_text())
         name = record.get("benchmark", path.stem)
@@ -43,7 +64,11 @@ def check_floors(directory: Path = BENCH_DIR) -> int:
             f"(floor {floor:g}x) {status}"
         )
         if speedup < floor:
-            failures += 1
+            shortfall = floor - speedup
+            failures.append(
+                f"- {name}: {speedup:.1f}x < {floor:g}x floor "
+                f"(short by {shortfall:.1f}x, down {100.0 * shortfall / floor:.1f}%)"
+            )
     return failures
 
 
@@ -51,7 +76,9 @@ def main() -> int:
     print(f"checking benchmark floors under {BENCH_DIR}")
     failures = check_floors()
     if failures:
-        print(f"{failures} benchmark(s) below their committed floor", file=sys.stderr)
+        print(f"{len(failures)} benchmark floor(s) violated:", file=sys.stderr)
+        for line in failures:
+            print(line, file=sys.stderr)
         return 1
     print("all tracked benchmark ratios at or above their floors")
     return 0

@@ -34,8 +34,13 @@ STATIC_REF = {"core": 0.045, "cache": 0.018, "io": 0.008}
 def numerical_cosim(technology, plan, models, max_iterations=25, tolerance=0.02):
     """Fixed point with the finite-volume solver in the thermal role."""
     solver = FiniteVolumeThermalSolver(
-        plan.die.width, plan.die.length, plan.die.thickness,
-        nx=20, ny=20, nz=5, ambient_temperature=AMBIENT,
+        plan.die.width,
+        plan.die.length,
+        plan.die.thickness,
+        nx=20,
+        ny=20,
+        nz=5,
+        ambient_temperature=AMBIENT,
     )
     temperatures = {name: AMBIENT for name in plan.block_names()}
     iterations = 0

@@ -51,11 +51,16 @@ def build_regime_sweep(technology):
         title="Node-voltage approximations vs exact balance (V)",
     )
     for label, values in (
-        ("exact", exact), ("eq10_unified", unified),
-        ("eq7_strong", strong), ("eq8_weak", weak),
+        ("exact", exact),
+        ("eq10_unified", unified),
+        ("eq7_strong", strong),
+        ("eq8_weak", weak),
     ):
-        figure.add(Series.from_arrays(label, WIDTH_RATIOS, values,
-                                      x_label="W_top/W_bottom", y_label="V"))
+        figure.add(
+            Series.from_arrays(
+                label, WIDTH_RATIOS, values, x_label="W_top/W_bottom", y_label="V"
+            )
+        )
     return figure
 
 

@@ -31,16 +31,21 @@ def build_projection():
     )
     figure.add(
         Series.from_arrays(
-            "dynamic", positions, [p.dynamic_power for p in projections],
-            x_label="node index (0=0.8um)", y_label="W",
+            "dynamic",
+            positions,
+            [p.dynamic_power for p in projections],
+            x_label="node index (0=0.8um)",
+            y_label="W",
         )
     )
     for temperature in TEMPERATURES:
         figure.add(
             Series.from_arrays(
-                f"static_{temperature:g}C", positions,
+                f"static_{temperature:g}C",
+                positions,
                 [p.static_power(temperature) for p in projections],
-                x_label="node index (0=0.8um)", y_label="W",
+                x_label="node index (0=0.8um)",
+                y_label="W",
             )
         )
     figure.add_note("nodes: " + ", ".join(nodes))

@@ -43,16 +43,19 @@ def build_comparison(technology):
         title="V(N-1) - V(N-2) of a 2-stack vs width ratio (V)",
     )
     figure.add(
-        Series.from_arrays("eq10_model", WIDTH_RATIOS, model,
-                           x_label="W_top/W_bottom", y_label="V")
+        Series.from_arrays(
+            "eq10_model", WIDTH_RATIOS, model, x_label="W_top/W_bottom", y_label="V"
+        )
     )
     figure.add(
-        Series.from_arrays("exact_balance", WIDTH_RATIOS, exact,
-                           x_label="W_top/W_bottom", y_label="V")
+        Series.from_arrays(
+            "exact_balance", WIDTH_RATIOS, exact, x_label="W_top/W_bottom", y_label="V"
+        )
     )
     figure.add(
-        Series.from_arrays("spice_solver", WIDTH_RATIOS, numeric,
-                           x_label="W_top/W_bottom", y_label="V")
+        Series.from_arrays(
+            "spice_solver", WIDTH_RATIOS, numeric, x_label="W_top/W_bottom", y_label="V"
+        )
     )
     worst = max_absolute_relative_error(model, exact)
     figure.add_note(f"worst |eq10 - exact| / exact = {worst:.3f}")

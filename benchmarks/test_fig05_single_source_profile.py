@@ -26,7 +26,10 @@ POWER = 10.0e-3
 
 #: Radial sweep along the source's long axis [m].
 DISTANCES = np.concatenate(
-    [np.array([0.0, 0.1e-6, 0.2e-6, 0.35e-6]), np.logspace(np.log10(0.6e-6), np.log10(50e-6), 12)]
+    [
+        np.array([0.0, 0.1e-6, 0.2e-6, 0.35e-6]),
+        np.logspace(np.log10(0.6e-6), np.log10(50e-6), 12),
+    ]
 )
 
 
@@ -46,10 +49,16 @@ def build_profiles():
         title="Thermal profile of a 1um x 0.1um transistor at 10 mW (K rise)",
     )
     microns = DISTANCES * 1e6
-    figure.add(Series.from_arrays("analytical_eq20", microns, analytic,
-                                  x_label="distance (um)", y_label="K"))
-    figure.add(Series.from_arrays("numerical_eq17", microns, numeric,
-                                  x_label="distance (um)", y_label="K"))
+    figure.add(
+        Series.from_arrays(
+            "analytical_eq20", microns, analytic, x_label="distance (um)", y_label="K"
+        )
+    )
+    figure.add(
+        Series.from_arrays(
+            "numerical_eq17", microns, numeric, x_label="distance (um)", y_label="K"
+        )
+    )
     outside = [i for i, d in enumerate(DISTANCES) if d >= 0.6e-6]
     worst_far = max_absolute_relative_error(
         [analytic[i] for i in outside], [numeric[i] for i in outside]

@@ -86,8 +86,13 @@ def test_fig06_three_block_map(benchmark):
 
     # Cross-check with the finite-volume reference: same hottest block.
     fdm = FiniteVolumeThermalSolver(
-        plan.die.width, plan.die.length, plan.die.thickness,
-        nx=24, ny=24, nz=6, ambient_temperature=AMBIENT,
+        plan.die.width,
+        plan.die.length,
+        plan.die.thickness,
+        nx=24,
+        ny=24,
+        nz=6,
+        ambient_temperature=AMBIENT,
     )
     numeric = fdm.solve(fdm_sources_from_blocks(plan, BLOCK_POWERS))
     numeric_hottest = max(

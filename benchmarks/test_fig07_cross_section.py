@@ -32,7 +32,9 @@ def build_cross_section(samples: int = 121):
         batched=True,
     )
     no_images = ChipThermalModel(
-        plan.die, ambient_temperature=AMBIENT, image_rings=0,
+        plan.die,
+        ambient_temperature=AMBIENT,
+        image_rings=0,
         include_bottom_images=False,
     )
     no_images.add_sources(plan.to_heat_sources(BLOCK_POWERS))
@@ -55,10 +57,20 @@ def test_fig07_cross_section(benchmark):
         title="Temperature along the mid-die cut (K)",
     )
     microns = section.positions * 1e6
-    figure.add(Series.from_arrays("with_images", microns, section.temperatures,
-                                  x_label="x (um)", y_label="K"))
-    figure.add(Series.from_arrays("semi_infinite", microns, free_section.temperatures,
-                                  x_label="x (um)", y_label="K"))
+    figure.add(
+        Series.from_arrays(
+            "with_images", microns, section.temperatures, x_label="x (um)", y_label="K"
+        )
+    )
+    figure.add(
+        Series.from_arrays(
+            "semi_infinite",
+            microns,
+            free_section.temperatures,
+            x_label="x (um)",
+            y_label="K",
+        )
+    )
     left, right = section.normalized_edge_gradients()
     figure.add_note(f"normalised edge gradients with images: {left:.3f}, {right:.3f}")
     figure.print()

@@ -34,7 +34,13 @@ def build_comparison(technology):
     gu = GuElmasryStackModel(technology)
     naive = SeriesResistanceStackModel(technology)
 
-    rows = {"spice": [], "proposed": [], "chen_roy": [], "gu_elmasry": [], "naive_1_over_N": []}
+    rows = {
+        "spice": [],
+        "proposed": [],
+        "chen_roy": [],
+        "gu_elmasry": [],
+        "naive_1_over_N": [],
+    }
     for depth in STACK_DEPTHS:
         stack = uniform_nmos_stack(depth, DEVICE_WIDTH)
         rows["spice"].append(spice.off_current(stack))
@@ -53,8 +59,9 @@ def build_comparison(technology):
     )
     for label, values in rows.items():
         figure.add(
-            Series.from_arrays(label, STACK_DEPTHS, values, x_label="stack depth N",
-                               y_label="A")
+            Series.from_arrays(
+                label, STACK_DEPTHS, values, x_label="stack depth N", y_label="A"
+            )
         )
     proposed_error = max_absolute_relative_error(rows["proposed"], rows["spice"])
     chen_error = max_absolute_relative_error(rows["chen_roy"], rows["spice"])

@@ -36,10 +36,16 @@ def test_fig10_thermal_resistance(benchmark, tech035):
         figure_id="fig10",
         title="Thermal resistance of four nMOS transistors (K/W)",
     )
-    figure.add(Series.from_arrays("measured", widths_um, measured,
-                                  x_label="device width (um)", y_label="K/W"))
-    figure.add(Series.from_arrays("model_eq18", widths_um, modeled,
-                                  x_label="device width (um)", y_label="K/W"))
+    figure.add(
+        Series.from_arrays(
+            "measured", widths_um, measured, x_label="device width (um)", y_label="K/W"
+        )
+    )
+    figure.add(
+        Series.from_arrays(
+            "model_eq18", widths_um, modeled, x_label="device width (um)", y_label="K/W"
+        )
+    )
     worst = max(abs(m.relative_error) for m in measurements)
     figure.add_note(f"worst model-vs-measurement relative error: {worst:.3f}")
     figure.print()
@@ -66,11 +72,20 @@ def test_fig10_thermal_resistance(benchmark, tech035):
     # length, so agreement within ~2x is the expected envelope).
     widest = devices[-1]
     solver = FiniteVolumeThermalSolver(
-        die_width=200e-6, die_length=200e-6, die_thickness=150e-6,
-        nx=40, ny=40, nz=10, ambient_temperature=303.15,
+        die_width=200e-6,
+        die_length=200e-6,
+        die_thickness=150e-6,
+        nx=40,
+        ny=40,
+        nz=10,
+        ambient_temperature=303.15,
     )
     source = RectangularSource(
-        x=100e-6, y=100e-6, width=widest.width, length=5e-6, power=10e-3,
+        x=100e-6,
+        y=100e-6,
+        width=widest.width,
+        length=5e-6,
+        power=10e-3,
     )
     numeric_rth = solver.thermal_resistance(source)
     assert 0.2 < measurements[-1].model_resistance / numeric_rth < 5.0

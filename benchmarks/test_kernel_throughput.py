@@ -20,7 +20,10 @@ import numpy as np
 
 from repro.core.thermal.images import DieGeometry
 from repro.core.thermal.sources import HeatSource
-from repro.core.thermal.superposition import ChipThermalModel, superposed_temperature_rise
+from repro.core.thermal.superposition import (
+    ChipThermalModel,
+    superposed_temperature_rise,
+)
 from repro.reporting import print_table
 
 AMBIENT = 318.15

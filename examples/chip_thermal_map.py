@@ -95,20 +95,32 @@ def main() -> None:
     print(ascii_heat_map(surface))
 
     section = cross_section_x(
-        chip.temperatures, y=1.45e-3, x_start=0.0, x_stop=plan.die.width,
-        samples=13, batched=True,
+        chip.temperatures,
+        y=1.45e-3,
+        x_start=0.0,
+        x_stop=plan.die.width,
+        samples=13,
+        batched=True,
     )
     print_table(
         ["x (um)", "temperature (degC)"],
-        [[x * 1e6, t - 273.15] for x, t in zip(section.positions, section.temperatures)],
+        [
+            [x * 1e6, t - 273.15]
+            for x, t in zip(section.positions, section.temperatures)
+        ],
         title="cross-section through the CPU/GPU row",
     )
     left, right = section.normalized_edge_gradients()
     print(f"\nnormalised edge gradients (adiabatic sides): {left:.3f}, {right:.3f}")
 
     fdm = FiniteVolumeThermalSolver(
-        plan.die.width, plan.die.length, plan.die.thickness,
-        nx=32, ny=32, nz=8, ambient_temperature=AMBIENT,
+        plan.die.width,
+        plan.die.length,
+        plan.die.thickness,
+        nx=32,
+        ny=32,
+        nz=8,
+        ambient_temperature=AMBIENT,
     )
     numeric = fdm.solve(fdm_sources_from_blocks(plan, BLOCK_POWERS))
     hottest_analytic = max(temps, key=temps.get)

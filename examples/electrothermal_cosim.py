@@ -34,7 +34,9 @@ from repro.reporting import print_table
 AMBIENTS_CELSIUS = (25.0, 45.0, 65.0, 85.0)
 
 
-def build_cluster_netlist(technology, prefix: str, block: str, clusters: int) -> Netlist:
+def build_cluster_netlist(
+    technology, prefix: str, block: str, clusters: int
+) -> Netlist:
     """A column of NAND2 -> NOR2 clusters assigned to one block."""
     netlist = Netlist(f"{prefix}_cluster", primary_inputs=("A", "B", "C"))
     for index in range(clusters):
@@ -60,7 +62,9 @@ def main() -> None:
     die = DieGeometry(width=0.8e-3, length=0.8e-3, thickness=0.4e-3)
     plan = Floorplan(die, name="cosim_demo")
     plan.add_block(Block("datapath", x=0.28e-3, y=0.5e-3, width=0.4e-3, length=0.45e-3))
-    plan.add_block(Block("control", x=0.62e-3, y=0.55e-3, width=0.25e-3, length=0.35e-3))
+    plan.add_block(
+        Block("control", x=0.62e-3, y=0.55e-3, width=0.25e-3, length=0.35e-3)
+    )
     plan.add_block(Block("sram", x=0.45e-3, y=0.15e-3, width=0.6e-3, length=0.2e-3))
 
     datapath = build_cluster_netlist(technology, "dp", "datapath", clusters=60)
@@ -68,18 +72,28 @@ def main() -> None:
 
     block_models = {
         "datapath": NetlistBlockModel(
-            "datapath", datapath, {"A": 0, "B": 1, "C": 0}, technology,
-            activity=SwitchingActivity(activity=0.18, frequency=1.2e9,
-                                       external_load=4e-15),
+            "datapath",
+            datapath,
+            {"A": 0, "B": 1, "C": 0},
+            technology,
+            activity=SwitchingActivity(
+                activity=0.18, frequency=1.2e9, external_load=4e-15
+            ),
         ),
         "control": NetlistBlockModel(
-            "control", control, {"A": 1, "B": 1, "C": 0}, technology,
-            activity=SwitchingActivity(activity=0.10, frequency=1.2e9,
-                                       external_load=3e-15),
+            "control",
+            control,
+            {"A": 1, "B": 1, "C": 0},
+            technology,
+            activity=SwitchingActivity(
+                activity=0.10, frequency=1.2e9, external_load=3e-15
+            ),
         ),
         # The SRAM block is modelled at the abstract level: mostly leakage.
         "sram": ScaledLeakageBlockModel(
-            name="sram", technology=technology, dynamic_power=0.02,
+            name="sram",
+            technology=technology,
+            dynamic_power=0.02,
             static_power_at_reference=0.03,
         ),
     }
@@ -87,7 +101,9 @@ def main() -> None:
     rows = []
     for ambient_celsius in AMBIENTS_CELSIUS:
         engine = ElectroThermalEngine(
-            technology, plan, block_models,
+            technology,
+            plan,
+            block_models,
             ambient_temperature=273.15 + ambient_celsius,
         )
         naive = engine.isothermal_result(273.15 + ambient_celsius)
@@ -133,8 +149,14 @@ def main() -> None:
             ]
         )
     print_table(
-        ["block", "junction (degC)", "switching (W)", "short-circuit (W)",
-         "static (W)", "static share (%)"],
+        [
+            "block",
+            "junction (degC)",
+            "switching (W)",
+            "short-circuit (W)",
+            "static (W)",
+            "static share (%)",
+        ],
         per_block,
         title="per-block breakdown at an 85 degC heat sink",
     )

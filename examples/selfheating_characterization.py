@@ -28,8 +28,9 @@ from repro.thermalsim import FiniteVolumeThermalSolver, RectangularSource
 AMBIENTS = (30.0, 35.0, 40.0)
 
 
-def ascii_trace(times: np.ndarray, values: np.ndarray, rows: int = 10,
-                columns: int = 64) -> str:
+def ascii_trace(
+    times: np.ndarray, values: np.ndarray, rows: int = 10, columns: int = 64
+) -> str:
     """Tiny ASCII oscilloscope rendering of one waveform."""
     picked = np.linspace(0, len(times) - 1, columns).astype(int)
     samples = values[picked]
@@ -82,8 +83,15 @@ def main() -> None:
             ]
         )
     print_table(
-        ["device", "W (um)", "P (mW)", "dT (K)", "Rth measured (K/W)",
-         "Rth model (K/W)", "model error (%)"],
+        [
+            "device",
+            "W (um)",
+            "P (mW)",
+            "dT (K)",
+            "Rth measured (K/W)",
+            "Rth model (K/W)",
+            "model error (%)",
+        ],
         rows,
         title="thermal resistance: simulated measurement vs analytical model",
     )
@@ -91,8 +99,13 @@ def main() -> None:
     # --- independent numerical cross-check for the widest device --------- #
     widest = devices[-1]
     solver = FiniteVolumeThermalSolver(
-        die_width=200e-6, die_length=200e-6, die_thickness=150e-6,
-        nx=40, ny=40, nz=10, ambient_temperature=303.15,
+        die_width=200e-6,
+        die_length=200e-6,
+        die_thickness=150e-6,
+        nx=40,
+        ny=40,
+        nz=10,
+        ambient_temperature=303.15,
     )
     source = RectangularSource(
         x=100e-6, y=100e-6, width=widest.width, length=5e-6, power=10e-3

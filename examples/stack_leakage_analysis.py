@@ -80,8 +80,14 @@ def sleep_vector_study(technology) -> None:
             ]
         )
     print_table(
-        ["cell", "best vector", "I_off best (A)", "worst vector", "I_off worst (A)",
-         "worst/best"],
+        [
+            "cell",
+            "best vector",
+            "I_off best (A)",
+            "worst vector",
+            "I_off worst (A)",
+            "worst/best",
+        ],
         rows,
         title="standby (sleep) vector selection per cell",
     )
@@ -100,13 +106,18 @@ def temperature_study(technology) -> None:
             for name in standard_cell_names()
         )
         numeric = sum(
-            reference.average_current(standard_cell(name, technology), temperature=kelvin)
+            reference.average_current(
+                standard_cell(name, technology), temperature=kelvin
+            )
             for name in ("INV", "NAND2", "NOR2")
         )
         rows.append([celsius, analytic, numeric])
     print_table(
-        ["junction (degC)", "library average I_off, model (A)",
-         "INV+NAND2+NOR2 average, reference (A)"],
+        [
+            "junction (degC)",
+            "library average I_off, model (A)",
+            "INV+NAND2+NOR2 average, reference (A)",
+        ],
         rows,
         title="temperature dependence of standby current",
     )

@@ -31,15 +31,22 @@ def per_device_leakage_table() -> None:
         technology = make_technology(name)
         densities = [
             device_off_current(
-                technology.nmos, 1e-6, technology.vdd, 273.15 + celsius,
+                technology.nmos,
+                1e-6,
+                technology.vdd,
+                273.15 + celsius,
                 technology.reference_temperature,
             )
             for celsius in TEMPERATURES
         ]
         rows.append([name, technology.vdd, technology.nmos.vt0, *densities])
     print_table(
-        ["node", "Vdd (V)", "Vth (V)",
-         *[f"Ioff/um @ {t:g}C (A)" for t in TEMPERATURES]],
+        [
+            "node",
+            "Vdd (V)",
+            "Vth (V)",
+            *[f"Ioff/um @ {t:g}C (A)" for t in TEMPERATURES],
+        ],
         rows,
         title="per-device subthreshold leakage across technology nodes",
     )
@@ -62,8 +69,13 @@ def chip_projection(assumptions: ChipScalingAssumptions, label: str) -> None:
             ]
         )
     print_table(
-        ["node", "Mtransistors", "f (GHz)", "dynamic (W)",
-         *[f"static @ {t:g}C (W)" for t in TEMPERATURES]],
+        [
+            "node",
+            "Mtransistors",
+            "f (GHz)",
+            "dynamic (W)",
+            *[f"static @ {t:g}C (W)" for t in TEMPERATURES],
+        ],
         rows,
         title=f"Fig. 1 style projection — {label}",
     )

@@ -52,11 +52,17 @@ from .circuit import (
     uniform_pmos_stack,
 )
 from .core.cosim import (
+    ActivityGrid,
+    ConstantActivity,
     ElectroThermalEngine,
     NetlistBlockModel,
+    PWMActivity,
     ScaledLeakageBlockModel,
     Scenario,
     ScenarioEngine,
+    StepActivity,
+    TraceActivity,
+    TransientScenarioEngine,
     block_models_from_powers,
     scenario_grid,
 )
@@ -152,6 +158,12 @@ __all__ = [
     "Scenario",
     "ScenarioEngine",
     "scenario_grid",
+    "TransientScenarioEngine",
+    "ActivityGrid",
+    "ConstantActivity",
+    "StepActivity",
+    "PWMActivity",
+    "TraceActivity",
     "exhaustive_sleep_vector",
     "greedy_sleep_vector",
     # substrates

@@ -26,7 +26,14 @@ from .sections import (
     cross_section_x,
     cross_section_y,
 )
-from .sweep import SweepResult, grid_sweep, logspace, scenario_sweep, sweep
+from .sweep import (
+    SweepResult,
+    grid_sweep,
+    logspace,
+    scenario_sweep,
+    sweep,
+    transient_scenario_sweep,
+)
 
 __all__ = [
     "SurfaceGrid",
@@ -54,6 +61,7 @@ __all__ = [
     "SweepResult",
     "sweep",
     "scenario_sweep",
+    "transient_scenario_sweep",
     "grid_sweep",
     "logspace",
 ]

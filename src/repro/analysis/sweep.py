@@ -20,6 +20,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.cosim.scenarios import Scenario, ScenarioBatchResult, ScenarioEngine
+from ..core.cosim.transient_scenarios import (
+    ActivityGrid,
+    TransientBatchResult,
+    TransientScenarioEngine,
+)
 from .grids import SurfaceGrid
 
 
@@ -57,9 +62,7 @@ class SweepResult:
         labels = list(self.results)
         rows = []
         for index, value in enumerate(self.values):
-            rows.append(
-                (value, *(self.results[label][index] for label in labels))
-            )
+            rows.append((value, *(self.results[label][index] for label in labels)))
         return rows
 
 
@@ -162,6 +165,72 @@ def scenario_sweep(
         "total_power": [float(v) for v in batch.total_power],
         "total_static_power": [float(v) for v in batch.total_static_power],
         "converged": [float(v) for v in batch.converged],
+    }
+    for label, evaluator in (extra_series or {}).items():
+        result.results[label] = [
+            float(evaluator(batch, index)) for index in range(len(batch))
+        ]
+    return result
+
+
+def transient_scenario_sweep(
+    engine: TransientScenarioEngine,
+    parameter_name: str,
+    values: Sequence[float],
+    scenarios: Sequence[Scenario],
+    duration: float,
+    time_step: float,
+    activity: Optional[ActivityGrid] = None,
+    settle_tolerance_kelvin: float = 0.5,
+    extra_series: Optional[
+        Dict[str, Callable[[TransientBatchResult, int], float]]
+    ] = None,
+    **simulate_kwargs,
+) -> SweepResult:
+    """One batched transient integration packaged as a :class:`SweepResult`.
+
+    The time-domain counterpart of :func:`scenario_sweep`: the swept
+    operating points are integrated concurrently by the
+    :class:`~repro.core.cosim.transient_scenarios.TransientScenarioEngine`
+    and summarized per scenario with the standard transient metrics —
+    peak temperature, overshoot above the final state, settle time (within
+    ``settle_tolerance_kelvin`` of the final temperatures), dissipated
+    energy and the thermal-runaway verdict.
+
+    Parameters
+    ----------
+    engine:
+        Transient scenario engine over the swept floorplan.
+    parameter_name:
+        Name of the swept parameter (reporting only).
+    values:
+        The swept parameter value of each scenario (same order/length).
+    scenarios:
+        One scenario per swept value.
+    duration, time_step, activity:
+        Forwarded to :meth:`TransientScenarioEngine.simulate`.
+    settle_tolerance_kelvin:
+        Band [K] around the final temperatures defining the settle time.
+    extra_series:
+        Optional extra series, each computed as ``fn(batch, index)``.
+    simulate_kwargs:
+        Further keyword arguments for
+        :meth:`TransientScenarioEngine.simulate`.
+    """
+    if len(values) != len(scenarios):
+        raise ValueError("values and scenarios must align one-to-one")
+    batch = engine.simulate(
+        list(scenarios), duration, time_step, activity=activity, **simulate_kwargs
+    )
+    result = SweepResult(parameter_name=parameter_name)
+    result.values = [float(value) for value in values]
+    result.results = {
+        "peak_temperature": [float(v) for v in batch.peak_temperature],
+        "peak_rise": [float(v) for v in batch.peak_rise],
+        "overshoot": [float(v) for v in batch.overshoot],
+        "settle_time": [float(v) for v in batch.settle_times(settle_tolerance_kelvin)],
+        "total_energy": [float(v) for v in batch.total_energy()],
+        "runaway": [float(v) for v in batch.runaway],
     }
     for label, evaluator in (extra_series or {}).items():
         result.results[label] = [

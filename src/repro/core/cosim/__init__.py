@@ -15,6 +15,7 @@ from .scenarios import (
     Scenario,
     ScenarioBatchResult,
     ScenarioEngine,
+    ScenarioPhysics,
     scenario_grid,
 )
 from .transient import (
@@ -23,12 +24,31 @@ from .transient import (
     square_wave_activity_profile,
     step_activity_profile,
 )
+from .transient_scenarios import (
+    ActivityGrid,
+    ConstantActivity,
+    PWMActivity,
+    StepActivity,
+    TraceActivity,
+    TransientBatchResult,
+    TransientScenarioEngine,
+    integrate_relaxation,
+)
 
 __all__ = [
     "TransientElectroThermalSimulator",
     "TransientCosimResult",
     "step_activity_profile",
     "square_wave_activity_profile",
+    "ActivityGrid",
+    "ConstantActivity",
+    "StepActivity",
+    "PWMActivity",
+    "TraceActivity",
+    "TransientBatchResult",
+    "TransientScenarioEngine",
+    "integrate_relaxation",
+    "ScenarioPhysics",
     "BlockPowerModel",
     "ScaledLeakageBlockModel",
     "NetlistBlockModel",

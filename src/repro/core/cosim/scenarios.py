@@ -166,6 +166,152 @@ def scenario_grid(
     return scenarios
 
 
+class ScenarioPhysics:
+    """Precomputed per-scenario arrays of a scenario batch.
+
+    Everything the batched solvers need per scenario — ambient and
+    heat-sink constants, supply/activity-scaled block powers, and the
+    leakage-kernel pieces of the paper's Eq. 13 — is computed once here and
+    shared by the steady-state fixed point
+    (:meth:`ScenarioEngine.solve`) and the transient integrator
+    (:class:`~repro.core.cosim.transient_scenarios.TransientScenarioEngine`),
+    so the two paths scale supply, activity and leakage with the *same*
+    floating-point operations.
+
+    Array attributes are indexed ``[scenario]`` or ``[scenario, block]``
+    with blocks in :attr:`ScenarioEngine.block_names` order.
+    """
+
+    def __init__(self, engine: "ScenarioEngine", scenarios: Sequence[Scenario]):
+        scenarios = tuple(scenarios)
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        self.scenarios = scenarios
+        count = len(scenarios)
+        blocks = len(engine.block_names)
+        self.count = count
+        self.blocks = blocks
+        self._unit_matrix = engine._unit_matrix
+
+        # Grids repeat a handful of technology nodes across hundreds of
+        # scenarios; per-node constants are computed once per distinct node
+        # and fanned out by index.
+        node_index: Dict[int, int] = {}
+        nodes: List[TechnologyParameters] = []
+        node_of = np.empty(count, dtype=int)
+        for row, scenario in enumerate(scenarios):
+            key = id(scenario.technology)
+            if key not in node_index:
+                node_index[key] = len(nodes)
+                nodes.append(scenario.technology)
+            node_of[row] = node_index[key]
+
+        self.ambient = np.asarray([s.ambient for s in scenarios])
+        conductivity_cache: Dict[Tuple[int, float], float] = {}
+        for scenario in scenarios:
+            key = (id(scenario.technology), scenario.ambient)
+            if key not in conductivity_cache:
+                conductivity_cache[key] = (
+                    scenario.technology.thermal.silicon.conductivity_at(
+                        scenario.ambient
+                    )
+                )
+        self.conductivity = np.asarray(
+            [conductivity_cache[(id(s.technology), s.ambient)] for s in scenarios]
+        )
+        self.heat_sink = np.asarray(
+            [t.thermal.heat_sink_resistance for t in nodes]
+        )[node_of]
+        self.volumetric_heat_capacity = np.asarray(
+            [t.thermal.silicon.volumetric_heat_capacity for t in nodes]
+        )[node_of]
+        self._reference = np.asarray([t.reference_temperature for t in nodes])[
+            node_of, np.newaxis
+        ]
+        self._nodes = nodes
+        self._node_of = node_of
+        self._device_type = engine.device_type
+
+        # Supply / activity scalings — the same floating-point operations,
+        # in the same order, as :meth:`ScenarioEngine.scenario_block_powers`.
+        scale = np.asarray([s.supply_scale for s in scenarios])
+        activity = np.empty((count, blocks))
+        for row, scenario in enumerate(scenarios):
+            if isinstance(scenario.activity, abc.Mapping):
+                for column, name in enumerate(engine.block_names):
+                    activity[row, column] = scenario.activity_factor(name)
+            else:
+                activity[row, :] = float(scenario.activity)
+        dynamic_ref = np.asarray(
+            [engine.dynamic_powers[name] for name in engine.block_names]
+        )
+        static_base = np.asarray(
+            [engine.static_powers_at_reference[name] for name in engine.block_names]
+        )
+        self.dynamic = dynamic_ref * ((scale * scale)[:, np.newaxis] * activity)
+        self.static_ref = static_base * scale[:, np.newaxis]
+
+        self._leakage_ready = False
+
+    def _ensure_leakage_constants(self) -> None:
+        """Eq. 13 pieces hoisted out of the iteration, computed on demand.
+
+        The denominator of the leakage temperature ratio is
+        temperature-independent, so it is evaluated once through the
+        kernel; the per-step numerator is inlined in :meth:`static_powers`
+        with the identical arithmetic (at VGS = 0 and VDS = Vdd the body
+        and DIBL terms of Eq. 2 are exact float zeros, so dropping them
+        preserves bit-level parity with the scalar path).  Lazy so that
+        consumers needing only the thermal constants (e.g. the transient
+        engine's tau derivation) skip the kernel evaluation entirely.
+        """
+        if self._leakage_ready:
+            return
+        count = self.count
+        node_of = self._node_of
+        node_devices = [t.device(self._device_type) for t in self._nodes]
+        devices = (
+            leakage_kernel.DeviceArray.from_devices(node_devices)
+            .take(node_of)
+            .reshape((count, 1))
+        )
+        width = np.asarray([d.nominal_width for d in node_devices])[node_of, np.newaxis]
+        vdd = np.asarray([t.vdd for t in self._nodes])[node_of, np.newaxis]
+        self._cold = leakage_kernel.single_device_off_current(
+            devices, width, vdd, self._reference, self._reference
+        )
+        self._prefactor_base = (width / devices.channel_length) * devices.i0
+        self._vt0 = devices.vt0.reshape((count, 1))
+        self._kt = devices.kt.reshape((count, 1))
+        self._ideality = devices.n.reshape((count, 1))
+        self._leakage_ready = True
+
+    def static_powers(self, temperatures: np.ndarray, rows) -> np.ndarray:
+        """Static power [W] of the given scenario rows at ``temperatures``."""
+        self._ensure_leakage_constants()
+        vth = self._vt0[rows] - self._kt[rows] * (temperatures - self._reference[rows])
+        # kT/q inline (same association as technology.constants); the
+        # positivity check lives with the scenario construction.
+        vt = BOLTZMANN * temperatures / ELEMENTARY_CHARGE
+        gate_factor = leakage_kernel.safe_exp((0.0 - vth) / (self._ideality[rows] * vt))
+        hot = (
+            self._prefactor_base[rows]
+            * (temperatures / self._reference[rows]) ** 2
+            * gate_factor
+        )
+        return self.static_ref[rows] * (hot / self._cold[rows])
+
+    def steady_targets(self, powers: np.ndarray, rows) -> np.ndarray:
+        """Steady-state block temperatures [K] for the rows' ``powers``.
+
+        ``T_ss = T_amb + R_hs * sum(P) + R @ P`` with the cached
+        unit-conductivity reduction scaled by each scenario's ``1/k``.
+        """
+        heat_sink_extra = self.heat_sink[rows] * powers.sum(axis=1)
+        rises = (powers @ self._unit_matrix.T) / self.conductivity[rows, np.newaxis]
+        return self.ambient[rows, np.newaxis] + heat_sink_extra[:, np.newaxis] + rises
+
+
 @dataclass(frozen=True)
 class ScenarioBatchResult:
     """Converged (or best-effort) solutions of a scenario batch.
@@ -395,102 +541,15 @@ class ScenarioEngine:
         if not 0.0 < damping <= 1.0:
             raise ValueError("damping must be in (0, 1]")
 
-        scenarios = tuple(scenarios)
-        count = len(scenarios)
-        blocks = len(self._block_names)
-
-        # Grids repeat a handful of technology nodes across hundreds of
-        # scenarios; per-node constants are computed once per distinct node
-        # and fanned out by index.
-        node_index: Dict[int, int] = {}
-        nodes: List[TechnologyParameters] = []
-        node_of = np.empty(count, dtype=int)
-        for row, scenario in enumerate(scenarios):
-            key = id(scenario.technology)
-            if key not in node_index:
-                node_index[key] = len(nodes)
-                nodes.append(scenario.technology)
-            node_of[row] = node_index[key]
-
-        ambient = np.asarray([s.ambient for s in scenarios])
+        physics = ScenarioPhysics(self, scenarios)
+        scenarios = physics.scenarios
+        count = physics.count
+        blocks = physics.blocks
+        ambient = physics.ambient
         if max_temperature <= ambient.max():
             raise ValueError("max_temperature must exceed every ambient temperature")
-        conductivity_cache: Dict[Tuple[int, float], float] = {}
-        for scenario in scenarios:
-            key = (id(scenario.technology), scenario.ambient)
-            if key not in conductivity_cache:
-                conductivity_cache[key] = (
-                    scenario.technology.thermal.silicon.conductivity_at(
-                        scenario.ambient
-                    )
-                )
-        conductivity = np.asarray(
-            [
-                conductivity_cache[(id(s.technology), s.ambient)]
-                for s in scenarios
-            ]
-        )
-        heat_sink = np.asarray([t.thermal.heat_sink_resistance for t in nodes])[
-            node_of
-        ]
-        reference = np.asarray([t.reference_temperature for t in nodes])[
-            node_of, np.newaxis
-        ]
-        node_devices = [t.device(self.device_type) for t in nodes]
-        devices = leakage_kernel.DeviceArray.from_devices(node_devices).take(
-            node_of
-        ).reshape((count, 1))
-        width = np.asarray([d.nominal_width for d in node_devices])[
-            node_of, np.newaxis
-        ]
-        vdd = np.asarray([t.vdd for t in nodes])[node_of, np.newaxis]
-
-        # Supply / activity scalings — the same floating-point operations,
-        # in the same order, as :meth:`scenario_block_powers`.
-        scale = np.asarray([s.supply_scale for s in scenarios])
-        activity = np.empty((count, blocks))
-        for row, scenario in enumerate(scenarios):
-            if isinstance(scenario.activity, abc.Mapping):
-                for column, name in enumerate(self._block_names):
-                    activity[row, column] = scenario.activity_factor(name)
-            else:
-                activity[row, :] = float(scenario.activity)
-        dynamic_ref = np.asarray(
-            [self.dynamic_powers[name] for name in self._block_names]
-        )
-        static_base = np.asarray(
-            [self.static_powers_at_reference[name] for name in self._block_names]
-        )
-        dynamic = dynamic_ref * ((scale * scale)[:, np.newaxis] * activity)
-        static_ref = static_base * scale[:, np.newaxis]
-
-        # Eq. 13 pieces hoisted out of the iteration.  The denominator of
-        # the leakage temperature ratio is temperature-independent, so it is
-        # evaluated once through the kernel; the per-iteration numerator is
-        # inlined below with the identical arithmetic (at VGS = 0 and
-        # VDS = Vdd the body and DIBL terms of Eq. 2 are exact float zeros,
-        # so dropping them preserves bit-level parity with the scalar path).
-        cold = leakage_kernel.single_device_off_current(
-            devices, width, vdd, reference, reference
-        )
-        prefactor_base = (width / devices.channel_length) * devices.i0
-        vt0 = devices.vt0.reshape((count, 1))
-        kt = devices.kt.reshape((count, 1))
-        ideality = devices.n.reshape((count, 1))
-
-        def static_powers(temps, rows):
-            """Static power [W] of the given scenario rows at ``temps``."""
-            vth = vt0[rows] - kt[rows] * (temps - reference[rows])
-            # kT/q inline (same association as technology.constants); the
-            # positivity check lives with the scenario construction.
-            vt = BOLTZMANN * temps / ELEMENTARY_CHARGE
-            gate_factor = leakage_kernel.safe_exp(
-                (0.0 - vth) / (ideality[rows] * vt)
-            )
-            hot = (
-                prefactor_base[rows] * (temps / reference[rows]) ** 2 * gate_factor
-            )
-            return static_ref[rows] * (hot / cold[rows])
+        dynamic = physics.dynamic
+        static_powers = physics.static_powers
 
         temperatures = np.broadcast_to(ambient[:, np.newaxis], (count, blocks)).copy()
         converged = np.zeros(count, dtype=bool)
@@ -505,11 +564,7 @@ class ScenarioEngine:
         for index in range(max_iterations):
             rows = index_map
             powers = dynamic[rows] + static_powers(temps, rows)
-            heat_sink_extra = heat_sink[rows] * powers.sum(axis=1)
-            rises = (powers @ self._unit_matrix.T) / conductivity[rows, np.newaxis]
-            updated = (
-                ambient[rows, np.newaxis] + heat_sink_extra[:, np.newaxis] + rises
-            )
+            updated = physics.steady_targets(powers, rows)
             proposed = damping * updated + (1.0 - damping) * temps
             np.minimum(proposed, max_temperature, out=proposed)
             change = np.abs(proposed - temps).max(axis=1)

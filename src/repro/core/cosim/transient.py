@@ -17,12 +17,20 @@ with ``T_ss = T_amb + R · P`` — exact for a single block with one pole, and
 a good block-level approximation for workload transients much slower than
 the die's internal diffusion time (milliseconds), which is the regime the
 paper's 3 Hz self-heating measurements live in too.
+
+The time stepping itself lives in
+:func:`repro.core.cosim.transient_scenarios.integrate_relaxation`, the
+batched core shared with :class:`TransientScenarioEngine`;
+:class:`TransientElectroThermalSimulator` is its single-row wrapper, kept
+for arbitrary (non-vectorizable) :class:`BlockPowerModel` implementations
+and as the readable reference / parity oracle of the batched path.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,21 +51,48 @@ class TransientCosimResult:
         Sample instants [s].
     block_temperatures:
         Per-block junction temperature [K] histories, same length as
-        ``times``.
+        ``times``.  Exposed as a read-only mapping of read-only arrays.
     block_powers:
-        Per-block total power [W] histories.
+        Per-block total power [W] histories (read-only, as above).
     ambient_temperature:
         Heat-sink temperature [K].
     """
 
     times: np.ndarray
-    block_temperatures: Dict[str, np.ndarray]
-    block_powers: Dict[str, np.ndarray]
+    block_temperatures: Mapping[str, np.ndarray]
+    block_powers: Mapping[str, np.ndarray]
     ambient_temperature: float
+
+    def __post_init__(self) -> None:
+        # The dataclass is frozen but ndarrays and dicts are mutable; expose
+        # read-only views so results are value-semantic without mutating the
+        # writability of arrays the caller may still hold.
+        for attribute in ("block_temperatures", "block_powers"):
+            mapping = {}
+            for name, array in getattr(self, attribute).items():
+                view = np.asarray(array).view()
+                view.setflags(write=False)
+                mapping[name] = view
+            object.__setattr__(self, attribute, MappingProxyType(mapping))
+        times = np.asarray(self.times).view()
+        times.setflags(write=False)
+        object.__setattr__(self, "times", times)
 
     @property
     def block_names(self) -> Tuple[str, ...]:
         return tuple(self.block_temperatures)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Histories stacked as ``(temperatures, powers)`` ndarrays.
+
+        Both arrays are shaped ``(n_steps, n_blocks)`` with columns in
+        :attr:`block_names` order — the single-scenario slice convention of
+        the batched :class:`TransientBatchResult`.
+        """
+        names = self.block_names
+        temperatures = np.column_stack([self.block_temperatures[n] for n in names])
+        powers = np.column_stack([self.block_powers[n] for n in names])
+        return temperatures, powers
 
     def peak_temperature(self, block: str) -> float:
         """Hottest sampled temperature [K] of one block."""
@@ -165,6 +200,10 @@ class TransientElectroThermalSimulator:
         max_temperature:
             Safety ceiling [K] against thermal-runaway overflow.
         """
+        # Imported here (not at module scope) because transient_scenarios
+        # imports this module's result/profile types.
+        from .transient_scenarios import integrate_relaxation
+
         if duration <= 0.0 or time_step <= 0.0:
             raise ValueError("duration and time_step must be positive")
         if time_step > duration:
@@ -174,43 +213,44 @@ class TransientElectroThermalSimulator:
 
         steps = int(math.ceil(duration / time_step)) + 1
         times = np.linspace(0.0, duration, steps)
-        temperatures = {name: self._ambient for name in self._blocks}
+        initial = np.full((1, len(self._blocks)), self._ambient)
         if initial_temperatures is not None:
             for name, value in initial_temperatures.items():
-                if name in temperatures:
-                    temperatures[name] = float(value)
+                if name not in self._blocks:
+                    raise KeyError(f"unknown block {name!r}")
+                initial[0, self._blocks.index(name)] = float(value)
+        tau = np.asarray([[self._time_constants[name] for name in self._blocks]])
+        models = [self.engine.block_models[name] for name in self._blocks]
 
-        history_t = {name: np.empty(steps) for name in self._blocks}
-        history_p = {name: np.empty(steps) for name in self._blocks}
-
-        for index, now in enumerate(times):
+        def power_fn(now: float, temps: np.ndarray, rows: np.ndarray) -> np.ndarray:
             multipliers = {}
             if activity_profile is not None:
                 multipliers = dict(activity_profile(float(now)))
-            powers = []
-            for name in self._blocks:
-                breakdown = self.engine.block_models[name].breakdown(temperatures[name])
+            powers = np.empty((1, len(models)))
+            for column, name in enumerate(self._blocks):
+                breakdown = models[column].breakdown(float(temps[0, column]))
                 scale = float(multipliers.get(name, 1.0))
                 if scale < 0.0:
                     raise ValueError("activity multipliers must be non-negative")
-                powers.append(breakdown.dynamic * scale + breakdown.static)
-            targets = self._steady_targets(powers)
-            for position, name in enumerate(self._blocks):
-                history_t[name][index] = temperatures[name]
-                history_p[name][index] = powers[position]
-            if index == steps - 1:
-                break
-            dt = times[index + 1] - now
-            for position, name in enumerate(self._blocks):
-                tau = self._time_constants[name]
-                decay = math.exp(-dt / tau)
-                updated = targets[position] + (temperatures[name] - targets[position]) * decay
-                temperatures[name] = min(float(updated), max_temperature)
+                powers[0, column] = breakdown.dynamic * scale + breakdown.static
+            return powers
 
+        def targets_fn(powers: np.ndarray, rows: np.ndarray) -> np.ndarray:
+            return self._steady_targets(powers[0])[np.newaxis, :]
+
+        arrays = integrate_relaxation(
+            times, tau, initial, power_fn, targets_fn, max_temperature
+        )
         return TransientCosimResult(
             times=times,
-            block_temperatures=history_t,
-            block_powers=history_p,
+            block_temperatures={
+                name: arrays.temperatures[0, :, column]
+                for column, name in enumerate(self._blocks)
+            },
+            block_powers={
+                name: arrays.powers[0, :, column]
+                for column, name in enumerate(self._blocks)
+            },
             ambient_temperature=self._ambient,
         )
 

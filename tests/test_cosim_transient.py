@@ -78,7 +78,9 @@ class TestConstantWorkload:
             sum(result.block_powers[name][-1] for name in result.block_names),
         )
         energy = result.total_energy()
-        assert total_power_range[0] * 5e-3 <= energy <= total_power_range[1] * 5e-3 * 1.01
+        assert (
+            total_power_range[0] * 5e-3 <= energy <= total_power_range[1] * 5e-3 * 1.01
+        )
 
 
 class TestWorkloadProfiles:
@@ -112,9 +114,35 @@ class TestWorkloadProfiles:
     def test_negative_multiplier_rejected(self, simulator):
         with pytest.raises(ValueError):
             simulator.simulate(
-                duration=1e-3, time_step=0.1e-3,
+                duration=1e-3,
+                time_step=0.1e-3,
                 activity_profile=lambda t: {"core": -1.0},
             )
+
+
+class TestResultContainer:
+    def test_histories_are_read_only(self, simulator):
+        result = simulator.simulate(duration=1e-3, time_step=0.1e-3)
+        with pytest.raises(TypeError):
+            result.block_temperatures["core"] = np.zeros(3)
+        with pytest.raises(TypeError):
+            del result.block_powers["core"]
+        with pytest.raises(ValueError):
+            result.block_temperatures["core"][0] = 0.0
+        with pytest.raises(ValueError):
+            result.times[0] = -1.0
+
+    def test_as_arrays_stacks_block_columns(self, simulator):
+        result = simulator.simulate(duration=1e-3, time_step=0.1e-3)
+        temperatures, powers = result.as_arrays()
+        steps = len(result.times)
+        assert temperatures.shape == (steps, len(result.block_names))
+        assert powers.shape == temperatures.shape
+        for column, name in enumerate(result.block_names):
+            assert np.array_equal(
+                temperatures[:, column], result.block_temperatures[name]
+            )
+            assert np.array_equal(powers[:, column], result.block_powers[name])
 
 
 class TestValidation:
@@ -129,6 +157,14 @@ class TestValidation:
     def test_invalid_ceiling_rejected(self, simulator):
         with pytest.raises(ValueError):
             simulator.simulate(duration=1e-3, time_step=1e-4, max_temperature=300.0)
+
+    def test_unknown_initial_temperature_block_rejected(self, simulator):
+        with pytest.raises(KeyError):
+            simulator.simulate(
+                duration=1e-3,
+                time_step=1e-4,
+                initial_temperatures={"cores": 350.0},
+            )
 
     def test_profile_validation_helpers(self):
         with pytest.raises(ValueError):
