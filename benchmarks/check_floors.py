@@ -30,6 +30,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 #: Records every healthy checkout must produce (one per tracked
 #: throughput benchmark); extend this tuple when a new BENCH record lands.
 REQUIRED_RECORDS = (
+    "BENCH_api.json",
     "BENCH_kernel.json",
     "BENCH_scenarios.json",
     "BENCH_transient.json",

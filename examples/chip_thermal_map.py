@@ -1,10 +1,10 @@
 """Chip thermal mapping: the paper's Section 3 workflow on a small SoC.
 
 Builds a six-block floorplan on a 2 mm x 2 mm die, assigns block powers,
-evaluates the analytical thermal model (with the method-of-images boundary
-conditions), prints the block temperatures, an ASCII heat map and the
-mid-die cross-section, and cross-checks the hottest block against the
-finite-volume reference solver.
+runs a thermal-map study through the `repro.api` facade (the analytical
+model with method-of-images boundary conditions), prints the block
+temperatures, an ASCII heat map and the mid-die cross-section, and
+cross-checks the hottest block against the finite-volume reference solver.
 
 Run with::
 
@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Block, ChipThermalModel, DieGeometry, Floorplan
-from repro.analysis.sections import cross_section_x
+from repro import Block, DieGeometry, Floorplan, Study
+from repro.analysis.sections import CrossSection
 from repro.floorplan.powermap import fdm_sources_from_blocks, rasterize_block_powers
 from repro.reporting import print_table
 from repro.thermalsim import FiniteVolumeThermalSolver
@@ -71,14 +71,24 @@ def ascii_heat_map(surface, rows: int = 18, columns: int = 36) -> str:
 
 def main() -> None:
     plan = build_floorplan()
-    chip = ChipThermalModel(plan.die, ambient_temperature=AMBIENT, image_rings=1)
-    chip.add_sources(plan.to_heat_sources(BLOCK_POWERS))
+
+    # The analytical model runs as a declarative thermal-map study: one
+    # facade call builds the image expansion and evaluates the whole
+    # 192x192 grid in a single batched kernel call.
+    result = Study.thermal_map(
+        floorplan=plan,
+        block_powers=BLOCK_POWERS,
+        ambient_temperature=AMBIENT,
+        samples=(192, 192),
+        label="SoC surface map",
+    ).run()
+    surface = result.native
 
     power_map = rasterize_block_powers(plan, BLOCK_POWERS, nx=64, ny=64)
     print(f"total chip power: {power_map.total_power:.2f} W, "
           f"peak power density: {power_map.peak_power_density / 1e4:.1f} W/cm^2")
 
-    temps = chip.source_temperatures()
+    temps = result.summary()["source_temperatures_K"]
     rows = [
         [name, BLOCK_POWERS[name], temps[name] - AMBIENT, temps[name] - 273.15]
         for name in plan.block_names()
@@ -89,24 +99,22 @@ def main() -> None:
         title="analytical block temperatures (method of images, 1 ring)",
     )
 
-    # One batched kernel call evaluates the entire 192x192 grid.
-    surface = chip.surface_map(nx=192, ny=192)
     print("\nsurface temperature-rise map (hotter = denser):\n")
     print(ascii_heat_map(surface))
 
-    section = cross_section_x(
-        chip.temperatures,
-        y=1.45e-3,
-        x_start=0.0,
-        x_stop=plan.die.width,
-        samples=13,
-        batched=True,
+    positions, temperatures = surface.cross_section_x(1.45e-3)
+    section = CrossSection(
+        positions=positions,
+        temperatures=temperatures,
+        axis="x",
+        fixed_coordinate=1.45e-3,
     )
+    stride = max(1, positions.size // 12)
     print_table(
         ["x (um)", "temperature (degC)"],
         [
             [x * 1e6, t - 273.15]
-            for x, t in zip(section.positions, section.temperatures)
+            for x, t in zip(section.positions[::stride], section.temperatures[::stride])
         ],
         title="cross-section through the CPU/GPU row",
     )

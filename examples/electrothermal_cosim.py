@@ -23,6 +23,8 @@ from repro import (
     ElectroThermalEngine,
     Floorplan,
     Netlist,
+    ScenarioSpec,
+    Study,
     cmos_012um,
     nand_gate,
     nor_gate,
@@ -183,6 +185,39 @@ def main() -> None:
         + ", ".join(f"{t - 273.15:.1f}" for t in cut)
         + " degC"
     )
+
+    # Hand the gate-level design to the declarative layer: the netlist
+    # models' reference powers become a serializable sweep-kind study that
+    # locates the runaway onset on a fine ambient grid in one batched call.
+    reference = engine.isothermal_result(technology.reference_temperature)
+    dynamic_ref = {
+        name: breakdown.switching + breakdown.short_circuit
+        for name, breakdown in reference.block_breakdowns.items()
+    }
+    static_ref = {
+        name: breakdown.static
+        for name, breakdown in reference.block_breakdowns.items()
+    }
+    ambients = [273.15 + celsius for celsius in range(25, 126, 5)]
+    onset = Study.sweep(
+        floorplan=plan,
+        parameter_name="ambient_K",
+        parameter_values=ambients,
+        scenarios=ScenarioSpec.grid(["0.12um"], ambient_temperatures=ambients),
+        dynamic_powers=dynamic_ref,
+        static_powers=static_ref,
+        label="runaway onset sweep",
+    ).run()
+    converged = onset.array("converged").astype(bool)
+    if converged.all():
+        print("\ndeclarative ambient sweep: no runaway up to 125 degC")
+    else:
+        first = int((~converged).argmax())
+        print(
+            f"\ndeclarative ambient sweep: thermal runaway sets in at a "
+            f"{ambients[first] - 273.15:.0f} degC heat sink "
+            f"({int(converged.sum())}/{len(ambients)} ambients converge)"
+        )
 
 
 if __name__ == "__main__":

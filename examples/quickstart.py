@@ -1,128 +1,146 @@
-"""Quickstart: leakage, thermal and coupled estimation in a dozen lines each.
+"""Quickstart: the declarative `repro.api` facade in a dozen lines each.
 
 Run with::
 
     python examples/quickstart.py
 
-The script walks through the three capabilities the paper combines:
+The script walks through the capabilities the paper combines, all through
+the one front door (:class:`repro.Study`):
 
-1. analytical static-power estimation of a gate (Section 2),
-2. analytical thermal profile of a heat source (Section 3),
-3. the concurrent electro-thermal fixed point that ties them together.
+1. a steady study — concurrent electro-thermal fixed points over a small
+   scenario grid (Section 2 + 3 coupled),
+2. a thermal-map study — the analytical surface profile of fixed block
+   powers (Section 3),
+3. a transient study — a pulsed workload charging the block thermal time
+   constants (the paper's self-heating story),
+4. the serialization contract: specs and results round-trip through JSON,
+   and a reloaded spec re-runs bit-identically (also available from the
+   command line: ``python -m repro run study.json``).
 """
 
 from __future__ import annotations
 
-from repro import (
-    ElectroThermalEngine,
-    GateLeakageModel,
-    HeatSource,
-    block_models_from_powers,
-    cmos_012um,
-    nand_gate,
-    self_heating_resistance,
-    three_block_floorplan,
-)
+import tempfile
+from pathlib import Path
+
+from repro import ScenarioSpec, Study, three_block_floorplan
 from repro.reporting import print_table
 
+DYNAMIC = {"core": 0.25, "cache": 0.10, "io": 0.05}
+STATIC = {"core": 0.05, "cache": 0.02, "io": 0.01}
 
-def leakage_demo() -> None:
-    """Static power of a NAND2 gate for every input vector."""
-    technology = cmos_012um()
-    gate = nand_gate(technology, fan_in=2)
-    model = GateLeakageModel(technology)
 
-    rows = []
-    for bits, current in sorted(model.per_vector_currents(gate).items()):
-        rows.append(["".join(map(str, bits)), current, current * technology.vdd])
+def steady_demo() -> None:
+    """Concurrent power-temperature estimation over a 2 x 2 scenario grid."""
+    study = Study.steady(
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=ScenarioSpec.grid(
+            ["0.18um", "0.12um"], ambient_temperatures=(298.15, 318.15)
+        ),
+        label="steady quickstart",
+    )
+    result = study.run()
+    batch = result.native  # the full ScenarioBatchResult remains available
     print_table(
-        ["input vector", "leakage current (A)", "static power (W)"],
-        rows,
-        title="NAND2 static power at 25 degC, 0.12um",
+        ["scenario", "peak (degC)", "total power (W)", "converged"],
+        [
+            [label, peak - 273.15, power, "yes" if ok else "RUNAWAY"]
+            for label, peak, power, ok in zip(
+                result.metadata["scenario_labels"],
+                batch.peak_temperature,
+                batch.total_power,
+                batch.converged,
+            )
+        ],
+        title="steady study: one batched fixed point for the whole grid",
     )
 
-    hot = model.worst_case_vector(gate, temperature=273.15 + 110.0)
+
+def thermal_map_demo() -> None:
+    """Analytical surface map of fixed block powers (Eq. 18-21)."""
+    study = Study.thermal_map(
+        floorplan=three_block_floorplan(),
+        block_powers={"core": 0.30, "cache": 0.12, "io": 0.06},
+        technology="0.12um",
+        ambient_temperature=318.15,
+        samples=(200, 200),
+        label="thermal-map quickstart",
+    )
+    summary = study.run().summary()
+    peak_x, peak_y = summary["peak_location_m"]
     print(
-        f"\nworst-case vector at 110 degC: {hot.input_vector} -> "
-        f"{hot.current:.3e} A ({hot.current / model.worst_case_vector(gate).current:.0f}x "
-        f"the 25 degC value)"
+        f"\nsurface map ({summary['samples'][0]}x{summary['samples'][1]} samples): "
+        f"peak {summary['peak_temperature_K'] - 273.15:.1f} degC at "
+        f"({peak_x * 1e6:.0f} um, {peak_y * 1e6:.0f} um)"
     )
-
-
-def thermal_demo() -> None:
-    """Temperature field of a single hot transistor (the paper's Fig. 5 device)."""
-    resistance = self_heating_resistance(1e-6, 0.1e-6)
-    source = HeatSource(x=0.0, y=0.0, width=1e-6, length=0.1e-6, power=10e-3)
-    print(f"\nself-heating resistance of a 1um x 0.1um device: {resistance:.0f} K/W")
-    print(f"steady-state rise at 10 mW: {10e-3 * resistance:.1f} K")
-
-    from repro import rectangle_temperature
-    from repro.technology.materials import SILICON
-
-    conductivity = SILICON.conductivity_at(300.0)
     rows = [
-        [distance * 1e6, rectangle_temperature(distance, 0.0, source, conductivity)]
-        for distance in (0.0, 0.5e-6, 1e-6, 2e-6, 5e-6, 20e-6)
+        [name, temperature - 273.15]
+        for name, temperature in summary["source_temperatures_K"].items()
     ]
     print_table(
-        ["distance from device (um)", "temperature rise (K)"],
+        ["block", "junction (degC)"],
         rows,
-        title="analytical thermal profile (Eq. 20)",
+        title="block centre temperatures (45 degC heat sink)",
     )
 
 
-def cosim_demo() -> None:
-    """Concurrent power-temperature estimation of a small three-block chip."""
-    technology = cmos_012um()
-    floorplan = three_block_floorplan()
-    blocks = block_models_from_powers(
-        technology,
-        dynamic_powers={"core": 0.25, "cache": 0.10, "io": 0.05},
-        static_powers_at_reference={"core": 0.05, "cache": 0.02, "io": 0.01},
+def transient_demo() -> None:
+    """A 250 Hz PWM workload integrated for every scenario at once."""
+    study = Study.transient(
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=ScenarioSpec.grid(["0.12um"], activities=(0.5, 1.0, 1.5)),
+        duration=40e-3,
+        time_step=0.5e-3,
+        workload={"kind": "pwm", "parameters": {"periods": 4e-3, "duty_cycles": 0.4}},
+        time_constants={"core": 2e-3, "cache": 1.5e-3, "io": 1e-3},
+        label="transient quickstart",
     )
-    engine = ElectroThermalEngine(
-        technology, floorplan, blocks, ambient_temperature=318.15
-    )
-
-    naive = engine.isothermal_result(technology.reference_temperature)
-    coupled = engine.solve()
-
-    rows = []
-    for name in floorplan.block_names():
-        rows.append(
-            [
-                name,
-                coupled.block_temperatures[name] - 273.15,
-                naive.block_breakdowns[name].static,
-                coupled.block_breakdowns[name].static,
-            ]
-        )
+    result = study.run()
+    batch = result.native
     print_table(
-        ["block", "junction (degC)", "static @25C guess (W)", "static coupled (W)"],
-        rows,
-        title="concurrent electro-thermal estimation (45 degC heat sink)",
-    )
-    print(
-        f"\nchip static power: {naive.total_static_power:.3f} W if temperature is "
-        f"ignored vs {coupled.total_static_power:.3f} W self-consistently "
-        f"({coupled.total_static_power / naive.total_static_power:.2f}x)"
+        ["scenario", "peak (degC)", "ripple (K)", "energy (mJ)"],
+        [
+            [label, peak - 273.15, ripple, 1e3 * energy]
+            for label, peak, ripple, energy in zip(
+                result.metadata["scenario_labels"],
+                batch.peak_temperature,
+                batch.overshoot,
+                batch.total_energy(),
+            )
+        ],
+        title="transient study: batched PWM self-heating",
     )
 
-    # Full-chip surface map of the converged solution: the 200x200 grid is a
-    # single call into the vectorized thermal kernel.
-    surface = engine.thermal_model(coupled).surface_map(nx=200, ny=200)
-    peak_x, peak_y = surface.peak_location
+
+def serialization_demo() -> None:
+    """Specs and results are JSON documents; replay is bit-exact."""
+    study = Study.steady(
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=ScenarioSpec.grid(["0.12um"], ambient_temperatures=(318.15,)),
+    )
+    first = study.run()
+    with tempfile.TemporaryDirectory() as scratch:
+        spec_path = Path(scratch) / "study.json"
+        study.to_json(spec_path)
+        replayed = Study.from_json(spec_path).run()
     print(
-        f"converged surface map (200x200 samples): peak "
-        f"{surface.peak_temperature - 273.15:.1f} degC at "
-        f"({peak_x * 1e6:.0f} um, {peak_y * 1e6:.0f} um)"
+        f"\nspec -> JSON -> spec -> run: bit-identical replay "
+        f"{'confirmed' if replayed.equals(first) else 'FAILED'} "
+        f"(also runnable as `python -m repro run {spec_path.name}`)"
     )
 
 
 def main() -> None:
-    leakage_demo()
-    thermal_demo()
-    cosim_demo()
+    steady_demo()
+    thermal_map_demo()
+    transient_demo()
+    serialization_demo()
 
 
 if __name__ == "__main__":

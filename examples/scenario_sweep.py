@@ -1,15 +1,16 @@
-"""Multi-scenario electro-thermal sweeps through the batched engine.
+"""Multi-scenario electro-thermal sweeps through the `repro.api` facade.
 
 The scenario engine solves a whole grid of operating conditions —
 technology node x supply voltage x ambient temperature x workload
 activity — in one batched fixed point, reusing a single cached
 block-to-block thermal reduction for every scenario on the floorplan.
-This example
+This example drives it entirely through the declarative facade:
 
-1. declares a 3-axis grid over three technology nodes,
-2. solves all scenarios at once and tabulates the hottest cases,
-3. uses :func:`repro.analysis.scenario_sweep` to express a conventional
-   1-D ambient sweep as a thin wrapper over one scenario batch, and
+1. declares a 3-axis grid over three technology nodes as
+   :class:`repro.ScenarioSpec` objects,
+2. runs them all at once with ``Study.steady(...).run()`` and tabulates
+   the hottest cases,
+3. expresses a conventional 1-D ambient sweep as a sweep-kind study, and
 4. cross-checks one scenario against the looped scalar engine.
 
 Run with::
@@ -21,11 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis import scenario_sweep
-from repro.core.cosim import Scenario, ScenarioEngine, scenario_grid
-from repro.floorplan import three_block_floorplan
+from repro import ScenarioSpec, Study, three_block_floorplan
+from repro.api import build_engine
 from repro.reporting import print_table
-from repro.technology import make_technology
 
 DYNAMIC = {"core": 0.22, "cache": 0.09, "io": 0.04}
 STATIC_REF = {"core": 0.045, "cache": 0.018, "io": 0.008}
@@ -34,17 +33,22 @@ NODES = ("0.18um", "0.12um", "70nm")
 
 def main() -> None:
     plan = three_block_floorplan()
-    engine = ScenarioEngine(plan, DYNAMIC, STATIC_REF)
 
-    # One batched solve over the full operating grid.
-    technologies = [make_technology(name) for name in NODES]
-    scenarios = scenario_grid(
-        technologies,
-        supply_scales=(0.9, 1.0, 1.1),
-        ambient_temperatures=(298.15, 318.15, 338.15),
-        activities=(0.5, 1.0),
+    # One batched solve over the full operating grid, declared as specs.
+    study = Study.steady(
+        floorplan=plan,
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC_REF,
+        scenarios=ScenarioSpec.grid(
+            NODES,
+            supply_scales=(0.9, 1.0, 1.1),
+            ambient_temperatures=(298.15, 318.15, 338.15),
+            activities=(0.5, 1.0),
+        ),
+        label="three-node operating grid",
     )
-    batch = engine.solve(scenarios)
+    result = study.run()
+    batch = result.native
     print(
         f"solved {len(batch)} scenarios in one batch; "
         f"{int(batch.converged.sum())} converged "
@@ -69,31 +73,38 @@ def main() -> None:
         title="five hottest operating scenarios",
     )
 
-    # A classic 1-D sweep is now a thin wrapper over a scenario batch.
-    technology = make_technology("0.12um")
+    # A classic 1-D sweep is now a sweep-kind study over the same facade.
     ambients = [273.15 + celsius for celsius in (25.0, 45.0, 65.0, 85.0)]
-    sweep_result = scenario_sweep(
-        engine,
-        "ambient_K",
-        ambients,
-        [Scenario(technology, ambient_temperature=value) for value in ambients],
-    )
+    sweep_result = Study.sweep(
+        floorplan=plan,
+        parameter_name="ambient_K",
+        parameter_values=ambients,
+        scenarios=ScenarioSpec.grid(["0.12um"], ambient_temperatures=ambients),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC_REF,
+    ).run()
     print_table(
         ["ambient (K)", "peak T (K)", "total power (W)", "static (W)"],
         [
             [
                 value,
-                sweep_result.series("peak_temperature")[index],
-                sweep_result.series("total_power")[index],
-                sweep_result.series("total_static_power")[index],
+                sweep_result.array("peak_temperature")[index],
+                sweep_result.array("total_power")[index],
+                sweep_result.array("total_static_power")[index],
             ]
-            for index, value in enumerate(sweep_result.values)
+            for index, value in enumerate(sweep_result.array("values"))
         ],
-        title="ambient sweep as one scenario batch",
+        title="ambient sweep as one sweep-kind study",
     )
 
     # The batched path reproduces the scalar engine exactly.
-    scenario = Scenario(technology, ambient_temperature=318.15)
+    single = study.spec.replace(
+        scenarios=(
+            ScenarioSpec(technology="0.12um", ambient_temperature=318.15),
+        )
+    )
+    scenario = single.build_scenarios()[0]
+    engine = build_engine(single)
     batched = engine.solve([scenario]).scenario_result(0)
     scalar = engine.solve_scalar(scenario)
     gap = max(

@@ -1,15 +1,15 @@
-"""Batched transient electro-thermal sweeps: a PWM workload grid.
+"""Batched transient electro-thermal sweeps through the `repro.api` facade.
 
 The transient scenario engine integrates the time-domain electro-thermal
 relaxation for a whole grid of operating conditions at once — one array
 valued time loop instead of one Python integration per scenario.  This
-example
+example drives it entirely through the declarative facade:
 
 1. declares a grid of scenarios (two technology nodes x ambients x
    activities) over the three-block floorplan,
-2. drives all of them with a pulse-width-modulated workload
-   (:class:`repro.core.cosim.PWMActivity`, the paper's pulsed
-   self-heating story at block granularity),
+2. drives all of them with a pulse-width-modulated workload declared as a
+   :class:`repro.WorkloadSpec` (the paper's pulsed self-heating story at
+   block granularity) via ``Study.transient(...).run()``,
 3. summarizes each scenario with the standard transient metrics (peak
    temperature, overshoot, settle time, dissipated energy, runaway), and
 4. cross-checks one scenario against the looped scalar simulator.
@@ -23,40 +23,41 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import ScenarioSpec, Study, three_block_floorplan
 from repro.analysis import transient_scenario_sweep
-from repro.core.cosim import PWMActivity, TransientScenarioEngine, scenario_grid
-from repro.floorplan import three_block_floorplan
+from repro.api import build_engine
+from repro.core.cosim import PWMActivity, TransientScenarioEngine
 from repro.reporting import print_table
-from repro.technology import make_technology
 
 DYNAMIC = {"core": 0.22, "cache": 0.09, "io": 0.04}
 STATIC_REF = {"core": 0.045, "cache": 0.018, "io": 0.008}
 #: Millisecond-scale block time constants keep the demo fast.
 TAUS = {"core": 2e-3, "cache": 1.5e-3, "io": 1e-3}
+#: Every scenario pulses between idle and its activity multiplier at
+#: 250 Hz with a 40% duty cycle.
+WORKLOAD = {"kind": "pwm", "parameters": {"periods": 4e-3, "duty_cycles": 0.4}}
 
 
 def main() -> None:
-    engine = TransientScenarioEngine.from_powers(
-        three_block_floorplan(), DYNAMIC, STATIC_REF, time_constants=TAUS
-    )
-
-    # A PWM workload over a grid of nodes, ambients and activity levels:
-    # every scenario pulses between idle and its activity multiplier at
-    # 250 Hz with a 40% duty cycle.
-    technologies = [make_technology(name) for name in ("0.18um", "0.12um")]
-    scenarios = scenario_grid(
-        technologies,
-        ambient_temperatures=(298.15, 318.15),
-        activities=(0.5, 1.0, 1.5),
-    )
-    workload = PWMActivity(periods=4e-3, duty_cycles=0.4)
-    batch = engine.simulate(
-        scenarios,
+    plan = three_block_floorplan()
+    study = Study.transient(
+        floorplan=plan,
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC_REF,
+        scenarios=ScenarioSpec.grid(
+            ["0.18um", "0.12um"],
+            ambient_temperatures=(298.15, 318.15),
+            activities=(0.5, 1.0, 1.5),
+        ),
         duration=40e-3,
         time_step=0.1e-3,
-        activity=workload,
-        settle_tolerance=1e-6,
+        workload=WORKLOAD,
+        time_constants=TAUS,
+        solver={"settle_tolerance": 1e-6},
+        label="PWM workload grid",
     )
+    result = study.run()
+    batch = result.native
     print(
         f"integrated {len(batch)} scenarios x {len(batch.times)} time steps "
         f"in one batch; {int(batch.runaway.sum())} thermal runaway(s)"
@@ -80,16 +81,21 @@ def main() -> None:
     )
 
     # The same batch expressed as a conventional 1-D sweep over ambient.
-    technology = make_technology("0.12um")
+    # `transient_scenario_sweep` shares its series definitions with the
+    # facade's reporting (repro.api.results).
     ambients = [273.15 + celsius for celsius in (15.0, 25.0, 35.0, 45.0)]
+    ambient_spec = study.spec.replace(
+        scenarios=ScenarioSpec.grid(["0.12um"], ambient_temperatures=ambients),
+        solver={},
+    )
     sweep = transient_scenario_sweep(
-        engine,
+        TransientScenarioEngine(build_engine(ambient_spec), time_constants=TAUS),
         "ambient_K",
         ambients,
-        scenario_grid([technology], ambient_temperatures=ambients),
+        ambient_spec.build_scenarios(),
         duration=40e-3,
         time_step=0.1e-3,
-        activity=workload,
+        activity=ambient_spec.workload.build(),
     )
     print_table(
         ["ambient (K)", "peak T (K)", "settle (ms)", "overshoot (K)"],
@@ -107,6 +113,9 @@ def main() -> None:
 
     # The batched path reproduces the scalar simulator.
     row = 1
+    scenarios = study.spec.build_scenarios()
+    engine = TransientScenarioEngine(build_engine(study.spec), time_constants=TAUS)
+    workload = PWMActivity(periods=4e-3, duty_cycles=0.4)
     reference = engine.simulate_scalar(
         scenarios[row],
         duration=40e-3,

@@ -4,12 +4,19 @@ Reproduction of J.L. Rossello, V. Canals, S.A. Bota, A. Keshavarzi and
 J. Segura, *A Fast Concurrent Power-Thermal Model for Sub-100nm Digital
 ICs*, DATE 2005.
 
-The library is organised as:
+The canonical front door is :mod:`repro.api`: declare a study (technology
+nodes, floorplan, scenarios, workload) as serializable specs, execute it
+with one ``run()``, and persist specs and results as JSON — also available
+from the command line as ``repro run study.json`` / ``python -m repro``.
 
+The library underneath is organised as:
+
+* :mod:`repro.api` — declarative specs, the :class:`Study` facade, the
+  unified :class:`StudyResult` and the CLI;
 * :mod:`repro.core` — the paper's contribution: the analytical static-power
   model (stack collapsing, Eq. 1–13), the analytical thermal-profile model
   (Eqs. 16–21 plus the method of images), dynamic power, and the concurrent
-  electro-thermal engine;
+  electro-thermal engines (scalar, batched steady-state, batched transient);
 * :mod:`repro.technology` — device / technology parameters and scaling;
 * :mod:`repro.circuit` — transistors, stacks, cells and netlists;
 * :mod:`repro.spice` — numerical reference ("SPICE") solvers;
@@ -22,165 +29,240 @@ The library is organised as:
 
 Quick start::
 
-    from repro import cmos_012um, GateLeakageModel, nand_gate
+    from repro import ScenarioSpec, Study, three_block_floorplan
 
-    tech = cmos_012um()
-    gate = nand_gate(tech, fan_in=2)
-    model = GateLeakageModel(tech)
-    print(model.worst_case_vector(gate).current)
+    study = Study.steady(
+        floorplan=three_block_floorplan(),
+        dynamic_powers={"core": 0.25, "cache": 0.10, "io": 0.05},
+        static_powers={"core": 0.05, "cache": 0.02, "io": 0.01},
+        scenarios=ScenarioSpec.grid(["0.12um"], ambient_temperatures=(318.15,)),
+    )
+    print(study.run().summary())
+
+Every name below is re-exported lazily (PEP 562): ``import repro`` is
+cheap, and the numpy-heavy submodules only load when something from them
+is first touched.
 """
 
-from .baselines import (
-    ChenRoyStackModel,
-    GuElmasryStackModel,
-    NarendraFullChipModel,
-    NarendraStackModel,
-    SeriesResistanceStackModel,
-)
-from .circuit import (
-    LogicGate,
-    MOSFET,
-    Netlist,
-    TransistorStack,
-    inverter,
-    nand_gate,
-    nor_gate,
-    nmos,
-    pmos,
-    standard_cell,
-    uniform_nmos_stack,
-    uniform_pmos_stack,
-)
-from .core.cosim import (
-    ActivityGrid,
-    ConstantActivity,
-    ElectroThermalEngine,
-    NetlistBlockModel,
-    PWMActivity,
-    ScaledLeakageBlockModel,
-    Scenario,
-    ScenarioEngine,
-    StepActivity,
-    TraceActivity,
-    TransientScenarioEngine,
-    block_models_from_powers,
-    scenario_grid,
-)
-from .core.dynamic import PowerBreakdown, SwitchingActivity, TotalPowerModel
-from .core.leakage import (
-    CircuitLeakageModel,
-    GateLeakageModel,
-    StackCollapser,
-    single_device_off_current,
-    subthreshold_current,
-)
-from .core.thermal import (
-    ChipThermalModel,
-    DieGeometry,
-    HeatSource,
-    SourceArray,
-    device_thermal_network,
-    line_source_temperature,
-    pairwise_rise,
-    point_source_temperature,
-    rectangle_temperature,
-    self_heating_resistance,
-    square_center_temperature,
-    temperature_rise,
-)
-from .core.cosim import TransientElectroThermalSimulator
-from .floorplan import Block, Floorplan, three_block_floorplan
-from .measurement import DeviceUnderTest, SelfHeatingBench, default_test_devices
-from .optimize import exhaustive_sleep_vector, greedy_sleep_vector
-from .spice import GateLeakageReference, StackDCSolver
-from .technology import (
-    TechnologyParameters,
-    TechnologyScalingStudy,
-    all_technologies,
-    cmos_012um,
-    cmos_035um,
-    make_technology,
-)
-from .thermalsim import FiniteVolumeThermalSolver, RectangularSource
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "__version__",
+#: Subpackages importable as ``repro.<name>`` (resolved lazily).
+_SUBMODULES = frozenset(
+    {
+        "analysis",
+        "api",
+        "baselines",
+        "circuit",
+        "core",
+        "floorplan",
+        "measurement",
+        "optimize",
+        "reporting",
+        "spice",
+        "technology",
+        "thermalsim",
+    }
+)
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    # api (the canonical front door)
+    "FloorplanSpec": "repro.api",
+    "ScenarioSpec": "repro.api",
+    "Study": "repro.api",
+    "StudyResult": "repro.api",
+    "StudySpec": "repro.api",
+    "TechnologySpec": "repro.api",
+    "WorkloadSpec": "repro.api",
+    "load_study": "repro.api",
+    "run_study": "repro.api",
     # technology
-    "TechnologyParameters",
-    "TechnologyScalingStudy",
-    "all_technologies",
-    "cmos_012um",
-    "cmos_035um",
-    "make_technology",
+    "TechnologyParameters": "repro.technology",
+    "TechnologyScalingStudy": "repro.technology",
+    "all_technologies": "repro.technology",
+    "cmos_012um": "repro.technology",
+    "cmos_035um": "repro.technology",
+    "make_technology": "repro.technology",
     # circuit
-    "MOSFET",
-    "nmos",
-    "pmos",
-    "TransistorStack",
-    "uniform_nmos_stack",
-    "uniform_pmos_stack",
-    "LogicGate",
-    "inverter",
-    "nand_gate",
-    "nor_gate",
-    "standard_cell",
-    "Netlist",
+    "LogicGate": "repro.circuit",
+    "MOSFET": "repro.circuit",
+    "Netlist": "repro.circuit",
+    "TransistorStack": "repro.circuit",
+    "inverter": "repro.circuit",
+    "nand_gate": "repro.circuit",
+    "nmos": "repro.circuit",
+    "nor_gate": "repro.circuit",
+    "pmos": "repro.circuit",
+    "standard_cell": "repro.circuit",
+    "uniform_nmos_stack": "repro.circuit",
+    "uniform_pmos_stack": "repro.circuit",
     # core: leakage
-    "subthreshold_current",
-    "single_device_off_current",
-    "StackCollapser",
-    "GateLeakageModel",
-    "CircuitLeakageModel",
+    "CircuitLeakageModel": "repro.core.leakage",
+    "GateLeakageModel": "repro.core.leakage",
+    "StackCollapser": "repro.core.leakage",
+    "single_device_off_current": "repro.core.leakage",
+    "subthreshold_current": "repro.core.leakage",
     # core: thermal
-    "HeatSource",
-    "DieGeometry",
-    "ChipThermalModel",
-    "SourceArray",
-    "temperature_rise",
-    "pairwise_rise",
-    "point_source_temperature",
-    "square_center_temperature",
-    "line_source_temperature",
-    "rectangle_temperature",
-    "self_heating_resistance",
-    "device_thermal_network",
+    "ChipThermalModel": "repro.core.thermal",
+    "DieGeometry": "repro.core.thermal",
+    "HeatSource": "repro.core.thermal",
+    "SourceArray": "repro.core.thermal",
+    "device_thermal_network": "repro.core.thermal",
+    "line_source_temperature": "repro.core.thermal",
+    "pairwise_rise": "repro.core.thermal",
+    "point_source_temperature": "repro.core.thermal",
+    "rectangle_temperature": "repro.core.thermal",
+    "self_heating_resistance": "repro.core.thermal",
+    "square_center_temperature": "repro.core.thermal",
+    "temperature_rise": "repro.core.thermal",
     # core: dynamic + cosim
-    "SwitchingActivity",
-    "PowerBreakdown",
-    "TotalPowerModel",
-    "ElectroThermalEngine",
-    "TransientElectroThermalSimulator",
-    "ScaledLeakageBlockModel",
-    "NetlistBlockModel",
-    "block_models_from_powers",
-    "Scenario",
-    "ScenarioEngine",
-    "scenario_grid",
-    "TransientScenarioEngine",
-    "ActivityGrid",
-    "ConstantActivity",
-    "StepActivity",
-    "PWMActivity",
-    "TraceActivity",
-    "exhaustive_sleep_vector",
-    "greedy_sleep_vector",
+    "ActivityGrid": "repro.core.cosim",
+    "ConstantActivity": "repro.core.cosim",
+    "ElectroThermalEngine": "repro.core.cosim",
+    "NetlistBlockModel": "repro.core.cosim",
+    "PWMActivity": "repro.core.cosim",
+    "PowerBreakdown": "repro.core.dynamic",
+    "ScaledLeakageBlockModel": "repro.core.cosim",
+    "Scenario": "repro.core.cosim",
+    "ScenarioEngine": "repro.core.cosim",
+    "StepActivity": "repro.core.cosim",
+    "SwitchingActivity": "repro.core.dynamic",
+    "TotalPowerModel": "repro.core.dynamic",
+    "TraceActivity": "repro.core.cosim",
+    "TransientElectroThermalSimulator": "repro.core.cosim",
+    "TransientScenarioEngine": "repro.core.cosim",
+    "block_models_from_powers": "repro.core.cosim",
+    "scenario_grid": "repro.core.cosim",
+    # optimize
+    "exhaustive_sleep_vector": "repro.optimize",
+    "greedy_sleep_vector": "repro.optimize",
     # substrates
-    "StackDCSolver",
-    "GateLeakageReference",
-    "FiniteVolumeThermalSolver",
-    "RectangularSource",
-    "Block",
-    "Floorplan",
-    "three_block_floorplan",
-    "SelfHeatingBench",
-    "DeviceUnderTest",
-    "default_test_devices",
+    "Block": "repro.floorplan",
+    "DeviceUnderTest": "repro.measurement",
+    "FiniteVolumeThermalSolver": "repro.thermalsim",
+    "Floorplan": "repro.floorplan",
+    "GateLeakageReference": "repro.spice",
+    "RectangularSource": "repro.thermalsim",
+    "SelfHeatingBench": "repro.measurement",
+    "StackDCSolver": "repro.spice",
+    "as_block": "repro.floorplan",
+    "default_test_devices": "repro.measurement",
+    "three_block_floorplan": "repro.floorplan",
     # baselines
-    "ChenRoyStackModel",
-    "GuElmasryStackModel",
-    "NarendraStackModel",
-    "NarendraFullChipModel",
-    "SeriesResistanceStackModel",
-]
+    "ChenRoyStackModel": "repro.baselines",
+    "GuElmasryStackModel": "repro.baselines",
+    "NarendraFullChipModel": "repro.baselines",
+    "NarendraStackModel": "repro.baselines",
+    "SeriesResistanceStackModel": "repro.baselines",
+}
+
+__all__ = sorted(["__version__", *_EXPORTS])
+
+
+def __getattr__(name: str):
+    """Resolve public names and subpackages on first access (PEP 562)."""
+    if name in _SUBMODULES:
+        return import_module(f"{__name__}.{name}")
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | _SUBMODULES)
+
+
+if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
+    from .api import (
+        FloorplanSpec,
+        ScenarioSpec,
+        Study,
+        StudyResult,
+        StudySpec,
+        TechnologySpec,
+        WorkloadSpec,
+        load_study,
+        run_study,
+    )
+    from .baselines import (
+        ChenRoyStackModel,
+        GuElmasryStackModel,
+        NarendraFullChipModel,
+        NarendraStackModel,
+        SeriesResistanceStackModel,
+    )
+    from .circuit import (
+        MOSFET,
+        LogicGate,
+        Netlist,
+        TransistorStack,
+        inverter,
+        nand_gate,
+        nmos,
+        nor_gate,
+        pmos,
+        standard_cell,
+        uniform_nmos_stack,
+        uniform_pmos_stack,
+    )
+    from .core.cosim import (
+        ActivityGrid,
+        ConstantActivity,
+        ElectroThermalEngine,
+        NetlistBlockModel,
+        PWMActivity,
+        ScaledLeakageBlockModel,
+        Scenario,
+        ScenarioEngine,
+        StepActivity,
+        TraceActivity,
+        TransientElectroThermalSimulator,
+        TransientScenarioEngine,
+        block_models_from_powers,
+        scenario_grid,
+    )
+    from .core.dynamic import PowerBreakdown, SwitchingActivity, TotalPowerModel
+    from .core.leakage import (
+        CircuitLeakageModel,
+        GateLeakageModel,
+        StackCollapser,
+        single_device_off_current,
+        subthreshold_current,
+    )
+    from .core.thermal import (
+        ChipThermalModel,
+        DieGeometry,
+        HeatSource,
+        SourceArray,
+        device_thermal_network,
+        line_source_temperature,
+        pairwise_rise,
+        point_source_temperature,
+        rectangle_temperature,
+        self_heating_resistance,
+        square_center_temperature,
+        temperature_rise,
+    )
+    from .floorplan import Block, Floorplan, as_block, three_block_floorplan
+    from .measurement import (
+        DeviceUnderTest,
+        SelfHeatingBench,
+        default_test_devices,
+    )
+    from .optimize import exhaustive_sleep_vector, greedy_sleep_vector
+    from .spice import GateLeakageReference, StackDCSolver
+    from .technology import (
+        TechnologyParameters,
+        TechnologyScalingStudy,
+        all_technologies,
+        cmos_012um,
+        cmos_035um,
+        make_technology,
+    )
+    from .thermalsim import FiniteVolumeThermalSolver, RectangularSource

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the study-runner CLI (see :mod:`repro.api.cli`)."""
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

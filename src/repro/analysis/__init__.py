@@ -31,7 +31,9 @@ from .sweep import (
     grid_sweep,
     logspace,
     scenario_sweep,
+    steady_batch_series,
     sweep,
+    transient_batch_series,
     transient_scenario_sweep,
 )
 
@@ -61,6 +63,8 @@ __all__ = [
     "SweepResult",
     "sweep",
     "scenario_sweep",
+    "steady_batch_series",
+    "transient_batch_series",
     "transient_scenario_sweep",
     "grid_sweep",
     "logspace",

@@ -28,6 +28,39 @@ from ..core.cosim.transient_scenarios import (
 from .grids import SurfaceGrid
 
 
+def steady_batch_series(batch: ScenarioBatchResult) -> Dict[str, List[float]]:
+    """The standard per-scenario series of a steady batch.
+
+    One definition shared by :func:`scenario_sweep` and the sweep-kind
+    studies of the :mod:`repro.api` facade.
+    """
+    return {
+        "peak_temperature": [float(v) for v in batch.peak_temperature],
+        "peak_rise": [float(v) for v in batch.peak_rise],
+        "total_power": [float(v) for v in batch.total_power],
+        "total_static_power": [float(v) for v in batch.total_static_power],
+        "converged": [float(v) for v in batch.converged],
+    }
+
+
+def transient_batch_series(
+    batch: TransientBatchResult, settle_tolerance_kelvin: float = 0.5
+) -> Dict[str, List[float]]:
+    """The standard per-scenario series of a transient batch.
+
+    One definition shared by :func:`transient_scenario_sweep` and the
+    facade's transient reporting.
+    """
+    return {
+        "peak_temperature": [float(v) for v in batch.peak_temperature],
+        "peak_rise": [float(v) for v in batch.peak_rise],
+        "overshoot": [float(v) for v in batch.overshoot],
+        "settle_time": [float(v) for v in batch.settle_times(settle_tolerance_kelvin)],
+        "total_energy": [float(v) for v in batch.total_energy()],
+        "runaway": [float(v) for v in batch.runaway],
+    }
+
+
 @dataclass
 class SweepResult:
     """Result of a one-dimensional parameter sweep.
@@ -159,13 +192,7 @@ def scenario_sweep(
     batch = engine.solve(list(scenarios), **solve_kwargs)
     result = SweepResult(parameter_name=parameter_name)
     result.values = [float(value) for value in values]
-    result.results = {
-        "peak_temperature": [float(v) for v in batch.peak_temperature],
-        "peak_rise": [float(v) for v in batch.peak_rise],
-        "total_power": [float(v) for v in batch.total_power],
-        "total_static_power": [float(v) for v in batch.total_static_power],
-        "converged": [float(v) for v in batch.converged],
-    }
+    result.results = steady_batch_series(batch)
     for label, evaluator in (extra_series or {}).items():
         result.results[label] = [
             float(evaluator(batch, index)) for index in range(len(batch))
@@ -224,14 +251,9 @@ def transient_scenario_sweep(
     )
     result = SweepResult(parameter_name=parameter_name)
     result.values = [float(value) for value in values]
-    result.results = {
-        "peak_temperature": [float(v) for v in batch.peak_temperature],
-        "peak_rise": [float(v) for v in batch.peak_rise],
-        "overshoot": [float(v) for v in batch.overshoot],
-        "settle_time": [float(v) for v in batch.settle_times(settle_tolerance_kelvin)],
-        "total_energy": [float(v) for v in batch.total_energy()],
-        "runaway": [float(v) for v in batch.runaway],
-    }
+    result.results = transient_batch_series(
+        batch, settle_tolerance_kelvin=settle_tolerance_kelvin
+    )
     for label, evaluator in (extra_series or {}).items():
         result.results[label] = [
             float(evaluator(batch, index)) for index in range(len(batch))

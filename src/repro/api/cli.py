@@ -1,0 +1,128 @@
+"""Command-line front end: ``repro run`` and ``repro info``.
+
+Installed as the ``repro`` console script (see ``pyproject.toml``) and as
+``python -m repro``.  The CLI executes serialized
+:class:`~repro.api.specs.StudySpec` JSON files through the same
+:func:`~repro.api.study.run_study` interpreter the Python facade uses, so
+a study authored programmatically, shipped to another machine and re-run
+from its JSON reproduces the original arrays bit-for-bit::
+
+    repro run study.json --out results.json
+    repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+# Only the light kind-name module is imported eagerly: `repro --help`
+# must not pay for numpy or the model stack (specs/study load on `run`).
+from .kinds import STUDY_KINDS, WORKLOAD_KINDS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Concurrent power-thermal studies of sub-100nm digital ICs "
+            "(DATE 2005 reproduction)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run",
+        help="execute a JSON study file",
+        description=(
+            "Load a StudySpec JSON file, run it through the batched "
+            "engines and print the summary."
+        ),
+    )
+    run_parser.add_argument("study", type=Path, help="path to the study JSON file")
+    run_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the full StudyResult (spec + arrays) as JSON to this path",
+    )
+    run_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary printout (exit status still reports errors)",
+    )
+
+    commands.add_parser(
+        "info",
+        help="show package, study-kind and technology information",
+        description="Print the toolkit's capabilities as a quick reference.",
+    )
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    # Imported lazily so `repro --help` stays numpy-free.
+    from .study import load_study
+
+    try:
+        study = load_study(args.study)
+    except FileNotFoundError:
+        print(f"error: study file not found: {args.study}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: invalid study file {args.study}: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        result = study.run()
+    except (ValueError, KeyError) as error:
+        # Spec validation passed but the engines rejected the combination
+        # (e.g. a runaway ceiling below an ambient): report, don't crash.
+        print(f"error: study {args.study} failed to run: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(f"ran {study.kind} study from {args.study}")
+        for key, value in result.summary().items():
+            print(f"  {key}: {value}")
+    if args.out is not None:
+        result.to_json(args.out)
+        if not args.quiet:
+            print(f"wrote results to {args.out}")
+    return 0
+
+
+def _command_info() -> int:
+    from .. import __version__
+
+    print(f"repro {__version__} — fast concurrent power-thermal modeling")
+    print(
+        "reproduction of Rossello et al., 'A Fast Concurrent Power-Thermal "
+        "Model for Sub-100nm Digital ICs' (DATE 2005)"
+    )
+    print(f"python: {sys.version.split()[0]}")
+    print(f"study kinds: {', '.join(STUDY_KINDS)}")
+    print(f"workload kinds: {', '.join(WORKLOAD_KINDS)}")
+    from ..technology.nodes import node_names
+
+    print(f"technology nodes: {', '.join(node_names())}")
+    print("usage: repro run study.json [--out results.json]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "info":
+        return _command_info()
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

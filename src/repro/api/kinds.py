@@ -1,0 +1,11 @@
+"""Study and workload kind names.
+
+Kept free of heavy imports so the CLI's argument parsing (``repro --help``)
+can name the kinds without loading numpy or the model stack.
+"""
+
+#: Study kinds :class:`repro.api.specs.StudySpec` understands.
+STUDY_KINDS = ("steady", "transient", "thermal_map", "sweep")
+
+#: Workload kinds :class:`repro.api.specs.WorkloadSpec` understands.
+WORKLOAD_KINDS = ("constant", "step", "pwm", "trace")

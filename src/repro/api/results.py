@@ -1,0 +1,339 @@
+"""Unified, serializable study results.
+
+:class:`StudyResult` is the single return type of the
+:class:`~repro.api.study.Study` facade: whatever engine ran — the batched
+steady-state fixed point, the transient integrator or the analytical
+thermal model — the result exposes the same surface:
+
+* ``summary()`` — headline metrics as plain data (what the CLI prints);
+* ``as_arrays()`` — the numerical payload as named numpy arrays;
+* ``to_json()`` / ``from_json()`` — lossless persistence.  Arrays are
+  serialized element-exactly (JSON floats round-trip ``float64`` via
+  ``repr``), so a reloaded result compares bit-identically to the original
+  — the cache/replay property pinned by ``tests/test_api.py``;
+* ``native`` — the engine's own result object
+  (:class:`~repro.core.cosim.scenarios.ScenarioBatchResult`,
+  :class:`~repro.core.cosim.transient_scenarios.TransientBatchResult`,
+  :class:`~repro.core.thermal.superposition.SurfaceMap` or
+  :class:`~repro.analysis.sweep`-style series) for callers that want the
+  full rich API.  ``native`` is runtime-only: results reloaded from JSON
+  carry ``native=None`` but identical arrays.
+
+The per-scenario metric series come from
+:func:`repro.analysis.sweep.steady_batch_series` /
+:func:`~repro.analysis.sweep.transient_batch_series`, so sweep-kind
+studies and the classic :func:`repro.analysis.sweep.scenario_sweep` /
+:func:`~repro.analysis.sweep.transient_scenario_sweep` helpers report the
+*same* quantities from one definition.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from ..analysis.sweep import steady_batch_series
+from ..core.cosim.scenarios import ScenarioBatchResult
+from ..core.cosim.transient_scenarios import TransientBatchResult
+from ..core.thermal.superposition import SurfaceMap
+from .specs import StudySpec, load_json_object
+
+#: Serialization format version (bump on incompatible layout changes).
+RESULT_FORMAT = 1
+
+
+def _encode_array(array: np.ndarray) -> Dict[str, Any]:
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": array.tolist(),
+    }
+
+
+def _decode_array(data: Mapping[str, Any]) -> np.ndarray:
+    array = np.asarray(data["data"], dtype=np.dtype(data["dtype"]))
+    return array.reshape(tuple(data["shape"]))
+
+
+class StudyResult:
+    """The unified result of one executed study.
+
+    Attributes
+    ----------
+    kind:
+        The study kind that produced the result.
+    spec:
+        The executed :class:`~repro.api.specs.StudySpec` (re-runnable).
+    arrays:
+        Named numerical payload, read-only.
+    metadata:
+        Plain-data context (block names, scenario labels, ...).  Parts of
+        it may be computed lazily — e.g. the per-scenario display labels,
+        whose string formatting would otherwise dominate small studies.
+    native:
+        The engine's own result object; ``None`` after JSON reload.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        spec: StudySpec,
+        arrays: Dict[str, np.ndarray],
+        metadata: Optional[Dict[str, Any]] = None,
+        native: Optional[Any] = None,
+        deferred_metadata: Optional[Any] = None,
+    ) -> None:
+        self.kind = kind
+        self.spec = spec
+        frozen = {}
+        for name, value in arrays.items():
+            array = np.asarray(value).view()
+            array.setflags(write=False)
+            frozen[name] = array
+        self.arrays = frozen
+        self._metadata: Dict[str, Any] = dict(metadata or {})
+        self._deferred_metadata = deferred_metadata
+        self.native = native
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Plain-data context; lazily completed on first access."""
+        if self._deferred_metadata is not None:
+            self._metadata.update(self._deferred_metadata())
+            self._deferred_metadata = None
+        return self._metadata
+
+    def __repr__(self) -> str:
+        return (
+            f"StudyResult(kind={self.kind!r}, "
+            f"arrays=[{', '.join(sorted(self.arrays))}])"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constructors (one per study kind)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_steady_batch(
+        cls, spec: StudySpec, batch: ScenarioBatchResult
+    ) -> "StudyResult":
+        return cls(
+            kind="steady",
+            spec=spec,
+            arrays={
+                "block_temperatures": batch.block_temperatures,
+                "dynamic_power": batch.dynamic_power,
+                "static_power": batch.static_power,
+                "ambient_temperatures": batch.ambient_temperatures,
+                "converged": batch.converged,
+                "iteration_counts": batch.iteration_counts,
+            },
+            metadata={"block_names": list(batch.block_names)},
+            deferred_metadata=lambda: {
+                "scenario_labels": [s.describe() for s in batch.scenarios]
+            },
+            native=batch,
+        )
+
+    @classmethod
+    def from_transient_batch(
+        cls, spec: StudySpec, batch: TransientBatchResult
+    ) -> "StudyResult":
+        return cls(
+            kind="transient",
+            spec=spec,
+            arrays={
+                "times": batch.times,
+                "block_temperatures": batch.block_temperatures,
+                "block_powers": batch.block_powers,
+                "ambient_temperatures": batch.ambient_temperatures,
+                "runaway": batch.runaway,
+                "runaway_times": batch.runaway_times,
+            },
+            metadata={"block_names": list(batch.block_names)},
+            deferred_metadata=lambda: {
+                "scenario_labels": [s.describe() for s in batch.scenarios]
+            },
+            native=batch,
+        )
+
+    @classmethod
+    def from_surface_map(
+        cls,
+        spec: StudySpec,
+        surface: SurfaceMap,
+        source_temperatures: Mapping[str, float],
+    ) -> "StudyResult":
+        return cls(
+            kind="thermal_map",
+            spec=spec,
+            arrays={
+                "x_coordinates": surface.x_coordinates,
+                "y_coordinates": surface.y_coordinates,
+                "temperature": surface.temperature,
+            },
+            metadata={
+                "ambient_temperature": float(surface.ambient_temperature),
+                "source_temperatures": {
+                    name: float(value)
+                    for name, value in source_temperatures.items()
+                },
+            },
+            native=surface,
+        )
+
+    @classmethod
+    def from_sweep_batch(
+        cls, spec: StudySpec, batch: ScenarioBatchResult
+    ) -> "StudyResult":
+        series = steady_batch_series(batch)
+        arrays: Dict[str, np.ndarray] = {
+            "values": np.asarray(spec.parameter_values, dtype=float)
+        }
+        for label, column in series.items():
+            arrays[label] = np.asarray(column)
+        return cls(
+            kind="sweep",
+            spec=spec,
+            arrays=arrays,
+            metadata={
+                "parameter_name": spec.parameter_name,
+                "series": list(series),
+                "block_names": list(batch.block_names),
+            },
+            deferred_metadata=lambda: {
+                "scenario_labels": [s.describe() for s in batch.scenarios]
+            },
+            native=batch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Common accessors
+    # ------------------------------------------------------------------ #
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """The numerical payload as writable array copies."""
+        return {name: array.copy() for name, array in self.arrays.items()}
+
+    def array(self, name: str) -> np.ndarray:
+        """One named array (read-only view)."""
+        if name not in self.arrays:
+            known = ", ".join(sorted(self.arrays))
+            raise KeyError(f"no array named {name!r}; known arrays: {known}")
+        return self.arrays[name]
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline metrics as plain data (the CLI report)."""
+        summary: Dict[str, Any] = {"kind": self.kind, "study": self.spec.describe()}
+        if self.kind == "steady":
+            temperatures = self.arrays["block_temperatures"]
+            converged = self.arrays["converged"]
+            summary.update(
+                scenario_count=int(temperatures.shape[0]),
+                block_names=list(self.metadata.get("block_names", ())),
+                converged_count=int(converged.sum()),
+                runaway_count=int((~converged.astype(bool)).sum()),
+                peak_temperature_K=float(temperatures.max()),
+                max_total_power_W=float(
+                    (self.arrays["dynamic_power"] + self.arrays["static_power"])
+                    .sum(axis=1)
+                    .max()
+                ),
+            )
+        elif self.kind == "transient":
+            temperatures = self.arrays["block_temperatures"]
+            final = temperatures[:, -1, :]
+            overshoot = np.maximum(
+                (temperatures - final[:, np.newaxis, :]).max(axis=(1, 2)), 0.0
+            )
+            summary.update(
+                scenario_count=int(temperatures.shape[0]),
+                step_count=int(temperatures.shape[1]),
+                block_names=list(self.metadata.get("block_names", ())),
+                peak_temperature_K=float(temperatures.max()),
+                max_overshoot_K=float(overshoot.max()),
+                runaway_count=int(self.arrays["runaway"].sum()),
+            )
+        elif self.kind == "thermal_map":
+            temperature = self.arrays["temperature"]
+            index = np.unravel_index(int(np.argmax(temperature)), temperature.shape)
+            summary.update(
+                samples=list(temperature.shape),
+                ambient_temperature_K=float(self.metadata["ambient_temperature"]),
+                peak_temperature_K=float(temperature.max()),
+                peak_location_m=[
+                    float(self.arrays["x_coordinates"][index[0]]),
+                    float(self.arrays["y_coordinates"][index[1]]),
+                ],
+                source_temperatures_K=dict(
+                    self.metadata.get("source_temperatures", {})
+                ),
+            )
+        elif self.kind == "sweep":
+            summary.update(
+                parameter_name=self.metadata.get("parameter_name", ""),
+                point_count=int(self.arrays["values"].shape[0]),
+                series=list(self.metadata.get("series", ())),
+                peak_temperature_K=float(self.arrays["peak_temperature"].max()),
+            )
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data representation (``native`` is intentionally dropped)."""
+        return {
+            "format": RESULT_FORMAT,
+            "kind": self.kind,
+            "spec": self.spec.to_dict(),
+            "metadata": self.metadata,
+            "arrays": {
+                name: _encode_array(array) for name, array in self.arrays.items()
+            },
+        }
+
+    def to_json(self, path: Optional[Union[str, Path]] = None, indent: int = 2) -> str:
+        """Serialize to JSON, optionally writing to ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudyResult":
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(
+                f"unsupported result format {data.get('format')!r} "
+                f"(this build reads format {RESULT_FORMAT})"
+            )
+        return cls(
+            kind=data["kind"],
+            spec=StudySpec.from_dict(data["spec"]),
+            arrays={
+                name: _decode_array(entry)
+                for name, entry in data["arrays"].items()
+            },
+            metadata=dict(data.get("metadata", {})),
+            native=None,
+        )
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "StudyResult":
+        """Parse a result from a JSON string or a path to a JSON file."""
+        return cls.from_dict(load_json_object(source, cls.__name__))
+
+    def equals(self, other: "StudyResult") -> bool:
+        """Exact equality: same kind, spec, metadata and bit-identical arrays."""
+        if self.kind != other.kind or self.spec != other.spec:
+            return False
+        if self.metadata != other.metadata:
+            return False
+        if set(self.arrays) != set(other.arrays):
+            return False
+        for name, array in self.arrays.items():
+            equal_nan = array.dtype.kind == "f"
+            if not np.array_equal(array, other.arrays[name], equal_nan=equal_nan):
+                return False
+        return True

@@ -1,0 +1,870 @@
+"""Declarative, serializable study specifications.
+
+Every spec in this module is a frozen dataclass describing *what* to
+compute, never *how*: technology nodes are named, floorplans are plain
+geometry, workloads are parameter dictionaries.  Each spec
+
+* validates eagerly on construction, reporting the offending field in a
+  :class:`ValueError`;
+* round-trips through plain data — ``spec.to_dict()`` /
+  ``Spec.from_dict(data)`` and ``spec.to_json()`` / ``Spec.from_json(text)``
+  reproduce an *equal* spec (the property pinned by ``tests/test_api.py``);
+* knows how to ``build()`` the corresponding runtime object (a
+  :class:`~repro.technology.parameters.TechnologyParameters`, a
+  :class:`~repro.floorplan.floorplan.Floorplan`, an
+  :class:`~repro.core.cosim.transient_scenarios.ActivityGrid`, a
+  :class:`~repro.core.cosim.scenarios.Scenario`).
+
+:class:`StudySpec` composes them into one complete, executable description
+of a steady, transient, thermal-map or sweep study —
+:func:`repro.api.study.run_study` is its interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import abc
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from types import MappingProxyType
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.cosim.scenarios import Scenario
+from ..core.cosim.transient_scenarios import (
+    ActivityGrid,
+    ConstantActivity,
+    PWMActivity,
+    StepActivity,
+    TraceActivity,
+)
+from ..core.thermal.images import DieGeometry
+from ..floorplan.block import Block, as_block
+from ..floorplan.floorplan import Floorplan
+from ..technology.nodes import make_technology, node_names
+from ..technology.parameters import TechnologyParameters
+from .kinds import STUDY_KINDS, WORKLOAD_KINDS
+
+#: Solver options each study kind forwards to its engine.
+_SOLVER_KEYS: Dict[str, Tuple[str, ...]] = {
+    "steady": ("max_iterations", "tolerance", "damping", "max_temperature"),
+    "sweep": ("max_iterations", "tolerance", "damping", "max_temperature"),
+    "transient": (
+        "max_temperature",
+        "settle_tolerance",
+        "include_activity_edges",
+    ),
+    "thermal_map": (),
+}
+
+
+def _freeze(value: Any, label: str) -> Any:
+    """Recursively normalize plain data: sequences to tuples, numbers to
+    floats, string-keyed mappings to dicts.
+
+    This makes specs insensitive to whether their parameters arrived as
+    Python tuples or as the lists a JSON parser produces, which is what
+    gives ``from_dict(to_dict(spec)) == spec``.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, abc.Mapping):
+        frozen = {}
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise ValueError(f"{label} keys must be strings, got {key!r}")
+            frozen[key] = _freeze(entry, f"{label}[{key!r}]")
+        return frozen
+    if isinstance(value, abc.Sequence):
+        return tuple(_freeze(entry, label) for entry in value)
+    if hasattr(value, "tolist"):  # numpy scalars and arrays
+        return _freeze(value.tolist(), label)
+    raise ValueError(f"{label} must be plain data (numbers, strings, lists, dicts)")
+
+
+def _power_map(value: Optional[Mapping[str, float]], label: str) -> Mapping[str, float]:
+    """Validate a per-block power/float mapping.
+
+    Returns a read-only view: spec fields must stay immutable so that a
+    :class:`~repro.api.study.Study`'s cached compilation can never desync
+    from its spec.
+    """
+    if value is None:
+        return MappingProxyType({})
+    if not isinstance(value, abc.Mapping):
+        raise ValueError(f"{label} must be a mapping of block name to value")
+    result = {}
+    for key, entry in value.items():
+        if not isinstance(key, str):
+            raise ValueError(f"{label} keys must be block names, got {key!r}")
+        try:
+            result[key] = float(entry)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{label}[{key!r}] must be a number, got {entry!r}"
+            ) from None
+    return MappingProxyType(result)
+
+
+def _reject_unknown_keys(cls, data: Mapping[str, Any]) -> None:
+    known = {spec.name for spec in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__} has no field(s) {', '.join(map(repr, unknown))}; "
+            f"known fields: {', '.join(sorted(known))}"
+        )
+
+
+def load_json_object(source: Union[str, Path], owner: str) -> Dict[str, Any]:
+    """Read a JSON object from a path or a JSON string.
+
+    A :class:`~pathlib.Path` is always read from disk; a plain string is
+    treated as JSON text when it starts with ``{`` and as a file path
+    otherwise.  Shared by the spec and result ``from_json`` entry points.
+    """
+    if isinstance(source, Path):
+        text = source.read_text()
+    else:
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(text).read_text()
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError(f"{owner} JSON must be an object")
+    return data
+
+
+class _SpecSerialization:
+    """Shared JSON plumbing: every spec serializes via ``to_dict``."""
+
+    def to_dict(self) -> Dict[str, Any]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def to_json(self, path: Optional[Union[str, Path]] = None, indent: int = 2) -> str:
+        """Serialize to a JSON string, optionally writing it to ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]):
+        """Parse a spec from a JSON string or a path to a JSON file."""
+        data = load_json_object(source, cls.__name__)
+        return cls.from_dict(data)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class TechnologySpec(_SpecSerialization):
+    """A predefined CMOS technology node plus its thermal environment.
+
+    Attributes
+    ----------
+    node:
+        One of :func:`repro.technology.node_names` (e.g. ``"0.12um"``).
+    ambient_celsius:
+        Heat-sink temperature [degC] baked into the node's thermal
+        defaults.
+    """
+
+    node: str = "0.12um"
+    ambient_celsius: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.node not in node_names():
+            known = ", ".join(node_names())
+            raise ValueError(
+                f"unknown technology node {self.node!r}; known nodes: {known}"
+            )
+        object.__setattr__(self, "ambient_celsius", float(self.ambient_celsius))
+
+    def build(self) -> TechnologyParameters:
+        """Materialize the node's :class:`TechnologyParameters`."""
+        return make_technology(self.node, ambient_celsius=self.ambient_celsius)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"node": self.node}
+        if self.ambient_celsius != 25.0:
+            data["ambient_celsius"] = self.ambient_celsius
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TechnologySpec":
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+def as_technology_spec(value) -> TechnologySpec:
+    """Coerce a node name / mapping / spec into a :class:`TechnologySpec`."""
+    if isinstance(value, TechnologySpec):
+        return value
+    if isinstance(value, str):
+        return TechnologySpec(node=value)
+    if isinstance(value, abc.Mapping):
+        return TechnologySpec.from_dict(value)
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as a technology spec; "
+        "expected TechnologySpec, node name or mapping"
+    )
+
+
+@dataclass(frozen=True)
+class FloorplanSpec(_SpecSerialization):
+    """Declarative die floorplan: geometry plus a tuple of blocks.
+
+    ``blocks`` entries may be :class:`~repro.floorplan.block.Block`
+    instances, plain mappings or ``(name, x, y, width, length)`` tuples;
+    they are normalized to blocks on construction and the whole plan is
+    validated (fit, overlaps) immediately.
+    """
+
+    die_width: float = 1.0e-3
+    die_length: float = 1.0e-3
+    die_thickness: float = 500.0e-6
+    blocks: Tuple[Block, ...] = ()
+    name: str = "floorplan"
+    allow_overlaps: bool = False
+
+    def __post_init__(self) -> None:
+        for label in ("die_width", "die_length", "die_thickness"):
+            value = getattr(self, label)
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(f"{label} must be a number, got {value!r}") from None
+            if value <= 0.0:
+                raise ValueError(f"{label} must be positive")
+            object.__setattr__(self, label, value)
+        if not isinstance(self.blocks, abc.Iterable) or isinstance(self.blocks, str):
+            raise ValueError("blocks must be a sequence of block descriptions")
+        object.__setattr__(
+            self, "blocks", tuple(as_block(block) for block in self.blocks)
+        )
+        if not self.blocks:
+            raise ValueError("blocks must name at least one block")
+        self.build()  # validates fit and overlaps eagerly
+
+    @classmethod
+    def from_floorplan(cls, floorplan: Floorplan) -> "FloorplanSpec":
+        """Lift an existing :class:`Floorplan` into a declarative spec."""
+        return cls(
+            die_width=floorplan.die.width,
+            die_length=floorplan.die.length,
+            die_thickness=floorplan.die.thickness,
+            blocks=floorplan.blocks(),
+            name=floorplan.name,
+            allow_overlaps=floorplan.allow_overlaps,
+        )
+
+    @property
+    def block_names(self) -> Tuple[str, ...]:
+        """Names of the declared blocks, in declaration order."""
+        return tuple(block.name for block in self.blocks)
+
+    def build(self) -> Floorplan:
+        """Materialize the :class:`Floorplan`."""
+        die = DieGeometry(
+            width=self.die_width,
+            length=self.die_length,
+            thickness=self.die_thickness,
+        )
+        return Floorplan.from_blocks(
+            die, self.blocks, name=self.name, allow_overlaps=self.allow_overlaps
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "die_width": self.die_width,
+            "die_length": self.die_length,
+            "die_thickness": self.die_thickness,
+            "blocks": [block.as_dict() for block in self.blocks],
+        }
+        if self.name != "floorplan":
+            data["name"] = self.name
+        if self.allow_overlaps:
+            data["allow_overlaps"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FloorplanSpec":
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+def as_floorplan_spec(value) -> FloorplanSpec:
+    """Coerce a floorplan / mapping / spec into a :class:`FloorplanSpec`."""
+    if isinstance(value, FloorplanSpec):
+        return value
+    if isinstance(value, Floorplan):
+        return FloorplanSpec.from_floorplan(value)
+    if isinstance(value, abc.Mapping):
+        return FloorplanSpec.from_dict(value)
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as a floorplan spec; "
+        "expected FloorplanSpec, Floorplan or mapping"
+    )
+
+
+#: Required / optional parameter names per workload kind.
+_WORKLOAD_PARAMETERS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "constant": ((), ("multipliers",)),
+    "step": (("before", "after", "switch_times"), ()),
+    "pwm": (("periods", "duty_cycles"), ("on", "off")),
+    "trace": (("times", "values"), ()),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec(_SpecSerialization):
+    """Declarative transient workload, built into an :class:`ActivityGrid`.
+
+    Attributes
+    ----------
+    kind:
+        ``"constant"``, ``"step"``, ``"pwm"`` or ``"trace"``.
+    parameters:
+        Keyword arguments of the corresponding activity-grid class
+        (:class:`ConstantActivity`, :class:`StepActivity`,
+        :class:`PWMActivity`, :class:`TraceActivity`), as plain data.
+    """
+
+    kind: str = "constant"
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; "
+                f"known kinds: {', '.join(WORKLOAD_KINDS)}"
+            )
+        if not isinstance(self.parameters, abc.Mapping):
+            raise ValueError("parameters must be a mapping")
+        required, optional = _WORKLOAD_PARAMETERS[self.kind]
+        allowed = set(required) | set(optional)
+        missing = [name for name in required if name not in self.parameters]
+        if missing:
+            raise ValueError(
+                f"{self.kind!r} workload is missing required parameter(s): "
+                f"{', '.join(missing)}"
+            )
+        unknown = sorted(set(self.parameters) - allowed)
+        if unknown:
+            raise ValueError(
+                f"{self.kind!r} workload has unknown parameter(s): "
+                f"{', '.join(unknown)}; allowed: {', '.join(sorted(allowed))}"
+            )
+        object.__setattr__(
+            self,
+            "parameters",
+            MappingProxyType(_freeze(dict(self.parameters), "parameters")),
+        )
+        self.build()  # validate parameter values eagerly
+
+    def build(self) -> ActivityGrid:
+        """Materialize the vectorized :class:`ActivityGrid`."""
+        grids = {
+            "constant": ConstantActivity,
+            "step": StepActivity,
+            "pwm": PWMActivity,
+            "trace": TraceActivity,
+        }
+        return grids[self.kind](**self.parameters)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.parameters:
+            data["parameters"] = _to_plain(self.parameters)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+def as_workload_spec(value) -> Optional[WorkloadSpec]:
+    """Coerce a workload description into a :class:`WorkloadSpec`."""
+    if value is None or isinstance(value, WorkloadSpec):
+        return value
+    if isinstance(value, abc.Mapping):
+        return WorkloadSpec.from_dict(value)
+    if isinstance(value, ActivityGrid):
+        raise TypeError(
+            "pass a WorkloadSpec (declarative) rather than a built "
+            f"{type(value).__name__}; activity grids are not serializable"
+        )
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as a workload spec; "
+        "expected WorkloadSpec or mapping"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec(_SpecSerialization):
+    """One declarative operating condition.
+
+    The serializable counterpart of
+    :class:`~repro.core.cosim.scenarios.Scenario`: the technology is named
+    (not embedded), and the supply may be given either as an absolute
+    voltage or as a fraction of the node's nominal ``Vdd`` (at most one of
+    the two).
+    """
+
+    technology: TechnologySpec = field(default_factory=TechnologySpec)
+    supply_scale: Optional[float] = None
+    supply_voltage: Optional[float] = None
+    ambient_temperature: Optional[float] = None
+    activity: Union[float, Dict[str, float]] = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "technology", as_technology_spec(self.technology))
+        if self.supply_scale is not None and self.supply_voltage is not None:
+            raise ValueError(
+                "give supply_scale or supply_voltage, not both "
+                f"(got supply_scale={self.supply_scale!r}, "
+                f"supply_voltage={self.supply_voltage!r})"
+            )
+        for label in ("supply_scale", "supply_voltage", "ambient_temperature"):
+            value = getattr(self, label)
+            if value is None:
+                continue
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(f"{label} must be a number, got {value!r}") from None
+            if value <= 0.0:
+                raise ValueError(f"{label} must be positive")
+            object.__setattr__(self, label, value)
+        if isinstance(self.activity, abc.Mapping):
+            object.__setattr__(self, "activity", _power_map(self.activity, "activity"))
+            if any(value < 0.0 for value in self.activity.values()):
+                raise ValueError("activity factors must be non-negative")
+        else:
+            try:
+                activity = float(self.activity)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"activity must be a number or per-block mapping, "
+                    f"got {self.activity!r}"
+                ) from None
+            if activity < 0.0:
+                raise ValueError("activity must be non-negative")
+            object.__setattr__(self, "activity", activity)
+        if not isinstance(self.label, str):
+            raise ValueError("label must be a string")
+
+    def build(
+        self,
+        technologies: Optional[Dict[TechnologySpec, TechnologyParameters]] = None,
+    ) -> Scenario:
+        """Materialize the runtime :class:`Scenario`.
+
+        ``technologies`` is an optional per-study cache: scenario grids name
+        the same few nodes hundreds of times, and sharing one
+        :class:`TechnologyParameters` instance per distinct spec lets the
+        batched engines dedup their per-node precomputation.
+        """
+        if technologies is None:
+            technology = self.technology.build()
+        else:
+            technology = technologies.get(self.technology)
+            if technology is None:
+                technology = self.technology.build()
+                technologies[self.technology] = technology
+        supply = self.supply_voltage
+        if supply is None and self.supply_scale is not None:
+            supply = self.supply_scale * technology.vdd
+        activity = self.activity
+        if isinstance(activity, abc.Mapping):
+            activity = dict(activity)
+        return Scenario(
+            technology=technology,
+            supply_voltage=supply,
+            ambient_temperature=self.ambient_temperature,
+            activity=activity,
+            label=self.label,
+        )
+
+    @classmethod
+    def grid(
+        cls,
+        technologies: Sequence[Union[TechnologySpec, str, Mapping[str, Any]]],
+        supply_scales: Iterable[float] = (1.0,),
+        ambient_temperatures: Iterable[Optional[float]] = (None,),
+        activities: Iterable[Union[float, Mapping[str, float]]] = (1.0,),
+    ) -> Tuple["ScenarioSpec", ...]:
+        """Cross product of the four scenario axes, in deterministic order.
+
+        The declarative mirror of
+        :func:`~repro.core.cosim.scenarios.scenario_grid`, producing the
+        same scenarios in the same order once built.
+        """
+        specs = [as_technology_spec(value) for value in technologies]
+        if not specs:
+            raise ValueError("at least one technology is required")
+        return tuple(
+            cls(
+                technology=technology,
+                supply_scale=scale,
+                ambient_temperature=ambient,
+                activity=activity,
+            )
+            for technology in specs
+            for scale in tuple(supply_scales)
+            for ambient in tuple(ambient_temperatures)
+            for activity in tuple(activities)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"technology": self.technology.to_dict()}
+        for label in ("supply_scale", "supply_voltage", "ambient_temperature"):
+            value = getattr(self, label)
+            if value is not None:
+                data[label] = value
+        if self.activity != 1.0:
+            activity = self.activity
+            if isinstance(activity, abc.Mapping):
+                activity = dict(activity)
+            data["activity"] = activity
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+def as_scenario_spec(value) -> ScenarioSpec:
+    """Coerce a scenario description into a :class:`ScenarioSpec`."""
+    if isinstance(value, ScenarioSpec):
+        return value
+    if isinstance(value, abc.Mapping):
+        return ScenarioSpec.from_dict(value)
+    if isinstance(value, Scenario):
+        raise TypeError(
+            "pass a ScenarioSpec (declarative) rather than a built Scenario; "
+            "scenarios embed a full TechnologyParameters object and are not "
+            "serializable"
+        )
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as a scenario spec; "
+        "expected ScenarioSpec or mapping"
+    )
+
+
+def _to_plain(value: Any) -> Any:
+    """Tuples back to lists (and mapping views back to dicts) for JSON."""
+    if isinstance(value, tuple):
+        return [_to_plain(entry) for entry in value]
+    if isinstance(value, abc.Mapping):
+        return {key: _to_plain(entry) for key, entry in value.items()}
+    return value
+
+
+def _default_floorplan() -> "FloorplanSpec":
+    """One full-die block: the placeholder floorplan of a default spec."""
+    block = {"name": "chip", "x": 0.5e-3, "y": 0.5e-3, "width": 1e-3, "length": 1e-3}
+    return FloorplanSpec(blocks=(block,))
+
+
+@dataclass(frozen=True)
+class StudySpec(_SpecSerialization):
+    """One complete, executable study description.
+
+    Attributes
+    ----------
+    kind:
+        ``"steady"`` (batched fixed points), ``"transient"`` (batched
+        time-domain integration), ``"thermal_map"`` (analytical surface
+        map) or ``"sweep"`` (a steady batch reported as a 1-D parameter
+        sweep).
+    floorplan:
+        The die and its blocks.
+    dynamic_powers, static_powers:
+        Per-block reference powers [W] at nominal supply / reference
+        temperature (steady, transient and sweep studies).
+    scenarios:
+        Operating conditions to evaluate (steady, transient, sweep).
+    workload:
+        Transient studies only: the activity grid driving the integration.
+    duration, time_step:
+        Transient studies only: simulated span and base step [s].
+    time_constants:
+        Transient studies only: optional per-block thermal time constants
+        [s].
+    technology:
+        Thermal-map studies only: the node supplying the substrate /
+        ambient defaults.
+    block_powers:
+        Thermal-map studies only: dissipated power [W] per block.
+    ambient_temperature:
+        Thermal-map studies only: heat-sink temperature [K] override.
+    map_samples:
+        Thermal-map studies only: ``(nx, ny)`` surface-map sampling.
+    parameter_name, parameter_values:
+        Sweep studies only: the swept axis (one value per scenario).
+    image_rings, include_bottom_images, device_type:
+        Boundary-image / leakage-polarity configuration shared by every
+        engine.
+    solver:
+        Kind-specific solver options (see
+        :meth:`~repro.core.cosim.scenarios.ScenarioEngine.solve` and
+        :meth:`~repro.core.cosim.transient_scenarios.TransientScenarioEngine.simulate`).
+    label:
+        Optional display name for reports.
+    """
+
+    kind: str = "steady"
+    floorplan: FloorplanSpec = field(default_factory=lambda: _default_floorplan())
+    dynamic_powers: Dict[str, float] = field(default_factory=dict)
+    static_powers: Dict[str, float] = field(default_factory=dict)
+    scenarios: Tuple[ScenarioSpec, ...] = ()
+    workload: Optional[WorkloadSpec] = None
+    duration: Optional[float] = None
+    time_step: Optional[float] = None
+    time_constants: Optional[Dict[str, float]] = None
+    technology: Optional[TechnologySpec] = None
+    block_powers: Dict[str, float] = field(default_factory=dict)
+    ambient_temperature: Optional[float] = None
+    map_samples: Tuple[int, int] = (50, 50)
+    parameter_name: str = ""
+    parameter_values: Tuple[float, ...] = ()
+    image_rings: int = 1
+    include_bottom_images: bool = True
+    device_type: str = "nmos"
+    solver: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in STUDY_KINDS:
+            raise ValueError(
+                f"unknown study kind {self.kind!r}; "
+                f"known kinds: {', '.join(STUDY_KINDS)}"
+            )
+        object.__setattr__(self, "floorplan", as_floorplan_spec(self.floorplan))
+        object.__setattr__(
+            self, "dynamic_powers", _power_map(self.dynamic_powers, "dynamic_powers")
+        )
+        object.__setattr__(
+            self, "static_powers", _power_map(self.static_powers, "static_powers")
+        )
+        object.__setattr__(
+            self, "block_powers", _power_map(self.block_powers, "block_powers")
+        )
+        if self.time_constants is not None:
+            object.__setattr__(
+                self,
+                "time_constants",
+                _power_map(self.time_constants, "time_constants"),
+            )
+        if not isinstance(self.scenarios, abc.Iterable) or isinstance(
+            self.scenarios, (str, abc.Mapping)
+        ):
+            raise ValueError("scenarios must be a sequence of scenario descriptions")
+        object.__setattr__(
+            self,
+            "scenarios",
+            tuple(as_scenario_spec(value) for value in self.scenarios),
+        )
+        object.__setattr__(self, "workload", as_workload_spec(self.workload))
+        if self.technology is not None:
+            object.__setattr__(self, "technology", as_technology_spec(self.technology))
+        for label in ("duration", "time_step", "ambient_temperature"):
+            value = getattr(self, label)
+            if value is None:
+                continue
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(f"{label} must be a number, got {value!r}") from None
+            if value <= 0.0:
+                raise ValueError(f"{label} must be positive")
+            object.__setattr__(self, label, value)
+        samples = tuple(self.map_samples)
+        if len(samples) != 2 or any(int(n) < 2 for n in samples):
+            raise ValueError(
+                f"map_samples must be two sample counts >= 2, got {self.map_samples!r}"
+            )
+        object.__setattr__(self, "map_samples", tuple(int(n) for n in samples))
+        object.__setattr__(
+            self,
+            "parameter_values",
+            _freeze(tuple(self.parameter_values), "parameter_values"),
+        )
+        if int(self.image_rings) < 0:
+            raise ValueError("image_rings must be non-negative")
+        object.__setattr__(self, "image_rings", int(self.image_rings))
+        object.__setattr__(
+            self, "include_bottom_images", bool(self.include_bottom_images)
+        )
+        if self.device_type not in ("nmos", "pmos"):
+            raise ValueError("device_type must be 'nmos' or 'pmos'")
+        if not isinstance(self.solver, abc.Mapping):
+            raise ValueError("solver must be a mapping of solver options")
+        allowed = _SOLVER_KEYS[self.kind]
+        unknown = sorted(set(self.solver) - set(allowed))
+        if unknown:
+            raise ValueError(
+                f"{self.kind!r} studies do not understand solver option(s) "
+                f"{', '.join(map(repr, unknown))}"
+                + (f"; allowed: {', '.join(allowed)}" if allowed else "")
+            )
+        object.__setattr__(
+            self, "solver", MappingProxyType(_freeze(dict(self.solver), "solver"))
+        )
+        if not isinstance(self.label, str):
+            raise ValueError("label must be a string")
+        self._validate_kind()
+
+    # ------------------------------------------------------------------ #
+    # Kind-specific validation
+    # ------------------------------------------------------------------ #
+    def _validate_kind(self) -> None:
+        kind = self.kind
+        block_names = set(self.floorplan.block_names)
+
+        def check_blocks(mapping: Mapping[str, float], label: str) -> None:
+            unknown = sorted(set(mapping) - block_names)
+            if unknown:
+                raise ValueError(
+                    f"{label} references unknown block(s): {', '.join(unknown)}; "
+                    f"floorplan blocks: {', '.join(sorted(block_names))}"
+                )
+
+        check_blocks(self.dynamic_powers, "dynamic_powers")
+        check_blocks(self.static_powers, "static_powers")
+        check_blocks(self.block_powers, "block_powers")
+        if self.time_constants:
+            check_blocks(self.time_constants, "time_constants")
+
+        if kind == "thermal_map":
+            if not self.block_powers:
+                raise ValueError("thermal_map studies require block_powers")
+            if self.scenarios:
+                raise ValueError("thermal_map studies take block_powers, not scenarios")
+            # Engine-only fields must not be silently ignored either.
+            for label in ("workload", "duration", "time_step", "time_constants"):
+                if getattr(self, label) is not None:
+                    raise ValueError(f"{label} does not apply to thermal_map studies")
+            for label in (
+                "dynamic_powers",
+                "static_powers",
+                "parameter_name",
+                "parameter_values",
+            ):
+                if getattr(self, label):
+                    raise ValueError(f"{label} does not apply to thermal_map studies")
+            return
+
+        # Engine-backed kinds share the scenario/power requirements, and
+        # must not silently ignore thermal_map-only fields.
+        for label in ("technology", "ambient_temperature"):
+            if getattr(self, label) is not None:
+                raise ValueError(f"{label} only applies to thermal_map studies")
+        if self.block_powers:
+            raise ValueError("block_powers only apply to thermal_map studies")
+        if self.map_samples != (50, 50):
+            raise ValueError("map_samples only apply to thermal_map studies")
+        if not self.scenarios:
+            raise ValueError(f"{kind!r} studies require at least one scenario")
+        if not self.dynamic_powers and not self.static_powers:
+            raise ValueError(
+                f"{kind!r} studies require dynamic_powers and/or static_powers"
+            )
+        if kind == "transient":
+            for label in ("duration", "time_step"):
+                if getattr(self, label) is None:
+                    raise ValueError(f"transient studies require {label}")
+        else:
+            for label in ("duration", "time_step"):
+                if getattr(self, label) is not None:
+                    raise ValueError(f"{label} only applies to transient studies")
+            if self.workload is not None:
+                raise ValueError("workload only applies to transient studies")
+            if self.time_constants is not None:
+                raise ValueError("time_constants only apply to transient studies")
+        if kind == "sweep":
+            if not self.parameter_name:
+                raise ValueError("sweep studies require parameter_name")
+            if len(self.parameter_values) != len(self.scenarios):
+                raise ValueError(
+                    "parameter_values must align one-to-one with scenarios "
+                    f"({len(self.parameter_values)} value(s) vs "
+                    f"{len(self.scenarios)} scenario(s))"
+                )
+        elif self.parameter_name or self.parameter_values:
+            raise ValueError(
+                "parameter_name/parameter_values only apply to sweep studies"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "floorplan": self.floorplan.to_dict(),
+        }
+        if self.dynamic_powers:
+            data["dynamic_powers"] = dict(self.dynamic_powers)
+        if self.static_powers:
+            data["static_powers"] = dict(self.static_powers)
+        if self.scenarios:
+            data["scenarios"] = [scenario.to_dict() for scenario in self.scenarios]
+        if self.workload is not None:
+            data["workload"] = self.workload.to_dict()
+        for label in ("duration", "time_step", "ambient_temperature"):
+            value = getattr(self, label)
+            if value is not None:
+                data[label] = value
+        if self.time_constants is not None:
+            data["time_constants"] = dict(self.time_constants)
+        if self.technology is not None:
+            data["technology"] = self.technology.to_dict()
+        if self.block_powers:
+            data["block_powers"] = dict(self.block_powers)
+        if self.map_samples != (50, 50):
+            data["map_samples"] = list(self.map_samples)
+        if self.parameter_name:
+            data["parameter_name"] = self.parameter_name
+        if self.parameter_values:
+            data["parameter_values"] = list(self.parameter_values)
+        if self.image_rings != 1:
+            data["image_rings"] = self.image_rings
+        if not self.include_bottom_images:
+            data["include_bottom_images"] = False
+        if self.device_type != "nmos":
+            data["device_type"] = self.device_type
+        if self.solver:
+            data["solver"] = _to_plain(self.solver)
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+    # ------------------------------------------------------------------ #
+    # Runtime construction helpers (consumed by repro.api.study)
+    # ------------------------------------------------------------------ #
+    def build_scenarios(self) -> List[Scenario]:
+        """Materialize every scenario, sharing technology objects."""
+        technologies: Dict[TechnologySpec, TechnologyParameters] = {}
+        return [spec.build(technologies) for spec in self.scenarios]
+
+    def describe(self) -> str:
+        """Human-readable study name."""
+        if self.label:
+            return self.label
+        return f"{self.kind} study on {self.floorplan.name!r}"
+
+    def replace(self, **overrides) -> "StudySpec":
+        """Copy of the spec with the given fields replaced (re-validated)."""
+        return replace(self, **overrides)

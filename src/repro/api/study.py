@@ -1,0 +1,364 @@
+"""The `Study` facade: one fluent front door for the whole stack.
+
+A :class:`Study` wraps a validated :class:`~repro.api.specs.StudySpec` and
+exposes one ``run()`` that dispatches to the batched engines:
+
+* ``steady`` → :class:`~repro.core.cosim.scenarios.ScenarioEngine`
+  (batched damped fixed points);
+* ``transient`` →
+  :class:`~repro.core.cosim.transient_scenarios.TransientScenarioEngine`
+  (batched exponential-update integration);
+* ``thermal_map`` →
+  :class:`~repro.core.thermal.superposition.ChipThermalModel`
+  (vectorized analytical surface map);
+* ``sweep`` → a steady batch reported as an aligned 1-D parameter sweep.
+
+Quick start::
+
+    from repro.api import ScenarioSpec, Study
+
+    study = Study.steady(
+        floorplan=my_floorplan,                # Floorplan, spec or dict
+        dynamic_powers={"core": 0.25, "cache": 0.10, "io": 0.05},
+        static_powers={"core": 0.05, "cache": 0.02, "io": 0.01},
+        scenarios=ScenarioSpec.grid(["0.12um"], ambient_temperatures=(318.15,)),
+    )
+    result = study.run()
+    print(result.summary())
+    study.to_json("study.json")               # ship it; `repro run study.json`
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.cosim.scenarios import ScenarioEngine
+from ..core.cosim.transient_scenarios import TransientScenarioEngine
+from ..core.thermal.superposition import ChipThermalModel
+from .results import StudyResult
+from .specs import (
+    ScenarioSpec,
+    StudySpec,
+    TechnologySpec,
+    WorkloadSpec,
+    as_floorplan_spec,
+    as_scenario_spec,
+    as_technology_spec,
+    as_workload_spec,
+)
+
+
+def _scenario_specs(scenarios: Iterable) -> Tuple[ScenarioSpec, ...]:
+    return tuple(as_scenario_spec(scenario) for scenario in scenarios)
+
+
+def build_engine(spec: StudySpec) -> ScenarioEngine:
+    """The steady-state scenario engine a spec describes."""
+    return ScenarioEngine(
+        spec.floorplan.build(),
+        spec.dynamic_powers,
+        spec.static_powers,
+        image_rings=spec.image_rings,
+        include_bottom_images=spec.include_bottom_images,
+        device_type=spec.device_type,
+    )
+
+
+def _solver_options(spec: StudySpec) -> Dict[str, Any]:
+    """Kind-appropriate solver kwargs (integer-valued options un-floated)."""
+    options = dict(spec.solver)
+    if "max_iterations" in options:
+        options["max_iterations"] = int(options["max_iterations"])
+    return options
+
+
+def run_study(
+    spec: StudySpec,
+    engine: Optional[ScenarioEngine] = None,
+    scenarios: Optional[Sequence] = None,
+) -> StudyResult:
+    """Execute a study spec and wrap the outcome in a :class:`StudyResult`.
+
+    The interpreter behind :meth:`Study.run`; given equal specs it performs
+    the identical floating-point computation, so re-running a reloaded spec
+    reproduces the original result arrays bit-for-bit.  ``engine`` and
+    ``scenarios`` let :class:`Study` pass in its cached compilation of the
+    spec; when omitted they are rebuilt from the spec (same outcome either
+    way, since both are pure functions of the spec).
+    """
+    if spec.kind == "thermal_map":
+        return _run_thermal_map(spec)
+    if engine is None:
+        engine = build_engine(spec)
+    if scenarios is None:
+        scenarios = spec.build_scenarios()
+    options = _solver_options(spec)
+    if spec.kind == "transient":
+        transient = TransientScenarioEngine(engine, time_constants=spec.time_constants)
+        activity = spec.workload.build() if spec.workload is not None else None
+        batch = transient.simulate(
+            scenarios,
+            duration=spec.duration,
+            time_step=spec.time_step,
+            activity=activity,
+            **options,
+        )
+        return StudyResult.from_transient_batch(spec, batch)
+    batch = engine.solve(scenarios, **options)
+    if spec.kind == "sweep":
+        return StudyResult.from_sweep_batch(spec, batch)
+    return StudyResult.from_steady_batch(spec, batch)
+
+
+def _run_thermal_map(spec: StudySpec) -> StudyResult:
+    floorplan = spec.floorplan.build()
+    technology = spec.technology.build() if spec.technology is not None else None
+    ambient = spec.ambient_temperature
+    if ambient is None:
+        ambient = (
+            technology.thermal.ambient_temperature
+            if technology is not None
+            else 298.15
+        )
+    model_kwargs: Dict[str, Any] = {}
+    if technology is not None:
+        model_kwargs["material"] = technology.thermal.silicon
+    model = ChipThermalModel(
+        floorplan.die,
+        ambient_temperature=ambient,
+        image_rings=spec.image_rings,
+        include_bottom_images=spec.include_bottom_images,
+        **model_kwargs,
+    )
+    model.add_sources(floorplan.to_heat_sources(spec.block_powers))
+    nx, ny = spec.map_samples
+    surface = model.surface_map(nx=nx, ny=ny)
+    return StudyResult.from_surface_map(spec, surface, model.source_temperatures())
+
+
+class Study:
+    """Fluent builder over a :class:`StudySpec` with a single :meth:`run`.
+
+    Construct via the kind-specific classmethods (:meth:`steady`,
+    :meth:`transient`, :meth:`thermal_map`, :meth:`sweep`) or from a
+    serialized spec (:meth:`from_dict`, :meth:`from_json`).  Builders
+    accept runtime objects (a built
+    :class:`~repro.floorplan.floorplan.Floorplan`) and plain data
+    (mappings, node names) interchangeably; everything is normalized into
+    the declarative spec, so any study a builder produces can be shipped as
+    JSON and re-run by the CLI.
+    """
+
+    def __init__(self, spec: StudySpec) -> None:
+        if not isinstance(spec, StudySpec):
+            raise TypeError(f"Study wraps a StudySpec, got {type(spec).__name__!r}")
+        self._spec = spec
+        # Compiled runtime objects, built on first run().  The spec is
+        # frozen, so the compilation is a pure function of it and safe to
+        # reuse across runs (repeated run() pays only the engine solve).
+        self._engine: Optional[ScenarioEngine] = None
+        self._scenarios: Optional[Sequence] = None
+
+    @property
+    def spec(self) -> StudySpec:
+        """The validated declarative description of this study."""
+        return self._spec
+
+    @property
+    def kind(self) -> str:
+        """The study kind (``steady`` / ``transient`` / ...)."""
+        return self._spec.kind
+
+    def __repr__(self) -> str:
+        return f"Study({self._spec.describe()!r})"
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def steady(
+        cls,
+        floorplan,
+        dynamic_powers: Optional[Mapping[str, float]] = None,
+        static_powers: Optional[Mapping[str, float]] = None,
+        scenarios: Iterable = (),
+        label: str = "",
+        image_rings: int = 1,
+        include_bottom_images: bool = True,
+        device_type: str = "nmos",
+        solver: Optional[Mapping[str, Any]] = None,
+    ) -> "Study":
+        """A batched steady-state study (one fixed point per scenario)."""
+        return cls(
+            StudySpec(
+                kind="steady",
+                floorplan=as_floorplan_spec(floorplan),
+                dynamic_powers=dict(dynamic_powers or {}),
+                static_powers=dict(static_powers or {}),
+                scenarios=_scenario_specs(scenarios),
+                label=label,
+                image_rings=image_rings,
+                include_bottom_images=include_bottom_images,
+                device_type=device_type,
+                solver=dict(solver or {}),
+            )
+        )
+
+    @classmethod
+    def transient(
+        cls,
+        floorplan,
+        dynamic_powers: Optional[Mapping[str, float]] = None,
+        static_powers: Optional[Mapping[str, float]] = None,
+        scenarios: Iterable = (),
+        duration: float = 1.0,
+        time_step: float = 1e-2,
+        workload: Optional[Union[WorkloadSpec, Mapping[str, Any]]] = None,
+        time_constants: Optional[Mapping[str, float]] = None,
+        label: str = "",
+        image_rings: int = 1,
+        include_bottom_images: bool = True,
+        device_type: str = "nmos",
+        solver: Optional[Mapping[str, Any]] = None,
+    ) -> "Study":
+        """A batched time-domain study (one integration per scenario)."""
+        return cls(
+            StudySpec(
+                kind="transient",
+                floorplan=as_floorplan_spec(floorplan),
+                dynamic_powers=dict(dynamic_powers or {}),
+                static_powers=dict(static_powers or {}),
+                scenarios=_scenario_specs(scenarios),
+                duration=duration,
+                time_step=time_step,
+                workload=as_workload_spec(workload),
+                time_constants=(
+                    dict(time_constants) if time_constants is not None else None
+                ),
+                label=label,
+                image_rings=image_rings,
+                include_bottom_images=include_bottom_images,
+                device_type=device_type,
+                solver=dict(solver or {}),
+            )
+        )
+
+    @classmethod
+    def thermal_map(
+        cls,
+        floorplan,
+        block_powers: Mapping[str, float],
+        technology: Optional[Union[TechnologySpec, str, Mapping[str, Any]]] = None,
+        ambient_temperature: Optional[float] = None,
+        samples: Tuple[int, int] = (50, 50),
+        label: str = "",
+        image_rings: int = 1,
+        include_bottom_images: bool = True,
+    ) -> "Study":
+        """An analytical surface-map study of fixed block powers."""
+        return cls(
+            StudySpec(
+                kind="thermal_map",
+                floorplan=as_floorplan_spec(floorplan),
+                block_powers=dict(block_powers),
+                technology=(
+                    as_technology_spec(technology) if technology is not None else None
+                ),
+                ambient_temperature=ambient_temperature,
+                map_samples=samples,
+                label=label,
+                image_rings=image_rings,
+                include_bottom_images=include_bottom_images,
+            )
+        )
+
+    @classmethod
+    def sweep(
+        cls,
+        floorplan,
+        parameter_name: str,
+        parameter_values: Sequence[float],
+        scenarios: Iterable,
+        dynamic_powers: Optional[Mapping[str, float]] = None,
+        static_powers: Optional[Mapping[str, float]] = None,
+        label: str = "",
+        image_rings: int = 1,
+        include_bottom_images: bool = True,
+        device_type: str = "nmos",
+        solver: Optional[Mapping[str, Any]] = None,
+    ) -> "Study":
+        """A steady batch reported as a 1-D sweep over ``parameter_name``."""
+        return cls(
+            StudySpec(
+                kind="sweep",
+                floorplan=as_floorplan_spec(floorplan),
+                parameter_name=parameter_name,
+                parameter_values=tuple(parameter_values),
+                scenarios=_scenario_specs(scenarios),
+                dynamic_powers=dict(dynamic_powers or {}),
+                static_powers=dict(static_powers or {}),
+                label=label,
+                image_rings=image_rings,
+                include_bottom_images=include_bottom_images,
+                device_type=device_type,
+                solver=dict(solver or {}),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fluent refinement
+    # ------------------------------------------------------------------ #
+    def with_solver(self, **options) -> "Study":
+        """Copy of the study with extra solver options merged in."""
+        merged = dict(self._spec.solver)
+        merged.update(options)
+        return Study(self._spec.replace(solver=merged))
+
+    def with_label(self, label: str) -> "Study":
+        """Copy of the study with a display label."""
+        return Study(self._spec.replace(label=label))
+
+    def with_scenarios(self, scenarios: Iterable) -> "Study":
+        """Copy of the study over a different scenario list."""
+        return Study(self._spec.replace(scenarios=_scenario_specs(scenarios)))
+
+    # ------------------------------------------------------------------ #
+    # Execution / serialization
+    # ------------------------------------------------------------------ #
+    def run(self) -> StudyResult:
+        """Execute the study through the appropriate batched engine."""
+        if self._spec.kind == "thermal_map":
+            return run_study(self._spec)
+        if self._engine is None:
+            self._engine = build_engine(self._spec)
+            self._scenarios = self._spec.build_scenarios()
+        return run_study(self._spec, engine=self._engine, scenarios=self._scenarios)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data."""
+        return self._spec.to_dict()
+
+    def to_json(self, path: Optional[Union[str, Path]] = None, indent: int = 2) -> str:
+        """Serialize the spec, optionally writing it to ``path``."""
+        return self._spec.to_json(path, indent=indent)
+
+    @classmethod
+    def from_spec(cls, spec: StudySpec) -> "Study":
+        """Wrap an existing spec."""
+        return cls(spec)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Study":
+        """Build from plain data (inverse of :meth:`to_dict`)."""
+        return cls(StudySpec.from_dict(data))
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "Study":
+        """Build from a JSON string or a path to a JSON study file."""
+        return cls(StudySpec.from_json(source))
+
+
+def load_study(path: Union[str, Path]) -> Study:
+    """Load a study from a JSON file (the CLI entry point's helper)."""
+    return Study.from_json(Path(path))

@@ -4,8 +4,23 @@
 * :mod:`repro.core.thermal` — analytical thermal-profile model (Section 3);
 * :mod:`repro.core.dynamic` — dynamic power (transient + short-circuit);
 * :mod:`repro.core.cosim` — concurrent electro-thermal estimation.
+
+Subpackages load lazily (PEP 562).  Besides keeping ``import repro.core``
+cheap, this breaks the import cycle between :mod:`repro.core.cosim` (which
+consumes floorplans) and :mod:`repro.floorplan` (whose blocks build on the
+thermal sources): neither package init forces the other anymore.
 """
 
-from . import cosim, dynamic, leakage, thermal
+from importlib import import_module
 
 __all__ = ["leakage", "thermal", "dynamic", "cosim"]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        return import_module(f"{__name__}.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

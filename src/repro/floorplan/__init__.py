@@ -1,6 +1,6 @@
 """Floorplan substrate: blocks, die floorplans and gridded power maps."""
 
-from .block import Block
+from .block import Block, BlockLike, as_block
 from .floorplan import Floorplan, three_block_floorplan
 from .powermap import (
     PowerMap,
@@ -11,6 +11,8 @@ from .powermap import (
 
 __all__ = [
     "Block",
+    "BlockLike",
+    "as_block",
     "Floorplan",
     "three_block_floorplan",
     "PowerMap",

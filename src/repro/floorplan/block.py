@@ -9,8 +9,9 @@ source".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from collections import abc
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Sequence, Union
 
 from ..core.thermal.sources import HeatSource
 
@@ -108,3 +109,105 @@ class Block:
     def resized(self, width: float, length: float) -> "Block":
         """Copy of the block with new dimensions."""
         return replace(self, width=width, length=length)
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, object]) -> "Block":
+        """Build a block from a plain mapping, validating field names.
+
+        Declarative callers (the :mod:`repro.api` specs, JSON study files)
+        describe blocks as dictionaries; this constructor reports missing,
+        unknown or non-numeric entries as :class:`ValueError` naming the
+        offending field instead of a bare ``KeyError``/``TypeError``.
+        """
+        known = {spec.name for spec in fields(cls)}
+        required = ("name", "x", "y", "width", "length")
+        missing = [name for name in required if name not in data]
+        if missing:
+            raise ValueError(
+                f"block spec is missing required field(s): {', '.join(missing)}"
+            )
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"block spec has unknown field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        values: Dict[str, object] = {"name": data["name"]}
+        if not isinstance(values["name"], str):
+            raise ValueError("block spec field 'name' must be a string")
+        for key in ("x", "y", "width", "length", "total_device_width"):
+            if key in data:
+                try:
+                    values[key] = float(data[key])  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"block spec field {key!r} must be a number, "
+                        f"got {data[key]!r}"
+                    ) from None
+        if "gate_count" in data:
+            try:
+                values["gate_count"] = int(data["gate_count"])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"block spec field 'gate_count' must be an integer, "
+                    f"got {data['gate_count']!r}"
+                ) from None
+        if "metadata" in data:
+            metadata = data["metadata"]
+            if not isinstance(metadata, abc.Mapping):
+                raise ValueError("block spec field 'metadata' must be a mapping")
+            values["metadata"] = dict(metadata)
+        return cls(**values)  # type: ignore[arg-type]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data description, the inverse of :meth:`from_mapping`.
+
+        Default-valued optional fields are omitted so serialized floorplans
+        stay compact.
+        """
+        data: Dict[str, object] = {
+            "name": self.name,
+            "x": self.x,
+            "y": self.y,
+            "width": self.width,
+            "length": self.length,
+        }
+        if self.gate_count:
+            data["gate_count"] = self.gate_count
+        if self.total_device_width:
+            data["total_device_width"] = self.total_device_width
+        if self.metadata:
+            data["metadata"] = dict(self.metadata)
+        return data
+
+
+#: Anything :func:`as_block` can coerce into a :class:`Block`.
+BlockLike = Union[Block, Mapping[str, object], Sequence[object]]
+
+
+def as_block(value: BlockLike) -> Block:
+    """Coerce a block description into a :class:`Block`.
+
+    Accepts a :class:`Block` (returned unchanged), a mapping of field names
+    (see :meth:`Block.from_mapping`) or a ``(name, x, y, width, length)``
+    tuple.  Malformed descriptions raise :class:`ValueError` naming the
+    offending field.
+    """
+    if isinstance(value, Block):
+        return value
+    if isinstance(value, abc.Mapping):
+        return Block.from_mapping(value)
+    if isinstance(value, abc.Sequence) and not isinstance(value, (str, bytes)):
+        items = tuple(value)
+        if len(items) != 5:
+            raise ValueError(
+                "block tuple must be (name, x, y, width, length), "
+                f"got {len(items)} item(s)"
+            )
+        return Block.from_mapping(
+            dict(zip(("name", "x", "y", "width", "length"), items))
+        )
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as a block; "
+        "expected Block, mapping or (name, x, y, width, length) tuple"
+    )

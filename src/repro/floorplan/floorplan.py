@@ -11,7 +11,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.thermal.images import DieGeometry
 from ..core.thermal.sources import HeatSource
-from .block import Block
+from .block import Block, BlockLike, as_block
 
 
 class Floorplan:
@@ -42,8 +42,15 @@ class Floorplan:
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
-    def add_block(self, block: Block) -> Block:
-        """Add a block; it must fit on the die and not collide with others."""
+    def add_block(self, block: BlockLike) -> Block:
+        """Add a block; it must fit on the die and not collide with others.
+
+        Besides :class:`Block` instances, plain mappings and
+        ``(name, x, y, width, length)`` tuples are accepted (see
+        :func:`~repro.floorplan.block.as_block`), so declarative callers can
+        hand block descriptions straight through.
+        """
+        block = as_block(block)
         if block.name in self._blocks:
             raise ValueError(f"duplicate block name {block.name!r}")
         if (
@@ -56,16 +63,27 @@ class Floorplan:
         if not self.allow_overlaps:
             for existing in self._blocks.values():
                 if block.overlaps(existing):
-                    raise ValueError(
-                        f"block {block.name!r} overlaps {existing.name!r}"
-                    )
+                    raise ValueError(f"block {block.name!r} overlaps {existing.name!r}")
         self._blocks[block.name] = block
         return block
 
-    def add_blocks(self, blocks: Iterable[Block]) -> None:
-        """Add several blocks."""
+    def add_blocks(self, blocks: Iterable[BlockLike]) -> None:
+        """Add several blocks (each coerced as in :meth:`add_block`)."""
         for block in blocks:
             self.add_block(block)
+
+    @classmethod
+    def from_blocks(
+        cls,
+        die: DieGeometry,
+        blocks: Iterable[BlockLike],
+        name: str = "floorplan",
+        allow_overlaps: bool = False,
+    ) -> "Floorplan":
+        """Build a populated floorplan in one call (the spec-layer hook)."""
+        plan = cls(die, name=name, allow_overlaps=allow_overlaps)
+        plan.add_blocks(blocks)
+        return plan
 
     # ------------------------------------------------------------------ #
     # Access

@@ -1,0 +1,705 @@
+"""Tests for the `repro.api` facade: specs, study execution, results, CLI.
+
+The serialization contract is property-tested with hypothesis:
+
+* every spec survives ``spec -> to_dict -> json -> from_dict`` *equal*;
+* every :class:`StudyResult` survives ``to_json -> from_json`` with
+  bit-identical arrays (well inside the 1e-12 acceptance band);
+* a re-run of a JSON-round-tripped :class:`StudySpec` reproduces the
+  original result arrays bit-for-bit (the cache/replay guarantee).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.api import (
+    FloorplanSpec,
+    ScenarioSpec,
+    Study,
+    StudyResult,
+    StudySpec,
+    TechnologySpec,
+    WorkloadSpec,
+    run_study,
+)
+from repro.api.cli import main as cli_main
+from repro.core.cosim import (
+    PWMActivity,
+    ScenarioEngine,
+    TransientScenarioEngine,
+    scenario_grid,
+)
+from repro.core.thermal import ChipThermalModel
+from repro.floorplan import Block, Floorplan, as_block, three_block_floorplan
+from repro.technology import make_technology
+from repro.technology.nodes import node_names
+
+DYNAMIC = {"core": 0.22, "cache": 0.09, "io": 0.04}
+STATIC = {"core": 0.045, "cache": 0.018, "io": 0.008}
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+finite = dict(allow_nan=False, allow_infinity=False)
+
+technology_specs = st.builds(
+    TechnologySpec,
+    node=st.sampled_from(node_names()),
+    ambient_celsius=st.floats(0.0, 100.0, **finite),
+)
+
+activities = st.one_of(
+    st.floats(0.0, 2.0, **finite),
+    st.dictionaries(
+        st.sampled_from(("core", "cache", "io")),
+        st.floats(0.0, 2.0, **finite),
+        max_size=3,
+    ),
+)
+
+
+@st.composite
+def scenario_specs(draw):
+    supply_mode = draw(st.sampled_from(("default", "scale", "voltage")))
+    return ScenarioSpec(
+        technology=draw(technology_specs),
+        supply_scale=(
+            draw(st.floats(0.5, 1.5, **finite)) if supply_mode == "scale" else None
+        ),
+        supply_voltage=(
+            draw(st.floats(0.5, 5.0, **finite)) if supply_mode == "voltage" else None
+        ),
+        ambient_temperature=draw(
+            st.one_of(st.none(), st.floats(250.0, 400.0, **finite))
+        ),
+        activity=draw(activities),
+        label=draw(st.sampled_from(("", "hot", "corner A"))),
+    )
+
+
+@st.composite
+def floorplan_specs(draw):
+    # Non-overlapping by construction: each block is centred in its own
+    # cell of a 2 x 2 grid on a 1 mm die.
+    cells = draw(
+        st.lists(
+            st.sampled_from(((0, 0), (0, 1), (1, 0), (1, 1))),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    die = 1.0e-3
+    half = die / 2.0
+    blocks = []
+    for index, (i, j) in enumerate(cells):
+        fill = draw(st.floats(0.2, 0.9, **finite))
+        blocks.append(
+            Block(
+                name=f"block{index}",
+                x=(i + 0.5) * half,
+                y=(j + 0.5) * half,
+                width=fill * half,
+                length=fill * half,
+            )
+        )
+    return FloorplanSpec(
+        die_width=die,
+        die_length=die,
+        die_thickness=draw(st.floats(100e-6, 700e-6, **finite)),
+        blocks=tuple(blocks),
+        name=draw(st.sampled_from(("floorplan", "soc"))),
+    )
+
+
+@st.composite
+def workload_specs(draw):
+    kind = draw(st.sampled_from(("constant", "step", "pwm", "trace")))
+    if kind == "constant":
+        parameters = {"multipliers": draw(st.floats(0.0, 2.0, **finite))}
+    elif kind == "step":
+        parameters = {
+            "before": draw(st.floats(0.0, 2.0, **finite)),
+            "after": draw(st.floats(0.0, 2.0, **finite)),
+            "switch_times": draw(st.floats(1e-4, 1e-2, **finite)),
+        }
+    elif kind == "pwm":
+        parameters = {
+            "periods": draw(st.floats(1e-4, 1e-2, **finite)),
+            "duty_cycles": draw(st.floats(0.05, 0.95, **finite)),
+            "on": draw(st.floats(0.5, 2.0, **finite)),
+            "off": draw(st.floats(0.0, 0.4, **finite)),
+        }
+    else:
+        times = draw(
+            st.lists(
+                st.floats(0.0, 1e-2, **finite), min_size=1, max_size=5, unique=True
+            )
+        )
+        times = sorted(times)
+        values = draw(
+            st.lists(
+                st.floats(0.0, 2.0, **finite),
+                min_size=len(times),
+                max_size=len(times),
+            )
+        )
+        parameters = {"times": times, "values": values}
+    return WorkloadSpec(kind=kind, parameters=parameters)
+
+
+@st.composite
+def study_specs(draw):
+    kind = draw(st.sampled_from(("steady", "transient", "thermal_map", "sweep")))
+    floorplan = FloorplanSpec.from_floorplan(three_block_floorplan())
+    if kind == "thermal_map":
+        return StudySpec(
+            kind=kind,
+            floorplan=floorplan,
+            block_powers={"core": 0.3, "cache": 0.1},
+            technology=draw(st.one_of(st.none(), technology_specs)),
+            ambient_temperature=draw(
+                st.one_of(st.none(), st.floats(250.0, 400.0, **finite))
+            ),
+            map_samples=(draw(st.integers(2, 30)), draw(st.integers(2, 30))),
+        )
+    scenarios = tuple(draw(st.lists(scenario_specs(), min_size=1, max_size=3)))
+    common = dict(
+        floorplan=floorplan,
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=scenarios,
+        label=draw(st.sampled_from(("", "study"))),
+    )
+    if kind == "transient":
+        return StudySpec(
+            kind=kind,
+            duration=draw(st.floats(1e-3, 1e-1, **finite)),
+            time_step=draw(st.floats(1e-4, 1e-3, **finite)),
+            workload=draw(st.one_of(st.none(), workload_specs())),
+            time_constants=draw(
+                st.one_of(
+                    st.none(),
+                    st.just({"core": 2e-3, "cache": 1.5e-3, "io": 1e-3}),
+                )
+            ),
+            **common,
+        )
+    if kind == "sweep":
+        return StudySpec(
+            kind=kind,
+            parameter_name="axis",
+            parameter_values=tuple(float(i) for i in range(len(scenarios))),
+            **common,
+        )
+    return StudySpec(kind=kind, **common)
+
+
+# --------------------------------------------------------------------- #
+# Spec round trips (spec -> dict -> json -> spec, equality)
+# --------------------------------------------------------------------- #
+class TestSpecRoundTrip:
+    @given(spec=technology_specs)
+    def test_technology(self, spec):
+        assert TechnologySpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+        assert TechnologySpec.from_json(spec.to_json()) == spec
+
+    @given(spec=scenario_specs())
+    def test_scenario(self, spec):
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @given(spec=floorplan_specs())
+    def test_floorplan(self, spec):
+        assert FloorplanSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+        assert FloorplanSpec.from_json(spec.to_json()) == spec
+
+    @given(spec=workload_specs())
+    def test_workload(self, spec):
+        assert WorkloadSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+        assert WorkloadSpec.from_json(spec.to_json()) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=study_specs())
+    def test_study(self, spec):
+        assert StudySpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+        assert StudySpec.from_json(spec.to_json()) == spec
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = StudySpec(
+            kind="steady",
+            floorplan=FloorplanSpec.from_floorplan(three_block_floorplan()),
+            dynamic_powers=DYNAMIC,
+            static_powers=STATIC,
+            scenarios=(ScenarioSpec(technology=TechnologySpec("0.12um")),),
+        )
+        path = tmp_path / "study.json"
+        spec.to_json(path)
+        assert StudySpec.from_json(path) == spec
+
+
+# --------------------------------------------------------------------- #
+# Result round trips (StudyResult -> JSON -> StudyResult, array parity)
+# --------------------------------------------------------------------- #
+def _minimal_spec():
+    return StudySpec(
+        kind="steady",
+        floorplan=FloorplanSpec.from_floorplan(three_block_floorplan()),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=(ScenarioSpec(technology=TechnologySpec("0.12um")),),
+    )
+
+
+class TestResultRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        temperatures=npst.arrays(
+            dtype=np.float64,
+            shape=npst.array_shapes(min_dims=2, max_dims=2, max_side=5),
+            elements=st.one_of(
+                st.floats(min_value=-1e30, max_value=1e30, allow_subnormal=False),
+                st.just(float("nan")),
+            ),
+        ),
+        flags=npst.arrays(dtype=np.bool_, shape=st.integers(1, 5)),
+    )
+    def test_arbitrary_arrays_survive_json(self, temperatures, flags):
+        result = StudyResult(
+            kind="steady",
+            spec=_minimal_spec(),
+            arrays={"block_temperatures": temperatures, "converged": flags},
+            metadata={"block_names": ["core", "cache", "io"]},
+        )
+        loaded = StudyResult.from_json(result.to_json())
+        assert loaded.equals(result)
+        for name, array in result.arrays.items():
+            reloaded = loaded.array(name)
+            assert reloaded.dtype == array.dtype
+            assert reloaded.shape == array.shape
+            # Bit-identical, which trivially satisfies the <=1e-12 band.
+            assert np.array_equal(reloaded, array, equal_nan=True) or np.array_equal(
+                reloaded, array
+            )
+
+    def test_every_kind_round_trips(self, tmp_path):
+        for study in (
+            _steady_study(),
+            _transient_study(),
+            _thermal_map_study(),
+            _sweep_study(),
+        ):
+            result = study.run()
+            path = tmp_path / f"{result.kind}.json"
+            result.to_json(path)
+            loaded = StudyResult.from_json(path)
+            assert loaded.equals(result)
+            assert loaded.summary() == result.summary()
+            assert loaded.native is None
+
+    def test_result_arrays_are_read_only(self):
+        result = _steady_study().run()
+        with pytest.raises(ValueError):
+            result.array("block_temperatures")[0, 0] = 0.0
+        copy = result.as_arrays()["block_temperatures"]
+        copy[0, 0] = 0.0  # copies are writable
+
+    def test_equals_detects_metadata_divergence(self):
+        result = _steady_study().run()
+        loaded = StudyResult.from_json(result.to_json())
+        loaded.metadata["block_names"] = ["tampered"]
+        assert not loaded.equals(result)
+
+
+# --------------------------------------------------------------------- #
+# Facade execution parity against the engines it fronts
+# --------------------------------------------------------------------- #
+def _steady_study():
+    return Study.steady(
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=ScenarioSpec.grid(
+            ["0.18um", "0.12um"],
+            supply_scales=(0.9, 1.0),
+            ambient_temperatures=(298.15, 318.15),
+        ),
+    )
+
+
+def _transient_study():
+    return Study.transient(
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=ScenarioSpec.grid(["0.12um"], activities=(0.5, 1.0)),
+        duration=20e-3,
+        time_step=0.5e-3,
+        workload=WorkloadSpec(
+            kind="pwm", parameters={"periods": 4e-3, "duty_cycles": 0.4}
+        ),
+        time_constants={"core": 2e-3, "cache": 1.5e-3, "io": 1e-3},
+    )
+
+
+def _thermal_map_study():
+    return Study.thermal_map(
+        floorplan=three_block_floorplan(),
+        block_powers={"core": 0.3, "cache": 0.12, "io": 0.06},
+        technology="0.12um",
+        ambient_temperature=318.15,
+        samples=(40, 40),
+    )
+
+
+def _sweep_study():
+    ambients = (298.15, 318.15, 338.15)
+    return Study.sweep(
+        floorplan=three_block_floorplan(),
+        parameter_name="ambient_K",
+        parameter_values=ambients,
+        scenarios=ScenarioSpec.grid(["0.12um"], ambient_temperatures=ambients),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+    )
+
+
+class TestFacadeParity:
+    def test_steady_matches_direct_engine(self):
+        result = _steady_study().run()
+        engine = ScenarioEngine(three_block_floorplan(), DYNAMIC, STATIC)
+        technologies = [make_technology("0.18um"), make_technology("0.12um")]
+        batch = engine.solve(
+            scenario_grid(
+                technologies,
+                supply_scales=(0.9, 1.0),
+                ambient_temperatures=(298.15, 318.15),
+            )
+        )
+        assert np.array_equal(
+            result.array("block_temperatures"), batch.block_temperatures
+        )
+        assert np.array_equal(result.array("static_power"), batch.static_power)
+        assert np.array_equal(result.array("converged"), batch.converged)
+        assert result.native is not None
+        assert result.metadata["block_names"] == list(batch.block_names)
+
+    def test_transient_matches_direct_engine(self):
+        result = _transient_study().run()
+        engine = TransientScenarioEngine(
+            ScenarioEngine(three_block_floorplan(), DYNAMIC, STATIC),
+            time_constants={"core": 2e-3, "cache": 1.5e-3, "io": 1e-3},
+        )
+        batch = engine.simulate(
+            scenario_grid([make_technology("0.12um")], activities=(0.5, 1.0)),
+            duration=20e-3,
+            time_step=0.5e-3,
+            activity=PWMActivity(periods=4e-3, duty_cycles=0.4),
+        )
+        assert np.array_equal(result.array("times"), batch.times)
+        assert np.array_equal(
+            result.array("block_temperatures"), batch.block_temperatures
+        )
+        assert np.array_equal(result.array("block_powers"), batch.block_powers)
+
+    def test_thermal_map_matches_direct_model(self):
+        result = _thermal_map_study().run()
+        plan = three_block_floorplan()
+        technology = make_technology("0.12um")
+        model = ChipThermalModel(
+            plan.die,
+            ambient_temperature=318.15,
+            material=technology.thermal.silicon,
+        )
+        model.add_sources(
+            plan.to_heat_sources({"core": 0.3, "cache": 0.12, "io": 0.06})
+        )
+        surface = model.surface_map(nx=40, ny=40)
+        assert np.array_equal(result.array("temperature"), surface.temperature)
+        assert result.summary()["peak_temperature_K"] == surface.peak_temperature
+
+    def test_sweep_matches_analysis_helper(self):
+        from repro.analysis import scenario_sweep
+
+        result = _sweep_study().run()
+        ambients = (298.15, 318.15, 338.15)
+        engine = ScenarioEngine(three_block_floorplan(), DYNAMIC, STATIC)
+        sweep = scenario_sweep(
+            engine,
+            "ambient_K",
+            ambients,
+            scenario_grid([make_technology("0.12um")], ambient_temperatures=ambients),
+        )
+        for label in sweep.labels():
+            assert np.array_equal(result.array(label), sweep.series(label)), label
+        assert np.array_equal(result.array("values"), np.asarray(sweep.values))
+
+    def test_rerun_of_reloaded_spec_is_bit_identical(self, tmp_path):
+        # The acceptance criterion: write the spec to JSON, reload, re-run,
+        # compare every result array bit-for-bit.
+        for study in (_steady_study(), _transient_study(), _thermal_map_study()):
+            first = study.run()
+            path = tmp_path / "spec.json"
+            study.to_json(path)
+            reloaded = Study.from_json(path)
+            assert reloaded.spec == study.spec
+            second = reloaded.run()
+            assert second.equals(first)
+
+    def test_scenario_spec_grid_matches_runtime_grid(self):
+        specs = ScenarioSpec.grid(
+            ["0.18um", "0.12um"],
+            supply_scales=(0.9, 1.1),
+            ambient_temperatures=(None, 318.15),
+            activities=(0.5, {"core": 1.5}),
+        )
+        spec_scenarios = StudySpec(
+            kind="steady",
+            floorplan=FloorplanSpec.from_floorplan(three_block_floorplan()),
+            dynamic_powers=DYNAMIC,
+            scenarios=specs,
+        ).build_scenarios()
+        technologies = [make_technology("0.18um"), make_technology("0.12um")]
+        runtime = scenario_grid(
+            technologies,
+            supply_scales=(0.9, 1.1),
+            ambient_temperatures=(None, 318.15),
+            activities=(0.5, {"core": 1.5}),
+        )
+        assert len(spec_scenarios) == len(runtime) == 16
+        for built, reference in zip(spec_scenarios, runtime):
+            assert built.vdd == reference.vdd
+            assert built.ambient == reference.ambient
+            assert built.activity_factor("core") == reference.activity_factor("core")
+
+    def test_technologies_are_shared_across_scenarios(self):
+        spec = _steady_study().spec
+        scenarios = spec.build_scenarios()
+        assert scenarios[0].technology is scenarios[1].technology
+
+    def test_fluent_refinement(self):
+        study = _steady_study().with_solver(tolerance=1e-3).with_label("refined")
+        assert study.spec.solver == {"tolerance": 1e-3}
+        assert study.spec.label == "refined"
+        assert study.run().summary()["study"] == "refined"
+
+
+# --------------------------------------------------------------------- #
+# Validation ergonomics
+# --------------------------------------------------------------------- #
+class TestValidation:
+    def test_unknown_node_names_node(self):
+        with pytest.raises(ValueError, match="13nm"):
+            TechnologySpec(node="13nm")
+
+    def test_block_mapping_missing_field(self):
+        with pytest.raises(ValueError, match="width"):
+            Block.from_mapping({"name": "a", "x": 0.0, "y": 0.0, "length": 1e-3})
+
+    def test_block_mapping_unknown_field(self):
+        with pytest.raises(ValueError, match="depth"):
+            Block.from_mapping(
+                {"name": "a", "x": 0, "y": 0, "width": 1e-3, "length": 1e-3, "depth": 1}
+            )
+
+    def test_block_mapping_bad_number(self):
+        with pytest.raises(ValueError, match="'x'"):
+            Block.from_mapping(
+                {"name": "a", "x": "wide", "y": 0, "width": 1e-3, "length": 1e-3}
+            )
+
+    def test_block_tuple_coercion(self):
+        block = as_block(("a", 1e-4, 2e-4, 1e-4, 1e-4))
+        assert block.name == "a"
+        with pytest.raises(ValueError, match="tuple"):
+            as_block(("a", 1e-4))
+
+    def test_floorplan_accepts_plain_block_descriptions(self):
+        plan = Floorplan(three_block_floorplan().die)
+        plan.add_block(
+            {"name": "m", "x": 5e-4, "y": 5e-4, "width": 1e-4, "length": 1e-4}
+        )
+        plan.add_block(("t", 1e-4, 1e-4, 1e-4, 1e-4))
+        assert set(plan.block_names()) == {"m", "t"}
+
+    def test_floorplan_spec_rejects_overlaps(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            FloorplanSpec(
+                blocks=(
+                    ("a", 5e-4, 5e-4, 4e-4, 4e-4),
+                    ("b", 5e-4, 5e-4, 4e-4, 4e-4),
+                )
+            )
+
+    def test_scenario_rejects_double_supply(self):
+        with pytest.raises(ValueError, match="supply_scale or supply_voltage"):
+            ScenarioSpec(supply_scale=1.0, supply_voltage=1.2)
+
+    def test_workload_unknown_kind(self):
+        with pytest.raises(ValueError, match="sawtooth"):
+            WorkloadSpec(kind="sawtooth")
+
+    def test_workload_missing_parameter(self):
+        with pytest.raises(ValueError, match="duty_cycles"):
+            WorkloadSpec(kind="pwm", parameters={"periods": 1e-3})
+
+    def test_workload_unknown_parameter(self):
+        with pytest.raises(ValueError, match="phase"):
+            WorkloadSpec(
+                kind="pwm",
+                parameters={"periods": 1e-3, "duty_cycles": 0.5, "phase": 0.1},
+            )
+
+    def test_study_unknown_kind(self):
+        with pytest.raises(ValueError, match="spectral"):
+            StudySpec(kind="spectral")
+
+    def test_study_unknown_block_in_powers(self):
+        with pytest.raises(ValueError, match="gpu"):
+            _minimal_spec().replace(dynamic_powers={"gpu": 1.0})
+
+    def test_steady_rejects_transient_fields(self):
+        with pytest.raises(ValueError, match="duration"):
+            _minimal_spec().replace(duration=1.0)
+
+    def test_sweep_requires_aligned_values(self):
+        with pytest.raises(ValueError, match="one-to-one"):
+            _minimal_spec().replace(
+                kind="sweep", parameter_name="x", parameter_values=(1.0, 2.0)
+            )
+
+    def test_solver_keys_are_kind_checked(self):
+        with pytest.raises(ValueError, match="settle_tolerance"):
+            _minimal_spec().replace(solver={"settle_tolerance": 0.1})
+
+    def test_unknown_spec_field_named(self):
+        with pytest.raises(ValueError, match="florplan"):
+            StudySpec.from_dict({"kind": "steady", "florplan": {}})
+
+    def test_study_requires_scenarios(self):
+        with pytest.raises(ValueError, match="scenario"):
+            _minimal_spec().replace(scenarios=())
+
+    def test_steady_rejects_thermal_map_fields(self):
+        with pytest.raises(ValueError, match="ambient_temperature"):
+            _minimal_spec().replace(ambient_temperature=398.15)
+        with pytest.raises(ValueError, match="technology"):
+            _minimal_spec().replace(technology=TechnologySpec("0.12um"))
+        with pytest.raises(ValueError, match="block_powers"):
+            _minimal_spec().replace(block_powers={"core": 1.0})
+        with pytest.raises(ValueError, match="map_samples"):
+            _minimal_spec().replace(map_samples=(10, 10))
+
+    def test_thermal_map_rejects_engine_fields(self):
+        spec = _thermal_map_study().spec
+        with pytest.raises(ValueError, match="dynamic_powers"):
+            spec.replace(dynamic_powers={"core": 1.0})
+        with pytest.raises(ValueError, match="duration"):
+            spec.replace(duration=1.0)
+
+    def test_spec_mappings_are_read_only(self):
+        # A mutable mapping would let callers desync a Study's cached
+        # compilation from its spec and break bit-identical replay.
+        spec = _minimal_spec()
+        with pytest.raises(TypeError):
+            spec.dynamic_powers["core"] = 2.0
+        with pytest.raises(TypeError):
+            spec.solver["tolerance"] = 1.0
+        workload = WorkloadSpec(
+            kind="pwm", parameters={"periods": 1e-3, "duty_cycles": 0.5}
+        )
+        with pytest.raises(TypeError):
+            workload.parameters["periods"] = 2e-3
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+class TestCLI:
+    def test_run_executes_and_writes_results(self, tmp_path, capsys):
+        study_path = tmp_path / "study.json"
+        out_path = tmp_path / "results.json"
+        _steady_study().to_json(study_path)
+        assert cli_main(["run", str(study_path), "--out", str(out_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "steady" in captured
+        loaded = StudyResult.from_json(out_path)
+        assert loaded.equals(_steady_study().run())
+
+    def test_run_quiet(self, tmp_path, capsys):
+        study_path = tmp_path / "study.json"
+        _thermal_map_study().to_json(study_path)
+        assert cli_main(["run", str(study_path), "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_run_missing_file(self, tmp_path, capsys):
+        assert cli_main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_run_invalid_study(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "spectral"}))
+        assert cli_main(["run", str(bad)]) == 2
+        assert "invalid study file" in capsys.readouterr().err
+
+    def test_info(self, capsys):
+        assert cli_main(["info"]) == 0
+        captured = capsys.readouterr().out
+        assert "study kinds" in captured
+        assert "0.12um" in captured
+
+    def test_run_reports_engine_errors(self, tmp_path, capsys):
+        # Validates as a spec, but the engine rejects the combination at
+        # run time: the CLI must report and exit 2, not traceback.
+        study_path = tmp_path / "study.json"
+        _steady_study().with_solver(max_temperature=200.0).to_json(study_path)
+        assert cli_main(["run", str(study_path)]) == 2
+        assert "failed to run" in capsys.readouterr().err
+
+    def test_argument_parsing_is_numpy_free(self):
+        # `repro --help` must not pay for the model stack.
+        import subprocess
+        import sys as _sys
+
+        code = (
+            "import sys, repro.api.cli; "
+            "assert 'numpy' not in sys.modules, 'cli import pulled numpy'"
+        )
+        subprocess.run([_sys.executable, "-c", code], check=True)
+
+    def test_example_studies_run(self, tmp_path):
+        # The JSON files shipped under examples/ (exercised by CI's
+        # cli-smoke job) must stay loadable and runnable.
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parents[1] / "examples"
+        for name in ("study_steady", "study_transient", "study_thermal_map"):
+            spec = StudySpec.from_json(examples / f"{name}.json")
+            result = run_study(spec.replace(label=spec.label or name))
+            assert result.kind == spec.kind
+
+
+def test_transient_workload_none_means_nominal():
+    base = _transient_study()
+    explicit = Study(
+        base.spec.replace(
+            workload=WorkloadSpec(kind="constant", parameters={"multipliers": 1.0})
+        )
+    )
+    nominal = Study(base.spec.replace(workload=None))
+    temps_explicit = explicit.run().array("block_temperatures")
+    temps_nominal = nominal.run().array("block_temperatures")
+    assert np.array_equal(temps_explicit, temps_nominal)
+
+
+def test_math_is_finite_on_defaults():
+    # Guard rail: the default steady study converges to finite physics.
+    result = _steady_study().run()
+    assert np.isfinite(result.array("block_temperatures")).all()
+    assert math.isfinite(result.summary()["peak_temperature_K"])

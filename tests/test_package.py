@@ -1,5 +1,7 @@
 """Public-API smoke tests for the top-level package."""
 
+import subprocess
+import sys
 
 import repro
 
@@ -8,14 +10,78 @@ class TestPublicAPI:
     def test_version_string(self):
         assert repro.__version__.count(".") == 2
 
+    def test_all_is_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_all_is_complete(self):
+        # Every lazily re-exported name is advertised, and nothing else.
+        expected = sorted({"__version__", *repro._EXPORTS})
+        assert list(repro.__all__) == expected
+
     def test_all_names_resolve(self):
         for name in repro.__all__:
             if name == "__version__":
                 continue
-            assert hasattr(repro, name), name
+            assert getattr(repro, name) is not None, name
+
+    def test_exports_point_at_their_definitions(self):
+        # Each lazy export resolves to the same object its home module owns.
+        import importlib
+
+        for name, module_name in repro._EXPORTS.items():
+            module = importlib.import_module(module_name)
+            assert getattr(repro, name) is getattr(module, name), name
+
+    def test_version_matches_packaging_metadata(self):
+        from pathlib import Path
+
+        pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+    def test_import_is_lazy(self):
+        # `import repro` must stay cheap: no numpy, no submodules.
+        code = (
+            "import sys; import repro; "
+            "heavy = [m for m in ('numpy', 'scipy', 'repro.core', 'repro.api') "
+            "if m in sys.modules]; "
+            "assert not heavy, heavy; "
+            "repro.ScenarioEngine; "
+            "assert 'numpy' in sys.modules"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_lazy_attribute_is_cached(self):
+        first = repro.ScenarioEngine
+        assert repro.__dict__["ScenarioEngine"] is first
+
+    def test_unknown_attribute_raises(self):
+        try:
+            repro.no_such_name
+        except AttributeError as error:
+            assert "no_such_name" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected AttributeError")
+
+    def test_dir_lists_public_names(self):
+        listing = dir(repro)
+        assert "ScenarioEngine" in listing
+        assert "Study" in listing
+        assert "api" in listing
 
     def test_quickstart_snippet(self):
-        # The snippet from the package docstring must run as written.
+        # The facade snippet from the package docstring must run as written.
+        study = repro.Study.steady(
+            floorplan=repro.three_block_floorplan(),
+            dynamic_powers={"core": 0.25, "cache": 0.10, "io": 0.05},
+            static_powers={"core": 0.05, "cache": 0.02, "io": 0.01},
+            scenarios=repro.ScenarioSpec.grid(
+                ["0.12um"], ambient_temperatures=(318.15,)
+            ),
+        )
+        summary = study.run().summary()
+        assert summary["converged_count"] == 1
+
+    def test_classic_quickstart_still_works(self):
         tech = repro.cmos_012um()
         gate = repro.nand_gate(tech, fan_in=2)
         model = repro.GateLeakageModel(tech)
@@ -24,6 +90,7 @@ class TestPublicAPI:
 
     def test_subpackages_importable(self):
         import repro.analysis
+        import repro.api
         import repro.baselines
         import repro.circuit
         import repro.core
@@ -36,9 +103,13 @@ class TestPublicAPI:
 
         assert repro.core.leakage is not None
         assert repro.core.thermal is not None
+        assert repro.api.Study is not None
 
     def test_key_types_exported(self):
         assert repro.TechnologyParameters is not None
         assert repro.ElectroThermalEngine is not None
         assert repro.ChipThermalModel is not None
         assert repro.StackDCSolver is not None
+        assert repro.Study is not None
+        assert repro.StudySpec is not None
+        assert repro.StudyResult is not None
