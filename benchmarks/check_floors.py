@@ -31,6 +31,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 #: throughput benchmark); extend this tuple when a new BENCH record lands.
 REQUIRED_RECORDS = (
     "BENCH_api.json",
+    "BENCH_backends.json",
     "BENCH_kernel.json",
     "BENCH_scenarios.json",
     "BENCH_transient.json",
@@ -56,20 +57,39 @@ def check_floors(directory: Path = BENCH_DIR) -> List[str]:
         name = record.get("benchmark", path.stem)
         speedup = record.get("speedup")
         floor = record.get("required_speedup")
-        if speedup is None or floor is None:
-            print(f"  {path.name}: no tracked speedup ratio (skipped)")
-            continue
-        status = "ok" if speedup >= floor else "REGRESSION"
-        print(
-            f"  {path.name}: {name} speedup {speedup:.1f}x "
-            f"(floor {floor:g}x) {status}"
-        )
-        if speedup < floor:
-            shortfall = floor - speedup
-            failures.append(
-                f"- {name}: {speedup:.1f}x < {floor:g}x floor "
-                f"(short by {shortfall:.1f}x, down {100.0 * shortfall / floor:.1f}%)"
+        if speedup is not None and floor is not None:
+            status = "ok" if speedup >= floor else "REGRESSION"
+            print(
+                f"  {path.name}: {name} speedup {speedup:.1f}x "
+                f"(floor {floor:g}x) {status}"
             )
+            if speedup < floor:
+                shortfall = floor - speedup
+                failures.append(
+                    f"- {name}: {speedup:.1f}x < {floor:g}x floor "
+                    f"(short by {shortfall:.1f}x, "
+                    f"down {100.0 * shortfall / floor:.1f}%)"
+                )
+        # Records may track further floored ratios beside (or instead of)
+        # the headline speedup (e.g. BENCH_backends.json's seam ratio).
+        extras = record.get("auxiliary_ratios", ())
+        for extra in extras:
+            label = extra.get("name", "auxiliary ratio")
+            value = extra.get("value")
+            extra_floor = extra.get("floor")
+            if value is None or extra_floor is None:
+                continue
+            extra_status = "ok" if value >= extra_floor else "REGRESSION"
+            print(
+                f"  {path.name}: {name} {label} {value:.2f} "
+                f"(floor {extra_floor:g}) {extra_status}"
+            )
+            if value < extra_floor:
+                failures.append(
+                    f"- {name} {label}: {value:.2f} < {extra_floor:g} floor"
+                )
+        if (speedup is None or floor is None) and not extras:
+            print(f"  {path.name}: no tracked ratios (skipped)")
     return failures
 
 

@@ -1,0 +1,111 @@
+"""Analytical-vs-FDM accuracy/speed comparison as one declarative study.
+
+The paper's central claim is that the closed-form image-method model
+reproduces a numerical reference "accurately enough for the estimation of
+the thermal profile of large ICs" — at a tiny fraction of the cost.  With
+the pluggable thermal-backend layer that trade-off is a first-class
+workload: the *same* declarative study runs through every backend by
+switching one field.
+
+1. declares a steady operating grid on the paper's three-block floorplan,
+2. runs it through the ``analytical`` (paper model), ``fdm`` (finite-volume
+   reference) and ``foster`` (lumped smoke-level) backends via
+   :meth:`repro.Study.with_backend`,
+3. tabulates per-backend peak temperatures, per-block disagreement against
+   the FDM reference and reduction wall time.
+
+Run with::
+
+    python examples/backend_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ScenarioSpec, Study, three_block_floorplan
+from repro.core.thermal import backend_capabilities
+from repro.reporting import print_table
+
+DYNAMIC = {"core": 0.22, "cache": 0.09, "io": 0.04}
+STATIC_REF = {"core": 0.045, "cache": 0.018, "io": 0.008}
+#: Grid of the FDM reference; finer grids converge further but cost more.
+FDM_GRID = {"nx": 32, "ny": 32, "nz": 10}
+
+
+def main() -> None:
+    base = Study.steady(
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC_REF,
+        scenarios=ScenarioSpec.grid(
+            ["0.12um"],
+            supply_scales=(0.9, 1.0, 1.1),
+            ambient_temperatures=(298.15, 318.15),
+        ),
+        label="backend accuracy/speed comparison",
+    )
+
+    studies = {
+        "analytical": base,
+        "fdm": base.with_backend("fdm", FDM_GRID),
+        "foster": base.with_backend("foster"),
+    }
+
+    results = {}
+    seconds = {}
+    for name, study in studies.items():
+        start = time.perf_counter()
+        results[name] = study.run()
+        seconds[name] = time.perf_counter() - start
+
+    reference = results["fdm"]
+    reference_rise = (
+        reference.array("block_temperatures")
+        - reference.array("ambient_temperatures")[:, np.newaxis]
+    )
+
+    rows = []
+    for name, result in results.items():
+        rise = (
+            result.array("block_temperatures")
+            - result.array("ambient_temperatures")[:, np.newaxis]
+        )
+        profile_error = np.abs(rise - reference_rise).max() / reference_rise.max()
+        summary = result.summary()
+        rows.append(
+            [
+                name,
+                summary["peak_temperature_K"],
+                100.0 * profile_error,
+                f"{summary['converged_count']}/{summary['scenario_count']}",
+                1e3 * seconds[name],
+            ]
+        )
+    print_table(
+        ["backend", "peak T (K)", "profile error vs fdm (%)", "converged", "run (ms)"],
+        rows,
+        title="one declarative study, three thermal backends",
+    )
+    print(
+        "\nNote: the foster backend's 1-D columns overestimate self-heating"
+        "\n(no lateral spreading), enough to drive this grid's hot block into"
+        "\nthe runaway ceiling — which is exactly the kind of conservative"
+        "\nsmoke signal it is for."
+    )
+
+    print("\nbackend capabilities:")
+    for name, capabilities in backend_capabilities().items():
+        print(f"  {name}: {capabilities.description}")
+        print(f"    [{capabilities.flags()}]")
+
+    # The same comparison ships as JSON: `repro run
+    # examples/study_backend_fdm.json` replays the FDM half from disk.
+    print("\ndeclarative form: examples/study_backend_fdm.json")
+    print("  (same grid, thermal_backend='fdm'; run it with `repro run`)")
+
+
+if __name__ == "__main__":
+    main()

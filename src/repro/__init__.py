@@ -106,10 +106,18 @@ _EXPORTS = {
     "single_device_off_current": "repro.core.leakage",
     "subthreshold_current": "repro.core.leakage",
     # core: thermal
+    "AnalyticalImageOperator": "repro.core.thermal",
+    "BackendCapabilities": "repro.core.thermal",
     "ChipThermalModel": "repro.core.thermal",
     "DieGeometry": "repro.core.thermal",
+    "FdmOperator": "repro.core.thermal",
+    "FosterOperator": "repro.core.thermal",
     "HeatSource": "repro.core.thermal",
     "SourceArray": "repro.core.thermal",
+    "THERMAL_BACKENDS": "repro.core.thermal",
+    "ThermalOperator": "repro.core.thermal",
+    "backend_capabilities": "repro.core.thermal",
+    "make_operator": "repro.core.thermal",
     "device_thermal_network": "repro.core.thermal",
     "line_source_temperature": "repro.core.thermal",
     "pairwise_rise": "repro.core.thermal",
@@ -236,12 +244,20 @@ if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
         subthreshold_current,
     )
     from .core.thermal import (
+        THERMAL_BACKENDS,
+        AnalyticalImageOperator,
+        BackendCapabilities,
         ChipThermalModel,
         DieGeometry,
+        FdmOperator,
+        FosterOperator,
         HeatSource,
         SourceArray,
+        ThermalOperator,
+        backend_capabilities,
         device_thermal_network,
         line_source_temperature,
+        make_operator,
         pairwise_rise,
         point_source_temperature,
         rectangle_temperature,

@@ -163,6 +163,8 @@ def scenario_sweep(
     extra_series: Optional[
         Dict[str, Callable[[ScenarioBatchResult, int], float]]
     ] = None,
+    thermal_backend: Optional[str] = None,
+    backend_options: Optional[Dict[str, int]] = None,
     **solve_kwargs,
 ) -> SweepResult:
     """One batched fixed point packaged as a :class:`SweepResult`.
@@ -184,11 +186,20 @@ def scenario_sweep(
         One scenario per swept value.
     extra_series:
         Optional extra series, each computed as ``fn(batch, index)``.
+    thermal_backend, backend_options:
+        When set, the sweep runs through
+        :meth:`~repro.core.cosim.scenarios.ScenarioEngine.with_backend`
+        instead of ``engine``'s own backend — one keyword turns any sweep
+        into a backend-comparison run.
     solve_kwargs:
         Forwarded to :meth:`~repro.core.cosim.scenarios.ScenarioEngine.solve`.
     """
     if len(values) != len(scenarios):
         raise ValueError("values and scenarios must align one-to-one")
+    if thermal_backend is not None:
+        engine = engine.with_backend(thermal_backend, backend_options)
+    elif backend_options:
+        raise ValueError("backend_options require thermal_backend")
     batch = engine.solve(list(scenarios), **solve_kwargs)
     result = SweepResult(parameter_name=parameter_name)
     result.values = [float(value) for value in values]
@@ -212,6 +223,8 @@ def transient_scenario_sweep(
     extra_series: Optional[
         Dict[str, Callable[[TransientBatchResult, int], float]]
     ] = None,
+    thermal_backend: Optional[str] = None,
+    backend_options: Optional[Dict[str, int]] = None,
     **simulate_kwargs,
 ) -> SweepResult:
     """One batched transient integration packaged as a :class:`SweepResult`.
@@ -240,12 +253,20 @@ def transient_scenario_sweep(
         Band [K] around the final temperatures defining the settle time.
     extra_series:
         Optional extra series, each computed as ``fn(batch, index)``.
+    thermal_backend, backend_options:
+        When set, the sweep runs through
+        :meth:`~repro.core.cosim.transient_scenarios.TransientScenarioEngine.with_backend`
+        instead of ``engine``'s own backend.
     simulate_kwargs:
         Further keyword arguments for
         :meth:`TransientScenarioEngine.simulate`.
     """
     if len(values) != len(scenarios):
         raise ValueError("values and scenarios must align one-to-one")
+    if thermal_backend is not None:
+        engine = engine.with_backend(thermal_backend, backend_options)
+    elif backend_options:
+        raise ValueError("backend_options require thermal_backend")
     batch = engine.simulate(
         list(scenarios), duration, time_step, activity=activity, **simulate_kwargs
     )

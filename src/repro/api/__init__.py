@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 #: Public name -> defining submodule, resolved on first attribute access.
 _EXPORTS = {
     "STUDY_KINDS": "repro.api.kinds",
+    "THERMAL_BACKENDS": "repro.api.kinds",
     "WORKLOAD_KINDS": "repro.api.kinds",
     "TechnologySpec": "repro.api.specs",
     "FloorplanSpec": "repro.api.specs",
@@ -75,7 +76,7 @@ def __dir__():
 
 if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
     from ..analysis.sweep import steady_batch_series, transient_batch_series
-    from .kinds import STUDY_KINDS, WORKLOAD_KINDS
+    from .kinds import STUDY_KINDS, THERMAL_BACKENDS, WORKLOAD_KINDS
     from .results import StudyResult
     from .specs import (
         FloorplanSpec,

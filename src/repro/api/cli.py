@@ -108,6 +108,12 @@ def _command_info() -> int:
     from ..technology.nodes import node_names
 
     print(f"technology nodes: {', '.join(node_names())}")
+    from ..core.thermal.operator import backend_capabilities
+
+    print("thermal backends:")
+    for name, capabilities in backend_capabilities().items():
+        print(f"  {name}: {capabilities.description}")
+        print(f"    [{capabilities.flags()}]")
     print("usage: repro run study.json [--out results.json]")
     return 0
 

@@ -9,3 +9,13 @@ STUDY_KINDS = ("steady", "transient", "thermal_map", "sweep")
 
 #: Workload kinds :class:`repro.api.specs.WorkloadSpec` understands.
 WORKLOAD_KINDS = ("constant", "step", "pwm", "trace")
+
+#: Thermal backends :class:`repro.api.specs.StudySpec` understands — a
+#: plain-literal mirror of
+#: :data:`repro.core.thermal.operator.THERMAL_BACKENDS` (the operator
+#: registry is numpy-backed; ``tests/test_api.py`` pins the two equal).
+THERMAL_BACKENDS = ("analytical", "fdm", "foster")
+
+#: Grid options the ``fdm`` backend accepts in ``StudySpec.backend_options``
+#: (mirror of :data:`repro.core.thermal.operator.FDM_GRID_OPTIONS`).
+FDM_GRID_OPTIONS = ("nx", "ny", "nz")

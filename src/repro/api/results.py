@@ -226,6 +226,10 @@ class StudyResult:
     def summary(self) -> Dict[str, Any]:
         """Headline metrics as plain data (the CLI report)."""
         summary: Dict[str, Any] = {"kind": self.kind, "study": self.spec.describe()}
+        if self.kind != "thermal_map":
+            # Engine-backed kinds record which thermal backend reduced the
+            # floorplan (thermal maps are always the analytical model).
+            summary["thermal_backend"] = self.spec.thermal_backend
         if self.kind == "steady":
             temperatures = self.arrays["block_temperatures"]
             converged = self.arrays["converged"]

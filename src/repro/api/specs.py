@@ -38,11 +38,12 @@ from ..core.cosim.transient_scenarios import (
     TraceActivity,
 )
 from ..core.thermal.images import DieGeometry
+from ..core.thermal.operator import validated_int
 from ..floorplan.block import Block, as_block
 from ..floorplan.floorplan import Floorplan
 from ..technology.nodes import make_technology, node_names
 from ..technology.parameters import TechnologyParameters
-from .kinds import STUDY_KINDS, WORKLOAD_KINDS
+from .kinds import FDM_GRID_OPTIONS, STUDY_KINDS, THERMAL_BACKENDS, WORKLOAD_KINDS
 
 #: Solver options each study kind forwards to its engine.
 _SOLVER_KEYS: Dict[str, Tuple[str, ...]] = {
@@ -611,6 +612,21 @@ class StudySpec(_SpecSerialization):
     image_rings, include_bottom_images, device_type:
         Boundary-image / leakage-polarity configuration shared by every
         engine.
+    thermal_backend:
+        Which :class:`~repro.core.thermal.operator.ThermalOperator` reduces
+        the floorplan: ``"analytical"`` (the paper's closed-form model,
+        default and bit-identical to pre-backend studies), ``"fdm"`` (the
+        finite-volume numerical reference) or ``"foster"`` (lumped RC
+        steady-state limit).  ``thermal_map`` studies are the analytical
+        model's field-map capability and accept only ``"analytical"``.
+    backend_options:
+        Backend-specific options; only the ``fdm`` backend takes any
+        (its grid resolution ``nx`` / ``ny`` / ``nz``, integers >= 2).
+        Unlike ``backend_options``, the image settings are *retained* (not
+        rejected) under non-analytical backends, which model the die
+        boundaries exactly and ignore them — deliberately, so a backend
+        comparison can toggle ``thermal_backend`` alone while the settings
+        keep applying to the analytical side.
     solver:
         Kind-specific solver options (see
         :meth:`~repro.core.cosim.scenarios.ScenarioEngine.solve` and
@@ -637,6 +653,8 @@ class StudySpec(_SpecSerialization):
     image_rings: int = 1
     include_bottom_images: bool = True
     device_type: str = "nmos"
+    thermal_backend: str = "analytical"
+    backend_options: Dict[str, int] = field(default_factory=dict)
     solver: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
 
@@ -704,6 +722,27 @@ class StudySpec(_SpecSerialization):
         )
         if self.device_type not in ("nmos", "pmos"):
             raise ValueError("device_type must be 'nmos' or 'pmos'")
+        if self.thermal_backend not in THERMAL_BACKENDS:
+            raise ValueError(
+                f"unknown thermal_backend {self.thermal_backend!r}; "
+                f"known backends: {', '.join(THERMAL_BACKENDS)}"
+            )
+        if not isinstance(self.backend_options, abc.Mapping):
+            raise ValueError("backend_options must be a mapping")
+        if self.backend_options and self.thermal_backend != "fdm":
+            raise ValueError(
+                "backend_options only apply to the 'fdm' thermal backend "
+                f"(thermal_backend is {self.thermal_backend!r})"
+            )
+        options: Dict[str, int] = {}
+        for key, value in self.backend_options.items():
+            if key not in FDM_GRID_OPTIONS:
+                raise ValueError(
+                    f"unknown backend_options key {key!r}; "
+                    f"allowed: {', '.join(FDM_GRID_OPTIONS)}"
+                )
+            options[key] = validated_int(value, f"backend_options[{key!r}]", 2)
+        object.__setattr__(self, "backend_options", MappingProxyType(options))
         if not isinstance(self.solver, abc.Mapping):
             raise ValueError("solver must be a mapping of solver options")
         allowed = _SOLVER_KEYS[self.kind]
@@ -743,6 +782,13 @@ class StudySpec(_SpecSerialization):
             check_blocks(self.time_constants, "time_constants")
 
         if kind == "thermal_map":
+            if self.thermal_backend != "analytical":
+                raise ValueError(
+                    "thermal_map studies are the analytical model's "
+                    "field-map capability and require "
+                    "thermal_backend='analytical' "
+                    f"(got {self.thermal_backend!r})"
+                )
             if not self.block_powers:
                 raise ValueError("thermal_map studies require block_powers")
             if self.scenarios:
@@ -840,6 +886,10 @@ class StudySpec(_SpecSerialization):
             data["include_bottom_images"] = False
         if self.device_type != "nmos":
             data["device_type"] = self.device_type
+        if self.thermal_backend != "analytical":
+            data["thermal_backend"] = self.thermal_backend
+        if self.backend_options:
+            data["backend_options"] = dict(self.backend_options)
         if self.solver:
             data["solver"] = _to_plain(self.solver)
         if self.label:

@@ -62,6 +62,8 @@ def build_engine(spec: StudySpec) -> ScenarioEngine:
         image_rings=spec.image_rings,
         include_bottom_images=spec.include_bottom_images,
         device_type=spec.device_type,
+        thermal_backend=spec.thermal_backend,
+        backend_options=spec.backend_options,
     )
 
 
@@ -187,6 +189,8 @@ class Study:
         image_rings: int = 1,
         include_bottom_images: bool = True,
         device_type: str = "nmos",
+        thermal_backend: str = "analytical",
+        backend_options: Optional[Mapping[str, int]] = None,
         solver: Optional[Mapping[str, Any]] = None,
     ) -> "Study":
         """A batched steady-state study (one fixed point per scenario)."""
@@ -201,6 +205,8 @@ class Study:
                 image_rings=image_rings,
                 include_bottom_images=include_bottom_images,
                 device_type=device_type,
+                thermal_backend=thermal_backend,
+                backend_options=dict(backend_options or {}),
                 solver=dict(solver or {}),
             )
         )
@@ -220,6 +226,8 @@ class Study:
         image_rings: int = 1,
         include_bottom_images: bool = True,
         device_type: str = "nmos",
+        thermal_backend: str = "analytical",
+        backend_options: Optional[Mapping[str, int]] = None,
         solver: Optional[Mapping[str, Any]] = None,
     ) -> "Study":
         """A batched time-domain study (one integration per scenario)."""
@@ -240,6 +248,8 @@ class Study:
                 image_rings=image_rings,
                 include_bottom_images=include_bottom_images,
                 device_type=device_type,
+                thermal_backend=thermal_backend,
+                backend_options=dict(backend_options or {}),
                 solver=dict(solver or {}),
             )
         )
@@ -286,6 +296,8 @@ class Study:
         image_rings: int = 1,
         include_bottom_images: bool = True,
         device_type: str = "nmos",
+        thermal_backend: str = "analytical",
+        backend_options: Optional[Mapping[str, int]] = None,
         solver: Optional[Mapping[str, Any]] = None,
     ) -> "Study":
         """A steady batch reported as a 1-D sweep over ``parameter_name``."""
@@ -302,6 +314,8 @@ class Study:
                 image_rings=image_rings,
                 include_bottom_images=include_bottom_images,
                 device_type=device_type,
+                thermal_backend=thermal_backend,
+                backend_options=dict(backend_options or {}),
                 solver=dict(solver or {}),
             )
         )
@@ -322,6 +336,24 @@ class Study:
     def with_scenarios(self, scenarios: Iterable) -> "Study":
         """Copy of the study over a different scenario list."""
         return Study(self._spec.replace(scenarios=_scenario_specs(scenarios)))
+
+    def with_backend(
+        self,
+        thermal_backend: str,
+        backend_options: Optional[Mapping[str, int]] = None,
+    ) -> "Study":
+        """Copy of the study over a different thermal backend.
+
+        The one-liner behind accuracy/speed comparisons: run the same
+        declarative study through ``"analytical"`` and ``"fdm"`` and diff
+        the results.
+        """
+        return Study(
+            self._spec.replace(
+                thermal_backend=thermal_backend,
+                backend_options=dict(backend_options or {}),
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Execution / serialization

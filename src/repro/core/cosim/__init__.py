@@ -9,7 +9,7 @@ from .coupling import (
     leakage_temperature_ratio_batch,
 )
 from .engine import ElectroThermalEngine
-from .resistance_cache import unit_resistance_matrix
+from .resistance_cache import reduced_unit_matrix, unit_resistance_matrix
 from .result import CosimIteration, CosimResult
 from .scenarios import (
     Scenario,
@@ -62,5 +62,6 @@ __all__ = [
     "ScenarioBatchResult",
     "ScenarioEngine",
     "scenario_grid",
+    "reduced_unit_matrix",
     "unit_resistance_matrix",
 ]

@@ -23,16 +23,60 @@ finite-volume reference.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from ...floorplan.floorplan import Floorplan
 from ...technology.parameters import TechnologyParameters
+from ..thermal.operator import ThermalOperator, make_operator
 from ..thermal.superposition import ChipThermalModel
 from .coupling import BlockPowerModel
-from .resistance_cache import unit_resistance_matrix
+from .resistance_cache import reduced_unit_matrix
 from .result import CosimIteration, CosimResult
+
+
+def resolve_operator(
+    thermal_backend: Union[str, ThermalOperator],
+    image_rings: int,
+    include_bottom_images: bool,
+    backend_options: Optional[Mapping[str, object]],
+) -> ThermalOperator:
+    """Shared engine-side backend resolution (capability-checked).
+
+    The engines' fixed points scale one cached unit-conductivity reduction
+    by each operating point's ``1/k``, so they can only run backends whose
+    reduction factorizes over the conductivity.
+    """
+    operator = make_operator(
+        thermal_backend,
+        image_rings=image_rings,
+        include_bottom_images=include_bottom_images,
+        options=backend_options,
+    )
+    if not operator.capabilities.conductivity_factorizes:
+        raise ValueError(
+            f"thermal backend {operator.name!r} does not factorize over the "
+            "substrate conductivity; the electro-thermal engines require "
+            "R(k) = R(1) / k"
+        )
+    return operator
+
+
+def _image_configuration(
+    operator: ThermalOperator, image_rings: int, include_bottom_images: bool
+) -> Tuple[int, bool]:
+    """The engine's effective image settings.
+
+    An explicitly-passed analytical operator carries its own image
+    configuration; the engine must adopt it so that `with_backend`
+    round trips and map post-processing reproduce the operator's physics
+    rather than the constructor defaults.
+    """
+    return (
+        getattr(operator, "image_rings", image_rings),
+        getattr(operator, "include_bottom_images", include_bottom_images),
+    )
 
 
 class ElectroThermalEngine:
@@ -52,9 +96,19 @@ class ElectroThermalEngine:
         Heat-sink temperature [K]; defaults to the technology's thermal
         environment.
     image_rings:
-        Lateral image rings for the boundary conditions.
+        Lateral image rings for the boundary conditions (analytical
+        backend only).
     include_bottom_images:
-        Whether the isothermal-bottom images are included.
+        Whether the isothermal-bottom images are included (analytical
+        backend only).
+    thermal_backend:
+        The :class:`~repro.core.thermal.operator.ThermalOperator` reducing
+        the floorplan to the block-resistance matrix — a backend name from
+        :data:`~repro.core.thermal.operator.THERMAL_BACKENDS` or an
+        operator instance.  The default (``"analytical"``) is bit-identical
+        to the pre-backend engine.
+    backend_options:
+        Backend-specific options (the ``fdm`` grid resolution).
     """
 
     def __init__(
@@ -65,6 +119,8 @@ class ElectroThermalEngine:
         ambient_temperature: Optional[float] = None,
         image_rings: int = 1,
         include_bottom_images: bool = True,
+        thermal_backend: Union[str, ThermalOperator] = "analytical",
+        backend_options: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.technology = technology
         self.floorplan = floorplan
@@ -81,8 +137,12 @@ class ElectroThermalEngine:
         )
         if self.ambient_temperature <= 0.0:
             raise ValueError("ambient_temperature must be positive (Kelvin)")
-        self.image_rings = image_rings
-        self.include_bottom_images = include_bottom_images
+        self.thermal_operator = resolve_operator(
+            thermal_backend, image_rings, include_bottom_images, backend_options
+        )
+        self.image_rings, self.include_bottom_images = _image_configuration(
+            self.thermal_operator, image_rings, include_bottom_images
+        )
         self._modelled_blocks: Tuple[str, ...] = tuple(
             name for name in floorplan.block_names() if name in self.block_models
         )
@@ -97,22 +157,20 @@ class ElectroThermalEngine:
         return self.technology.thermal.silicon.conductivity_at(self.ambient_temperature)
 
     def _build_resistance_matrix(self) -> np.ndarray:
-        """Block-to-block thermal resistance matrix [K/W], images included.
+        """Block-to-block thermal resistance matrix [K/W].
 
         Entry ``[i, j]`` is the temperature rise at block ``i``'s centre per
         watt dissipated uniformly over block ``j``'s footprint.  The
-        geometry-only (unit-conductivity) reduction comes from the shared
-        :func:`~repro.core.cosim.resistance_cache.unit_resistance_matrix`
-        cache — one grouped kernel call per floorplan/image configuration,
-        reused by every engine and every scenario batch over the same
-        geometry — and is scaled here by this engine's conductivity.
+        geometry-only (unit-conductivity) reduction comes from this
+        engine's :attr:`thermal_operator` through the shared
+        :func:`~repro.core.cosim.resistance_cache.reduced_unit_matrix`
+        cache — one reduction per (backend, geometry), reused by every
+        engine and every scenario batch over the same configuration — and
+        is scaled here by this engine's conductivity.
         """
         return (
-            unit_resistance_matrix(
-                self.floorplan,
-                self._modelled_blocks,
-                image_rings=self.image_rings,
-                include_bottom_images=self.include_bottom_images,
+            reduced_unit_matrix(
+                self.thermal_operator, self.floorplan, self._modelled_blocks
             )
             / self.conductivity
         )
@@ -247,8 +305,21 @@ class ElectroThermalEngine:
         """Full analytical thermal model at the converged powers.
 
         Useful for surface maps (Fig. 6) and cross-sections (Fig. 7) of the
-        self-consistent solution.
+        self-consistent solution.  Only backends with the ``field_maps``
+        capability can render them — a map from a different thermal model
+        than the one that produced the converged powers would be silently
+        inconsistent — and the map follows the engine's effective image
+        settings (adopted from an explicitly-passed
+        :class:`~repro.core.thermal.operator.AnalyticalImageOperator` at
+        construction).
         """
+        capabilities = self.thermal_operator.capabilities
+        if not capabilities.field_maps:
+            raise ValueError(
+                f"thermal backend {self.thermal_operator.name!r} cannot render "
+                "surface maps (no field_maps capability); solve with the "
+                "'analytical' backend for map post-processing"
+            )
         model = ChipThermalModel(
             die=self.floorplan.die,
             ambient_temperature=self.ambient_temperature,

@@ -1,62 +1,94 @@
-"""Cached block-to-block thermal-resistance reduction.
+"""Cached block-to-block thermal-resistance reductions, per backend.
 
 The reduced thermal-resistance matrix of a floorplan — entry ``[i, j]`` is
 the temperature rise at block ``i``'s centre per watt dissipated over block
-``j``'s footprint, boundary images included — depends only on *geometry*
-(die, block footprints, image configuration) and on the substrate
-conductivity, never on the dissipated powers.  Because every closed form of
-the thermal model (Eqs. 18/19/20) carries the conductivity as a single
-``1/k`` prefactor, the matrix factorises as ``R(k) = R(k=1) / k``.
+``j``'s footprint — depends only on *geometry* (die, block footprints), on
+the reducing backend's configuration (image rings, FDM grid, ...) and on
+the substrate conductivity, never on the dissipated powers.  Every
+built-in :class:`~repro.core.thermal.operator.ThermalOperator` carries the
+conductivity as a single ``1/k`` prefactor, so the matrix factorises as
+``R(k) = R(k=1) / k``.
 
-This module caches the unit-conductivity matrix per geometry so that
+This module caches the unit-conductivity matrix per
+``(backend configuration, geometry)`` so that
 
 * :class:`~repro.core.cosim.engine.ElectroThermalEngine` instances over the
-  same floorplan (e.g. one per ambient temperature) reduce it once, and
+  same floorplan (e.g. one per ambient temperature) reduce it once,
 * :class:`~repro.core.cosim.scenarios.ScenarioEngine` reuses one reduction
   across *every* scenario sharing a floorplan, whatever its technology
-  node, supply, ambient temperature or workload.
+  node, supply, ambient temperature or workload, and
+* engines over the same geometry but different backends (an
+  analytical-vs-FDM accuracy study) each keep their own entry — switching
+  backends never invalidates the other backend's reduction.
+
+Eviction is least-recently-used: when the cache exceeds
+:data:`_CACHE_LIMIT` entries the stalest reduction is dropped, so a long
+sweep over many geometries keeps its warm working set instead of
+periodically losing everything.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from collections import OrderedDict
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ...floorplan.floorplan import Floorplan
-from ..thermal.images import ImageExpansion
-from ..thermal.kernel import pairwise_rise
+from ..thermal.operator import AnalyticalImageOperator, ThermalOperator
 
-#: Unit-conductivity matrices keyed by the full geometric description.
-_CACHE: Dict[Tuple, np.ndarray] = {}
+#: Unit-conductivity matrices keyed by (operator cache key, geometry),
+#: ordered stalest-first (a hit moves the entry to the fresh end).
+_CACHE: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
 
-#: Entries kept before the cache is cleared (a whole-sweep working set is a
-#: handful of floorplans; the bound only guards pathological churn).
+#: Entries kept before the least-recently-used reduction is evicted (a
+#: whole-sweep working set is a handful of floorplans per backend; the
+#: bound only guards pathological churn).
 _CACHE_LIMIT = 64
 
 
-def _geometry_key(
-    floorplan: Floorplan,
-    block_names: Sequence[str],
-    image_rings: int,
-    include_bottom_images: bool,
-) -> Tuple:
-    """Hashable description of everything the reduction depends on."""
+def _geometry_key(floorplan: Floorplan, block_names: Sequence[str]) -> Tuple:
+    """Hashable description of the geometry a reduction depends on."""
     die = floorplan.die
     blocks = tuple(
         (name, block.x, block.y, block.width, block.length)
-        for name, block in (
-            (name, floorplan.block(name)) for name in block_names
+        for name, block in ((name, floorplan.block(name)) for name in block_names)
+    )
+    return (die.width, die.length, die.thickness, blocks)
+
+
+def reduced_unit_matrix(
+    operator: ThermalOperator,
+    floorplan: Floorplan,
+    block_names: Sequence[str],
+) -> np.ndarray:
+    """Unit-conductivity block-to-block resistance matrix [K*m/W... /k].
+
+    Multiplying by ``1/k`` (the substrate conductivity [W/m/K]) yields the
+    physical matrix in [K/W].  The returned array is a cached, read-only
+    view; divide (don't mutate) it.
+    """
+    key = (operator.cache_key(), _geometry_key(floorplan, block_names))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE.move_to_end(key)
+        return cached
+
+    # Copied before freezing: a custom operator may keep a reference to
+    # the array it returned, and making *its* array read-only would be an
+    # observable side effect (the copy is cheap at n_blocks x n_blocks).
+    matrix = np.array(operator.reduce(floorplan, block_names), dtype=float)
+    expected = (len(block_names), len(block_names))
+    if matrix.shape != expected:
+        raise ValueError(
+            f"backend {operator.name!r} reduced to shape {matrix.shape}, "
+            f"expected {expected}"
         )
-    )
-    return (
-        die.width,
-        die.length,
-        die.thickness,
-        blocks,
-        int(image_rings),
-        bool(include_bottom_images),
-    )
+    matrix.setflags(write=False)
+    _CACHE[key] = matrix
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+    return matrix
 
 
 def unit_resistance_matrix(
@@ -65,38 +97,14 @@ def unit_resistance_matrix(
     image_rings: int = 1,
     include_bottom_images: bool = True,
 ) -> np.ndarray:
-    """Unit-conductivity block-to-block resistance matrix [K*m/W... /k].
-
-    Multiplying by ``1/k`` (the substrate conductivity [W/m/K]) yields the
-    physical matrix in [K/W].  The returned array is a cached, read-only
-    view; divide (don't mutate) it.
-    """
-    key = _geometry_key(floorplan, block_names, image_rings, include_bottom_images)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-
-    expansion = ImageExpansion(
-        floorplan.die,
-        rings=image_rings,
-        include_bottom_images=include_bottom_images,
+    """The analytical-backend reduction (shared cache, legacy signature)."""
+    return reduced_unit_matrix(
+        AnalyticalImageOperator(
+            image_rings=image_rings, include_bottom_images=include_bottom_images
+        ),
+        floorplan,
+        block_names,
     )
-    blocks = [floorplan.block(name) for name in block_names]
-    unit_sources = [block.to_heat_source(1.0) for block in blocks]
-    expanded, groups = expansion.expand_arrays(unit_sources)
-    observers = np.asarray([[block.x, block.y] for block in blocks])
-    matrix = pairwise_rise(
-        observers,
-        expanded,
-        1.0,
-        groups=groups,
-        group_count=len(blocks),
-    )
-    matrix.setflags(write=False)
-    if len(_CACHE) >= _CACHE_LIMIT:
-        _CACHE.clear()
-    _CACHE[key] = matrix
-    return matrix
 
 
 def cache_size() -> int:

@@ -45,9 +45,10 @@ from ...technology.constants import BOLTZMANN, ELEMENTARY_CHARGE
 from ...technology.parameters import TechnologyParameters
 from ..dynamic.total import PowerBreakdown
 from ..leakage import kernel as leakage_kernel
+from ..thermal.operator import ThermalOperator
 from .coupling import BlockPowerModel, ScaledLeakageBlockModel
-from .engine import ElectroThermalEngine
-from .resistance_cache import unit_resistance_matrix
+from .engine import ElectroThermalEngine, _image_configuration, resolve_operator
+from .resistance_cache import reduced_unit_matrix
 from .result import CosimResult
 
 
@@ -418,9 +419,19 @@ class ScenarioEngine:
         Per-block static power [W] at nominal supply and each scenario
         technology's reference temperature.
     image_rings, include_bottom_images:
-        Boundary-image configuration, as for the scalar engine.
+        Boundary-image configuration, as for the scalar engine (analytical
+        backend only).
     device_type:
         Polarity used for the leakage temperature law.
+    thermal_backend:
+        The :class:`~repro.core.thermal.operator.ThermalOperator` reducing
+        the floorplan — a backend name
+        (:data:`~repro.core.thermal.operator.THERMAL_BACKENDS`) or an
+        operator instance.  Every scenario of the batch shares the one
+        cached reduction; the default (``"analytical"``) is bit-identical
+        to the pre-backend engine.
+    backend_options:
+        Backend-specific options (the ``fdm`` grid resolution).
     """
 
     def __init__(
@@ -431,6 +442,8 @@ class ScenarioEngine:
         image_rings: int = 1,
         include_bottom_images: bool = True,
         device_type: str = "nmos",
+        thermal_backend: Union[str, ThermalOperator] = "analytical",
+        backend_options: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.floorplan = floorplan
         named = set(dynamic_powers) | set(static_powers_at_reference)
@@ -445,23 +458,51 @@ class ScenarioEngine:
         self.static_powers_at_reference = {
             name: float(static_powers_at_reference.get(name, 0.0)) for name in named
         }
-        self.image_rings = image_rings
-        self.include_bottom_images = include_bottom_images
         self.device_type = device_type
+        self.thermal_operator = resolve_operator(
+            thermal_backend, image_rings, include_bottom_images, backend_options
+        )
+        self.image_rings, self.include_bottom_images = _image_configuration(
+            self.thermal_operator, image_rings, include_bottom_images
+        )
         self._block_names: Tuple[str, ...] = tuple(
             name for name in floorplan.block_names() if name in named
         )
-        self._unit_matrix = unit_resistance_matrix(
-            floorplan,
-            self._block_names,
-            image_rings=image_rings,
-            include_bottom_images=include_bottom_images,
+        self._unit_matrix = reduced_unit_matrix(
+            self.thermal_operator, floorplan, self._block_names
         )
 
     @property
     def block_names(self) -> Tuple[str, ...]:
         """Modelled blocks, in resistance-matrix row order."""
         return self._block_names
+
+    @property
+    def thermal_backend(self) -> str:
+        """Registry name of the thermal backend in use."""
+        return self.thermal_operator.name
+
+    def with_backend(
+        self,
+        thermal_backend: Union[str, ThermalOperator],
+        backend_options: Optional[Mapping[str, object]] = None,
+    ) -> "ScenarioEngine":
+        """This engine's configuration re-reduced through another backend.
+
+        The cheap path behind accuracy/speed comparisons: powers, floorplan
+        and image configuration are shared, only the thermal reduction is
+        swapped (and cached per backend).
+        """
+        return ScenarioEngine(
+            self.floorplan,
+            self.dynamic_powers,
+            self.static_powers_at_reference,
+            image_rings=self.image_rings,
+            include_bottom_images=self.include_bottom_images,
+            device_type=self.device_type,
+            thermal_backend=thermal_backend,
+            backend_options=backend_options,
+        )
 
     # ------------------------------------------------------------------ #
     # Per-scenario power scaling (shared by batched and scalar paths)
@@ -509,6 +550,7 @@ class ScenarioEngine:
             ambient_temperature=scenario.ambient,
             image_rings=self.image_rings,
             include_bottom_images=self.include_bottom_images,
+            thermal_backend=self.thermal_operator,
         )
 
     def solve_scalar(self, scenario: Scenario, **solve_kwargs) -> CosimResult:

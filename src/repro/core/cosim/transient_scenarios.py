@@ -550,6 +550,20 @@ class TransientScenarioEngine:
         """Per-block time-constant overrides [s] in use."""
         return dict(self._overrides)
 
+    @property
+    def thermal_backend(self) -> str:
+        """Registry name of the underlying engine's thermal backend."""
+        return self.engine.thermal_backend
+
+    def with_backend(self, thermal_backend, backend_options=None):
+        """This engine over another thermal backend (see
+        :meth:`ScenarioEngine.with_backend`); time-constant overrides are
+        preserved."""
+        return TransientScenarioEngine(
+            self.engine.with_backend(thermal_backend, backend_options),
+            time_constants=self._overrides or None,
+        )
+
     def _default_time_constants(self, physics: ScenarioPhysics) -> np.ndarray:
         """Per-(scenario, block) thermal time constants [s].
 

@@ -13,6 +13,16 @@ from .kernel import (
     scalar_reference_rise,
     temperature_rise,
 )
+from .operator import (
+    THERMAL_BACKENDS,
+    AnalyticalImageOperator,
+    BackendCapabilities,
+    FdmOperator,
+    FosterOperator,
+    ThermalOperator,
+    backend_capabilities,
+    make_operator,
+)
 from .profile import (
     point_source_profile,
     radial_profile,
@@ -68,6 +78,14 @@ __all__ = [
     "temperature_rise",
     "pairwise_rise",
     "scalar_reference_rise",
+    "THERMAL_BACKENDS",
+    "ThermalOperator",
+    "BackendCapabilities",
+    "AnalyticalImageOperator",
+    "FdmOperator",
+    "FosterOperator",
+    "backend_capabilities",
+    "make_operator",
     "ChipThermalModel",
     "SurfaceMap",
     "superposed_temperature_rise",

@@ -5,8 +5,15 @@ lateral dimensions and thickness is discretised on a regular grid, heat is
 injected on the top surface by rectangular sources, the four sides and the
 top are adiabatic and the bottom is isothermal (the heat sink), exactly the
 boundary conditions the paper's analytical model assumes.  The resulting
-linear system ``K T = q`` is assembled in sparse form and solved with
-``scipy.sparse.linalg.spsolve``.
+linear system ``K T = q`` is assembled in sparse form **once** per solver
+(the stiffness matrix depends only on geometry, grid and conductivity,
+never on the sources), factorized **once** with
+``scipy.sparse.linalg.splu``, and the cached LU factors are reused for
+every subsequent solve — repeated :meth:`FiniteVolumeThermalSolver.solve`
+calls and the multi-RHS :meth:`FiniteVolumeThermalSolver.solve_many` pay
+only a pair of triangular substitutions each, which is what makes the
+block-resistance reduction of
+:class:`~repro.core.thermal.operator.FdmOperator` fast.
 
 The analytical model is expected to reproduce this solver's surface
 temperature field to within the accuracy the paper claims ("enough for the
@@ -18,11 +25,12 @@ numerical one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from functools import cached_property
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import SuperLU, splu
 
 from ..technology.materials import SILICON, Material
 
@@ -91,6 +99,24 @@ class SteadyStateResult:
         """Temperature rise [K] of the top-surface cell layer, shape (nx, ny)."""
         return self.temperature_rise[:, :, 0]
 
+    @cached_property
+    def extrapolated_surface_rise(self) -> np.ndarray:
+        """Temperature rise [K] extrapolated to the true surface ``z = 0``.
+
+        Cell-centre values sit half a cell below the surface; with heat
+        injected on top the vertical gradient is steepest exactly there, so
+        sampling the first layer systematically underestimates surface
+        temperatures.  Linear extrapolation from the top two cell layers
+        (centres at ``dz/2`` and ``3 dz/2``) removes the first-order bias:
+        ``T(0) = T0 + (T0 - T1) / 2``.  Falls back to the first layer when
+        the grid has a single z layer.
+        """
+        if self.temperature_rise.shape[2] < 2:
+            return self.temperature_rise[:, :, 0]
+        first = self.temperature_rise[:, :, 0]
+        second = self.temperature_rise[:, :, 1]
+        return first + 0.5 * (first - second)
+
     @property
     def surface_temperature(self) -> np.ndarray:
         """Absolute top-surface temperature [K], shape (nx, ny)."""
@@ -101,11 +127,14 @@ class SteadyStateResult:
         """Hottest temperature rise [K] anywhere in the die."""
         return float(self.temperature_rise.max())
 
-    def rise_at(self, x: float, y: float) -> float:
-        """Bilinear interpolation of the surface temperature rise at (x, y)."""
-        return float(
-            _bilinear(self.x_centers, self.y_centers, self.surface_rise, x, y)
-        )
+    def rise_at(self, x: float, y: float, extrapolate: bool = False) -> float:
+        """Bilinear interpolation of the surface temperature rise at (x, y).
+
+        ``extrapolate=True`` samples :attr:`extrapolated_surface_rise`
+        (true-surface estimate) instead of the first cell layer.
+        """
+        field = self.extrapolated_surface_rise if extrapolate else self.surface_rise
+        return float(_bilinear(self.x_centers, self.y_centers, field, x, y))
 
     def temperature_at(self, x: float, y: float) -> float:
         """Absolute surface temperature [K] at (x, y)."""
@@ -151,6 +180,11 @@ class FiniteVolumeThermalSolver:
         Substrate material (bulk silicon by default).
     ambient_temperature:
         Isothermal heat-sink temperature [K] applied at the die bottom.
+
+    The solver's configuration is frozen once the first solve assembles
+    and factorizes the system: a later solve whose material/ambient
+    settings no longer match the assembly raises, and mutating the grid
+    attributes is unsupported — build a new solver per configuration.
     """
 
     def __init__(
@@ -185,6 +219,14 @@ class FiniteVolumeThermalSolver:
         self.x_centers = (np.arange(nx) + 0.5) * self.dx
         self.y_centers = (np.arange(ny) + 0.5) * self.dy
         self.z_centers = (np.arange(nz) + 0.5) * self.dz
+
+        # Source-independent pieces, built on first solve and then reused:
+        # the sparse stiffness matrix and its LU factorization, plus the
+        # conductivity they were assembled at (to catch configuration
+        # mutations that would otherwise serve stale physics).
+        self._matrix: Optional[sparse.csc_matrix] = None
+        self._factorization: Optional[SuperLU] = None
+        self._assembled_conductivity: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # Source discretisation
@@ -222,11 +264,23 @@ class FiniteVolumeThermalSolver:
     def _index(self, i: int, j: int, k: int) -> int:
         return (i * self.ny + j) * self.nz + k
 
-    def solve(self, sources: Sequence[RectangularSource]) -> SteadyStateResult:
-        """Solve for the steady-state temperature rise produced by ``sources``."""
-        if not sources:
-            raise ValueError("at least one heat source is required")
+    def system_matrix(self) -> sparse.csc_matrix:
+        """The sparse stiffness matrix ``K`` (assembled once, then cached).
+
+        Depends only on geometry, grid and conductivity — never on the
+        sources — so every solve over this solver shares one assembly.
+        Mutating ``material`` / ``ambient_temperature`` after the first
+        solve raises rather than silently serving the stale assembly.
+        """
         conductivity = self.material.conductivity_at(self.ambient_temperature)
+        if self._matrix is not None:
+            if conductivity != self._assembled_conductivity:
+                raise ValueError(
+                    "solver configuration changed after the system was "
+                    "assembled; build a new FiniteVolumeThermalSolver per "
+                    "configuration"
+                )
+            return self._matrix
         n_cells = self.nx * self.ny * self.nz
 
         gx = conductivity * self.dy * self.dz / self.dx
@@ -237,9 +291,6 @@ class FiniteVolumeThermalSolver:
         rows: List[int] = []
         cols: List[int] = []
         vals: List[float] = []
-        rhs = np.zeros(n_cells)
-
-        surface_power = self._surface_power_map(sources)
 
         for i in range(self.nx):
             for j in range(self.ny):
@@ -271,13 +322,39 @@ class FiniteVolumeThermalSolver:
                     rows.append(center)
                     cols.append(center)
                     vals.append(diagonal)
-                    if k == 0:
-                        rhs[center] += surface_power[i, j]
 
-        matrix = sparse.csr_matrix(
+        self._matrix = sparse.csc_matrix(
             (vals, (rows, cols)), shape=(n_cells, n_cells)
         )
-        solution = spsolve(matrix, rhs)
+        self._assembled_conductivity = conductivity
+        return self._matrix
+
+    @property
+    def factorization(self) -> SuperLU:
+        """Cached ``splu`` factorization of :meth:`system_matrix`.
+
+        Computed on first access; subsequent solves (any number of
+        right-hand sides) reuse the LU factors and pay only the triangular
+        substitutions.
+        """
+        # Always route through system_matrix(): on the cached path it only
+        # re-derives the conductivity, which is what detects configuration
+        # mutations that would make the cached factors stale.
+        matrix = self.system_matrix()
+        if self._factorization is None:
+            self._factorization = splu(matrix)
+        return self._factorization
+
+    def _right_hand_side(self, sources: Sequence[RectangularSource]) -> np.ndarray:
+        """Load vector: surface powers injected into the top cell layer."""
+        if not sources:
+            raise ValueError("at least one heat source is required")
+        surface_power = self._surface_power_map(sources)
+        rhs = np.zeros((self.nx, self.ny, self.nz))
+        rhs[:, :, 0] = surface_power
+        return rhs.reshape(-1)
+
+    def _wrap(self, solution: np.ndarray) -> SteadyStateResult:
         temperature = solution.reshape((self.nx, self.ny, self.nz))
         return SteadyStateResult(
             x_centers=self.x_centers,
@@ -286,6 +363,32 @@ class FiniteVolumeThermalSolver:
             temperature_rise=temperature,
             ambient_temperature=self.ambient_temperature,
         )
+
+    def solve(self, sources: Sequence[RectangularSource]) -> SteadyStateResult:
+        """Solve for the steady-state temperature rise produced by ``sources``."""
+        # Validate sources (and build the load) before paying for the
+        # assembly + factorization.
+        rhs = self._right_hand_side(sources)
+        return self._wrap(self.factorization.solve(rhs))
+
+    def solve_many(
+        self, source_sets: Sequence[Sequence[RectangularSource]]
+    ) -> List[SteadyStateResult]:
+        """Solve several source configurations against one factorization.
+
+        All right-hand sides go through a single multi-column
+        ``SuperLU.solve`` call, so ``n`` configurations cost one LU
+        factorization plus ``n`` pairs of triangular substitutions — the
+        fast path behind
+        :meth:`~repro.core.thermal.operator.FdmOperator.reduce`.
+        """
+        if not source_sets:
+            raise ValueError("at least one source configuration is required")
+        stacked = np.stack(
+            [self._right_hand_side(sources) for sources in source_sets], axis=1
+        )
+        solutions = self.factorization.solve(stacked)
+        return [self._wrap(solutions[:, column]) for column in range(len(source_sets))]
 
     def thermal_resistance(self, source: RectangularSource) -> float:
         """Lumped thermal resistance [K/W] seen by a single source.

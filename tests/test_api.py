@@ -170,11 +170,21 @@ def study_specs(draw):
             map_samples=(draw(st.integers(2, 30)), draw(st.integers(2, 30))),
         )
     scenarios = tuple(draw(st.lists(scenario_specs(), min_size=1, max_size=3)))
+    thermal_backend = draw(st.sampled_from(("analytical", "fdm", "foster")))
+    backend_options = {}
+    if thermal_backend == "fdm" and draw(st.booleans()):
+        backend_options = {
+            "nx": draw(st.integers(2, 24)),
+            "ny": draw(st.integers(2, 24)),
+            "nz": draw(st.integers(2, 8)),
+        }
     common = dict(
         floorplan=floorplan,
         dynamic_powers=DYNAMIC,
         static_powers=STATIC,
         scenarios=scenarios,
+        thermal_backend=thermal_backend,
+        backend_options=backend_options,
         label=draw(st.sampled_from(("", "study"))),
     )
     if kind == "transient":
@@ -619,6 +629,120 @@ class TestValidation:
 
 
 # --------------------------------------------------------------------- #
+# Thermal backends through the declarative layer
+# --------------------------------------------------------------------- #
+class TestThermalBackendSpec:
+    def test_kind_registry_mirrors_operator_registry(self):
+        # api.kinds keeps plain literals so `repro --help` stays
+        # numpy-free; they must track the operator registry exactly.
+        from repro.api.kinds import FDM_GRID_OPTIONS, THERMAL_BACKENDS
+        from repro.core.thermal import operator
+
+        assert THERMAL_BACKENDS == operator.THERMAL_BACKENDS
+        assert FDM_GRID_OPTIONS == operator.FDM_GRID_OPTIONS
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        backend=st.sampled_from(("analytical", "fdm", "foster")),
+        grid=st.one_of(
+            st.none(),
+            st.fixed_dictionaries(
+                {
+                    "nx": st.integers(2, 48),
+                    "ny": st.integers(2, 48),
+                    "nz": st.integers(2, 16),
+                }
+            ),
+        ),
+    )
+    def test_thermal_backend_round_trips_through_json(self, backend, grid):
+        spec = _minimal_spec().replace(
+            thermal_backend=backend,
+            backend_options=grid if (grid and backend == "fdm") else {},
+        )
+        reloaded = StudySpec.from_json(spec.to_json())
+        assert reloaded == spec
+        assert reloaded.thermal_backend == backend
+        # Defaults stay out of the serialized form (forward-compatible
+        # with pre-backend study files).
+        if backend == "analytical":
+            assert "thermal_backend" not in spec.to_dict()
+
+    def test_unknown_backend_is_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="analytical, fdm, foster"):
+            _minimal_spec().replace(thermal_backend="spectral")
+
+    def test_backend_options_require_fdm(self):
+        with pytest.raises(ValueError, match="only apply to the 'fdm'"):
+            _minimal_spec().replace(backend_options={"nx": 8})
+
+    def test_backend_options_are_kind_and_range_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            _minimal_spec().replace(
+                thermal_backend="fdm", backend_options={"cells": 8}
+            )
+        for bad in (1, 2.5, "eight", True):
+            with pytest.raises(ValueError, match="nx"):
+                _minimal_spec().replace(
+                    thermal_backend="fdm", backend_options={"nx": bad}
+                )
+
+    def test_thermal_map_is_analytical_only(self):
+        with pytest.raises(ValueError, match="field-map"):
+            _thermal_map_study().spec.replace(thermal_backend="fdm")
+
+    def test_fdm_study_runs_end_to_end_and_records_backend(self):
+        study = Study.steady(
+            floorplan=three_block_floorplan(),
+            dynamic_powers=DYNAMIC,
+            static_powers=STATIC,
+            scenarios=(ScenarioSpec(technology=TechnologySpec("0.12um")),),
+            thermal_backend="fdm",
+            backend_options={"nx": 16, "ny": 16, "nz": 6},
+        )
+        result = study.run()
+        assert result.summary()["thermal_backend"] == "fdm"
+        assert result.array("converged").all()
+        # The engine the facade compiled really reduces through FDM.
+        assert study._engine.thermal_backend == "fdm"
+        # And a JSON-shipped copy reproduces the arrays bit for bit.
+        replay = run_study(StudySpec.from_json(study.to_json()))
+        assert np.array_equal(
+            replay.array("block_temperatures"), result.array("block_temperatures")
+        )
+
+    def test_with_backend_produces_comparable_studies(self):
+        base = Study.steady(
+            floorplan=three_block_floorplan(),
+            dynamic_powers=DYNAMIC,
+            static_powers=STATIC,
+            scenarios=(ScenarioSpec(technology=TechnologySpec("0.12um")),),
+        )
+        foster = base.with_backend("foster")
+        assert base.spec.thermal_backend == "analytical"
+        assert foster.spec.thermal_backend == "foster"
+        hot_analytical = base.run().summary()["peak_temperature_K"]
+        hot_foster = foster.run().summary()["peak_temperature_K"]
+        # The uncoupled 1-D-column limit runs hotter on the hot block.
+        assert hot_foster > hot_analytical
+
+    def test_sweep_helper_accepts_backend(self):
+        from repro.analysis.sweep import scenario_sweep
+
+        engine = ScenarioEngine(three_block_floorplan(), DYNAMIC, STATIC)
+        scenarios = scenario_grid([make_technology("0.12um")], supply_scales=(0.9, 1.0))
+        swept = scenario_sweep(
+            engine,
+            "supply_scale",
+            (0.9, 1.0),
+            scenarios,
+            thermal_backend="foster",
+        )
+        direct = engine.with_backend("foster").solve(scenarios)
+        assert np.allclose(swept.series("peak_temperature"), direct.peak_temperature)
+
+
+# --------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------- #
 class TestCLI:
@@ -653,6 +777,12 @@ class TestCLI:
         captured = capsys.readouterr().out
         assert "study kinds" in captured
         assert "0.12um" in captured
+        # The backend listing names every backend with capability flags.
+        assert "thermal backends" in captured
+        for backend in ("analytical", "fdm", "foster"):
+            assert f"{backend}: " in captured
+        assert "field_maps=yes" in captured
+        assert "numerical=yes" in captured
 
     def test_run_reports_engine_errors(self, tmp_path, capsys):
         # Validates as a spec, but the engine rejects the combination at
@@ -679,7 +809,12 @@ class TestCLI:
         from pathlib import Path
 
         examples = Path(__file__).resolve().parents[1] / "examples"
-        for name in ("study_steady", "study_transient", "study_thermal_map"):
+        for name in (
+            "study_steady",
+            "study_transient",
+            "study_thermal_map",
+            "study_backend_fdm",
+        ):
             spec = StudySpec.from_json(examples / f"{name}.json")
             result = run_study(spec.replace(label=spec.label or name))
             assert result.kind == spec.kind

@@ -47,6 +47,26 @@ class TestValidation:
         with pytest.raises(ValueError):
             solver.solve([])
 
+    def test_configuration_mutation_after_assembly_raises(self, centered_source):
+        # The assembled system is cached; serving it at a silently changed
+        # conductivity would be stale physics, so the solver refuses.
+        fresh = FiniteVolumeThermalSolver(1e-3, 1e-3, 3e-4, nx=8, ny=8, nz=4)
+        fresh.solve([centered_source])
+        fresh.ambient_temperature = 350.0
+        with pytest.raises(ValueError, match="configuration changed"):
+            fresh.solve([centered_source])
+
+    def test_empty_source_list_fails_before_assembly(self):
+        # Source validation must not pay for the sparse assembly and
+        # factorization (the expensive, source-independent steps).
+        fresh = FiniteVolumeThermalSolver(1e-3, 1e-3, 1e-4)
+        with pytest.raises(ValueError):
+            fresh.solve([])
+        assert fresh._matrix is None and fresh._factorization is None
+        with pytest.raises(ValueError):
+            fresh.solve_many([])
+        assert fresh._matrix is None
+
     def test_bad_source_geometry_rejected(self):
         with pytest.raises(ValueError):
             RectangularSource(x=0.0, y=0.0, width=0.0, length=1e-4, power=1.0)
