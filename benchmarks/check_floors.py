@@ -34,6 +34,7 @@ REQUIRED_RECORDS = (
     "BENCH_backends.json",
     "BENCH_kernel.json",
     "BENCH_scenarios.json",
+    "BENCH_streaming.json",
     "BENCH_transient.json",
 )
 
@@ -88,7 +89,25 @@ def check_floors(directory: Path = BENCH_DIR) -> List[str]:
                 failures.append(
                     f"- {name} {label}: {value:.2f} < {extra_floor:g} floor"
                 )
-        if (speedup is None or floor is None) and not extras:
+        # ... and ceilinged quantities, where *exceeding* the committed
+        # bound is the regression (e.g. BENCH_streaming.json's peak RSS).
+        ceilings = record.get("auxiliary_ceilings", ())
+        for bound in ceilings:
+            label = bound.get("name", "auxiliary ceiling")
+            value = bound.get("value")
+            ceiling = bound.get("ceiling")
+            if value is None or ceiling is None:
+                continue
+            bound_status = "ok" if value <= ceiling else "REGRESSION"
+            print(
+                f"  {path.name}: {name} {label} {value:.2f} "
+                f"(ceiling {ceiling:g}) {bound_status}"
+            )
+            if value > ceiling:
+                failures.append(
+                    f"- {name} {label}: {value:.2f} > {ceiling:g} ceiling"
+                )
+        if (speedup is None or floor is None) and not extras and not ceilings:
             print(f"  {path.name}: no tracked ratios (skipped)")
     return failures
 

@@ -8,9 +8,32 @@ pytest-benchmark.
 
 from __future__ import annotations
 
+import resource
+import sys
+
 import pytest
 
 from repro.technology import cmos_012um, cmos_035um
+
+
+def peak_rss() -> int:
+    """Process-lifetime peak resident set size [bytes].
+
+    ``resource.getrusage`` reports ``ru_maxrss`` in kilobytes on Linux and
+    bytes on macOS; normalize to bytes so every ``BENCH_*.json`` record
+    carries one unit.  The counter is a high-water mark: measure memory-
+    sensitive paths in a fresh subprocess (see ``streaming_smoke.py``), or
+    earlier allocations in the same process dominate the reading.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size [MiB] (see :func:`peak_rss`)."""
+    return peak_rss() / (1024.0 * 1024.0)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,135 @@
+"""Million-scenario streaming smoke: constant memory at 10^6 rows.
+
+Standalone driver (not a pytest module) so the peak-RSS reading reflects
+the streamed study alone: ``ru_maxrss`` is a process-lifetime high-water
+mark, so this script must run in a fresh interpreter —
+``test_streaming_throughput.py`` launches it via ``subprocess`` and the
+CI large-grid job runs it directly with ``--budget-mb``.
+
+The study is a 10^6-point operating grid (5 technology nodes x 20 supply
+scales x 100 ambient temperatures x 100 activity factors) over the
+three-block floorplan, declared through
+:class:`~repro.api.specs.ScenarioGridSpec` so scenarios are *generated*
+lazily, never materialized: with ``reduction=True`` the run keeps one
+fixed-size chunk of work buffers plus O(n) per-scenario series, no
+(n, blocks) field tensors.  The JSON report on stdout carries the
+throughput and peak-RSS numbers consumed by ``BENCH_streaming.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/streaming_smoke.py [--chunk-size N]
+        [--rows N] [--budget-mb MB]
+
+Exits 1 (after printing the report) when ``--budget-mb`` is given and
+the peak RSS exceeds it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+SUPPLY_COUNT = 20
+AMBIENT_COUNT = 100
+ACTIVITY_COUNT = 100
+NODES = ("0.25um", "0.18um", "0.13um", "0.12um", "0.10um")
+DYNAMIC = {"core": 0.22, "cache": 0.09, "io": 0.04}
+STATIC_REF = {"core": 0.045, "cache": 0.018, "io": 0.008}
+
+
+def peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size [MiB]."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def linspace(start: float, stop: float, count: int) -> tuple:
+    """An endpoint-inclusive grid without importing numpy before timing."""
+    if count == 1:
+        return (start,)
+    step = (stop - start) / (count - 1)
+    return tuple(start + step * index for index in range(count))
+
+
+def build_spec(chunk_size: int, rows: int):
+    """The streamed steady study: grid axes sized to ``rows`` scenarios."""
+    from repro.api import ScenarioGridSpec, StudySpec
+    from repro.floorplan import three_block_floorplan
+
+    fixed_axes = len(NODES) * SUPPLY_COUNT * AMBIENT_COUNT
+    activity_count = min(ACTIVITY_COUNT, max(1, rows // fixed_axes))
+    grid = ScenarioGridSpec(
+        technologies=NODES,
+        supply_scales=linspace(0.8, 1.1, SUPPLY_COUNT),
+        ambient_temperatures=linspace(278.15, 368.15, AMBIENT_COUNT),
+        activities=linspace(0.05, 1.25, activity_count),
+    )
+    return StudySpec(
+        kind="steady",
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC_REF,
+        scenario_grid=grid,
+        chunk_size=chunk_size,
+        reduction=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chunk-size", type=int, default=65536, metavar="N")
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="target scenario count (grid axes are sized to reach it)",
+    )
+    parser.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="fail (exit 1) when peak RSS exceeds this budget",
+    )
+    args = parser.parse_args(argv)
+
+    spec = build_spec(args.chunk_size, args.rows)
+    from repro.api import run_study
+
+    start = time.perf_counter()
+    result = run_study(spec)
+    seconds = time.perf_counter() - start
+
+    summary = result.summary()
+    report = {
+        "benchmark": "streaming_smoke",
+        "scenario_count": spec.scenario_count,
+        "chunk_size": args.chunk_size,
+        "chunk_count": result.metadata["streaming"]["chunk_count"],
+        "seconds": seconds,
+        "scenarios_per_second": spec.scenario_count / seconds,
+        "peak_rss_mb": peak_rss_mb(),
+        "converged_count": summary["converged_count"],
+        "runaway_count": summary["runaway_count"],
+        "peak_temperature_K": summary["peak_temperature_K"],
+    }
+    print(json.dumps(report, indent=2))
+
+    if args.budget_mb is not None and report["peak_rss_mb"] > args.budget_mb:
+        print(
+            f"peak RSS {report['peak_rss_mb']:.1f} MB exceeds the "
+            f"{args.budget_mb:.1f} MB budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

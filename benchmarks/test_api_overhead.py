@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from conftest import peak_rss_mb
 
 from repro.api import ScenarioSpec, Study
 from repro.core.cosim import ScenarioEngine, scenario_grid
@@ -98,6 +99,7 @@ def test_api_overhead():
         "overhead_percent": overhead_percent,
         "speedup": speedup,
         "required_speedup": REQUIRED_SPEEDUP,
+        "peak_rss_mb": peak_rss_mb(),
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -24,6 +24,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from conftest import peak_rss_mb
 from scipy.sparse.linalg import spsolve
 
 from repro.core.cosim import ScenarioEngine, scenario_grid
@@ -208,6 +209,7 @@ def test_backend_reduction_throughput():
         },
         "speedup": speedup,
         "required_speedup": REQUIRED_SPEEDUP,
+        "peak_rss_mb": peak_rss_mb(),
         # check_floors.py guards these beside the headline speedup.
         "auxiliary_ratios": [
             {

@@ -17,6 +17,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from conftest import peak_rss_mb
 
 from repro.core.thermal.images import DieGeometry
 from repro.core.thermal.sources import HeatSource
@@ -120,6 +121,7 @@ def test_kernel_throughput():
         },
         "speedup": speedup,
         "required_speedup": REQUIRED_SPEEDUP,
+        "peak_rss_mb": peak_rss_mb(),
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

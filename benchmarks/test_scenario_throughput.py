@@ -20,6 +20,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from conftest import peak_rss_mb
 
 from repro.core.cosim import ScenarioEngine, scenario_grid
 from repro.floorplan import three_block_floorplan
@@ -104,6 +105,7 @@ def test_scenario_throughput():
         },
         "speedup": speedup,
         "required_speedup": REQUIRED_SPEEDUP,
+        "peak_rss_mb": peak_rss_mb(),
     }
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -1,0 +1,118 @@
+"""Streaming throughput — 10^6 scenarios through constant-size chunks.
+
+The streaming-execution acceptance criterion: a million-scenario steady
+study declared as a :class:`~repro.api.specs.ScenarioGridSpec` and run
+with ``chunk_size`` + ``reduction`` must sustain at least
+:data:`REQUIRED_ROWS_PER_SECOND` scenarios/sec while keeping the whole
+process under :data:`RSS_CEILING_MB` of peak resident memory — the
+constant-memory claim, floored and ceilinged in ``BENCH_streaming.json``
+for ``check_floors.py``.
+
+Peak RSS (``ru_maxrss``) is a process-lifetime high-water mark, so the
+measurement runs ``streaming_smoke.py`` in a fresh interpreter via
+``subprocess``; running it inline would inherit whatever earlier
+benchmarks in the same session already allocated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.reporting import print_table
+
+SCENARIO_ROWS = 1_000_000
+CHUNK_SIZE = 65536
+#: Measured ~124k rows/s on the reference runner; floored with headroom
+#: for shared CI machines.
+REQUIRED_ROWS_PER_SECOND = 50_000.0
+#: Measured ~223 MB peak at chunk_size=65536 (buffers + O(n) series);
+#: the monolithic equivalent materializes the full (10^6, blocks)
+#: tensors and blows far past this.
+RSS_CEILING_MB = 600.0
+
+BENCH_DIR = Path(__file__).resolve().parent
+BENCH_PATH = BENCH_DIR / "BENCH_streaming.json"
+SMOKE_SCRIPT = BENCH_DIR / "streaming_smoke.py"
+SRC_DIR = BENCH_DIR.parent / "src"
+
+
+def run_smoke(rows: int, chunk_size: int) -> dict:
+    """Run ``streaming_smoke.py`` in a fresh process, return its report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        entry
+        for entry in (str(SRC_DIR), env.get("PYTHONPATH"))
+        if entry
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SMOKE_SCRIPT),
+            "--rows",
+            str(rows),
+            "--chunk-size",
+            str(chunk_size),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=600,
+    )
+    return json.loads(completed.stdout)
+
+
+def test_streaming_throughput():
+    report = run_smoke(SCENARIO_ROWS, CHUNK_SIZE)
+    assert report["scenario_count"] == SCENARIO_ROWS
+    assert report["chunk_count"] == -(-SCENARIO_ROWS // CHUNK_SIZE)
+    # The grid spans runaway and non-runaway corners: the reduction saw
+    # real physics, not a degenerate all-converged or all-capped batch.
+    assert 0 < report["converged_count"] < SCENARIO_ROWS
+    assert report["converged_count"] + report["runaway_count"] == SCENARIO_ROWS
+
+    rate = report["scenarios_per_second"]
+    rss_mb = report["peak_rss_mb"]
+    record = {
+        "benchmark": "streaming_throughput",
+        "scenario_count": SCENARIO_ROWS,
+        "chunk_size": CHUNK_SIZE,
+        "chunk_count": report["chunk_count"],
+        "seconds": report["seconds"],
+        "converged_count": report["converged_count"],
+        "runaway_count": report["runaway_count"],
+        # check_floors.py guards the throughput floor and memory ceiling.
+        "auxiliary_ratios": [
+            {
+                "name": "scenarios_per_second",
+                "value": rate,
+                "floor": REQUIRED_ROWS_PER_SECOND,
+            }
+        ],
+        "auxiliary_ceilings": [
+            {
+                "name": "peak_rss_mb",
+                "value": rss_mb,
+                "ceiling": RSS_CEILING_MB,
+            }
+        ],
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        ["metric", "measured", "bound"],
+        [
+            ["scenarios/s", rate, REQUIRED_ROWS_PER_SECOND],
+            ["peak RSS (MB)", rss_mb, RSS_CEILING_MB],
+            ["wall time (s)", report["seconds"], float("nan")],
+        ],
+        title=f"streaming throughput ({SCENARIO_ROWS} scenarios, "
+        f"chunks of {CHUNK_SIZE})",
+    )
+
+    assert rate >= REQUIRED_ROWS_PER_SECOND
+    assert rss_mb <= RSS_CEILING_MB

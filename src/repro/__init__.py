@@ -71,6 +71,7 @@ _SUBMODULES = frozenset(
 _EXPORTS = {
     # api (the canonical front door)
     "FloorplanSpec": "repro.api",
+    "ScenarioGridSpec": "repro.api",
     "ScenarioSpec": "repro.api",
     "Study": "repro.api",
     "StudyResult": "repro.api",
@@ -189,6 +190,7 @@ def __dir__():
 if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
     from .api import (
         FloorplanSpec,
+        ScenarioGridSpec,
         ScenarioSpec,
         Study,
         StudyResult,

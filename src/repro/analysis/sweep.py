@@ -20,12 +20,32 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.cosim.scenarios import Scenario, ScenarioBatchResult, ScenarioEngine
+from ..core.cosim.streaming import stream_steady, stream_transient
 from ..core.cosim.transient_scenarios import (
     ActivityGrid,
     TransientBatchResult,
     TransientScenarioEngine,
 )
 from .grids import SurfaceGrid
+
+#: Steady series labels, in :func:`steady_batch_series` emission order.
+_STEADY_SERIES = (
+    "peak_temperature",
+    "peak_rise",
+    "total_power",
+    "total_static_power",
+    "converged",
+)
+
+#: Transient series labels, in :func:`transient_batch_series` emission order.
+_TRANSIENT_SERIES = (
+    "peak_temperature",
+    "peak_rise",
+    "overshoot",
+    "settle_time",
+    "total_energy",
+    "runaway",
+)
 
 
 def steady_batch_series(batch: ScenarioBatchResult) -> Dict[str, List[float]]:
@@ -165,6 +185,7 @@ def scenario_sweep(
     ] = None,
     thermal_backend: Optional[str] = None,
     backend_options: Optional[Dict[str, int]] = None,
+    chunk_size: Optional[int] = None,
     **solve_kwargs,
 ) -> SweepResult:
     """One batched fixed point packaged as a :class:`SweepResult`.
@@ -191,6 +212,12 @@ def scenario_sweep(
         :meth:`~repro.core.cosim.scenarios.ScenarioEngine.with_backend`
         instead of ``engine``'s own backend — one keyword turns any sweep
         into a backend-comparison run.
+    chunk_size:
+        When set, solve through
+        :func:`~repro.core.cosim.streaming.stream_steady` in fixed-size
+        chunks with online reduction — same series, bit-identical values,
+        constant memory in the sweep length.  ``extra_series`` need the
+        full batch and are rejected under chunking.
     solve_kwargs:
         Forwarded to :meth:`~repro.core.cosim.scenarios.ScenarioEngine.solve`.
     """
@@ -200,9 +227,23 @@ def scenario_sweep(
         engine = engine.with_backend(thermal_backend, backend_options)
     elif backend_options:
         raise ValueError("backend_options require thermal_backend")
-    batch = engine.solve(list(scenarios), **solve_kwargs)
     result = SweepResult(parameter_name=parameter_name)
     result.values = [float(value) for value in values]
+    if chunk_size is not None:
+        if extra_series:
+            raise ValueError(
+                "extra_series evaluate against the full batch result and "
+                "are not available with chunked (chunk_size=) execution"
+            )
+        stream = stream_steady(
+            engine, scenarios, chunk_size=chunk_size, **solve_kwargs
+        )
+        result.results = {
+            label: [float(v) for v in stream.series[label]]
+            for label in _STEADY_SERIES
+        }
+        return result
+    batch = engine.solve(list(scenarios), **solve_kwargs)
     result.results = steady_batch_series(batch)
     for label, evaluator in (extra_series or {}).items():
         result.results[label] = [
@@ -225,6 +266,7 @@ def transient_scenario_sweep(
     ] = None,
     thermal_backend: Optional[str] = None,
     backend_options: Optional[Dict[str, int]] = None,
+    chunk_size: Optional[int] = None,
     **simulate_kwargs,
 ) -> SweepResult:
     """One batched transient integration packaged as a :class:`SweepResult`.
@@ -257,6 +299,12 @@ def transient_scenario_sweep(
         When set, the sweep runs through
         :meth:`~repro.core.cosim.transient_scenarios.TransientScenarioEngine.with_backend`
         instead of ``engine``'s own backend.
+    chunk_size:
+        When set, integrate through
+        :func:`~repro.core.cosim.streaming.stream_transient` in fixed-size
+        chunks with online reduction — same series, bit-identical values,
+        memory bounded by the chunk (not the sweep).  ``extra_series`` need
+        the full batch and are rejected under chunking.
     simulate_kwargs:
         Further keyword arguments for
         :meth:`TransientScenarioEngine.simulate`.
@@ -267,11 +315,32 @@ def transient_scenario_sweep(
         engine = engine.with_backend(thermal_backend, backend_options)
     elif backend_options:
         raise ValueError("backend_options require thermal_backend")
+    result = SweepResult(parameter_name=parameter_name)
+    result.values = [float(value) for value in values]
+    if chunk_size is not None:
+        if extra_series:
+            raise ValueError(
+                "extra_series evaluate against the full batch result and "
+                "are not available with chunked (chunk_size=) execution"
+            )
+        stream = stream_transient(
+            engine,
+            scenarios,
+            duration,
+            time_step,
+            activity=activity,
+            chunk_size=chunk_size,
+            settle_tolerance_kelvin=settle_tolerance_kelvin,
+            **simulate_kwargs,
+        )
+        result.results = {
+            label: [float(v) for v in stream.series[label]]
+            for label in _TRANSIENT_SERIES
+        }
+        return result
     batch = engine.simulate(
         list(scenarios), duration, time_step, activity=activity, **simulate_kwargs
     )
-    result = SweepResult(parameter_name=parameter_name)
-    result.values = [float(value) for value in values]
     result.results = transient_batch_series(
         batch, settle_tolerance_kelvin=settle_tolerance_kelvin
     )

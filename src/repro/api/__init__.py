@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 
 #: Public name -> defining submodule, resolved on first attribute access.
 _EXPORTS = {
+    "DEFAULT_CHUNK_SIZE": "repro.api.kinds",
     "STUDY_KINDS": "repro.api.kinds",
     "THERMAL_BACKENDS": "repro.api.kinds",
     "WORKLOAD_KINDS": "repro.api.kinds",
@@ -43,11 +44,13 @@ _EXPORTS = {
     "FloorplanSpec": "repro.api.specs",
     "WorkloadSpec": "repro.api.specs",
     "ScenarioSpec": "repro.api.specs",
+    "ScenarioGridSpec": "repro.api.specs",
     "StudySpec": "repro.api.specs",
     "as_technology_spec": "repro.api.specs",
     "as_floorplan_spec": "repro.api.specs",
     "as_workload_spec": "repro.api.specs",
     "as_scenario_spec": "repro.api.specs",
+    "as_scenario_grid_spec": "repro.api.specs",
     "load_json_object": "repro.api.specs",
     "Study": "repro.api.study",
     "build_engine": "repro.api.study",
@@ -76,15 +79,22 @@ def __dir__():
 
 if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
     from ..analysis.sweep import steady_batch_series, transient_batch_series
-    from .kinds import STUDY_KINDS, THERMAL_BACKENDS, WORKLOAD_KINDS
+    from .kinds import (
+        DEFAULT_CHUNK_SIZE,
+        STUDY_KINDS,
+        THERMAL_BACKENDS,
+        WORKLOAD_KINDS,
+    )
     from .results import StudyResult
     from .specs import (
         FloorplanSpec,
+        ScenarioGridSpec,
         ScenarioSpec,
         StudySpec,
         TechnologySpec,
         WorkloadSpec,
         as_floorplan_spec,
+        as_scenario_grid_spec,
         as_scenario_spec,
         as_technology_spec,
         as_workload_spec,

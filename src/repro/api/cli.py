@@ -21,7 +21,7 @@ from typing import List, Optional
 
 # Only the light kind-name module is imported eagerly: `repro --help`
 # must not pay for numpy or the model stack (specs/study load on `run`).
-from .kinds import STUDY_KINDS, WORKLOAD_KINDS
+from .kinds import DEFAULT_CHUNK_SIZE, STUDY_KINDS, WORKLOAD_KINDS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,6 +54,44 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the summary printout (exit status still reports errors)",
     )
+    run_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stream the study in fixed chunks of N scenarios (constant "
+            f"work-buffer memory; e.g. {DEFAULT_CHUNK_SIZE}); results are "
+            "bit-identical to the one-shot solve"
+        ),
+    )
+    run_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "stream with online reduction: keep only the per-scenario "
+            "metric series, never the full field tensor (implies chunked "
+            "execution at the default chunk size)"
+        ),
+    )
+    run_parser.add_argument(
+        "--memmap",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the full per-scenario fields as <name>.npy memmaps "
+            "under DIR instead of RAM (implies chunked execution)"
+        ),
+    )
+    run_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print chunk-level progress (rows done, rows/s, ETA) to stderr "
+            "during streamed runs; stdout and --quiet are unaffected"
+        ),
+    )
 
     commands.add_parser(
         "info",
@@ -76,8 +114,31 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"error: invalid study file {args.study}: {error}", file=sys.stderr)
         return 2
 
+    if args.chunk_size is not None or args.stream or args.memmap is not None:
+        try:
+            study = study.with_streaming(
+                chunk_size=args.chunk_size,
+                reduction=True if args.stream else None,
+                memmap_path=args.memmap,
+            )
+        except ValueError as error:
+            # Spec re-validation catches kind mismatches (e.g. streaming a
+            # thermal map) with the field-level message.
+            print(
+                f"error: cannot stream study {args.study}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+
+    progress = None
+    if args.progress:
+        from ..core.cosim.streaming import format_progress
+
+        def progress(update) -> None:
+            print(format_progress(update), file=sys.stderr)
+
     try:
-        result = study.run()
+        result = study.run(progress=progress)
     except (ValueError, KeyError) as error:
         # Spec validation passed but the engines rejected the combination
         # (e.g. a runaway ceiling below an ambient): report, don't crash.

@@ -19,3 +19,9 @@ THERMAL_BACKENDS = ("analytical", "fdm", "foster")
 #: Grid options the ``fdm`` backend accepts in ``StudySpec.backend_options``
 #: (mirror of :data:`repro.core.thermal.operator.FDM_GRID_OPTIONS`).
 FDM_GRID_OPTIONS = ("nx", "ny", "nz")
+
+#: Default scenario rows per streamed chunk — a plain-literal mirror of
+#: :data:`repro.core.cosim.streaming.DEFAULT_CHUNK_SIZE` so the CLI can
+#: document ``--chunk-size`` without importing numpy
+#: (``tests/test_streaming.py`` pins the two equal).
+DEFAULT_CHUNK_SIZE = 65536

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..analysis.sweep import steady_batch_series
 from ..core.cosim.scenarios import ScenarioBatchResult
+from ..core.cosim.streaming import SteadyStreamResult, TransientStreamResult
 from ..core.cosim.transient_scenarios import TransientBatchResult
 from ..core.thermal.superposition import SurfaceMap
 from .specs import StudySpec, load_json_object
@@ -210,6 +211,127 @@ class StudyResult:
         )
 
     # ------------------------------------------------------------------ #
+    # Streamed constructors (chunked execution, possibly reduced)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _streaming_metadata(
+        stream: Union[SteadyStreamResult, TransientStreamResult],
+    ) -> Dict[str, Any]:
+        streaming: Dict[str, Any] = {
+            "chunk_size": int(stream.chunk_size),
+            "chunk_count": int(stream.chunk_count),
+            "reduced": stream.fields is None,
+        }
+        if stream.memmap_path is not None:
+            streaming["memmap_path"] = stream.memmap_path
+        return streaming
+
+    @classmethod
+    def from_steady_stream(
+        cls, spec: StudySpec, stream: SteadyStreamResult
+    ) -> "StudyResult":
+        """Wrap a streamed steady run.
+
+        With retained fields (in RAM or memmapped) the arrays are exactly
+        those of :meth:`from_steady_batch`, bit-identical to the monolithic
+        path; a reduced run instead carries the 1-D per-scenario metric
+        series plus the per-block maxima — constant-size in the grid.
+        """
+        if stream.fields is not None:
+            arrays = {
+                name: stream.fields[name]
+                for name in (
+                    "block_temperatures",
+                    "dynamic_power",
+                    "static_power",
+                    "ambient_temperatures",
+                    "converged",
+                    "iteration_counts",
+                )
+            }
+        else:
+            arrays = dict(stream.series)
+            arrays["block_temperature_max"] = stream.block_temperature_max
+        return cls(
+            kind="steady",
+            spec=spec,
+            arrays=arrays,
+            metadata={
+                "block_names": list(stream.block_names),
+                "streaming": cls._streaming_metadata(stream),
+            },
+            native=stream,
+        )
+
+    @classmethod
+    def from_transient_stream(
+        cls, spec: StudySpec, stream: TransientStreamResult
+    ) -> "StudyResult":
+        """Wrap a streamed transient run (see :meth:`from_steady_stream`)."""
+        if stream.fields is not None:
+            arrays = {
+                name: stream.fields[name]
+                for name in (
+                    "times",
+                    "block_temperatures",
+                    "block_powers",
+                    "ambient_temperatures",
+                    "runaway",
+                    "runaway_times",
+                )
+            }
+        else:
+            arrays = dict(stream.series)
+            arrays["times"] = stream.times
+            arrays["block_temperature_max"] = stream.block_temperature_max
+        return cls(
+            kind="transient",
+            spec=spec,
+            arrays=arrays,
+            metadata={
+                "block_names": list(stream.block_names),
+                "streaming": cls._streaming_metadata(stream),
+            },
+            native=stream,
+        )
+
+    @classmethod
+    def from_sweep_stream(
+        cls, spec: StudySpec, stream: SteadyStreamResult
+    ) -> "StudyResult":
+        """Wrap a streamed steady run as a 1-D parameter sweep.
+
+        Reports the same series, in the same order and dtype, as
+        :meth:`from_sweep_batch` builds from
+        :func:`repro.analysis.sweep.steady_batch_series` — the streamed
+        values are bit-identical to their monolithic counterparts.
+        """
+        labels = (
+            "peak_temperature",
+            "peak_rise",
+            "total_power",
+            "total_static_power",
+            "converged",
+        )
+        arrays: Dict[str, np.ndarray] = {
+            "values": np.asarray(spec.parameter_values, dtype=float)
+        }
+        for label in labels:
+            arrays[label] = np.asarray(stream.series[label], dtype=float)
+        return cls(
+            kind="sweep",
+            spec=spec,
+            arrays=arrays,
+            metadata={
+                "parameter_name": spec.parameter_name,
+                "series": list(labels),
+                "block_names": list(stream.block_names),
+                "streaming": cls._streaming_metadata(stream),
+            },
+            native=stream,
+        )
+
+    # ------------------------------------------------------------------ #
     # Common accessors
     # ------------------------------------------------------------------ #
     def as_arrays(self) -> Dict[str, np.ndarray]:
@@ -231,33 +353,57 @@ class StudyResult:
             # floorplan (thermal maps are always the analytical model).
             summary["thermal_backend"] = self.spec.thermal_backend
         if self.kind == "steady":
-            temperatures = self.arrays["block_temperatures"]
-            converged = self.arrays["converged"]
+            converged = self.arrays["converged"].astype(bool)
             summary.update(
-                scenario_count=int(temperatures.shape[0]),
+                scenario_count=int(converged.shape[0]),
                 block_names=list(self.metadata.get("block_names", ())),
                 converged_count=int(converged.sum()),
-                runaway_count=int((~converged.astype(bool)).sum()),
-                peak_temperature_K=float(temperatures.max()),
-                max_total_power_W=float(
-                    (self.arrays["dynamic_power"] + self.arrays["static_power"])
-                    .sum(axis=1)
-                    .max()
-                ),
+                runaway_count=int((~converged).sum()),
             )
+            if "block_temperatures" in self.arrays:
+                temperatures = self.arrays["block_temperatures"]
+                summary.update(
+                    peak_temperature_K=float(temperatures.max()),
+                    max_total_power_W=float(
+                        (self.arrays["dynamic_power"] + self.arrays["static_power"])
+                        .sum(axis=1)
+                        .max()
+                    ),
+                )
+            else:
+                # Reduced streamed result: the full field tensor was never
+                # retained; the per-scenario series carry the same maxima.
+                summary.update(
+                    peak_temperature_K=float(
+                        self.arrays["peak_temperature"].max()
+                    ),
+                    max_total_power_W=float(self.arrays["total_power"].max()),
+                )
         elif self.kind == "transient":
-            temperatures = self.arrays["block_temperatures"]
-            final = temperatures[:, -1, :]
-            overshoot = np.maximum(
-                (temperatures - final[:, np.newaxis, :]).max(axis=(1, 2)), 0.0
-            )
             summary.update(
-                scenario_count=int(temperatures.shape[0]),
-                step_count=int(temperatures.shape[1]),
+                scenario_count=int(self.arrays["runaway"].shape[0]),
+                step_count=int(self.arrays["times"].shape[0]),
                 block_names=list(self.metadata.get("block_names", ())),
-                peak_temperature_K=float(temperatures.max()),
-                max_overshoot_K=float(overshoot.max()),
-                runaway_count=int(self.arrays["runaway"].sum()),
+            )
+            if "block_temperatures" in self.arrays:
+                temperatures = self.arrays["block_temperatures"]
+                final = temperatures[:, -1, :]
+                overshoot = np.maximum(
+                    (temperatures - final[:, np.newaxis, :]).max(axis=(1, 2)), 0.0
+                )
+                summary.update(
+                    peak_temperature_K=float(temperatures.max()),
+                    max_overshoot_K=float(overshoot.max()),
+                )
+            else:
+                summary.update(
+                    peak_temperature_K=float(
+                        self.arrays["peak_temperature"].max()
+                    ),
+                    max_overshoot_K=float(self.arrays["overshoot"].max()),
+                )
+            summary["runaway_count"] = int(
+                self.arrays["runaway"].astype(bool).sum()
             )
         elif self.kind == "thermal_map":
             temperature = self.arrays["temperature"]

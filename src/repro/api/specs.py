@@ -27,9 +27,20 @@ from collections import abc
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from types import MappingProxyType
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from ..core.cosim.scenarios import Scenario
+from ..core.cosim.scenarios import Scenario, scenario_grid_stream
 from ..core.cosim.transient_scenarios import (
     ActivityGrid,
     ConstantActivity,
@@ -558,6 +569,153 @@ def as_scenario_spec(value) -> ScenarioSpec:
     )
 
 
+@dataclass(frozen=True)
+class ScenarioGridSpec(_SpecSerialization):
+    """Compact cross product of the four scenario axes.
+
+    The constant-size counterpart of a tuple of :class:`ScenarioSpec`: the
+    axes alone describe a 10^6+-scenario grid in a few lines of JSON, and
+    :meth:`build_stream` yields the runtime scenarios lazily — in exactly
+    the order of :func:`~repro.core.cosim.scenarios.scenario_grid` and
+    :meth:`ScenarioSpec.grid` (technology x supply scale x ambient x
+    activity) — so the grid never has to exist in memory at once.  The
+    declarative source feeding the streaming execution path
+    (``StudySpec.scenario_grid`` + ``chunk_size``).
+    """
+
+    technologies: Tuple[TechnologySpec, ...] = ()
+    supply_scales: Tuple[float, ...] = (1.0,)
+    ambient_temperatures: Tuple[Optional[float], ...] = (None,)
+    activities: Tuple[Union[float, Mapping[str, float]], ...] = (1.0,)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.technologies, abc.Iterable) or isinstance(
+            self.technologies, (str, abc.Mapping)
+        ):
+            raise ValueError(
+                "technologies must be a sequence of technology descriptions"
+            )
+        object.__setattr__(
+            self,
+            "technologies",
+            tuple(as_technology_spec(value) for value in self.technologies),
+        )
+        if not self.technologies:
+            raise ValueError("at least one technology is required")
+        scales = []
+        for value in tuple(self.supply_scales):
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"supply_scales entries must be numbers, got {value!r}"
+                ) from None
+            if value <= 0.0:
+                raise ValueError("supply_scales must be positive")
+            scales.append(value)
+        if not scales:
+            raise ValueError("supply_scales must name at least one scale")
+        object.__setattr__(self, "supply_scales", tuple(scales))
+        ambients = []
+        for value in tuple(self.ambient_temperatures):
+            if value is not None:
+                try:
+                    value = float(value)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        "ambient_temperatures entries must be numbers or "
+                        f"null, got {value!r}"
+                    ) from None
+                if value <= 0.0:
+                    raise ValueError("ambient_temperatures must be positive")
+            ambients.append(value)
+        if not ambients:
+            raise ValueError("ambient_temperatures must name at least one entry")
+        object.__setattr__(self, "ambient_temperatures", tuple(ambients))
+        activities = []
+        for value in tuple(self.activities):
+            if isinstance(value, abc.Mapping):
+                mapping = _power_map(value, "activities")
+                if any(entry < 0.0 for entry in mapping.values()):
+                    raise ValueError("activity factors must be non-negative")
+                activities.append(mapping)
+                continue
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "activities entries must be numbers or per-block "
+                    f"mappings, got {value!r}"
+                ) from None
+            if value < 0.0:
+                raise ValueError("activities must be non-negative")
+            activities.append(value)
+        if not activities:
+            raise ValueError("activities must name at least one entry")
+        object.__setattr__(self, "activities", tuple(activities))
+
+    @property
+    def count(self) -> int:
+        """Grid size: the product of the four axis lengths."""
+        return (
+            len(self.technologies)
+            * len(self.supply_scales)
+            * len(self.ambient_temperatures)
+            * len(self.activities)
+        )
+
+    def build_stream(self) -> Iterator[Scenario]:
+        """Lazily yield the runtime scenarios in deterministic grid order.
+
+        Technology parameters are built once per axis entry and shared by
+        every scenario naming them; only the O(chunk) scenarios a consumer
+        holds at a time exist in memory.
+        """
+        technologies = [spec.build() for spec in self.technologies]
+        activities = tuple(
+            dict(value) if isinstance(value, abc.Mapping) else value
+            for value in self.activities
+        )
+        return scenario_grid_stream(
+            technologies,
+            supply_scales=self.supply_scales,
+            ambient_temperatures=self.ambient_temperatures,
+            activities=activities,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "technologies": [spec.to_dict() for spec in self.technologies]
+        }
+        if self.supply_scales != (1.0,):
+            data["supply_scales"] = list(self.supply_scales)
+        if self.ambient_temperatures != (None,):
+            data["ambient_temperatures"] = list(self.ambient_temperatures)
+        if self.activities != (1.0,):
+            data["activities"] = [
+                dict(value) if isinstance(value, abc.Mapping) else value
+                for value in self.activities
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioGridSpec":
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+def as_scenario_grid_spec(value) -> Optional[ScenarioGridSpec]:
+    """Coerce a grid description into a :class:`ScenarioGridSpec`."""
+    if value is None or isinstance(value, ScenarioGridSpec):
+        return value
+    if isinstance(value, abc.Mapping):
+        return ScenarioGridSpec.from_dict(value)
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as a scenario grid spec; "
+        "expected ScenarioGridSpec or mapping"
+    )
+
+
 def _to_plain(value: Any) -> Any:
     """Tuples back to lists (and mapping views back to dicts) for JSON."""
     if isinstance(value, tuple):
@@ -591,6 +749,23 @@ class StudySpec(_SpecSerialization):
         temperature (steady, transient and sweep studies).
     scenarios:
         Operating conditions to evaluate (steady, transient, sweep).
+    scenario_grid:
+        Steady and transient studies only: a compact
+        :class:`ScenarioGridSpec` cross product used *instead of*
+        ``scenarios`` — the constant-size description of grids too large
+        to enumerate (built lazily, one chunk at a time, when streaming).
+    chunk_size:
+        Stream the engine in fixed-size chunks of this many scenarios
+        (constant work-buffer memory).  ``None`` (default) solves the whole
+        batch monolithically unless another streaming option is set.
+    reduction:
+        Keep only the online-reduced per-scenario metric series, dropping
+        the full ``(scenarios, blocks)`` field arrays — the constant-memory
+        result for million-row grids.  Steady and transient studies only.
+    memmap_path:
+        Persist the full per-scenario field arrays as ``<name>.npy``
+        memmaps under this directory instead of RAM (implies chunked
+        execution).  Steady and transient studies only.
     workload:
         Transient studies only: the activity grid driving the integration.
     duration, time_step:
@@ -640,6 +815,10 @@ class StudySpec(_SpecSerialization):
     dynamic_powers: Dict[str, float] = field(default_factory=dict)
     static_powers: Dict[str, float] = field(default_factory=dict)
     scenarios: Tuple[ScenarioSpec, ...] = ()
+    scenario_grid: Optional[ScenarioGridSpec] = None
+    chunk_size: Optional[int] = None
+    reduction: bool = False
+    memmap_path: Optional[str] = None
     workload: Optional[WorkloadSpec] = None
     duration: Optional[float] = None
     time_step: Optional[float] = None
@@ -689,6 +868,20 @@ class StudySpec(_SpecSerialization):
             "scenarios",
             tuple(as_scenario_spec(value) for value in self.scenarios),
         )
+        object.__setattr__(
+            self, "scenario_grid", as_scenario_grid_spec(self.scenario_grid)
+        )
+        if self.chunk_size is not None:
+            object.__setattr__(
+                self, "chunk_size", validated_int(self.chunk_size, "chunk_size", 1)
+            )
+        object.__setattr__(self, "reduction", bool(self.reduction))
+        if self.memmap_path is not None:
+            if not isinstance(self.memmap_path, (str, Path)):
+                raise ValueError(
+                    f"memmap_path must be a directory path, got {self.memmap_path!r}"
+                )
+            object.__setattr__(self, "memmap_path", str(self.memmap_path))
         object.__setattr__(self, "workload", as_workload_spec(self.workload))
         if self.technology is not None:
             object.__setattr__(self, "technology", as_technology_spec(self.technology))
@@ -794,9 +987,19 @@ class StudySpec(_SpecSerialization):
             if self.scenarios:
                 raise ValueError("thermal_map studies take block_powers, not scenarios")
             # Engine-only fields must not be silently ignored either.
-            for label in ("workload", "duration", "time_step", "time_constants"):
+            for label in (
+                "workload",
+                "duration",
+                "time_step",
+                "time_constants",
+                "scenario_grid",
+                "chunk_size",
+                "memmap_path",
+            ):
                 if getattr(self, label) is not None:
                     raise ValueError(f"{label} does not apply to thermal_map studies")
+            if self.reduction:
+                raise ValueError("reduction does not apply to thermal_map studies")
             for label in (
                 "dynamic_powers",
                 "static_powers",
@@ -816,7 +1019,26 @@ class StudySpec(_SpecSerialization):
             raise ValueError("block_powers only apply to thermal_map studies")
         if self.map_samples != (50, 50):
             raise ValueError("map_samples only apply to thermal_map studies")
-        if not self.scenarios:
+        if self.scenario_grid is not None:
+            if kind == "sweep":
+                raise ValueError(
+                    "sweep studies enumerate scenarios explicitly (aligned "
+                    "one-to-one with parameter_values); scenario_grid applies "
+                    "to steady and transient studies"
+                )
+            if self.scenarios:
+                raise ValueError("give scenarios or scenario_grid, not both")
+        if kind == "sweep":
+            if self.reduction:
+                raise ValueError(
+                    "sweep results are always reduced series; the reduction "
+                    "flag applies to steady and transient studies"
+                )
+            if self.memmap_path is not None:
+                raise ValueError(
+                    "memmap_path applies to steady and transient studies"
+                )
+        if not self.scenarios and self.scenario_grid is None:
             raise ValueError(f"{kind!r} studies require at least one scenario")
         if not self.dynamic_powers and not self.static_powers:
             raise ValueError(
@@ -862,6 +1084,14 @@ class StudySpec(_SpecSerialization):
             data["static_powers"] = dict(self.static_powers)
         if self.scenarios:
             data["scenarios"] = [scenario.to_dict() for scenario in self.scenarios]
+        if self.scenario_grid is not None:
+            data["scenario_grid"] = self.scenario_grid.to_dict()
+        if self.chunk_size is not None:
+            data["chunk_size"] = self.chunk_size
+        if self.reduction:
+            data["reduction"] = True
+        if self.memmap_path is not None:
+            data["memmap_path"] = self.memmap_path
         if self.workload is not None:
             data["workload"] = self.workload.to_dict()
         for label in ("duration", "time_step", "ambient_temperature"):
@@ -904,10 +1134,41 @@ class StudySpec(_SpecSerialization):
     # ------------------------------------------------------------------ #
     # Runtime construction helpers (consumed by repro.api.study)
     # ------------------------------------------------------------------ #
+    @property
+    def streaming(self) -> bool:
+        """Whether any option engages the chunked streaming path."""
+        return (
+            self.chunk_size is not None
+            or self.reduction
+            or self.memmap_path is not None
+        )
+
+    @property
+    def scenario_count(self) -> int:
+        """Grid size, without materializing a single scenario."""
+        if self.scenario_grid is not None:
+            return self.scenario_grid.count
+        return len(self.scenarios)
+
     def build_scenarios(self) -> List[Scenario]:
         """Materialize every scenario, sharing technology objects."""
+        if self.scenario_grid is not None:
+            return list(self.scenario_grid.build_stream())
         technologies: Dict[TechnologySpec, TechnologyParameters] = {}
         return [spec.build(technologies) for spec in self.scenarios]
+
+    def scenario_stream(self) -> Tuple[Iterator[Scenario], int]:
+        """A lazy scenario iterator plus the known grid size.
+
+        The streaming path's counterpart of :meth:`build_scenarios`: with a
+        ``scenario_grid`` the scenarios are generated on the fly and never
+        exist in memory at once; an explicit ``scenarios`` tuple is built
+        eagerly (it is already O(n) in memory as specs).
+        """
+        if self.scenario_grid is not None:
+            return self.scenario_grid.build_stream(), self.scenario_grid.count
+        scenarios = self.build_scenarios()
+        return iter(scenarios), len(scenarios)
 
     def describe(self) -> str:
         """Human-readable study name."""

@@ -34,15 +34,24 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.cosim.scenarios import ScenarioEngine
+from ..core.cosim.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_TRANSIENT_CHUNK_SIZE,
+    ProgressCallback,
+    stream_steady,
+    stream_transient,
+)
 from ..core.cosim.transient_scenarios import TransientScenarioEngine
 from ..core.thermal.superposition import ChipThermalModel
 from .results import StudyResult
 from .specs import (
+    ScenarioGridSpec,
     ScenarioSpec,
     StudySpec,
     TechnologySpec,
     WorkloadSpec,
     as_floorplan_spec,
+    as_scenario_grid_spec,
     as_scenario_spec,
     as_technology_spec,
     as_workload_spec,
@@ -79,6 +88,7 @@ def run_study(
     spec: StudySpec,
     engine: Optional[ScenarioEngine] = None,
     scenarios: Optional[Sequence] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> StudyResult:
     """Execute a study spec and wrap the outcome in a :class:`StudyResult`.
 
@@ -87,12 +97,16 @@ def run_study(
     reproduces the original result arrays bit-for-bit.  ``engine`` and
     ``scenarios`` let :class:`Study` pass in its cached compilation of the
     spec; when omitted they are rebuilt from the spec (same outcome either
-    way, since both are pure functions of the spec).
+    way, since both are pure functions of the spec).  ``progress`` observes
+    streamed runs chunk by chunk (ignored on the monolithic path, which has
+    no chunks to report).
     """
     if spec.kind == "thermal_map":
         return _run_thermal_map(spec)
     if engine is None:
         engine = build_engine(spec)
+    if spec.streaming:
+        return _run_streamed(spec, engine, scenarios, progress)
     if scenarios is None:
         scenarios = spec.build_scenarios()
     options = _solver_options(spec)
@@ -111,6 +125,63 @@ def run_study(
     if spec.kind == "sweep":
         return StudyResult.from_sweep_batch(spec, batch)
     return StudyResult.from_steady_batch(spec, batch)
+
+
+def _run_streamed(
+    spec: StudySpec,
+    engine: ScenarioEngine,
+    scenarios: Optional[Sequence],
+    progress: Optional[ProgressCallback],
+) -> StudyResult:
+    """The chunked execution path behind :func:`run_study`.
+
+    Dispatches to :func:`~repro.core.cosim.streaming.stream_steady` /
+    :func:`~repro.core.cosim.streaming.stream_transient`; full fields are
+    retained (in RAM) unless the spec asked for ``reduction`` or routed
+    them to ``memmap_path``, so a plain ``chunk_size=`` run reproduces the
+    monolithic result arrays bit-for-bit.
+    """
+    options = _solver_options(spec)
+    if scenarios is not None:
+        stream_source, total = iter(scenarios), len(scenarios)
+    else:
+        stream_source, total = spec.scenario_stream()
+    # Sweep results only ever report the reduced series, so their streamed
+    # path never retains fields; steady/transient keep them unless reduced
+    # away or routed to disk.
+    keep_fields = (
+        spec.kind != "sweep" and not spec.reduction and spec.memmap_path is None
+    )
+    if spec.kind == "transient":
+        transient = TransientScenarioEngine(engine, time_constants=spec.time_constants)
+        activity = spec.workload.build() if spec.workload is not None else None
+        stream = stream_transient(
+            transient,
+            stream_source,
+            duration=spec.duration,
+            time_step=spec.time_step,
+            activity=activity,
+            chunk_size=spec.chunk_size or DEFAULT_TRANSIENT_CHUNK_SIZE,
+            total=total,
+            keep_fields=keep_fields,
+            memmap_path=spec.memmap_path,
+            progress=progress,
+            **options,
+        )
+        return StudyResult.from_transient_stream(spec, stream)
+    stream = stream_steady(
+        engine,
+        stream_source,
+        chunk_size=spec.chunk_size or DEFAULT_CHUNK_SIZE,
+        total=total,
+        keep_fields=keep_fields,
+        memmap_path=spec.memmap_path,
+        progress=progress,
+        **options,
+    )
+    if spec.kind == "sweep":
+        return StudyResult.from_sweep_stream(spec, stream)
+    return StudyResult.from_steady_stream(spec, stream)
 
 
 def _run_thermal_map(spec: StudySpec) -> StudyResult:
@@ -185,6 +256,10 @@ class Study:
         dynamic_powers: Optional[Mapping[str, float]] = None,
         static_powers: Optional[Mapping[str, float]] = None,
         scenarios: Iterable = (),
+        scenario_grid: Optional[Union[ScenarioGridSpec, Mapping[str, Any]]] = None,
+        chunk_size: Optional[int] = None,
+        reduction: bool = False,
+        memmap_path: Optional[Union[str, Path]] = None,
         label: str = "",
         image_rings: int = 1,
         include_bottom_images: bool = True,
@@ -201,6 +276,12 @@ class Study:
                 dynamic_powers=dict(dynamic_powers or {}),
                 static_powers=dict(static_powers or {}),
                 scenarios=_scenario_specs(scenarios),
+                scenario_grid=as_scenario_grid_spec(scenario_grid),
+                chunk_size=chunk_size,
+                reduction=reduction,
+                memmap_path=(
+                    str(memmap_path) if memmap_path is not None else None
+                ),
                 label=label,
                 image_rings=image_rings,
                 include_bottom_images=include_bottom_images,
@@ -218,6 +299,10 @@ class Study:
         dynamic_powers: Optional[Mapping[str, float]] = None,
         static_powers: Optional[Mapping[str, float]] = None,
         scenarios: Iterable = (),
+        scenario_grid: Optional[Union[ScenarioGridSpec, Mapping[str, Any]]] = None,
+        chunk_size: Optional[int] = None,
+        reduction: bool = False,
+        memmap_path: Optional[Union[str, Path]] = None,
         duration: float = 1.0,
         time_step: float = 1e-2,
         workload: Optional[Union[WorkloadSpec, Mapping[str, Any]]] = None,
@@ -238,6 +323,12 @@ class Study:
                 dynamic_powers=dict(dynamic_powers or {}),
                 static_powers=dict(static_powers or {}),
                 scenarios=_scenario_specs(scenarios),
+                scenario_grid=as_scenario_grid_spec(scenario_grid),
+                chunk_size=chunk_size,
+                reduction=reduction,
+                memmap_path=(
+                    str(memmap_path) if memmap_path is not None else None
+                ),
                 duration=duration,
                 time_step=time_step,
                 workload=as_workload_spec(workload),
@@ -337,6 +428,29 @@ class Study:
         """Copy of the study over a different scenario list."""
         return Study(self._spec.replace(scenarios=_scenario_specs(scenarios)))
 
+    def with_streaming(
+        self,
+        chunk_size: Optional[int] = None,
+        reduction: Optional[bool] = None,
+        memmap_path: Optional[Union[str, Path]] = None,
+    ) -> "Study":
+        """Copy of the study with streaming-execution options replaced.
+
+        Any option given engages the chunked path; the study's physics and
+        reduced metrics are unchanged (chunking is bit-identical to the
+        monolithic solve), only memory behavior and result retention move.
+        """
+        overrides: Dict[str, Any] = {}
+        if chunk_size is not None:
+            overrides["chunk_size"] = chunk_size
+        if reduction is not None:
+            overrides["reduction"] = reduction
+        if memmap_path is not None:
+            overrides["memmap_path"] = str(memmap_path)
+        if not overrides:
+            return self
+        return Study(self._spec.replace(**overrides))
+
     def with_backend(
         self,
         thermal_backend: str,
@@ -358,14 +472,29 @@ class Study:
     # ------------------------------------------------------------------ #
     # Execution / serialization
     # ------------------------------------------------------------------ #
-    def run(self) -> StudyResult:
-        """Execute the study through the appropriate batched engine."""
+    def run(self, progress: Optional[ProgressCallback] = None) -> StudyResult:
+        """Execute the study through the appropriate batched engine.
+
+        ``progress`` observes streamed (chunked) runs per completed chunk;
+        monolithic runs have no chunks and never call it.
+        """
         if self._spec.kind == "thermal_map":
             return run_study(self._spec)
+        if self._spec.streaming:
+            # Streaming keeps memory flat in the grid size: only the engine
+            # compilation is cached, never a materialized scenario list.
+            if self._engine is None:
+                self._engine = build_engine(self._spec)
+            return run_study(self._spec, engine=self._engine, progress=progress)
         if self._engine is None:
             self._engine = build_engine(self._spec)
             self._scenarios = self._spec.build_scenarios()
-        return run_study(self._spec, engine=self._engine, scenarios=self._scenarios)
+        return run_study(
+            self._spec,
+            engine=self._engine,
+            scenarios=self._scenarios,
+            progress=progress,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         """The spec as plain data."""

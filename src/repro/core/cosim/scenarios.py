@@ -9,7 +9,9 @@ thermal kernel batched point evaluation:
 * a :class:`Scenario` names one operating condition — a technology node, a
   supply voltage, an ambient (heat-sink) temperature and a per-block
   activity scaling;
-* :func:`scenario_grid` builds the full cross product of those axes;
+* :func:`scenario_grid` builds the full cross product of those axes
+  (:func:`scenario_grid_stream` yields the same grid lazily for
+  million-row sweeps);
 * :class:`ScenarioEngine` evaluates *all* scenarios concurrently: block
   powers go through the vectorized leakage kernel (one broadcast Eq. 13
   evaluation per fixed-point iteration for every scenario x block pair),
@@ -36,7 +38,17 @@ from __future__ import annotations
 
 from collections import abc
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -124,13 +136,20 @@ class Scenario:
         )
 
 
-def scenario_grid(
+def scenario_grid_stream(
     technologies: Sequence[TechnologyParameters],
     supply_scales: Iterable[float] = (1.0,),
     ambient_temperatures: Iterable[Optional[float]] = (None,),
     activities: Iterable[Union[float, Mapping[str, float]]] = (1.0,),
-) -> List[Scenario]:
-    """Cross product of the four scenario axes, in deterministic order.
+) -> Iterator[Scenario]:
+    """Lazy cross product of the four scenario axes, in deterministic order.
+
+    Yields the exact scenarios :func:`scenario_grid` would return, one at a
+    time, so million-row grids never exist as a list: the streaming
+    execution path (:mod:`repro.core.cosim.streaming`) pulls fixed-size
+    chunks straight off this iterator.  Axis validation happens eagerly —
+    before the first scenario is requested — and one-shot axis iterators
+    are materialized up front so the nested re-iteration is safe.
 
     Parameters
     ----------
@@ -144,27 +163,94 @@ def scenario_grid(
     activities:
         Per-scenario activity scalings (scalar or per-block mapping).
     """
+    technologies = tuple(technologies)
     if not technologies:
         raise ValueError("at least one technology is required")
-    # Materialize the axes so one-shot iterators (generators) survive the
-    # re-iteration inside the nested cross-product loops.
     supply_scales = tuple(supply_scales)
     ambient_temperatures = tuple(ambient_temperatures)
     activities = tuple(activities)
-    scenarios = []
-    for technology in technologies:
-        for scale in supply_scales:
-            for ambient in ambient_temperatures:
-                for activity in activities:
-                    scenarios.append(
-                        Scenario(
+
+    def generate() -> Iterator[Scenario]:
+        for technology in technologies:
+            for scale in supply_scales:
+                for ambient in ambient_temperatures:
+                    for activity in activities:
+                        yield Scenario(
                             technology=technology,
                             supply_voltage=scale * technology.vdd,
                             ambient_temperature=ambient,
                             activity=activity,
                         )
-                    )
-    return scenarios
+
+    return generate()
+
+
+def scenario_grid(
+    technologies: Sequence[TechnologyParameters],
+    supply_scales: Iterable[float] = (1.0,),
+    ambient_temperatures: Iterable[Optional[float]] = (None,),
+    activities: Iterable[Union[float, Mapping[str, float]]] = (1.0,),
+) -> List[Scenario]:
+    """Cross product of the four scenario axes, as a list.
+
+    Delegates to :func:`scenario_grid_stream` (same ordering, same
+    validation) and materializes the result — use the stream directly when
+    the grid is too large to hold.
+    """
+    return list(
+        scenario_grid_stream(
+            technologies,
+            supply_scales=supply_scales,
+            ambient_temperatures=ambient_temperatures,
+            activities=activities,
+        )
+    )
+
+
+class Workspace:
+    """Named, reusable work buffers for the batched update loops.
+
+    The streaming executor (:mod:`repro.core.cosim.streaming`) runs every
+    chunk through one :class:`Workspace`, so the damped fixed point and the
+    exact-exponential transient update touch preallocated memory via
+    ``out=``/in-place ufuncs instead of allocating fresh arrays per chunk.
+    Buffers are keyed by name, grown on demand, and handed out as leading
+    ``[:rows]`` views — a later, smaller chunk reuses the same storage.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def buffer(
+        self, name: str, shape: Tuple[int, ...], dtype: type = float
+    ) -> np.ndarray:
+        """A ``shape``-sized view of the named buffer (allocating/growing)."""
+        base = self._buffers.get(name)
+        if (
+            base is None
+            or base.dtype != np.dtype(dtype)
+            or base.shape[1:] != tuple(shape[1:])
+            or base.shape[0] < shape[0]
+        ):
+            base = np.empty(shape, dtype=dtype)
+            self._buffers[name] = base
+        return base[: shape[0]]
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (for budget introspection/tests)."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+
+def _work_buffer(
+    workspace: Optional[Workspace],
+    name: str,
+    shape: Tuple[int, ...],
+    dtype: type = float,
+) -> np.ndarray:
+    """A named workspace view, or a fresh array when no workspace is given."""
+    if workspace is None:
+        return np.empty(shape, dtype=dtype)
+    return workspace.buffer(name, shape, dtype)
 
 
 class ScenarioPhysics:
@@ -287,30 +373,96 @@ class ScenarioPhysics:
         self._ideality = devices.n.reshape((count, 1))
         self._leakage_ready = True
 
-    def static_powers(self, temperatures: np.ndarray, rows) -> np.ndarray:
-        """Static power [W] of the given scenario rows at ``temperatures``."""
-        self._ensure_leakage_constants()
-        vth = self._vt0[rows] - self._kt[rows] * (temperatures - self._reference[rows])
-        # kT/q inline (same association as technology.constants); the
-        # positivity check lives with the scenario construction.
-        vt = BOLTZMANN * temperatures / ELEMENTARY_CHARGE
-        gate_factor = leakage_kernel.safe_exp((0.0 - vth) / (self._ideality[rows] * vt))
-        hot = (
-            self._prefactor_base[rows]
-            * (temperatures / self._reference[rows]) ** 2
-            * gate_factor
-        )
-        return self.static_ref[rows] * (hot / self._cold[rows])
+    def static_powers(
+        self,
+        temperatures: np.ndarray,
+        rows,
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[Workspace] = None,
+    ) -> np.ndarray:
+        """Static power [W] of the given scenario rows at ``temperatures``.
 
-    def steady_targets(self, powers: np.ndarray, rows) -> np.ndarray:
+        The arithmetic is one fixed in-place ufunc chain — `exp`-factor and
+        ``(T/T_ref)^2`` built up in two work buffers — so the monolithic
+        and chunked paths execute identical floating-point operations
+        (monolithic callers simply get fresh buffers).  ``out`` must not
+        alias ``temperatures``.
+        """
+        self._ensure_leakage_constants()
+        shape = temperatures.shape
+        gate = _work_buffer(workspace, "sp_gate", shape)
+        scratch = _work_buffer(workspace, "sp_scratch", shape)
+        if out is None:
+            out = np.empty(shape)
+        # gate <- -Vth(T) = -(vt0 - kt * (T - T_ref)), built as 0.0 - Vth to
+        # preserve the reference expression's signed-zero behavior.
+        np.subtract(temperatures, self._reference[rows], out=gate)
+        np.multiply(self._kt[rows], gate, out=gate)
+        np.subtract(self._vt0[rows], gate, out=gate)
+        np.subtract(0.0, gate, out=gate)
+        # scratch <- n * kT/q (same association as technology.constants);
+        # the positivity check lives with the scenario construction.
+        np.multiply(BOLTZMANN, temperatures, out=scratch)
+        np.divide(scratch, ELEMENTARY_CHARGE, out=scratch)
+        np.multiply(self._ideality[rows], scratch, out=scratch)
+        # gate <- safe_exp(-Vth / (n kT/q)), clip+exp exactly as the kernel.
+        np.divide(gate, scratch, out=gate)
+        limit = leakage_kernel.MAX_EXPONENT
+        np.clip(gate, -limit, limit, out=gate)
+        np.exp(gate, out=gate)
+        # scratch <- prefactor * (T / T_ref)^2; ``x ** 2`` lowers to square.
+        np.divide(temperatures, self._reference[rows], out=scratch)
+        np.square(scratch, out=scratch)
+        np.multiply(self._prefactor_base[rows], scratch, out=scratch)
+        # out <- static_ref * (hot / cold)
+        np.multiply(scratch, gate, out=scratch)
+        np.divide(scratch, self._cold[rows], out=scratch)
+        np.multiply(self.static_ref[rows], scratch, out=out)
+        return out
+
+    def steady_targets(
+        self,
+        powers: np.ndarray,
+        rows,
+        out: Optional[np.ndarray] = None,
+        workspace: Optional[Workspace] = None,
+    ) -> np.ndarray:
         """Steady-state block temperatures [K] for the rows' ``powers``.
 
         ``T_ss = T_amb + R_hs * sum(P) + R @ P`` with the cached
         unit-conductivity reduction scaled by each scenario's ``1/k``.
+        One in-place chain shared by monolithic and chunked execution;
+        ``out`` may alias ``powers`` (the reduction lands in work buffers).
+
+        The ``R @ P`` product is accumulated column by column with
+        elementwise ufuncs instead of a BLAS matmul: GEMM selects
+        different kernels (and rounding) by batch size, which would make
+        each row's trajectory depend on how many rows happen to be in
+        flight — compaction scheduling and chunk boundaries would then
+        change results.  The fixed ``k``-ascending accumulation is
+        bit-identical for a row whether it is solved alone, in a chunk, or
+        in the full batch.
         """
-        heat_sink_extra = self.heat_sink[rows] * powers.sum(axis=1)
-        rises = (powers @ self._unit_matrix.T) / self.conductivity[rows, np.newaxis]
-        return self.ambient[rows, np.newaxis] + heat_sink_extra[:, np.newaxis] + rises
+        count, blocks = powers.shape
+        sums = _work_buffer(workspace, "st_sums", (count,))
+        rises = _work_buffer(workspace, "st_rises", powers.shape)
+        product = _work_buffer(workspace, "st_product", powers.shape)
+        powers.sum(axis=1, out=sums)
+        np.multiply(self.heat_sink[rows], sums, out=sums)
+        np.multiply(powers[:, 0, np.newaxis], self._unit_matrix[:, 0], out=rises)
+        for column in range(1, blocks):
+            np.multiply(
+                powers[:, column, np.newaxis],
+                self._unit_matrix[:, column],
+                out=product,
+            )
+            np.add(rises, product, out=rises)
+        np.divide(rises, self.conductivity[rows, np.newaxis], out=rises)
+        if out is None:
+            out = np.empty(powers.shape)
+        np.add(self.ambient[rows], sums, out=sums)
+        np.add(sums[:, np.newaxis], rises, out=out)
+        return out
 
 
 @dataclass(frozen=True)
@@ -403,6 +555,115 @@ class ScenarioBatchResult:
             )
             for index, scenario in enumerate(self.scenarios)
         ]
+
+
+def validate_fixed_point_options(
+    max_iterations: int, tolerance: float, damping: float
+) -> None:
+    """Shared parameter validation of the batched fixed point."""
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be at least 1")
+    if tolerance <= 0.0:
+        raise ValueError("tolerance must be positive")
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must be in (0, 1]")
+
+
+def solve_fixed_point(
+    physics: ScenarioPhysics,
+    max_iterations: int = 50,
+    tolerance: float = 0.01,
+    damping: float = 1.0,
+    max_temperature: float = 500.0,
+    workspace: Optional[Workspace] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Damped fixed point over one prepared physics batch.
+
+    The single implementation behind :meth:`ScenarioEngine.solve` and the
+    streaming executor (:mod:`repro.core.cosim.streaming`): both run this
+    exact code — the streaming path per chunk, with a shared
+    :class:`Workspace` — so chunked reductions are bit-identical to the
+    monolithic result by construction (each scenario row's trajectory is
+    independent of its neighbors).
+
+    The iteration state is double-buffered: ``temps`` views one buffer,
+    the proposed update lands in the other, and as scenarios converge the
+    surviving rows are packed back into the idle buffer, so the loop never
+    allocates per iteration when a workspace is supplied.
+
+    Returns ``(block_temperatures, static_power, converged,
+    iteration_counts)`` with rows in the batch's scenario order.
+    """
+    validate_fixed_point_options(max_iterations, tolerance, damping)
+    count = physics.count
+    blocks = physics.blocks
+    ambient = physics.ambient
+    if max_temperature <= ambient.max():
+        raise ValueError("max_temperature must exceed every ambient temperature")
+    dynamic = physics.dynamic
+
+    temperatures = np.empty((count, blocks))
+    converged = np.zeros(count, dtype=bool)
+    iteration_counts = np.zeros(count, dtype=int)
+
+    cur_base = _work_buffer(workspace, "fp_state_a", (count, blocks))
+    nxt_base = _work_buffer(workspace, "fp_state_b", (count, blocks))
+    cur_base[:] = ambient[:, np.newaxis]
+
+    # The batch iterates on the still-active subset only: rows are
+    # compacted away as their scenarios converge (each row's trajectory
+    # is independent, which is also what makes the result permutation
+    # invariant in the scenario order).
+    index_map = np.arange(count)
+    for index in range(max_iterations):
+        rows = index_map
+        active = rows.size
+        temps = cur_base[:active]
+        powers = _work_buffer(workspace, "fp_powers", (active, blocks))
+        scratch = _work_buffer(workspace, "fp_scratch", (active, blocks))
+        physics.static_powers(temps, rows, out=scratch, workspace=workspace)
+        np.take(dynamic, rows, axis=0, out=powers)
+        np.add(powers, scratch, out=powers)
+        proposed = physics.steady_targets(
+            powers, rows, out=nxt_base[:active], workspace=workspace
+        )
+        np.multiply(damping, proposed, out=proposed)
+        np.multiply(1.0 - damping, temps, out=scratch)
+        np.add(proposed, scratch, out=proposed)
+        np.minimum(proposed, max_temperature, out=proposed)
+        np.subtract(proposed, temps, out=scratch)
+        np.abs(scratch, out=scratch)
+        change = _work_buffer(workspace, "fp_change", (active,))
+        scratch.max(axis=1, out=change)
+        iteration_counts[rows] += 1
+        swap = True
+        if index > 0:
+            settled = change < tolerance
+            if settled.any():
+                converged[rows[settled]] = True
+                temperatures[rows[settled]] = proposed[settled]
+                keep = ~settled
+                index_map = rows[keep]
+                # Pack the survivors back into the idle buffer (``temps``
+                # storage is free once ``change`` is computed) — the
+                # proposal buffer stays the proposal buffer, so no swap.
+                np.compress(keep, proposed, axis=0, out=cur_base[: index_map.size])
+                swap = False
+        if swap:
+            cur_base, nxt_base = nxt_base, cur_base
+        if index_map.size == 0:
+            break
+    temperatures[index_map] = cur_base[: index_map.size]
+
+    # Scenarios that hit the runaway ceiling report non-convergence, as
+    # in the scalar engine.
+    runaway = (temperatures >= max_temperature - 1e-9).any(axis=1)
+    converged &= ~runaway
+
+    static_power = physics.static_powers(
+        temperatures, slice(None), workspace=workspace
+    )
+    return temperatures, static_power, converged, iteration_counts
 
 
 class ScenarioEngine:
@@ -567,76 +828,35 @@ class ScenarioEngine:
         tolerance: float = 0.01,
         damping: float = 1.0,
         max_temperature: float = 500.0,
+        workspace: Optional[Workspace] = None,
     ) -> ScenarioBatchResult:
         """Damped fixed point for every scenario, as array operations.
 
         Parameters mirror :meth:`ElectroThermalEngine.solve`; each scenario
         converges (and freezes) independently, so results are invariant
-        under permutation of the scenario list.
+        under permutation of the scenario list.  The loop itself lives in
+        :func:`solve_fixed_point`; pass a :class:`Workspace` to reuse work
+        buffers across repeated batches (the streaming executor does).
         """
         if not scenarios:
             raise ValueError("at least one scenario is required")
-        if max_iterations < 1:
-            raise ValueError("max_iterations must be at least 1")
-        if tolerance <= 0.0:
-            raise ValueError("tolerance must be positive")
-        if not 0.0 < damping <= 1.0:
-            raise ValueError("damping must be in (0, 1]")
-
+        validate_fixed_point_options(max_iterations, tolerance, damping)
         physics = ScenarioPhysics(self, scenarios)
-        scenarios = physics.scenarios
-        count = physics.count
-        blocks = physics.blocks
-        ambient = physics.ambient
-        if max_temperature <= ambient.max():
-            raise ValueError("max_temperature must exceed every ambient temperature")
-        dynamic = physics.dynamic
-        static_powers = physics.static_powers
-
-        temperatures = np.broadcast_to(ambient[:, np.newaxis], (count, blocks)).copy()
-        converged = np.zeros(count, dtype=bool)
-        iteration_counts = np.zeros(count, dtype=int)
-
-        # The batch iterates on the still-active subset only: rows are
-        # compacted away as their scenarios converge (each row's trajectory
-        # is independent, which is also what makes the result permutation
-        # invariant in the scenario order).
-        index_map = np.arange(count)
-        temps = temperatures
-        for index in range(max_iterations):
-            rows = index_map
-            powers = dynamic[rows] + static_powers(temps, rows)
-            updated = physics.steady_targets(powers, rows)
-            proposed = damping * updated + (1.0 - damping) * temps
-            np.minimum(proposed, max_temperature, out=proposed)
-            change = np.abs(proposed - temps).max(axis=1)
-            temps = proposed
-            iteration_counts[rows] += 1
-            if index > 0:
-                settled = change < tolerance
-                if settled.any():
-                    converged[rows[settled]] = True
-                    temperatures[rows[settled]] = temps[settled]
-                    keep = ~settled
-                    index_map = rows[keep]
-                    temps = temps[keep]
-            if index_map.size == 0:
-                break
-        temperatures[index_map] = temps
-
-        # Scenarios that hit the runaway ceiling report non-convergence, as
-        # in the scalar engine.
-        runaway = (temperatures >= max_temperature - 1e-9).any(axis=1)
-        converged &= ~runaway
-
-        static_power = static_powers(temperatures, slice(None))
+        temperatures, static_power, converged, iteration_counts = solve_fixed_point(
+            physics,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            damping=damping,
+            max_temperature=max_temperature,
+            workspace=workspace,
+        )
         return ScenarioBatchResult(
-            scenarios=scenarios,
+            scenarios=physics.scenarios,
             block_names=self._block_names,
             block_temperatures=temperatures,
-            dynamic_power=dynamic,
+            dynamic_power=physics.dynamic,
             static_power=static_power,
-            ambient_temperatures=ambient,
+            ambient_temperatures=physics.ambient,
             converged=converged,
             iteration_counts=iteration_counts,
         )

@@ -41,7 +41,13 @@ from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .scenarios import Scenario, ScenarioEngine, ScenarioPhysics
+from .scenarios import (
+    Scenario,
+    ScenarioEngine,
+    ScenarioPhysics,
+    Workspace,
+    _work_buffer,
+)
 from .transient import (
     ActivityProfile,
     TransientCosimResult,
@@ -292,6 +298,7 @@ def integrate_relaxation(
     max_temperature: float,
     settle_tolerance: Optional[float] = None,
     settle_after: float = math.inf,
+    workspace: Optional[Workspace] = None,
 ) -> IntegrationArrays:
     """Exponential-update relaxation integration for a batch of rows.
 
@@ -307,6 +314,14 @@ def integrate_relaxation(
     fine-stepped integrations far from equilibrium.)  Every row's
     trajectory is independent, so results are invariant under row
     permutation.
+
+    The update runs as one fixed in-place ufunc chain over double-buffered
+    state, so the monolithic and chunked (streaming) paths execute
+    identical floating-point operations.  When ``workspace`` is given the
+    per-step work arrays come from it (and ``targets_fn`` must accept
+    ``out=``/``workspace=`` keywords, as
+    :meth:`~repro.core.cosim.scenarios.ScenarioPhysics.steady_targets`
+    does); otherwise they are freshly allocated.
     """
     scenario_count, block_count = initial.shape
     step_count = len(times)
@@ -315,29 +330,53 @@ def integrate_relaxation(
     runaway = np.zeros(scenario_count, dtype=bool)
     runaway_times = np.full(scenario_count, np.nan)
 
+    cur_base = _work_buffer(workspace, "tr_state_a", initial.shape)
+    nxt_base = _work_buffer(workspace, "tr_state_b", initial.shape)
+    np.copyto(cur_base, initial)
+
     rows = np.arange(scenario_count)
-    temps = initial.copy()
     for index, now in enumerate(times):
+        active = rows.size
+        temps = cur_base[:active]
         powers = power_fn(float(now), temps, rows)
         temperatures_history[rows, index] = temps
         powers_history[rows, index] = powers
         if index == step_count - 1:
             break
-        targets = targets_fn(powers, rows)
+        if workspace is None:
+            targets = targets_fn(powers, rows)
+        else:
+            targets = targets_fn(
+                powers,
+                rows,
+                out=workspace.buffer("tr_targets", temps.shape),
+                workspace=workspace,
+            )
         dt = times[index + 1] - now
-        decay = np.exp(-dt / tau[rows])
-        updated = targets + (temps - targets) * decay
-        ceiling = updated > max_temperature
+        decay = _work_buffer(workspace, "tr_decay", temps.shape)
+        np.take(tau, rows, axis=0, out=decay)
+        np.divide(-dt, decay, out=decay)
+        np.exp(decay, out=decay)
+        updated = nxt_base[:active]
+        np.subtract(temps, targets, out=updated)
+        np.multiply(updated, decay, out=updated)
+        np.add(targets, updated, out=updated)
+        ceiling = _work_buffer(workspace, "tr_ceiling", temps.shape, dtype=bool)
+        np.greater(updated, max_temperature, out=ceiling)
         np.minimum(updated, max_temperature, out=updated)
         newly_runaway = ceiling.any(axis=1) & ~runaway[rows]
         if newly_runaway.any():
             runaway[rows[newly_runaway]] = True
             runaway_times[rows[newly_runaway]] = times[index + 1]
+        swap = True
         # A row may freeze only when its distance to target was measured
         # under the final (constant) workload: the step must *start* at or
         # after the grid's last switching instant.
         if settle_tolerance is not None and now >= settle_after:
-            settled = np.abs(updated - targets).max(axis=1) < settle_tolerance
+            scratch = _work_buffer(workspace, "tr_scratch", temps.shape)
+            np.subtract(updated, targets, out=scratch)
+            np.abs(scratch, out=scratch)
+            settled = scratch.max(axis=1) < settle_tolerance
             if settled.any():
                 frozen_rows = rows[settled]
                 frozen_temps = updated[settled]
@@ -352,10 +391,15 @@ def integrate_relaxation(
                 ]
                 keep = ~settled
                 rows = rows[keep]
-                updated = updated[keep]
+                # Pack the survivors back into the idle buffer (``temps``
+                # storage is free once the step is recorded); the proposal
+                # buffer stays the proposal buffer, so no swap.
+                np.compress(keep, updated, axis=0, out=cur_base[: rows.size])
+                swap = False
                 if rows.size == 0:
                     break
-        temps = updated
+        if swap:
+            cur_base, nxt_base = nxt_base, cur_base
 
     return IntegrationArrays(
         times=times,
@@ -602,6 +646,9 @@ class TransientScenarioEngine:
         max_temperature: float = 500.0,
         settle_tolerance: Optional[float] = None,
         include_activity_edges: bool = True,
+        workspace: Optional[Workspace] = None,
+        scenario_offset: int = 0,
+        total_scenarios: Optional[int] = None,
     ) -> TransientBatchResult:
         """Integrate every scenario's block temperatures over ``duration``.
 
@@ -634,6 +681,16 @@ class TransientScenarioEngine:
         include_activity_edges:
             Union the activity grid's switching instants into the time
             grid, so piecewise-constant workloads are integrated exactly.
+        workspace:
+            Optional :class:`~repro.core.cosim.scenarios.Workspace` whose
+            preallocated buffers the integration reuses (the streaming
+            executor passes one per chunk run).
+        scenario_offset, total_scenarios:
+            When this batch is one chunk of a larger grid, the chunk's
+            starting row and the grid's full scenario count: per-scenario
+            activity grids (2-D multipliers, per-scenario switch times,
+            ...) are defined over the *full* grid and sliced here, so a
+            chunked run sees exactly the monolithic workload.
         """
         if duration <= 0.0 or time_step <= 0.0:
             raise ValueError("duration and time_step must be positive")
@@ -647,9 +704,15 @@ class TransientScenarioEngine:
             raise ValueError("max_temperature must exceed every ambient temperature")
         if activity is None:
             activity = ConstantActivity(1.0)
+        total = physics.count if total_scenarios is None else int(total_scenarios)
+        if total < physics.count:
+            raise ValueError("total_scenarios must cover the batch")
+        if not 0 <= scenario_offset <= total - physics.count:
+            raise ValueError("scenario_offset places the batch outside the grid")
         shape = (physics.count, physics.blocks)
+        full_shape = (total, physics.blocks)
         # Validate the grid broadcasts before the integration starts.
-        np.broadcast_to(np.asarray(activity.values(0.0), dtype=float), shape)
+        np.broadcast_to(np.asarray(activity.values(0.0), dtype=float), full_shape)
 
         steps = int(math.ceil(duration / time_step)) + 1
         times = np.linspace(0.0, duration, steps)
@@ -670,9 +733,19 @@ class TransientScenarioEngine:
 
         def power_fn(now: float, temps: np.ndarray, rows: np.ndarray) -> np.ndarray:
             multipliers = np.broadcast_to(
-                np.asarray(activity.values(now), dtype=float), shape
-            )[rows]
-            return dynamic[rows] * multipliers + physics.static_powers(temps, rows)
+                np.asarray(activity.values(now), dtype=float), full_shape
+            )[scenario_offset + rows]
+            powers = _work_buffer(workspace, "tr_powers", temps.shape)
+            np.take(dynamic, rows, axis=0, out=powers)
+            np.multiply(powers, multipliers, out=powers)
+            static = physics.static_powers(
+                temps,
+                rows,
+                out=_work_buffer(workspace, "tr_static", temps.shape),
+                workspace=workspace,
+            )
+            np.add(powers, static, out=powers)
+            return powers
 
         arrays = integrate_relaxation(
             times,
@@ -683,6 +756,7 @@ class TransientScenarioEngine:
             max_temperature,
             settle_tolerance=settle_tolerance,
             settle_after=activity.constant_after,
+            workspace=workspace,
         )
         return TransientBatchResult(
             scenarios=physics.scenarios,
