@@ -34,6 +34,7 @@ REQUIRED_RECORDS = (
     "BENCH_backends.json",
     "BENCH_kernel.json",
     "BENCH_scenarios.json",
+    "BENCH_serve.json",
     "BENCH_streaming.json",
     "BENCH_transient.json",
 )

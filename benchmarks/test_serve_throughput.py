@@ -1,0 +1,132 @@
+"""Serve-path throughput: warm-cache replays at parity with direct runs.
+
+Replays the harness workload (``benchmarks/serve_replay.py``) against an
+in-process server and persists the measured service throughput
+(studies/s), latency percentiles and the warm-over-direct ratio to
+``BENCH_serve.json`` for ``check_floors.py``.  The floored claims are
+throughput under concurrency (the service answers hundreds of studies
+per second from its result cache) and tail latency (p99 stays bounded);
+the headline ratio is a *parity* bound — a warm served study, HTTP round
+trip included, must not cost materially more than re-running the study
+in-process, so clients never pay a penalty for going through the
+service.  Every reply in the warm-up replay is verified bit-identical to
+a direct :func:`~repro.api.study.run_study`, so none of this is bought
+with approximation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from conftest import peak_rss_mb
+from serve_replay import build_workload, replay
+
+from repro.api import run_study
+from repro.reporting import print_table
+from repro.serve import make_server
+
+DISTINCT = 8
+REPEATS = 6
+CLIENTS = 8
+REPETITIONS = 3
+#: Floors/ceilings committed against the measured PR-7 numbers (~500
+#: studies/s, p99 ~30ms, warm/direct ratio ~0.9-1.7x depending on run)
+#: with generous headroom for CI-runner jitter; see docs/serving.md.
+#: The headline ratio floors *parity*: a warm served study (HTTP round
+#: trip included) must cost at most ~2x a direct in-process rerun.
+REQUIRED_WARM_SPEEDUP = 0.5
+REQUIRED_STUDIES_PER_SECOND = 100.0
+P99_CEILING_MS = 250.0
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+
+def test_serve_throughput():
+    workload = build_workload(distinct=DISTINCT, repeats=REPEATS)
+    server = make_server("127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    try:
+        # Warm pass: compiles the engine, fills the result cache, and
+        # verifies every distinct spec bit-identical to direct execution.
+        replay(host, port, workload, clients=CLIENTS, verify=True)
+        # Timed passes, all warm (the serving steady state); best of
+        # REPETITIONS to be scheduler-stall robust like the other benches.
+        metrics = None
+        for _ in range(REPETITIONS):
+            candidate = replay(host, port, workload, clients=CLIENTS, verify=False)
+            if metrics is None or (
+                candidate["studies_per_second"] > metrics["studies_per_second"]
+            ):
+                metrics = candidate
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+    # Direct-execution baseline over the same distinct specs (the cost a
+    # client pays re-running a study instead of asking the service),
+    # best of REPETITIONS.
+    distinct_specs = workload[:DISTINCT]
+    for spec in distinct_specs:
+        run_study(spec)  # warm module-level reduction caches
+    direct_seconds_per_study = float("inf")
+    for _ in range(REPETITIONS):
+        start = time.perf_counter()
+        for spec in distinct_specs:
+            run_study(spec)
+        direct_seconds_per_study = min(
+            direct_seconds_per_study, (time.perf_counter() - start) / DISTINCT
+        )
+
+    served_seconds_per_study = 1.0 / metrics["studies_per_second"]
+    speedup = direct_seconds_per_study / served_seconds_per_study
+
+    record = {
+        "benchmark": "serve_throughput",
+        "requests": metrics["requests"],
+        "clients": CLIENTS,
+        "distinct_specs": DISTINCT,
+        "studies_per_second": metrics["studies_per_second"],
+        "p50_ms": metrics["p50_ms"],
+        "p99_ms": metrics["p99_ms"],
+        "direct_seconds_per_study": direct_seconds_per_study,
+        "served_seconds_per_study": served_seconds_per_study,
+        "result_cache_hits": metrics["result_cache_hits"],
+        "speedup": speedup,
+        "required_speedup": REQUIRED_WARM_SPEEDUP,
+        "auxiliary_ratios": [
+            {
+                "name": "studies_per_second",
+                "value": metrics["studies_per_second"],
+                "floor": REQUIRED_STUDIES_PER_SECOND,
+            }
+        ],
+        "auxiliary_ceilings": [
+            {"name": "p99_ms", "value": metrics["p99_ms"], "ceiling": P99_CEILING_MS}
+        ],
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        ["path", "seconds/study"],
+        [
+            ["direct run_study", direct_seconds_per_study],
+            ["served (warm cache, HTTP)", served_seconds_per_study],
+        ],
+        title=(
+            f"serve throughput {metrics['studies_per_second']:.0f} studies/s, "
+            f"p50 {metrics['p50_ms']:.1f}ms p99 {metrics['p99_ms']:.1f}ms, "
+            f"warm speedup {speedup:.1f}x (floor {REQUIRED_WARM_SPEEDUP}x)"
+        ),
+    )
+
+    assert metrics["result_cache_hits"] == metrics["requests"]
+    assert speedup >= REQUIRED_WARM_SPEEDUP
+    assert metrics["studies_per_second"] >= REQUIRED_STUDIES_PER_SECOND
+    assert metrics["p99_ms"] <= P99_CEILING_MS

@@ -13,6 +13,8 @@ The library underneath is organised as:
 
 * :mod:`repro.api` — declarative specs, the :class:`Study` facade, the
   unified :class:`StudyResult` and the CLI;
+* :mod:`repro.serve` — the long-lived HTTP study service (``repro serve``)
+  with cross-request compile/result caching and admission batching;
 * :mod:`repro.core` — the paper's contribution: the analytical static-power
   model (stack collapsing, Eq. 1–13), the analytical thermal-profile model
   (Eqs. 16–21 plus the method of images), dynamic power, and the concurrent
@@ -47,7 +49,7 @@ is first touched.
 from importlib import import_module
 from typing import TYPE_CHECKING
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Subpackages importable as ``repro.<name>`` (resolved lazily).
 _SUBMODULES = frozenset(
@@ -61,6 +63,7 @@ _SUBMODULES = frozenset(
         "measurement",
         "optimize",
         "reporting",
+        "serve",
         "spice",
         "technology",
         "thermalsim",
@@ -80,6 +83,10 @@ _EXPORTS = {
     "WorkloadSpec": "repro.api",
     "load_study": "repro.api",
     "run_study": "repro.api",
+    # serve (the long-lived study service)
+    "StudyClient": "repro.serve",
+    "StudyService": "repro.serve",
+    "make_server": "repro.serve",
     # technology
     "TechnologyParameters": "repro.technology",
     "TechnologyScalingStudy": "repro.technology",
@@ -274,6 +281,7 @@ if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
         default_test_devices,
     )
     from .optimize import exhaustive_sleep_vector, greedy_sleep_vector
+    from .serve import StudyClient, StudyService, make_server
     from .spice import GateLeakageReference, StackDCSolver
     from .technology import (
         TechnologyParameters,

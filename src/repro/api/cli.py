@@ -1,13 +1,16 @@
-"""Command-line front end: ``repro run`` and ``repro info``.
+"""Command-line front end: ``repro run``, ``repro serve`` and ``repro info``.
 
 Installed as the ``repro`` console script (see ``pyproject.toml``) and as
 ``python -m repro``.  The CLI executes serialized
 :class:`~repro.api.specs.StudySpec` JSON files through the same
 :func:`~repro.api.study.run_study` interpreter the Python facade uses, so
 a study authored programmatically, shipped to another machine and re-run
-from its JSON reproduces the original arrays bit-for-bit::
+from its JSON reproduces the original arrays bit-for-bit.  ``repro
+serve`` keeps that interpreter resident behind an HTTP endpoint speaking
+the same JSON formats (see :mod:`repro.serve`)::
 
     repro run study.json --out results.json
+    repro serve --port 8765 --window 0.02
     repro info
 """
 
@@ -21,7 +24,14 @@ from typing import List, Optional
 
 # Only the light kind-name module is imported eagerly: `repro --help`
 # must not pay for numpy or the model stack (specs/study load on `run`).
-from .kinds import DEFAULT_CHUNK_SIZE, STUDY_KINDS, WORKLOAD_KINDS
+from .kinds import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_ENGINE_CACHE_SIZE,
+    DEFAULT_RESULT_CACHE_SIZE,
+    DEFAULT_SERVE_PORT,
+    STUDY_KINDS,
+    WORKLOAD_KINDS,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,7 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execute a JSON study file",
         description=(
             "Load a StudySpec JSON file, run it through the batched "
-            "engines and print the summary."
+            "engines and print the summary to stdout."
         ),
     )
     run_parser.add_argument("study", type=Path, help="path to the study JSON file")
@@ -47,12 +57,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         type=Path,
         default=None,
-        help="write the full StudyResult (spec + arrays) as JSON to this path",
+        help=(
+            "write the full StudyResult (spec + arrays) as JSON to this "
+            "path (default: no file is written; only the stdout summary)"
+        ),
     )
     run_parser.add_argument(
         "--quiet",
         action="store_true",
-        help="suppress the summary printout (exit status still reports errors)",
+        help=(
+            "suppress the summary printout on stdout (default: print it; "
+            "exit status still reports errors either way)"
+        ),
     )
     run_parser.add_argument(
         "--chunk-size",
@@ -62,7 +78,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "stream the study in fixed chunks of N scenarios (constant "
             f"work-buffer memory; e.g. {DEFAULT_CHUNK_SIZE}); results are "
-            "bit-identical to the one-shot solve"
+            "bit-identical to the one-shot solve (default: solve the "
+            "whole batch in one shot)"
         ),
     )
     run_parser.add_argument(
@@ -71,7 +88,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "stream with online reduction: keep only the per-scenario "
             "metric series, never the full field tensor (implies chunked "
-            "execution at the default chunk size)"
+            f"execution at the default chunk size {DEFAULT_CHUNK_SIZE}; "
+            "default: off)"
         ),
     )
     run_parser.add_argument(
@@ -81,7 +99,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help=(
             "persist the full per-scenario fields as <name>.npy memmaps "
-            "under DIR instead of RAM (implies chunked execution)"
+            "under DIR instead of RAM (implies chunked execution; "
+            "default: fields stay in RAM)"
         ),
     )
     run_parser.add_argument(
@@ -89,14 +108,106 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "print chunk-level progress (rows done, rows/s, ETA) to stderr "
-            "during streamed runs; stdout and --quiet are unaffected"
+            "during streamed runs; stdout and --quiet are unaffected "
+            "(default: off)"
+        ),
+    )
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the long-lived HTTP study service",
+        description=(
+            "Serve studies over HTTP: POST /run takes the same StudySpec "
+            "JSON `repro run` reads and replies with a result envelope; "
+            "GET /stats reports cache/batching counters; POST /shutdown "
+            "drains in-flight requests and exits.  Compiled engines and "
+            "results are cached across requests; concurrent compatible "
+            "steady requests can coalesce into one batched solve.  The "
+            "listening address is printed to stderr; request/response "
+            "bodies travel over the socket only."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1, loopback only)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVE_PORT,
+        help=(
+            f"TCP port to bind (default: {DEFAULT_SERVE_PORT}; 0 picks an "
+            "ephemeral port, reported on stderr)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "shard execution across N single-process worker pools, routed "
+            "by floorplan so each worker's engine cache stays warm "
+            "(default: 0, execute in-process)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "admission-batching window: hold the first steady request of "
+            "a compatible group this long so concurrent requests solve as "
+            "one batch (default: 0, batching disabled)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--engine-cache",
+        type=int,
+        default=DEFAULT_ENGINE_CACHE_SIZE,
+        metavar="N",
+        help=(
+            "compiled engines kept across requests, LRU-evicted "
+            f"(default: {DEFAULT_ENGINE_CACHE_SIZE})"
+        ),
+    )
+    serve_parser.add_argument(
+        "--result-cache",
+        type=int,
+        default=DEFAULT_RESULT_CACHE_SIZE,
+        metavar="N",
+        help=(
+            "study results kept across requests, keyed by spec content "
+            f"hash, LRU-evicted (default: {DEFAULT_RESULT_CACHE_SIZE})"
+        ),
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request execution timeout; timed-out requests get HTTP "
+            "504 (default: no timeout)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help=(
+            "log one line per HTTP request to stderr "
+            "(default: off; only the listening/shutdown lines are printed)"
         ),
     )
 
     commands.add_parser(
         "info",
         help="show package, study-kind and technology information",
-        description="Print the toolkit's capabilities as a quick reference.",
+        description=(
+            "Print the toolkit's capabilities to stdout as a quick reference."
+        ),
     )
     return parser
 
@@ -155,6 +266,34 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serve stack pulls in the engines.
+    from ..serve.server import make_server
+
+    try:
+        server = make_server(
+            args.host,
+            args.port,
+            quiet=not args.verbose,
+            engine_cache_size=args.engine_cache,
+            result_cache_size=args.result_cache,
+            window=args.window,
+            workers=args.workers,
+            timeout=args.timeout,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot start service: {error}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port}", file=sys.stderr)
+    try:
+        server.run()  # drains in-flight requests on the way out
+    except KeyboardInterrupt:
+        pass
+    print("repro serve stopped", file=sys.stderr)
+    return 0
+
+
 def _command_info() -> int:
     from .. import __version__
 
@@ -175,7 +314,7 @@ def _command_info() -> int:
     for name, capabilities in backend_capabilities().items():
         print(f"  {name}: {capabilities.description}")
         print(f"    [{capabilities.flags()}]")
-    print("usage: repro run study.json [--out results.json]")
+    print("usage: repro run study.json [--out results.json] | repro serve")
     return 0
 
 
@@ -185,6 +324,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "info":
         return _command_info()
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

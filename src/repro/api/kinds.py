@@ -25,3 +25,15 @@ FDM_GRID_OPTIONS = ("nx", "ny", "nz")
 #: document ``--chunk-size`` without importing numpy
 #: (``tests/test_streaming.py`` pins the two equal).
 DEFAULT_CHUNK_SIZE = 65536
+
+#: Serve-layer defaults (`repro serve`), kept here so the CLI's argument
+#: parsing can document them without importing numpy or the serve stack
+#: (:mod:`repro.serve.service` imports these back as its own defaults).
+#: Compiled engines (reduced operator matrices included) kept across
+#: requests, LRU-evicted.
+DEFAULT_ENGINE_CACHE_SIZE = 32
+#: Serialized study results kept across requests, keyed by spec content
+#: hash, LRU-evicted.
+DEFAULT_RESULT_CACHE_SIZE = 256
+#: Default `repro serve` TCP port.
+DEFAULT_SERVE_PORT = 8765

@@ -120,6 +120,7 @@ class StudyResult:
     def from_steady_batch(
         cls, spec: StudySpec, batch: ScenarioBatchResult
     ) -> "StudyResult":
+        """Package a solved steady :class:`ScenarioBatchResult` for ``spec``."""
         return cls(
             kind="steady",
             spec=spec,
@@ -142,6 +143,7 @@ class StudyResult:
     def from_transient_batch(
         cls, spec: StudySpec, batch: TransientBatchResult
     ) -> "StudyResult":
+        """Package a solved :class:`TransientBatchResult` for ``spec``."""
         return cls(
             kind="transient",
             spec=spec,
@@ -167,6 +169,7 @@ class StudyResult:
         surface: SurfaceMap,
         source_temperatures: Mapping[str, float],
     ) -> "StudyResult":
+        """Package a sampled :class:`SurfaceMap` and its source solve."""
         return cls(
             kind="thermal_map",
             spec=spec,
@@ -189,6 +192,7 @@ class StudyResult:
     def from_sweep_batch(
         cls, spec: StudySpec, batch: ScenarioBatchResult
     ) -> "StudyResult":
+        """Package a sweep: per-scenario metric series over the parameter axis."""
         series = steady_batch_series(batch)
         arrays: Dict[str, np.ndarray] = {
             "values": np.asarray(spec.parameter_values, dtype=float)
@@ -453,6 +457,7 @@ class StudyResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StudyResult":
+        """Rebuild a result from :meth:`to_dict` data (format-checked)."""
         if data.get("format") != RESULT_FORMAT:
             raise ValueError(
                 f"unsupported result format {data.get('format')!r} "
@@ -473,6 +478,41 @@ class StudyResult:
     def from_json(cls, source: Union[str, Path]) -> "StudyResult":
         """Parse a result from a JSON string or a path to a JSON file."""
         return cls.from_dict(load_json_object(source, cls.__name__))
+
+    # ------------------------------------------------------------------ #
+    # Service envelopes (the repro.serve wire format)
+    # ------------------------------------------------------------------ #
+    def envelope(self, served: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """The result wrapped as a service response envelope.
+
+        The JSON body the study service (:mod:`repro.serve`) returns from
+        ``POST /run``: the full :meth:`to_dict` payload under ``"result"``
+        (so a client round-trips it through :meth:`from_envelope` /
+        :meth:`from_dict` bit-identically), the headline :meth:`summary`,
+        the spec's content hash (the service's result-cache key, which a
+        client can use to deduplicate or re-request), and a ``"served"``
+        mapping of delivery metadata (cache hits, timings) that the caller
+        supplies — it describes *this* delivery, never the result, and is
+        deliberately excluded from bit-identity comparisons.
+        """
+        return {
+            "status": "ok",
+            "spec_hash": self.spec.content_hash(),
+            "summary": self.summary(),
+            "served": dict(served or {}),
+            "result": self.to_dict(),
+        }
+
+    @classmethod
+    def from_envelope(cls, data: Mapping[str, Any]) -> "StudyResult":
+        """Unwrap a service response envelope (inverse of :meth:`envelope`)."""
+        status = data.get("status")
+        if status != "ok":
+            message = data.get("error", {}).get("message", "unknown error")
+            raise ValueError(f"envelope reports status {status!r}: {message}")
+        if "result" not in data:
+            raise ValueError("envelope has no 'result' payload")
+        return cls.from_dict(data["result"])
 
     def equals(self, other: "StudyResult") -> bool:
         """Exact equality: same kind, spec, metadata and bit-identical arrays."""

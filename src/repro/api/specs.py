@@ -22,6 +22,7 @@ of a steady, transient, thermal-map or sweep study —
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import abc
 from dataclasses import dataclass, field, fields, replace
@@ -152,6 +153,7 @@ class _SpecSerialization:
     """Shared JSON plumbing: every spec serializes via ``to_dict``."""
 
     def to_dict(self) -> Dict[str, Any]:  # pragma: no cover - overridden
+        """The spec as plain data, defaults omitted (each subclass defines it)."""
         raise NotImplementedError
 
     def to_json(self, path: Optional[Union[str, Path]] = None, indent: int = 2) -> str:
@@ -160,6 +162,26 @@ class _SpecSerialization:
         if path is not None:
             Path(path).write_text(text)
         return text
+
+    def canonical_json(self) -> str:
+        """The spec as one canonical JSON line (sorted keys, no spaces).
+
+        Equal specs produce byte-identical canonical text regardless of
+        field order or formatting of the JSON they were loaded from, which
+        is what makes :meth:`content_hash` a usable cache key.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Content address of the spec: SHA-256 of :meth:`canonical_json`.
+
+        The study service (:mod:`repro.serve`) keys its result cache on
+        this hash — two requests carrying equal specs (however formatted)
+        collapse onto one cache entry, and any semantic difference, however
+        small, produces a different key.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()
 
     @classmethod
     def from_json(cls, source: Union[str, Path]):
@@ -197,6 +219,7 @@ class TechnologySpec(_SpecSerialization):
         return make_technology(self.node, ambient_celsius=self.ambient_celsius)
 
     def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, defaults omitted (minimal JSON)."""
         data: Dict[str, Any] = {"node": self.node}
         if self.ambient_celsius != 25.0:
             data["ambient_celsius"] = self.ambient_celsius
@@ -204,6 +227,8 @@ class TechnologySpec(_SpecSerialization):
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TechnologySpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` data."""
+
         _reject_unknown_keys(cls, data)
         return cls(**data)
 
@@ -287,6 +312,7 @@ class FloorplanSpec(_SpecSerialization):
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, defaults omitted (minimal JSON)."""
         data: Dict[str, Any] = {
             "die_width": self.die_width,
             "die_length": self.die_length,
@@ -301,6 +327,8 @@ class FloorplanSpec(_SpecSerialization):
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FloorplanSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` data."""
+
         _reject_unknown_keys(cls, data)
         return cls(**data)
 
@@ -385,6 +413,7 @@ class WorkloadSpec(_SpecSerialization):
         return grids[self.kind](**self.parameters)
 
     def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, defaults omitted (minimal JSON)."""
         data: Dict[str, Any] = {"kind": self.kind}
         if self.parameters:
             data["parameters"] = _to_plain(self.parameters)
@@ -392,6 +421,8 @@ class WorkloadSpec(_SpecSerialization):
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` data."""
+
         _reject_unknown_keys(cls, data)
         return cls(**data)
 
@@ -531,6 +562,7 @@ class ScenarioSpec(_SpecSerialization):
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, defaults omitted (minimal JSON)."""
         data: Dict[str, Any] = {"technology": self.technology.to_dict()}
         for label in ("supply_scale", "supply_voltage", "ambient_temperature"):
             value = getattr(self, label)
@@ -547,6 +579,8 @@ class ScenarioSpec(_SpecSerialization):
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` data."""
+
         _reject_unknown_keys(cls, data)
         return cls(**data)
 
@@ -684,6 +718,7 @@ class ScenarioGridSpec(_SpecSerialization):
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, defaults omitted (minimal JSON)."""
         data: Dict[str, Any] = {
             "technologies": [spec.to_dict() for spec in self.technologies]
         }
@@ -700,6 +735,8 @@ class ScenarioGridSpec(_SpecSerialization):
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioGridSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` data."""
+
         _reject_unknown_keys(cls, data)
         return cls(**data)
 
@@ -723,6 +760,24 @@ def _to_plain(value: Any) -> Any:
     if isinstance(value, abc.Mapping):
         return {key: _to_plain(entry) for key, entry in value.items()}
     return value
+
+
+#: :class:`StudySpec` fields that determine the compiled
+#: :class:`~repro.core.cosim.scenarios.ScenarioEngine` — everything
+#: :func:`repro.api.study.build_engine` reads.  Scenario lists, workloads
+#: and solver options deliberately stay out: requests differing only in
+#: those share one engine (the seam the serve layer's compile cache and
+#: admission batching key on).
+ENGINE_FIELDS = (
+    "floorplan",
+    "dynamic_powers",
+    "static_powers",
+    "image_rings",
+    "include_bottom_images",
+    "device_type",
+    "thermal_backend",
+    "backend_options",
+)
 
 
 def _default_floorplan() -> "FloorplanSpec":
@@ -1074,6 +1129,7 @@ class StudySpec(_SpecSerialization):
     # Serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, defaults omitted (minimal JSON)."""
         data: Dict[str, Any] = {
             "kind": self.kind,
             "floorplan": self.floorplan.to_dict(),
@@ -1128,6 +1184,8 @@ class StudySpec(_SpecSerialization):
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` data."""
+
         _reject_unknown_keys(cls, data)
         return cls(**data)
 
@@ -1169,6 +1227,23 @@ class StudySpec(_SpecSerialization):
             return self.scenario_grid.build_stream(), self.scenario_grid.count
         scenarios = self.build_scenarios()
         return iter(scenarios), len(scenarios)
+
+    def engine_canonical_json(self) -> str:
+        """Canonical JSON of the :data:`ENGINE_FIELDS` subset of the spec.
+
+        Two studies with equal engine-determining fields — whatever their
+        scenarios, workload, streaming or solver options — produce
+        byte-identical text here, so hashing it keys compiled engines (and
+        their reduced operator matrices) across requests.
+        """
+        data = self.to_dict()
+        subset = {name: data[name] for name in ENGINE_FIELDS if name in data}
+        return json.dumps(subset, sort_keys=True, separators=(",", ":"))
+
+    def engine_hash(self) -> str:
+        """Compile-cache key: SHA-256 of :meth:`engine_canonical_json`."""
+        digest = hashlib.sha256(self.engine_canonical_json().encode("utf-8"))
+        return digest.hexdigest()
 
     def describe(self) -> str:
         """Human-readable study name."""

@@ -519,6 +519,33 @@ class ScenarioBatchResult:
         """Junction temperature [K] of one block across the batch."""
         return self.block_temperatures[:, self.block_names.index(block_name)]
 
+    def slice_rows(self, start: int, stop: int) -> "ScenarioBatchResult":
+        """Rows ``[start, stop)`` repackaged as an independent batch result.
+
+        The scatter half of admission batching (:mod:`repro.serve`): several
+        requests sharing an engine solve as one concatenated batch, and each
+        request's rows are sliced back out.  Row trajectories are independent
+        and permutation-invariant (each scenario converges and freezes on its
+        own), so a sliced sub-batch is bit-identical to solving its scenarios
+        alone — the property the serve-layer tests pin.
+        """
+        count = len(self.scenarios)
+        if not 0 <= start <= stop <= count:
+            raise ValueError(
+                f"slice [{start}, {stop}) out of range for {count} scenario(s)"
+            )
+        window = slice(start, stop)
+        return ScenarioBatchResult(
+            scenarios=self.scenarios[window],
+            block_names=self.block_names,
+            block_temperatures=self.block_temperatures[window],
+            dynamic_power=self.dynamic_power[window],
+            static_power=self.static_power[window],
+            ambient_temperatures=self.ambient_temperatures[window],
+            converged=self.converged[window],
+            iteration_counts=self.iteration_counts[window],
+        )
+
     def scenario_result(self, index: int) -> CosimResult:
         """Repackage one scenario as a scalar-engine :class:`CosimResult`.
 

@@ -1,0 +1,76 @@
+"""`repro.serve` — the long-lived study service behind ``repro serve``.
+
+Turns the one-shot ``repro run`` pipeline into a resident HTTP service
+that amortizes work across requests.  Three layers, bottom up:
+
+* **caching** (:mod:`repro.serve.cache`) — LRU compile cache of built
+  engines (reduced operator matrices included) keyed by engine hash, and
+  an LRU result cache keyed by full-spec content hash, both with hit/miss
+  counters surfaced on ``GET /stats``;
+* **admission batching** (:mod:`repro.serve.batching`) — concurrent
+  steady requests sharing an engine configuration coalesce into one
+  batched solve within a configurable window, with per-request scatter;
+* **service + transport** (:mod:`repro.serve.service`,
+  :mod:`repro.serve.server`) — the transport-free
+  :class:`~repro.serve.service.StudyService` (optionally sharding
+  floorplans across process pools, with graceful shutdown and
+  per-request timeouts) and the stdlib HTTP adapter speaking exactly the
+  CLI's JSON spec/result formats.
+
+Quick start::
+
+    from repro.serve import make_server
+
+    server = make_server("127.0.0.1", 0, window=0.02)
+    print("listening on", server.server_address)
+    server.run()  # serve until POST /shutdown, then drain and exit
+
+Names resolve lazily (PEP 562) so importing :mod:`repro` stays cheap.
+"""
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "LRUCache": "repro.serve.cache",
+    "AdmissionBatcher": "repro.serve.batching",
+    "ExecutionCore": "repro.serve.service",
+    "ServeTimeoutError": "repro.serve.service",
+    "ServiceClosedError": "repro.serve.service",
+    "StudyService": "repro.serve.service",
+    "solve_key": "repro.serve.service",
+    "StudyServer": "repro.serve.server",
+    "make_server": "repro.serve.server",
+    "ServeError": "repro.serve.client",
+    "StudyClient": "repro.serve.client",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
+
+if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
+    from .batching import AdmissionBatcher
+    from .cache import LRUCache
+    from .client import ServeError, StudyClient
+    from .server import StudyServer, make_server
+    from .service import (
+        ExecutionCore,
+        ServeTimeoutError,
+        ServiceClosedError,
+        StudyService,
+        solve_key,
+    )

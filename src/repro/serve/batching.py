@@ -1,0 +1,149 @@
+"""Admission batching: coalesce concurrent compatible requests into one solve.
+
+The batched engines get *faster per scenario* as batches grow (one
+:class:`~repro.core.cosim.scenarios.ScenarioPhysics` precomputation, one
+fixed-point loop), so a service handling concurrent small requests that
+share an engine configuration should not solve them one by one.  The
+:class:`AdmissionBatcher` holds the first request of a compatible group
+open for a configurable **window**; every compatible request admitted
+inside the window joins the group, and the whole group executes as one
+call — the service concatenates the scenario lists, solves once, and
+scatters per-request rows back out via
+:meth:`~repro.core.cosim.scenarios.ScenarioBatchResult.slice_rows`.
+
+The scheme is leader-based and needs no background threads: the first
+requester of a group becomes its leader, sleeps out the window, then
+executes for everyone; followers merely wait on their futures.  A window
+of ``0`` disables batching (every request is its own group), which is the
+service default — batching trades a bounded latency floor for throughput,
+a choice the operator makes explicitly (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+class _Group:
+    """Requests admitted under one key, awaiting their shared flush."""
+
+    __slots__ = ("entries", "flush")
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[Any, Future]] = []
+        self.flush = threading.Event()
+
+
+class AdmissionBatcher:
+    """Groups concurrent requests by key and executes each group once.
+
+    Parameters
+    ----------
+    window:
+        Seconds the first request of a group waits for company before the
+        group executes.  ``0`` executes immediately (no coalescing).
+    execute:
+        Callable receiving the group's request payloads (in admission
+        order) and returning one result per payload, same order.  It runs
+        on the leader's thread.  If it raises for a multi-request group,
+        the batcher retries each member individually so one member's
+        failure (e.g. a solver ceiling valid for its siblings) cannot
+        poison the rest.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        execute: Callable[[Sequence[Any]], Sequence[Any]],
+    ) -> None:
+        if window < 0.0:
+            raise ValueError("window must be non-negative seconds")
+        self.window = float(window)
+        self._execute = execute
+        self._lock = threading.Lock()
+        self._pending: Dict[str, _Group] = {}
+        self._requests = 0
+        self._groups = 0
+        self._coalesced_requests = 0
+        self._largest_group = 0
+        self._fallbacks = 0
+
+    def submit(self, key: str, payload: Any) -> Future:
+        """Admit one request; returns the future carrying its result.
+
+        The calling thread may become the group leader, in which case the
+        group's execution happens on it before this method returns (its
+        own future is then already resolved).  Followers return
+        immediately and wait on the future.
+        """
+        future: Future = Future()
+        with self._lock:
+            group = self._pending.get(key)
+            leader = group is None
+            if leader:
+                group = _Group()
+                self._pending[key] = group
+            group.entries.append((payload, future))
+            self._requests += 1
+        if leader:
+            if self.window > 0.0:
+                # drain() sets the event to flush early on shutdown.
+                group.flush.wait(self.window)
+            with self._lock:
+                self._pending.pop(key, None)
+                entries = list(group.entries)
+                self._groups += 1
+                self._largest_group = max(self._largest_group, len(entries))
+                if len(entries) > 1:
+                    self._coalesced_requests += len(entries)
+            self._run(entries)
+        return future
+
+    def _run(self, entries: List[Tuple[Any, Future]]) -> None:
+        """Execute one group and resolve its futures."""
+        payloads = [payload for payload, _ in entries]
+        try:
+            results = self._execute(payloads)
+        except Exception as error:
+            if len(entries) == 1:
+                entries[0][1].set_exception(error)
+                return
+            # Per-member retry: group-global failures (one member tripping
+            # a batch-wide validation) must not reject its siblings.
+            with self._lock:
+                self._fallbacks += 1
+            for payload, future in entries:
+                try:
+                    result = self._execute([payload])[0]
+                except Exception as member_error:
+                    future.set_exception(member_error)
+                else:
+                    future.set_result(result)
+            return
+        for (_, future), result in zip(entries, results):
+            future.set_result(result)
+
+    def drain(self) -> None:
+        """Release every waiting leader immediately (shutdown path).
+
+        Pending groups execute at once instead of sleeping out their
+        window; in-flight work completes normally.
+        """
+        with self._lock:
+            groups = list(self._pending.values())
+        for group in groups:
+            group.flush.set()
+
+    def stats(self) -> Dict[str, Any]:
+        """Lifetime admission counters, as plain data."""
+        with self._lock:
+            return {
+                "window_s": self.window,
+                "requests": self._requests,
+                "groups": self._groups,
+                "coalesced_requests": self._coalesced_requests,
+                "largest_group": self._largest_group,
+                "fallbacks": self._fallbacks,
+            }

@@ -1,0 +1,109 @@
+"""Thread-safe LRU caches with hit/miss accounting for the study service.
+
+One small primitive backs both serve-layer caches: the **compile cache**
+(engine key -> built :class:`~repro.core.cosim.scenarios.ScenarioEngine`,
+whose construction embeds the reduced operator matrix) and the **result
+cache** (spec content hash -> serialized
+:class:`~repro.api.results.StudyResult` payload).  Both are bounded,
+evict least-recently-used entries, and expose their counters on the
+service's ``/stats`` endpoint — the observable that lets tests assert
+"the second identical request skipped recompilation".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Tuple
+
+
+class LRUCache:
+    """A size-bounded, thread-safe, least-recently-used mapping.
+
+    Values are built under the cache lock (:meth:`get_or_build`), so two
+    concurrent requests for the same cold key perform exactly one build —
+    the second blocks briefly and then hits.  That serializes builds, which
+    is deliberate: an engine compilation is milliseconds (analytical) to
+    hundreds of milliseconds (FDM), and duplicating it per concurrent
+    requester is the cost this cache exists to remove.
+    """
+
+    def __init__(self, limit: int, name: str = "cache") -> None:
+        if int(limit) < 1:
+            raise ValueError(f"{name} limit must be at least 1, got {limit!r}")
+        self.limit = int(limit)
+        self.name = name
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_build(self, key: str, build: Callable[[], Any]) -> Tuple[Any, bool]:
+        """The value under ``key`` plus a hit flag, building it on a miss.
+
+        A hit moves the entry to the most-recently-used end; a miss calls
+        ``build()`` (under the lock — see the class docstring), stores the
+        value, and evicts from the least-recently-used end down to
+        :attr:`limit`.  A ``build`` that raises stores nothing.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key], True
+            self._misses += 1
+            value = build()
+            self._entries[key] = value
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return value, False
+
+    def get(self, key: str) -> Tuple[Any, bool]:
+        """The value under ``key`` plus a hit flag; no build on a miss.
+
+        The lock-free-build counterpart of :meth:`get_or_build` for
+        values whose computation must *not* serialize other requests
+        (the service's result cache: a study solve can take seconds, and
+        holding the cache lock across it would defeat admission
+        batching).  Callers compute outside the lock and :meth:`put` the
+        value back; concurrent identical misses may compute twice, which
+        the admission batcher coalesces anyway.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key], True
+            self._misses += 1
+            return None, False
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (most recently used), evicting LRU."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept: they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters plus current occupancy, as plain data."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "limit": self.limit,
+            }

@@ -1,0 +1,212 @@
+"""The HTTP face of the study service (stdlib only, JSON in / JSON out).
+
+A thin transport adapter over :class:`~repro.serve.service.StudyService`:
+request bodies are exactly the :meth:`StudySpec.to_dict
+<repro.api.specs._SpecSerialization.to_dict>` format the CLI reads and
+writes, responses are exactly the envelopes
+:meth:`~repro.api.results.StudyResult.envelope` produces — a file that
+round-trips through ``repro run`` round-trips through ``POST /run``
+unchanged.
+
+Routes
+------
+``POST /run``
+    Body: one serialized :class:`~repro.api.specs.StudySpec`.  Replies
+    200 with a result envelope; 400 with a structured error naming the
+    offending spec field where one can be identified; 504 on a
+    per-request timeout; 503 once shutdown has begun.
+``GET /stats``
+    Cache, batching and execution counters
+    (:meth:`~repro.serve.service.StudyService.stats`).
+``GET /healthz``
+    Liveness: ``{"status": "ok"}``.
+``POST /shutdown``
+    Begins graceful shutdown and replies before the server exits:
+    the listener stops accepting, in-flight handler threads are joined
+    (``block_on_close``), then the service drains and closes.
+
+Served over :class:`http.server.ThreadingHTTPServer` with
+*non-daemonic* handler threads, which is what makes the drain real:
+``server_close()`` blocks until every in-flight request has finished.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..api import specs as _specs
+from .service import ServeTimeoutError, ServiceClosedError, StudyService
+
+#: Spec field names recognized when turning a validation message into a
+#: structured 400 (every dataclass field across the spec vocabulary).
+_SPEC_FIELD_NAMES = frozenset(
+    field.name
+    for cls in (
+        _specs.TechnologySpec,
+        _specs.FloorplanSpec,
+        _specs.WorkloadSpec,
+        _specs.ScenarioSpec,
+        _specs.ScenarioGridSpec,
+        _specs.StudySpec,
+    )
+    for field in dataclasses.fields(cls)
+)
+
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+#: "no field(s) 'max_iterations'" / "option(s) 'foo'" — the quoted token
+#: names the client's own input key, even when it is not a spec field.
+_NAMED_KEY = re.compile(r"(?:field|option|key)\(?s?\)?\s+'([A-Za-z_][A-Za-z0-9_]*)'")
+
+
+def error_body(message: str) -> Dict[str, Any]:
+    """A structured error payload, naming the offending field if found.
+
+    Spec validation messages name what they reject either explicitly
+    ("has no field(s) ``'max_iterations'``") or as the clause subject
+    ("``ambient_temperature`` must be positive").  The explicit form
+    wins; otherwise the first word of the message's first clause that
+    matches a known spec field becomes the machine-readable ``field``
+    entry (only the first clause — later clauses enumerate *valid*
+    names, which must not be mistaken for the offender).
+    """
+    body: Dict[str, Any] = {"status": "error", "error": {"message": message}}
+    named = _NAMED_KEY.search(message)
+    if named:
+        body["error"]["field"] = named.group(1)
+        return body
+    first_clause = message.split(";", 1)[0]
+    for word in _WORD.findall(first_clause):
+        if word in _SPEC_FIELD_NAMES:
+            body["error"]["field"] = word
+            break
+    return body
+
+
+class StudyRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request against the shared :class:`StudyService`."""
+
+    #: Advertised in the ``Server`` response header.
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    # Headers and body flush as separate writes; without TCP_NODELAY the
+    # second write waits out the peer's delayed ACK (~40ms per request).
+    disable_nagle_algorithm = True
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route stdlib request logging through the server's quiet flag."""
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("request body is empty; expected a JSON StudySpec")
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object (a StudySpec)")
+        return data
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Serve the read-only routes: ``/stats`` and ``/healthz``."""
+        service: StudyService = self.server.service  # type: ignore[attr-defined]
+        if self.path == "/stats":
+            self._reply(200, {"status": "ok", "stats": service.stats()})
+        elif self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        else:
+            self._reply(404, error_body(f"no such route: GET {self.path}"))
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler naming)
+        """Serve the mutating routes: ``/run`` and ``/shutdown``."""
+        service: StudyService = self.server.service  # type: ignore[attr-defined]
+        if self.path == "/run":
+            try:
+                data = self._read_json()
+                envelope = service.submit(data)
+            except ValueError as error:
+                self._reply(400, error_body(str(error)))
+            except ServeTimeoutError as error:
+                self._reply(504, error_body(str(error)))
+            except ServiceClosedError as error:
+                self._reply(503, error_body(str(error)))
+            except Exception as error:  # pragma: no cover - defensive
+                self._reply(500, error_body(f"internal error: {error}"))
+            else:
+                self._reply(200, envelope)
+        elif self.path == "/shutdown":
+            self._reply(200, {"status": "ok", "message": "shutting down"})
+            # shutdown() must come from another thread: it blocks until
+            # serve_forever() exits, and serve_forever() cannot exit while
+            # this handler (one of its workers) is still inside it.
+            threading.Thread(
+                target=self.server.shutdown, name="repro-serve-shutdown"
+            ).start()
+        else:
+            self._reply(404, error_body(f"no such route: POST {self.path}"))
+
+
+class StudyServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one :class:`StudyService`.
+
+    Handler threads are **non-daemonic** and ``server_close()`` blocks on
+    them (``block_on_close``), so the shutdown sequence in :meth:`run` is
+    a true drain: stop accepting, finish every in-flight request, then
+    close the service (flushing admission groups and joining worker
+    pools).
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: StudyService,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, StudyRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    def run(self) -> None:
+        """Serve until :meth:`shutdown`, then drain and close the service."""
+        try:
+            self.serve_forever()
+        finally:
+            self.server_close()  # joins in-flight handler threads
+            self.service.close()
+
+
+def make_server(
+    host: str,
+    port: int,
+    service: Optional[StudyService] = None,
+    quiet: bool = True,
+    **service_options: Any,
+) -> StudyServer:
+    """Build a ready-to-run server (own service unless one is passed).
+
+    ``service_options`` forward to :class:`~repro.serve.service.StudyService`
+    when no ``service`` is given.  Bind to port ``0`` for an ephemeral
+    port (tests); the bound address is ``server.server_address``.
+    """
+    if service is None:
+        service = StudyService(**service_options)
+    return StudyServer((host, port), service, quiet=quiet)
