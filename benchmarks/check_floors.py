@@ -33,6 +33,7 @@ REQUIRED_RECORDS = (
     "BENCH_api.json",
     "BENCH_backends.json",
     "BENCH_kernel.json",
+    "BENCH_precision.json",
     "BENCH_scenarios.json",
     "BENCH_serve.json",
     "BENCH_streaming.json",
@@ -57,6 +58,13 @@ def check_floors(directory: Path = BENCH_DIR) -> List[str]:
     for path in records:
         record = json.loads(path.read_text())
         name = record.get("benchmark", path.stem)
+        environment = record.get("environment", {})
+        namespace = environment.get("array_namespace")
+        if namespace is not None:
+            print(
+                f"  {path.name}: measured under {namespace}/"
+                f"{environment.get('dtype', 'float64')}"
+            )
         speedup = record.get("speedup")
         floor = record.get("required_speedup")
         if speedup is not None and floor is not None:

@@ -8,12 +8,46 @@ pytest-benchmark.
 
 from __future__ import annotations
 
+import json
+import platform
 import resource
 import sys
+from pathlib import Path
+from typing import Any, Dict
 
+import numpy as np
 import pytest
 
 from repro.technology import cmos_012um, cmos_035um
+
+
+def environment_record(
+    namespace: str = "numpy", dtype: str = "float64"
+) -> Dict[str, str]:
+    """The execution-environment stamp every ``BENCH_*.json`` record carries.
+
+    Records which array namespace and working dtype produced the numbers
+    (see ``docs/precision.md``), plus the numpy/python versions, so floors
+    compared across machines or backends are never apples-to-oranges.
+    """
+    return {
+        "array_namespace": namespace,
+        "dtype": dtype,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+    }
+
+
+def persist_record(
+    path: Path,
+    record: Dict[str, Any],
+    namespace: str = "numpy",
+    dtype: str = "float64",
+) -> None:
+    """Write a ``BENCH_*.json`` record stamped with its environment."""
+    record = dict(record)
+    record.setdefault("environment", environment_record(namespace, dtype))
+    path.write_text(json.dumps(record, indent=2) + "\n")
 
 
 def peak_rss() -> int:

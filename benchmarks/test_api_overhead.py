@@ -18,7 +18,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import peak_rss_mb
+from conftest import peak_rss_mb, persist_record
 
 from repro.api import ScenarioSpec, Study
 from repro.core.cosim import ScenarioEngine, scenario_grid
@@ -101,7 +101,7 @@ def test_api_overhead():
         "required_speedup": REQUIRED_SPEEDUP,
         "peak_rss_mb": peak_rss_mb(),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    persist_record(BENCH_PATH, record)
 
     print_table(
         ["path", "200-scenario study (s)"],

@@ -24,7 +24,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import peak_rss_mb
+from conftest import peak_rss_mb, persist_record
 from scipy.sparse.linalg import spsolve
 
 from repro.core.cosim import ScenarioEngine, scenario_grid
@@ -219,7 +219,7 @@ def test_backend_reduction_throughput():
             }
         ],
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    persist_record(BENCH_PATH, record)
 
     print_table(
         ["path", "10-block reduction (s)"],

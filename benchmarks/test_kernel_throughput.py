@@ -17,7 +17,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import peak_rss_mb
+from conftest import peak_rss_mb, persist_record
 
 from repro.core.thermal.images import DieGeometry
 from repro.core.thermal.sources import HeatSource
@@ -123,7 +123,7 @@ def test_kernel_throughput():
         "required_speedup": REQUIRED_SPEEDUP,
         "peak_rss_mb": peak_rss_mb(),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    persist_record(BENCH_PATH, record)
 
     print_table(
         ["path", "pairs/s", "200x200 map (s)"],

@@ -1,0 +1,127 @@
+"""Precision policy throughput — float32 vs float64 steady thermal kernel.
+
+The ISSUE-8 acceptance criterion: on a large surface map the float32
+working precision must run the steady (Eq. 20/21) kernel at least 1.3x
+faster than the float64 reference — half the memory traffic and twice the
+SIMD lanes per vector op have to show up as wall-clock.  Both policies run
+the identical image-expanded source set through
+:class:`~repro.core.thermal.superposition.ChipThermalModel`, the float32
+map is checked against the float64 reference within the documented
+tolerances (``docs/precision.md``), and the measured ratio is persisted to
+``BENCH_precision.json`` for ``check_floors.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import environment_record, peak_rss_mb, persist_record
+
+from repro.core.backend import PRECISIONS
+from repro.core.thermal.images import DieGeometry
+from repro.core.thermal.sources import HeatSource
+from repro.core.thermal.superposition import ChipThermalModel
+from repro.reporting import print_table
+
+AMBIENT = 318.15
+GRID = 300
+RINGS = 2
+REQUIRED_SPEEDUP = 1.3
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_precision.json"
+
+
+def ten_source_die():
+    """A 2 mm x 2 mm die carrying a 10-block power map."""
+    die = DieGeometry(width=2e-3, length=2e-3, thickness=0.4e-3)
+    rng = np.random.default_rng(1905)
+    sources = []
+    for index in range(10):
+        width = float(rng.uniform(0.15e-3, 0.45e-3))
+        length = float(rng.uniform(0.15e-3, 0.45e-3))
+        sources.append(
+            HeatSource(
+                x=float(rng.uniform(0.5 * width, die.width - 0.5 * width)),
+                y=float(rng.uniform(0.5 * length, die.length - 0.5 * length)),
+                width=width,
+                length=length,
+                power=float(rng.uniform(0.05, 0.6)),
+                name=f"blk{index}",
+            )
+        )
+    return die, sources
+
+
+def _timed_map(precision: str):
+    die, sources = ten_source_die()
+    chip = ChipThermalModel(
+        die, ambient_temperature=AMBIENT, image_rings=RINGS, precision=precision
+    )
+    chip.add_sources(sources)
+    # Warm the image-expansion cache so only the kernel is billed, and keep
+    # the best of two passes so a scheduler stall cannot flake the floor.
+    chip.temperature_rise_at(0.5 * die.width, 0.5 * die.length)
+    seconds = float("inf")
+    surface = None
+    for _ in range(2):
+        start = time.perf_counter()
+        surface = chip.surface_map(nx=GRID, ny=GRID)
+        seconds = min(seconds, time.perf_counter() - start)
+    image_count = len(chip.expansion.expand(sources))
+    return surface, seconds, image_count
+
+
+def test_precision_throughput():
+    reference, double_seconds, image_count = _timed_map("float64")
+    fast, single_seconds, _ = _timed_map("float32")
+    pairs = GRID * GRID * image_count
+    speedup = double_seconds / single_seconds
+
+    # The speed must not come at the cost of the documented accuracy.
+    policy = PRECISIONS["float32"]
+    np.testing.assert_allclose(
+        fast.temperature,
+        reference.temperature,
+        rtol=policy.rtol,
+        atol=policy.atol,
+    )
+
+    record = {
+        "benchmark": "precision_throughput",
+        "grid": [GRID, GRID],
+        "image_rings": RINGS,
+        "image_source_count": image_count,
+        "pairs_evaluated": pairs,
+        "float64": {
+            "surface_map_seconds": double_seconds,
+            "pairs_per_second": pairs / double_seconds,
+        },
+        "float32": {
+            "surface_map_seconds": single_seconds,
+            "pairs_per_second": pairs / single_seconds,
+            "rtol": policy.rtol,
+            "atol": policy.atol,
+        },
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "peak_rss_mb": peak_rss_mb(),
+        # Two dtypes contributed; the stamp names the fast one measured
+        # against the float64 baseline recorded alongside.
+        "environment": environment_record(namespace="numpy", dtype="float32"),
+    }
+    persist_record(BENCH_PATH, record)
+
+    print_table(
+        ["precision", f"{GRID}x{GRID} map (s)", "pairs/s"],
+        [
+            ["float64 (reference)", double_seconds, pairs / double_seconds],
+            ["float32", single_seconds, pairs / single_seconds],
+        ],
+        title=f"precision throughput ({image_count} images) — "
+        f"float32 speedup {speedup:.2f}x",
+    )
+
+    assert fast.peak_temperature > AMBIENT
+    assert speedup >= REQUIRED_SPEEDUP

@@ -20,7 +20,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import peak_rss_mb
+from conftest import peak_rss_mb, persist_record
 
 from repro.core.cosim import ScenarioEngine, scenario_grid
 from repro.floorplan import three_block_floorplan
@@ -107,7 +107,7 @@ def test_scenario_throughput():
         "required_speedup": REQUIRED_SPEEDUP,
         "peak_rss_mb": peak_rss_mb(),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    persist_record(BENCH_PATH, record)
 
     print_table(
         ["path", "scenarios/s", "500-scenario grid (s)"],

@@ -21,7 +21,7 @@ import threading
 import time
 from pathlib import Path
 
-from conftest import peak_rss_mb
+from conftest import peak_rss_mb, persist_record
 from serve_replay import build_workload, replay
 
 from repro.api import run_study
@@ -111,7 +111,7 @@ def test_serve_throughput():
         ],
         "peak_rss_mb": peak_rss_mb(),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    persist_record(BENCH_PATH, record)
 
     print_table(
         ["path", "seconds/study"],

@@ -22,6 +22,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+from conftest import persist_record
 from repro.reporting import print_table
 
 SCENARIO_ROWS = 1_000_000
@@ -101,7 +102,7 @@ def test_streaming_throughput():
             }
         ],
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    persist_record(BENCH_PATH, record)
 
     print_table(
         ["metric", "measured", "bound"],

@@ -19,7 +19,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import peak_rss_mb
+from conftest import peak_rss_mb, persist_record
 
 from repro.core.cosim import PWMActivity, TransientScenarioEngine, scenario_grid
 from repro.floorplan import three_block_floorplan
@@ -131,7 +131,7 @@ def test_transient_scenario_throughput():
         "required_speedup": REQUIRED_SPEEDUP,
         "peak_rss_mb": peak_rss_mb(),
     }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    persist_record(BENCH_PATH, record)
 
     print_table(
         ["path", "scenarios/s", "200-scenario grid (s)"],

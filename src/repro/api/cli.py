@@ -314,6 +314,20 @@ def _command_info() -> int:
     for name, capabilities in backend_capabilities().items():
         print(f"  {name}: {capabilities.description}")
         print(f"    [{capabilities.flags()}]")
+    from ..core.backend import (
+        array_backend_available,
+        array_backend_names,
+        PRECISIONS,
+    )
+
+    print("array backends:")
+    for name in array_backend_names():
+        status = "available" if array_backend_available(name) else "not installed"
+        print(f"  {name}: {status}")
+    print("precisions:")
+    for precision in PRECISIONS.values():
+        print(f"  {precision.name}: {precision.description}")
+        print(f"    [rtol={precision.rtol:g} atol={precision.atol:g}]")
     print("usage: repro run study.json [--out results.json] | repro serve")
     return 0
 

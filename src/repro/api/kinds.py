@@ -20,6 +20,19 @@ THERMAL_BACKENDS = ("analytical", "fdm", "foster")
 #: (mirror of :data:`repro.core.thermal.operator.FDM_GRID_OPTIONS`).
 FDM_GRID_OPTIONS = ("nx", "ny", "nz")
 
+#: Array namespaces :class:`repro.api.specs.StudySpec` understands — a
+#: plain-literal mirror of :data:`repro.core.backend.ARRAY_BACKENDS`
+#: (``tests/test_backend.py`` pins the two equal).  ``numpy`` is always
+#: available; the rest resolve lazily at engine build time.
+ARRAY_BACKENDS = ("numpy", "array_api_strict", "cupy", "jax")
+
+#: Precision policies :class:`repro.api.specs.StudySpec` understands — a
+#: plain-literal mirror of :data:`repro.core.backend.PRECISIONS` keys
+#: (``tests/test_backend.py`` pins the two equal).  ``float64`` is the
+#: bit-exact default; ``float32`` trades the documented tolerances for
+#: throughput (see ``docs/precision.md``).
+PRECISIONS = ("float64", "float32")
+
 #: Default scenario rows per streamed chunk — a plain-literal mirror of
 #: :data:`repro.core.cosim.streaming.DEFAULT_CHUNK_SIZE` so the CLI can
 #: document ``--chunk-size`` without importing numpy

@@ -55,7 +55,14 @@ from ..floorplan.block import Block, as_block
 from ..floorplan.floorplan import Floorplan
 from ..technology.nodes import make_technology, node_names
 from ..technology.parameters import TechnologyParameters
-from .kinds import FDM_GRID_OPTIONS, STUDY_KINDS, THERMAL_BACKENDS, WORKLOAD_KINDS
+from .kinds import (
+    ARRAY_BACKENDS,
+    FDM_GRID_OPTIONS,
+    PRECISIONS,
+    STUDY_KINDS,
+    THERMAL_BACKENDS,
+    WORKLOAD_KINDS,
+)
 
 #: Solver options each study kind forwards to its engine.
 _SOLVER_KEYS: Dict[str, Tuple[str, ...]] = {
@@ -777,6 +784,8 @@ ENGINE_FIELDS = (
     "device_type",
     "thermal_backend",
     "backend_options",
+    "array_backend",
+    "precision",
 )
 
 
@@ -857,6 +866,20 @@ class StudySpec(_SpecSerialization):
         boundaries exactly and ignore them — deliberately, so a backend
         comparison can toggle ``thermal_backend`` alone while the settings
         keep applying to the analytical side.
+    array_backend:
+        Array namespace the engine computes in —
+        :data:`~repro.api.kinds.ARRAY_BACKENDS` name.  ``None`` (default)
+        and ``"numpy"`` run the in-place NumPy fast paths, bit-identical
+        to pre-seam studies; ``"array_api_strict"`` / ``"cupy"`` /
+        ``"jax"`` run the functional Array-API mirrors (the optional
+        namespaces resolve lazily at engine build time and error there if
+        not installed).  ``thermal_map`` studies are numpy-evaluated and
+        accept only the default/``"numpy"``.
+    precision:
+        Working-precision policy — :data:`~repro.api.kinds.PRECISIONS`
+        name.  ``None`` (default) and ``"float64"`` are the bit-exact
+        reference; ``"float32"`` trades the tolerances documented in
+        ``docs/precision.md`` for throughput (fast serving maps).
     solver:
         Kind-specific solver options (see
         :meth:`~repro.core.cosim.scenarios.ScenarioEngine.solve` and
@@ -889,6 +912,8 @@ class StudySpec(_SpecSerialization):
     device_type: str = "nmos"
     thermal_backend: str = "analytical"
     backend_options: Dict[str, int] = field(default_factory=dict)
+    array_backend: Optional[str] = None
+    precision: Optional[str] = None
     solver: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
 
@@ -991,6 +1016,16 @@ class StudySpec(_SpecSerialization):
                 )
             options[key] = validated_int(value, f"backend_options[{key!r}]", 2)
         object.__setattr__(self, "backend_options", MappingProxyType(options))
+        if self.array_backend is not None and self.array_backend not in ARRAY_BACKENDS:
+            raise ValueError(
+                f"unknown array_backend {self.array_backend!r}; "
+                f"known backends: {', '.join(ARRAY_BACKENDS)}"
+            )
+        if self.precision is not None and self.precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {self.precision!r}; "
+                f"known precisions: {', '.join(PRECISIONS)}"
+            )
         if not isinstance(self.solver, abc.Mapping):
             raise ValueError("solver must be a mapping of solver options")
         allowed = _SOLVER_KEYS[self.kind]
@@ -1036,6 +1071,12 @@ class StudySpec(_SpecSerialization):
                     "field-map capability and require "
                     "thermal_backend='analytical' "
                     f"(got {self.thermal_backend!r})"
+                )
+            if self.array_backend not in (None, "numpy"):
+                raise ValueError(
+                    "thermal_map studies are numpy-evaluated and accept "
+                    "only the default array_backend "
+                    f"(got {self.array_backend!r})"
                 )
             if not self.block_powers:
                 raise ValueError("thermal_map studies require block_powers")
@@ -1176,6 +1217,10 @@ class StudySpec(_SpecSerialization):
             data["thermal_backend"] = self.thermal_backend
         if self.backend_options:
             data["backend_options"] = dict(self.backend_options)
+        if self.array_backend is not None:
+            data["array_backend"] = self.array_backend
+        if self.precision is not None:
+            data["precision"] = self.precision
         if self.solver:
             data["solver"] = _to_plain(self.solver)
         if self.label:

@@ -73,6 +73,8 @@ def build_engine(spec: StudySpec) -> ScenarioEngine:
         device_type=spec.device_type,
         thermal_backend=spec.thermal_backend,
         backend_options=spec.backend_options,
+        array_backend=spec.array_backend,
+        precision=spec.precision,
     )
 
 
@@ -202,6 +204,7 @@ def _run_thermal_map(spec: StudySpec) -> StudyResult:
         ambient_temperature=ambient,
         image_rings=spec.image_rings,
         include_bottom_images=spec.include_bottom_images,
+        precision=spec.precision,
         **model_kwargs,
     )
     model.add_sources(floorplan.to_heat_sources(spec.block_powers))
@@ -266,6 +269,8 @@ class Study:
         device_type: str = "nmos",
         thermal_backend: str = "analytical",
         backend_options: Optional[Mapping[str, int]] = None,
+        array_backend: Optional[str] = None,
+        precision: Optional[str] = None,
         solver: Optional[Mapping[str, Any]] = None,
     ) -> "Study":
         """A batched steady-state study (one fixed point per scenario)."""
@@ -288,6 +293,8 @@ class Study:
                 device_type=device_type,
                 thermal_backend=thermal_backend,
                 backend_options=dict(backend_options or {}),
+                array_backend=array_backend,
+                precision=precision,
                 solver=dict(solver or {}),
             )
         )
@@ -313,6 +320,8 @@ class Study:
         device_type: str = "nmos",
         thermal_backend: str = "analytical",
         backend_options: Optional[Mapping[str, int]] = None,
+        array_backend: Optional[str] = None,
+        precision: Optional[str] = None,
         solver: Optional[Mapping[str, Any]] = None,
     ) -> "Study":
         """A batched time-domain study (one integration per scenario)."""
@@ -341,6 +350,8 @@ class Study:
                 device_type=device_type,
                 thermal_backend=thermal_backend,
                 backend_options=dict(backend_options or {}),
+                array_backend=array_backend,
+                precision=precision,
                 solver=dict(solver or {}),
             )
         )
@@ -356,6 +367,7 @@ class Study:
         label: str = "",
         image_rings: int = 1,
         include_bottom_images: bool = True,
+        precision: Optional[str] = None,
     ) -> "Study":
         """An analytical surface-map study of fixed block powers."""
         return cls(
@@ -371,6 +383,7 @@ class Study:
                 label=label,
                 image_rings=image_rings,
                 include_bottom_images=include_bottom_images,
+                precision=precision,
             )
         )
 
@@ -389,6 +402,8 @@ class Study:
         device_type: str = "nmos",
         thermal_backend: str = "analytical",
         backend_options: Optional[Mapping[str, int]] = None,
+        array_backend: Optional[str] = None,
+        precision: Optional[str] = None,
         solver: Optional[Mapping[str, Any]] = None,
     ) -> "Study":
         """A steady batch reported as a 1-D sweep over ``parameter_name``."""
@@ -407,6 +422,8 @@ class Study:
                 device_type=device_type,
                 thermal_backend=thermal_backend,
                 backend_options=dict(backend_options or {}),
+                array_backend=array_backend,
+                precision=precision,
                 solver=dict(solver or {}),
             )
         )
@@ -467,6 +484,22 @@ class Study:
                 thermal_backend=thermal_backend,
                 backend_options=dict(backend_options or {}),
             )
+        )
+
+    def with_precision(
+        self,
+        precision: Optional[str],
+        array_backend: Optional[str] = None,
+    ) -> "Study":
+        """Copy of the study under another precision/namespace policy.
+
+        The one-liner behind fast-vs-exact comparisons: run the same
+        declarative study as ``float64`` (bit-exact reference) and
+        ``float32`` (serving speed) and diff the results against the
+        tolerances documented in ``docs/precision.md``.
+        """
+        return Study(
+            self._spec.replace(precision=precision, array_backend=array_backend)
         )
 
     # ------------------------------------------------------------------ #

@@ -55,6 +55,13 @@ import numpy as np
 from ...floorplan.floorplan import Floorplan
 from ...technology.constants import BOLTZMANN, ELEMENTARY_CHARGE
 from ...technology.parameters import TechnologyParameters
+from ..backend import (
+    Precision,
+    resolve_namespace,
+    resolve_precision,
+    supports_inplace,
+    to_numpy,
+)
 from ..dynamic.total import PowerBreakdown
 from ..leakage import kernel as leakage_kernel
 from ..thermal.operator import ThermalOperator
@@ -62,6 +69,13 @@ from .coupling import BlockPowerModel, ScaledLeakageBlockModel
 from .engine import ElectroThermalEngine, _image_configuration, resolve_operator
 from .resistance_cache import reduced_unit_matrix
 from .result import CosimResult
+
+
+def _take_rows(array, rows, xp):
+    """``array[rows]`` for slice/array row selectors, portably across ``xp``."""
+    if isinstance(rows, slice) or xp is np:
+        return array[rows]
+    return xp.take(array, xp.asarray(rows), axis=0)
 
 
 @dataclass(frozen=True)
@@ -278,7 +292,17 @@ class ScenarioPhysics:
         blocks = len(engine.block_names)
         self.count = count
         self.blocks = blocks
+        # Backend/precision policy: everything is staged in numpy float64
+        # exactly as before the seam (so the default path never converts,
+        # and non-default runs derive from the same staged float64 values),
+        # then the hot arrays are cast once at the end of construction.
+        self.xp = engine.array_namespace
+        self.precision = engine.precision
+        self.dtype = engine.working_dtype
+        self.inplace = supports_inplace(self.xp)
+        self._default_policy = self.inplace and self.precision.name == "float64"
         self._unit_matrix = engine._unit_matrix
+        self._unit_matrix_host = engine._unit_matrix_host
 
         # Grids repeat a handful of technology nodes across hundreds of
         # scenarios; per-node constants are computed once per distinct node
@@ -338,7 +362,35 @@ class ScenarioPhysics:
         self.dynamic = dynamic_ref * ((scale * scale)[:, np.newaxis] * activity)
         self.static_ref = static_base * scale[:, np.newaxis]
 
+        # Host (numpy float64) views survive for consumers that stay on
+        # the host whatever the policy — the transient tau derivation, the
+        # runaway-ceiling validation, scalar bookkeeping.  On the default
+        # policy they are the same objects as the hot arrays.
+        self.ambient_host = self.ambient
+        self.conductivity_host = self.conductivity
+        self.volumetric_heat_capacity_host = self.volumetric_heat_capacity
+        self._reference_host = self._reference
+        self.ambient_ceiling = float(np.max(self.ambient_host))
+        if not self._default_policy:
+            self.ambient = self.cast(self.ambient)
+            self.conductivity = self.cast(self.conductivity)
+            self.heat_sink = self.cast(self.heat_sink)
+            self._reference = self.cast(self._reference)
+            self.dynamic = self.cast(self.dynamic)
+            self.static_ref = self.cast(self.static_ref)
+
         self._leakage_ready = False
+
+    def cast(self, array):
+        """``array`` under the engine's namespace/precision policy.
+
+        The identity on the default (numpy/float64) policy — staged arrays
+        pass through untouched, which is what keeps the default engine
+        bit-identical to the pre-seam code.
+        """
+        if self._default_policy:
+            return array
+        return self.xp.asarray(array, dtype=self.dtype)
 
     def _ensure_leakage_constants(self) -> None:
         """Eq. 13 pieces hoisted out of the iteration, computed on demand.
@@ -364,13 +416,17 @@ class ScenarioPhysics:
         )
         width = np.asarray([d.nominal_width for d in node_devices])[node_of, np.newaxis]
         vdd = np.asarray([t.vdd for t in self._nodes])[node_of, np.newaxis]
-        self._cold = leakage_kernel.single_device_off_current(
-            devices, width, vdd, self._reference, self._reference
+        self._cold = self.cast(
+            leakage_kernel.single_device_off_current(
+                devices, width, vdd, self._reference_host, self._reference_host
+            )
         )
-        self._prefactor_base = (width / devices.channel_length) * devices.i0
-        self._vt0 = devices.vt0.reshape((count, 1))
-        self._kt = devices.kt.reshape((count, 1))
-        self._ideality = devices.n.reshape((count, 1))
+        self._prefactor_base = self.cast(
+            (width / devices.channel_length) * devices.i0
+        )
+        self._vt0 = self.cast(devices.vt0.reshape((count, 1)))
+        self._kt = self.cast(devices.kt.reshape((count, 1)))
+        self._ideality = self.cast(devices.n.reshape((count, 1)))
         self._leakage_ready = True
 
     def static_powers(
@@ -386,14 +442,20 @@ class ScenarioPhysics:
         ``(T/T_ref)^2`` built up in two work buffers — so the monolithic
         and chunked paths execute identical floating-point operations
         (monolithic callers simply get fresh buffers).  ``out`` must not
-        alias ``temperatures``.
+        alias ``temperatures``.  Non-numpy namespaces run the functional
+        mirror (:meth:`_static_powers_xp`) — same operations, same order —
+        and ignore ``out``/``workspace``.
         """
         self._ensure_leakage_constants()
+        if not self.inplace:
+            return self._static_powers_xp(temperatures, rows)
         shape = temperatures.shape
-        gate = _work_buffer(workspace, "sp_gate", shape)
-        scratch = _work_buffer(workspace, "sp_scratch", shape)
+        gate = _work_buffer(workspace, "sp_gate", shape, dtype=temperatures.dtype)
+        scratch = _work_buffer(
+            workspace, "sp_scratch", shape, dtype=temperatures.dtype
+        )
         if out is None:
-            out = np.empty(shape)
+            out = np.empty(shape, dtype=temperatures.dtype)
         # gate <- -Vth(T) = -(vt0 - kt * (T - T_ref)), built as 0.0 - Vth to
         # preserve the reference expression's signed-zero behavior.
         np.subtract(temperatures, self._reference[rows], out=gate)
@@ -420,6 +482,30 @@ class ScenarioPhysics:
         np.multiply(self.static_ref[rows], scratch, out=out)
         return out
 
+    def _static_powers_xp(self, temperatures, rows):
+        """Functional mirror of the :meth:`static_powers` ufunc chain.
+
+        Every binary operation appears in the same order and association
+        as the in-place chain, so float64 results agree bit-for-bit with
+        the numpy path (IEEE elementwise operations are deterministic).
+        """
+        xp = self.xp
+        reference = _take_rows(self._reference, rows, xp)
+        gate = 0.0 - (
+            _take_rows(self._vt0, rows, xp)
+            - _take_rows(self._kt, rows, xp) * (temperatures - reference)
+        )
+        scratch = _take_rows(self._ideality, rows, xp) * (
+            (BOLTZMANN * temperatures) / ELEMENTARY_CHARGE
+        )
+        limit = leakage_kernel.MAX_EXPONENT
+        gate = xp.exp(xp.clip(gate / scratch, -limit, limit))
+        ratio = temperatures / reference
+        ratio = ratio * ratio
+        hot = (_take_rows(self._prefactor_base, rows, xp) * ratio) * gate
+        hot = hot / _take_rows(self._cold, rows, xp)
+        return _take_rows(self.static_ref, rows, xp) * hot
+
     def steady_targets(
         self,
         powers: np.ndarray,
@@ -441,12 +527,17 @@ class ScenarioPhysics:
         flight — compaction scheduling and chunk boundaries would then
         change results.  The fixed ``k``-ascending accumulation is
         bit-identical for a row whether it is solved alone, in a chunk, or
-        in the full batch.
+        in the full batch.  Non-numpy namespaces run the functional mirror
+        (:meth:`_steady_targets_xp`) with the same accumulation order.
         """
+        if not self.inplace:
+            return self._steady_targets_xp(powers, rows)
         count, blocks = powers.shape
-        sums = _work_buffer(workspace, "st_sums", (count,))
-        rises = _work_buffer(workspace, "st_rises", powers.shape)
-        product = _work_buffer(workspace, "st_product", powers.shape)
+        sums = _work_buffer(workspace, "st_sums", (count,), dtype=powers.dtype)
+        rises = _work_buffer(workspace, "st_rises", powers.shape, dtype=powers.dtype)
+        product = _work_buffer(
+            workspace, "st_product", powers.shape, dtype=powers.dtype
+        )
         powers.sum(axis=1, out=sums)
         np.multiply(self.heat_sink[rows], sums, out=sums)
         np.multiply(powers[:, 0, np.newaxis], self._unit_matrix[:, 0], out=rises)
@@ -459,10 +550,29 @@ class ScenarioPhysics:
             np.add(rises, product, out=rises)
         np.divide(rises, self.conductivity[rows, np.newaxis], out=rises)
         if out is None:
-            out = np.empty(powers.shape)
+            out = np.empty(powers.shape, dtype=powers.dtype)
         np.add(self.ambient[rows], sums, out=sums)
         np.add(sums[:, np.newaxis], rises, out=out)
         return out
+
+    def _steady_targets_xp(self, powers, rows):
+        """Functional mirror of the :meth:`steady_targets` ufunc chain.
+
+        Keeps the fixed column-ascending ``R @ P`` accumulation (never a
+        GEMM) so per-row results stay independent of batch size, and the
+        exact operation order of the in-place path for bit-level float64
+        parity.
+        """
+        xp = self.xp
+        blocks = powers.shape[1]
+        unit = self._unit_matrix
+        sums = _take_rows(self.heat_sink, rows, xp) * xp.sum(powers, axis=1)
+        rises = powers[:, 0:1] * unit[:, 0]
+        for column in range(1, blocks):
+            rises = rises + powers[:, column : column + 1] * unit[:, column]
+        rises = rises / _take_rows(self.conductivity, rows, xp)[:, None]
+        sums = _take_rows(self.ambient, rows, xp) + sums
+        return sums[:, None] + rises
 
 
 @dataclass(frozen=True)
@@ -624,17 +734,22 @@ def solve_fixed_point(
     validate_fixed_point_options(max_iterations, tolerance, damping)
     count = physics.count
     blocks = physics.blocks
-    ambient = physics.ambient
-    if max_temperature <= ambient.max():
+    if max_temperature <= physics.ambient_ceiling:
         raise ValueError("max_temperature must exceed every ambient temperature")
+    if not physics.inplace:
+        return _solve_fixed_point_xp(
+            physics, max_iterations, tolerance, damping, max_temperature
+        )
+    ambient = physics.ambient
     dynamic = physics.dynamic
+    dtype = ambient.dtype
 
-    temperatures = np.empty((count, blocks))
+    temperatures = np.empty((count, blocks), dtype=dtype)
     converged = np.zeros(count, dtype=bool)
     iteration_counts = np.zeros(count, dtype=int)
 
-    cur_base = _work_buffer(workspace, "fp_state_a", (count, blocks))
-    nxt_base = _work_buffer(workspace, "fp_state_b", (count, blocks))
+    cur_base = _work_buffer(workspace, "fp_state_a", (count, blocks), dtype=dtype)
+    nxt_base = _work_buffer(workspace, "fp_state_b", (count, blocks), dtype=dtype)
     cur_base[:] = ambient[:, np.newaxis]
 
     # The batch iterates on the still-active subset only: rows are
@@ -646,8 +761,8 @@ def solve_fixed_point(
         rows = index_map
         active = rows.size
         temps = cur_base[:active]
-        powers = _work_buffer(workspace, "fp_powers", (active, blocks))
-        scratch = _work_buffer(workspace, "fp_scratch", (active, blocks))
+        powers = _work_buffer(workspace, "fp_powers", (active, blocks), dtype=dtype)
+        scratch = _work_buffer(workspace, "fp_scratch", (active, blocks), dtype=dtype)
         physics.static_powers(temps, rows, out=scratch, workspace=workspace)
         np.take(dynamic, rows, axis=0, out=powers)
         np.add(powers, scratch, out=powers)
@@ -660,7 +775,7 @@ def solve_fixed_point(
         np.minimum(proposed, max_temperature, out=proposed)
         np.subtract(proposed, temps, out=scratch)
         np.abs(scratch, out=scratch)
-        change = _work_buffer(workspace, "fp_change", (active,))
+        change = _work_buffer(workspace, "fp_change", (active,), dtype=dtype)
         scratch.max(axis=1, out=change)
         iteration_counts[rows] += 1
         swap = True
@@ -693,6 +808,64 @@ def solve_fixed_point(
     return temperatures, static_power, converged, iteration_counts
 
 
+def _solve_fixed_point_xp(
+    physics: ScenarioPhysics,
+    max_iterations: int,
+    tolerance: float,
+    damping: float,
+    max_temperature: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`solve_fixed_point` for namespaces without in-place ufuncs.
+
+    The same damped iteration, expressed functionally: instead of
+    compacting converged rows out of the batch, every row is iterated and
+    converged rows are held at their settled state with ``where`` masks
+    (each row's trajectory is independent, so the held rows see exactly
+    the values the compacted path would have frozen).  Bookkeeping
+    (convergence flags, iteration counts) stays on the host in numpy.
+    Returns host numpy arrays whatever namespace computed them.
+    """
+    xp = physics.xp
+    dtype = physics.dtype
+    count = physics.count
+    dynamic = physics.dynamic
+    all_rows = slice(None)
+
+    done = np.zeros(count, dtype=bool)
+    converged = np.zeros(count, dtype=bool)
+    iteration_counts = np.zeros(count, dtype=int)
+
+    temps = xp.asarray(
+        xp.broadcast_to(physics.ambient[:, None], (count, physics.blocks)),
+        copy=True,
+    )
+    ceiling = xp.asarray(max_temperature, dtype=dtype)
+    for index in range(max_iterations):
+        static = physics.static_powers(temps, all_rows)
+        powers = dynamic + static
+        proposed = physics.steady_targets(powers, all_rows)
+        proposed = damping * proposed + (1.0 - damping) * temps
+        proposed = xp.minimum(proposed, ceiling)
+        change = to_numpy(xp.max(xp.abs(proposed - temps), axis=1))
+        iteration_counts[~done] += 1
+        # Not-yet-done rows advance to the proposal (including the rows
+        # settling on this very iteration — the compacted path freezes
+        # them *at* the proposal too); done rows hold their frozen state.
+        temps = xp.where(xp.asarray(done)[:, None], temps, proposed)
+        if index > 0:
+            settled = (change < tolerance) & ~done
+            converged |= settled
+            done |= settled
+        if bool(np.all(done)):
+            break
+
+    temperatures = to_numpy(temps)
+    runaway = (temperatures >= max_temperature - 1e-9).any(axis=1)
+    converged &= ~runaway
+    static_power = to_numpy(physics.static_powers(temps, all_rows))
+    return temperatures, static_power, converged, iteration_counts
+
+
 class ScenarioEngine:
     """Batched electro-thermal fixed points over a grid of scenarios.
 
@@ -720,6 +893,18 @@ class ScenarioEngine:
         to the pre-backend engine.
     backend_options:
         Backend-specific options (the ``fdm`` grid resolution).
+    array_backend:
+        Array namespace the batched fixed point runs in — a registry name
+        from :data:`repro.core.backend.ARRAY_BACKENDS` (``"numpy"``,
+        ``"array_api_strict"``, ``"cupy"``, ``"jax"``).  The default
+        (``None`` → numpy) keeps the in-place buffer-reusing fast paths
+        and is bit-identical to the pre-seam engine; other namespaces run
+        functional Array-API mirrors of the same operations.
+    precision:
+        Working-precision policy name from
+        :data:`repro.core.backend.PRECISIONS` (``"float64"`` default,
+        ``"float32"`` for fast serving studies within the documented
+        tolerances — see ``docs/precision.md``).
     """
 
     def __init__(
@@ -732,6 +917,8 @@ class ScenarioEngine:
         device_type: str = "nmos",
         thermal_backend: Union[str, ThermalOperator] = "analytical",
         backend_options: Optional[Mapping[str, object]] = None,
+        array_backend: Optional[str] = None,
+        precision: Union[str, Precision, None] = None,
     ) -> None:
         self.floorplan = floorplan
         named = set(dynamic_powers) | set(static_powers_at_reference)
@@ -753,12 +940,28 @@ class ScenarioEngine:
         self.image_rings, self.include_bottom_images = _image_configuration(
             self.thermal_operator, image_rings, include_bottom_images
         )
+        self.array_backend = array_backend
+        self.array_namespace = resolve_namespace(array_backend)
+        self.precision = resolve_precision(precision)
+        self.working_dtype = self.precision.dtype(self.array_namespace)
         self._block_names: Tuple[str, ...] = tuple(
             name for name in floorplan.block_names() if name in named
         )
-        self._unit_matrix = reduced_unit_matrix(
+        # The reduction is always staged in host float64 (bit-identical to
+        # the pre-seam engine); it is cast into the working namespace/dtype
+        # exactly once, here, only when the policy is non-default.
+        self._unit_matrix_host = reduced_unit_matrix(
             self.thermal_operator, floorplan, self._block_names
         )
+        if (
+            supports_inplace(self.array_namespace)
+            and self.precision.name == "float64"
+        ):
+            self._unit_matrix = self._unit_matrix_host
+        else:
+            self._unit_matrix = self.array_namespace.asarray(
+                self._unit_matrix_host, dtype=self.working_dtype
+            )
 
     @property
     def block_names(self) -> Tuple[str, ...]:
@@ -790,6 +993,8 @@ class ScenarioEngine:
             device_type=self.device_type,
             thermal_backend=thermal_backend,
             backend_options=backend_options,
+            array_backend=self.array_backend,
+            precision=self.precision,
         )
 
     # ------------------------------------------------------------------ #
@@ -880,10 +1085,12 @@ class ScenarioEngine:
         return ScenarioBatchResult(
             scenarios=physics.scenarios,
             block_names=self._block_names,
-            block_temperatures=temperatures,
-            dynamic_power=physics.dynamic,
-            static_power=static_power,
-            ambient_temperatures=physics.ambient,
+            block_temperatures=np.asarray(temperatures, dtype=np.float64),
+            dynamic_power=np.asarray(to_numpy(physics.dynamic), dtype=np.float64),
+            static_power=np.asarray(static_power, dtype=np.float64),
+            ambient_temperatures=np.asarray(
+                to_numpy(physics.ambient), dtype=np.float64
+            ),
             converged=converged,
             iteration_counts=iteration_counts,
         )

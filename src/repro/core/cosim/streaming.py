@@ -68,7 +68,11 @@ class ChunkPlan:
     One plan drives one streamed run: :meth:`chunks` slices the scenario
     iterable into lists of at most ``chunk_size`` rows (the last chunk may
     be shorter), and :attr:`workspace` holds the preallocated buffers the
-    per-chunk solver loops reuse via ``out=``/in-place ufuncs.
+    per-chunk solver loops reuse via ``out=``/in-place ufuncs.  Buffers
+    are allocated in the engine's working dtype (see
+    :mod:`repro.core.backend`), so a ``precision="float32"`` policy
+    halves the streamed working-set memory too; results still leave every
+    chunk as host ``float64`` arrays.
     """
 
     def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:

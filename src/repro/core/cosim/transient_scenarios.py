@@ -41,6 +41,7 @@ from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import to_numpy
 from .scenarios import (
     Scenario,
     ScenarioEngine,
@@ -325,13 +326,15 @@ def integrate_relaxation(
     """
     scenario_count, block_count = initial.shape
     step_count = len(times)
-    temperatures_history = np.empty((scenario_count, step_count, block_count))
+    temperatures_history = np.empty(
+        (scenario_count, step_count, block_count), dtype=initial.dtype
+    )
     powers_history = np.empty_like(temperatures_history)
     runaway = np.zeros(scenario_count, dtype=bool)
     runaway_times = np.full(scenario_count, np.nan)
 
-    cur_base = _work_buffer(workspace, "tr_state_a", initial.shape)
-    nxt_base = _work_buffer(workspace, "tr_state_b", initial.shape)
+    cur_base = _work_buffer(workspace, "tr_state_a", initial.shape, dtype=initial.dtype)
+    nxt_base = _work_buffer(workspace, "tr_state_b", initial.shape, dtype=initial.dtype)
     np.copyto(cur_base, initial)
 
     rows = np.arange(scenario_count)
@@ -349,11 +352,11 @@ def integrate_relaxation(
             targets = targets_fn(
                 powers,
                 rows,
-                out=workspace.buffer("tr_targets", temps.shape),
+                out=workspace.buffer("tr_targets", temps.shape, temps.dtype),
                 workspace=workspace,
             )
         dt = times[index + 1] - now
-        decay = _work_buffer(workspace, "tr_decay", temps.shape)
+        decay = _work_buffer(workspace, "tr_decay", temps.shape, dtype=temps.dtype)
         np.take(tau, rows, axis=0, out=decay)
         np.divide(-dt, decay, out=decay)
         np.exp(decay, out=decay)
@@ -373,7 +376,9 @@ def integrate_relaxation(
         # under the final (constant) workload: the step must *start* at or
         # after the grid's last switching instant.
         if settle_tolerance is not None and now >= settle_after:
-            scratch = _work_buffer(workspace, "tr_scratch", temps.shape)
+            scratch = _work_buffer(
+                workspace, "tr_scratch", temps.shape, dtype=temps.dtype
+            )
             np.subtract(updated, targets, out=scratch)
             np.abs(scratch, out=scratch)
             settled = scratch.max(axis=1) < settle_tolerance
@@ -400,6 +405,83 @@ def integrate_relaxation(
                     break
         if swap:
             cur_base, nxt_base = nxt_base, cur_base
+
+    return IntegrationArrays(
+        times=times,
+        temperatures=temperatures_history,
+        powers=powers_history,
+        runaway=runaway,
+        runaway_times=runaway_times,
+    )
+
+
+def _integrate_relaxation_xp(
+    physics: ScenarioPhysics,
+    times: np.ndarray,
+    tau,
+    initial: np.ndarray,
+    activity,
+    max_temperature: float,
+    settle_tolerance: Optional[float],
+    settle_after: float,
+    full_shape: Tuple[int, int],
+    scenario_offset: int,
+) -> IntegrationArrays:
+    """Functional Array-API mirror of :func:`integrate_relaxation`.
+
+    Runs when the physics' namespace has no ``out=`` ufunc support.  The
+    whole batch stays resident and settled rows are frozen with
+    ``xp.where`` instead of compacted out — every row still sees the same
+    per-element operations in the same order as the in-place path, so
+    float64 results match it bit for bit (rows are independent, and a row
+    freezes exactly at the proposal it would have been compacted with).
+    Histories and runaway/settle bookkeeping stay on the host; only the
+    state/target arrays live in the working namespace.
+    """
+    xp = physics.xp
+    dtype = physics.dtype
+    scenario_count, block_count = initial.shape
+    step_count = len(times)
+    temperatures_history = np.empty((scenario_count, step_count, block_count))
+    powers_history = np.empty_like(temperatures_history)
+    runaway = np.zeros(scenario_count, dtype=bool)
+    runaway_times = np.full(scenario_count, np.nan)
+    frozen = np.zeros(scenario_count, dtype=bool)
+
+    temps = physics.cast(initial)
+    ceiling = xp.asarray(max_temperature, dtype=dtype)
+    all_rows = slice(None)
+    chunk = slice(scenario_offset, scenario_offset + scenario_count)
+
+    def powers_at(now: float, state):
+        multipliers = np.broadcast_to(
+            np.asarray(activity.values(now), dtype=float), full_shape
+        )[chunk]
+        scaled = physics.dynamic * xp.asarray(multipliers, dtype=dtype)
+        return scaled + physics.static_powers(state, all_rows)
+
+    for index, now in enumerate(times):
+        powers = powers_at(float(now), temps)
+        temperatures_history[:, index] = to_numpy(temps)
+        powers_history[:, index] = to_numpy(powers)
+        if index == step_count - 1:
+            break
+        targets = physics.steady_targets(powers, all_rows)
+        dt = float(times[index + 1] - now)
+        decay = xp.exp((-dt) / tau)
+        updated = targets + (temps - targets) * decay
+        clipped = to_numpy(xp.any(updated > ceiling, axis=1))
+        updated = xp.minimum(updated, ceiling)
+        newly_runaway = clipped & ~runaway & ~frozen
+        if newly_runaway.any():
+            runaway[newly_runaway] = True
+            runaway_times[newly_runaway] = times[index + 1]
+        if frozen.any():
+            updated = xp.where(xp.asarray(frozen)[:, None], temps, updated)
+        if settle_tolerance is not None and now >= settle_after:
+            distance = to_numpy(xp.max(xp.abs(updated - targets), axis=1))
+            frozen |= ~frozen & (distance < settle_tolerance)
+        temps = updated
 
     return IntegrationArrays(
         times=times,
@@ -615,15 +697,17 @@ class TransientScenarioEngine:
         ``_default_time_constant``: the unit-conductivity self resistance
         scaled by each scenario's ambient conductivity, times the silicon
         heat capacity one die-thickness deep under the block footprint.
+        Always staged in host float64 (bit-identical to the pre-seam
+        engine); :meth:`simulate` casts into the working namespace/dtype.
         """
         floorplan = self.engine.floorplan
         resistance = (
-            physics._unit_matrix.diagonal()[np.newaxis, :]
-            / physics.conductivity[:, np.newaxis]
+            physics._unit_matrix_host.diagonal()[np.newaxis, :]
+            / physics.conductivity_host[:, np.newaxis]
         )
         area = np.asarray([floorplan.block(name).area for name in self._block_names])
         capacitance = (
-            physics.volumetric_heat_capacity[:, np.newaxis]
+            physics.volumetric_heat_capacity_host[:, np.newaxis]
             * area[np.newaxis, :]
             * floorplan.die.thickness
         )
@@ -700,7 +784,7 @@ class TransientScenarioEngine:
             raise ValueError("settle_tolerance must be positive")
 
         physics = ScenarioPhysics(self.engine, scenarios)
-        if max_temperature <= physics.ambient.max():
+        if max_temperature <= physics.ambient_ceiling:
             raise ValueError("max_temperature must exceed every ambient temperature")
         if activity is None:
             activity = ConstantActivity(1.0)
@@ -721,50 +805,72 @@ class TransientScenarioEngine:
             if edges.size:
                 times = np.unique(np.concatenate([times, edges]))
 
-        initial = np.broadcast_to(physics.ambient[:, np.newaxis], shape).copy()
+        initial = np.broadcast_to(physics.ambient_host[:, np.newaxis], shape).copy()
         if initial_temperatures is not None:
             for name, value in initial_temperatures.items():
                 if name not in self._block_names:
                     raise KeyError(f"unknown block {name!r}")
                 initial[:, self._block_names.index(name)] = float(value)
 
-        tau = self._default_time_constants(physics)
+        tau = physics.cast(self._default_time_constants(physics))
         dynamic = physics.dynamic
 
-        def power_fn(now: float, temps: np.ndarray, rows: np.ndarray) -> np.ndarray:
-            multipliers = np.broadcast_to(
-                np.asarray(activity.values(now), dtype=float), full_shape
-            )[scenario_offset + rows]
-            powers = _work_buffer(workspace, "tr_powers", temps.shape)
-            np.take(dynamic, rows, axis=0, out=powers)
-            np.multiply(powers, multipliers, out=powers)
-            static = physics.static_powers(
-                temps,
-                rows,
-                out=_work_buffer(workspace, "tr_static", temps.shape),
+        if not physics.inplace:
+            arrays = _integrate_relaxation_xp(
+                physics,
+                times,
+                tau,
+                initial,
+                activity,
+                max_temperature,
+                settle_tolerance=settle_tolerance,
+                settle_after=activity.constant_after,
+                full_shape=full_shape,
+                scenario_offset=scenario_offset,
+            )
+        else:
+            initial = physics.cast(initial)
+
+            def power_fn(
+                now: float, temps: np.ndarray, rows: np.ndarray
+            ) -> np.ndarray:
+                multipliers = np.broadcast_to(
+                    np.asarray(activity.values(now), dtype=float), full_shape
+                )[scenario_offset + rows]
+                powers = _work_buffer(
+                    workspace, "tr_powers", temps.shape, dtype=temps.dtype
+                )
+                np.take(dynamic, rows, axis=0, out=powers)
+                np.multiply(powers, multipliers, out=powers)
+                static = physics.static_powers(
+                    temps,
+                    rows,
+                    out=_work_buffer(
+                        workspace, "tr_static", temps.shape, dtype=temps.dtype
+                    ),
+                    workspace=workspace,
+                )
+                np.add(powers, static, out=powers)
+                return powers
+
+            arrays = integrate_relaxation(
+                times,
+                tau,
+                initial,
+                power_fn,
+                physics.steady_targets,
+                max_temperature,
+                settle_tolerance=settle_tolerance,
+                settle_after=activity.constant_after,
                 workspace=workspace,
             )
-            np.add(powers, static, out=powers)
-            return powers
-
-        arrays = integrate_relaxation(
-            times,
-            tau,
-            initial,
-            power_fn,
-            physics.steady_targets,
-            max_temperature,
-            settle_tolerance=settle_tolerance,
-            settle_after=activity.constant_after,
-            workspace=workspace,
-        )
         return TransientBatchResult(
             scenarios=physics.scenarios,
             block_names=self._block_names,
             times=arrays.times,
-            block_temperatures=arrays.temperatures,
-            block_powers=arrays.powers,
-            ambient_temperatures=physics.ambient,
+            block_temperatures=np.asarray(arrays.temperatures, dtype=np.float64),
+            block_powers=np.asarray(arrays.powers, dtype=np.float64),
+            ambient_temperatures=np.asarray(physics.ambient_host, dtype=np.float64),
             runaway=arrays.runaway,
             runaway_times=arrays.runaway_times,
         )

@@ -30,23 +30,28 @@ import numpy as np
 
 from ...technology.constants import BOLTZMANN, ELEMENTARY_CHARGE
 from ...technology.parameters import DeviceParameters, TechnologyParameters
+from ..backend import get_namespace, result_float_dtype
 from .subthreshold import MAX_EXPONENT
 
 
-def safe_exp(values: np.ndarray) -> np.ndarray:
+def safe_exp(values) -> np.ndarray:
     """Batched mirror of :func:`repro.core.leakage.subthreshold.safe_exp`.
 
     The exponent is clamped symmetrically to ``[-MAX_EXPONENT,
-    +MAX_EXPONENT]`` with ``np.clip`` before ``np.exp``, matching the
-    scalar clamp exactly (both saturate at ``exp(+-250)``).
+    +MAX_EXPONENT]`` with ``clip`` before ``exp`` in the values' own array
+    namespace, matching the scalar clamp exactly (both saturate at
+    ``exp(+-250)``).  Python-float bounds keep the values' dtype (so a
+    float32 batch clamps and exponentiates in float32).
     """
-    return np.exp(np.clip(values, -MAX_EXPONENT, MAX_EXPONENT))
+    xp = get_namespace(values)
+    return xp.exp(xp.clip(values, -MAX_EXPONENT, MAX_EXPONENT))
 
 
 def thermal_voltage(temperature) -> np.ndarray:
     """Thermal voltage ``kT/q`` [V], broadcast over temperatures."""
-    temperature = np.asarray(temperature, dtype=float)
-    if np.any(temperature <= 0.0):
+    xp = get_namespace(temperature)
+    temperature = xp.asarray(temperature, dtype=result_float_dtype(temperature))
+    if xp.any(temperature <= 0.0):
         raise ValueError("temperature must be positive in Kelvin")
     return BOLTZMANN * temperature / ELEMENTARY_CHARGE
 
@@ -70,62 +75,87 @@ class DeviceArray:
     channel_length: np.ndarray
 
     @classmethod
-    def from_device(cls, device: DeviceParameters) -> "DeviceArray":
+    def from_device(cls, device: DeviceParameters, xp=np, dtype=None) -> "DeviceArray":
         """Pack a single device type (fields become 0-d arrays)."""
+        dtype = xp.float64 if dtype is None else dtype
         return cls(
-            i0=np.asarray(device.i0, dtype=float),
-            n=np.asarray(device.n, dtype=float),
-            vt0=np.asarray(device.vt0, dtype=float),
-            body_effect=np.asarray(device.body_effect, dtype=float),
-            dibl=np.asarray(device.dibl, dtype=float),
-            kt=np.asarray(device.kt, dtype=float),
-            channel_length=np.asarray(device.channel_length, dtype=float),
+            i0=xp.asarray(device.i0, dtype=dtype),
+            n=xp.asarray(device.n, dtype=dtype),
+            vt0=xp.asarray(device.vt0, dtype=dtype),
+            body_effect=xp.asarray(device.body_effect, dtype=dtype),
+            dibl=xp.asarray(device.dibl, dtype=dtype),
+            kt=xp.asarray(device.kt, dtype=dtype),
+            channel_length=xp.asarray(device.channel_length, dtype=dtype),
         )
 
     @classmethod
-    def from_devices(cls, devices: Sequence[DeviceParameters]) -> "DeviceArray":
+    def from_devices(
+        cls, devices: Sequence[DeviceParameters], xp=np, dtype=None
+    ) -> "DeviceArray":
         """Pack a sequence of device parameter sets into arrays."""
+        dtype = xp.float64 if dtype is None else dtype
         return cls(
-            i0=np.asarray([d.i0 for d in devices], dtype=float),
-            n=np.asarray([d.n for d in devices], dtype=float),
-            vt0=np.asarray([d.vt0 for d in devices], dtype=float),
-            body_effect=np.asarray([d.body_effect for d in devices], dtype=float),
-            dibl=np.asarray([d.dibl for d in devices], dtype=float),
-            kt=np.asarray([d.kt for d in devices], dtype=float),
-            channel_length=np.asarray(
-                [d.channel_length for d in devices], dtype=float
+            i0=xp.asarray([d.i0 for d in devices], dtype=dtype),
+            n=xp.asarray([d.n for d in devices], dtype=dtype),
+            vt0=xp.asarray([d.vt0 for d in devices], dtype=dtype),
+            body_effect=xp.asarray([d.body_effect for d in devices], dtype=dtype),
+            dibl=xp.asarray([d.dibl for d in devices], dtype=dtype),
+            kt=xp.asarray([d.kt for d in devices], dtype=dtype),
+            channel_length=xp.asarray(
+                [d.channel_length for d in devices], dtype=dtype
             ),
         )
 
     @classmethod
     def from_technologies(
-        cls, technologies: Sequence[TechnologyParameters], device_type: str = "nmos"
+        cls,
+        technologies: Sequence[TechnologyParameters],
+        device_type: str = "nmos",
+        xp=np,
+        dtype=None,
     ) -> "DeviceArray":
         """Pack one device type out of a sequence of technology nodes."""
-        return cls.from_devices([t.device(device_type) for t in technologies])
+        return cls.from_devices(
+            [t.device(device_type) for t in technologies], xp=xp, dtype=dtype
+        )
 
     def take(self, indices) -> "DeviceArray":
-        """Fancy-index every field (e.g. expand per-scenario parameters)."""
+        """Index every field along axis 0 (e.g. expand per-scenario rows)."""
+        xp = get_namespace(self.i0)
+        if xp is np:
+            return DeviceArray(
+                i0=self.i0[indices],
+                n=self.n[indices],
+                vt0=self.vt0[indices],
+                body_effect=self.body_effect[indices],
+                dibl=self.dibl[indices],
+                kt=self.kt[indices],
+                channel_length=self.channel_length[indices],
+            )
+        # Integer-array indexing is optional in the Array API standard;
+        # ``take`` is the portable spelling of the same gather.
+        indices = xp.asarray(indices)
         return DeviceArray(
-            i0=self.i0[indices],
-            n=self.n[indices],
-            vt0=self.vt0[indices],
-            body_effect=self.body_effect[indices],
-            dibl=self.dibl[indices],
-            kt=self.kt[indices],
-            channel_length=self.channel_length[indices],
+            i0=xp.take(self.i0, indices, axis=0),
+            n=xp.take(self.n, indices, axis=0),
+            vt0=xp.take(self.vt0, indices, axis=0),
+            body_effect=xp.take(self.body_effect, indices, axis=0),
+            dibl=xp.take(self.dibl, indices, axis=0),
+            kt=xp.take(self.kt, indices, axis=0),
+            channel_length=xp.take(self.channel_length, indices, axis=0),
         )
 
     def reshape(self, shape) -> "DeviceArray":
         """Reshape every field (e.g. to ``(S, 1)`` for scenario x block)."""
+        xp = get_namespace(self.i0)
         return DeviceArray(
-            i0=self.i0.reshape(shape),
-            n=self.n.reshape(shape),
-            vt0=self.vt0.reshape(shape),
-            body_effect=self.body_effect.reshape(shape),
-            dibl=self.dibl.reshape(shape),
-            kt=self.kt.reshape(shape),
-            channel_length=self.channel_length.reshape(shape),
+            i0=xp.reshape(self.i0, shape),
+            n=xp.reshape(self.n, shape),
+            vt0=xp.reshape(self.vt0, shape),
+            body_effect=xp.reshape(self.body_effect, shape),
+            dibl=xp.reshape(self.dibl, shape),
+            kt=xp.reshape(self.kt, shape),
+            channel_length=xp.reshape(self.channel_length, shape),
         )
 
     def threshold_voltage(
@@ -137,12 +167,16 @@ class DeviceArray:
         :meth:`~repro.technology.parameters.DeviceParameters.threshold_voltage`
         term-for-term.
         """
-        temperature = np.asarray(temperature, dtype=float)
+        xp = get_namespace(self.vt0, temperature)
+        dtype = result_float_dtype(self.vt0, temperature)
+        temperature = xp.asarray(temperature, dtype=dtype)
         return (
             self.vt0
-            + self.body_effect * np.asarray(vsb, dtype=float)
-            - self.kt * (temperature - np.asarray(reference_temperature, dtype=float))
-            - self.dibl * (np.asarray(vds, dtype=float) - np.asarray(vdd, dtype=float))
+            + self.body_effect * xp.asarray(vsb, dtype=dtype)
+            - self.kt
+            * (temperature - xp.asarray(reference_temperature, dtype=dtype))
+            - self.dibl
+            * (xp.asarray(vds, dtype=dtype) - xp.asarray(vdd, dtype=dtype))
         )
 
 
@@ -164,28 +198,30 @@ def subthreshold_current(
     operation-by-operation; all bias arguments broadcast against the
     :class:`DeviceArray` fields.
     """
-    width = np.asarray(width, dtype=float)
-    if np.any(width <= 0.0):
+    xp = get_namespace(devices.i0, width, temperature)
+    dtype = result_float_dtype(devices.i0, width, temperature)
+    width = xp.asarray(width, dtype=dtype)
+    if xp.any(width <= 0.0):
         raise ValueError("width must be positive")
     if length is not None:
-        channel_length = np.asarray(length, dtype=float)
+        channel_length = xp.asarray(length, dtype=dtype)
     else:
         channel_length = devices.channel_length
-    if np.any(channel_length <= 0.0):
+    if xp.any(channel_length <= 0.0):
         raise ValueError("length must be positive")
-    temperature = np.asarray(temperature, dtype=float)
-    if np.any(temperature <= 0.0):
+    temperature = xp.asarray(temperature, dtype=dtype)
+    if xp.any(temperature <= 0.0):
         raise ValueError("temperature must be positive (Kelvin)")
-    vds = np.asarray(vds, dtype=float)
+    vds = xp.asarray(vds, dtype=dtype)
 
     vt = thermal_voltage(temperature)
     vth = devices.threshold_voltage(vsb, vds, vdd, temperature, reference_temperature)
     prefactor = (
         (width / channel_length)
         * devices.i0
-        * (temperature / np.asarray(reference_temperature, dtype=float)) ** 2
+        * (temperature / xp.asarray(reference_temperature, dtype=dtype)) ** 2
     )
-    gate_factor = safe_exp((np.asarray(vgs, dtype=float) - vth) / (devices.n * vt))
+    gate_factor = safe_exp((xp.asarray(vgs, dtype=dtype) - vth) / (devices.n * vt))
     if not include_drain_factor:
         return prefactor * gate_factor
     drain_factor = 1.0 - safe_exp(-vds / vt)
@@ -207,7 +243,9 @@ def single_device_off_current(
     (paper Eq. 13 for an effective width): ``VGS = 0``, ``VDS = Vdd`` (the
     DIBL term cancels) and the drain factor dropped.
     """
-    body_voltage = np.asarray(body_voltage, dtype=float)
+    xp = get_namespace(devices.i0, width, temperature, body_voltage)
+    dtype = result_float_dtype(devices.i0, width, temperature)
+    body_voltage = xp.asarray(body_voltage, dtype=dtype)
     return subthreshold_current(
         devices,
         width,
@@ -234,8 +272,10 @@ def gate_leakage(
     Batched mirror of
     :func:`repro.core.leakage.subthreshold.effective_width_off_current`.
     """
-    effective_width = np.asarray(effective_width, dtype=float)
-    if np.any(effective_width <= 0.0):
+    xp = get_namespace(devices.i0, effective_width)
+    dtype = result_float_dtype(devices.i0, effective_width)
+    effective_width = xp.asarray(effective_width, dtype=dtype)
+    if xp.any(effective_width <= 0.0):
         raise ValueError("effective_width must be positive")
     return single_device_off_current(
         devices, effective_width, vdd, temperature, reference_temperature, body_voltage
@@ -259,13 +299,15 @@ def f_value(
     upper_width, lower_width, devices: DeviceArray, vdd, temperature
 ) -> np.ndarray:
     """Dimensionless ``f`` of Eq. (9) for pairs of series devices, broadcast."""
-    upper_width = np.asarray(upper_width, dtype=float)
-    lower_width = np.asarray(lower_width, dtype=float)
-    if np.any(upper_width <= 0.0) or np.any(lower_width <= 0.0):
+    xp = get_namespace(devices.dibl, upper_width, lower_width, temperature)
+    dtype = result_float_dtype(devices.dibl, upper_width, lower_width, temperature)
+    upper_width = xp.asarray(upper_width, dtype=dtype)
+    lower_width = xp.asarray(lower_width, dtype=dtype)
+    if xp.any(upper_width <= 0.0) or xp.any(lower_width <= 0.0):
         raise ValueError("widths must be positive")
     vt = thermal_voltage(temperature)
-    dibl_term = devices.dibl * np.asarray(vdd, dtype=float) / (devices.n * vt)
-    return np.log(upper_width / lower_width) + dibl_term
+    dibl_term = devices.dibl * xp.asarray(vdd, dtype=dtype) / (devices.n * vt)
+    return xp.log(upper_width / lower_width) + dibl_term
 
 
 def node_voltage_strong(
@@ -299,7 +341,7 @@ def node_voltage(
     a = alpha(devices)
     exp_f = safe_exp(f)
     blend = a + (1.0 - a) / (1.0 + exp_f)
-    return vt * blend * np.log1p(exp_f)
+    return vt * blend * get_namespace(f).log1p(exp_f)
 
 
 @dataclass(frozen=True)
@@ -321,11 +363,13 @@ class StackArray:
     def __post_init__(self) -> None:
         if self.widths.ndim != 2 or self.widths.shape[1] < 1:
             raise ValueError("widths must have shape (stacks, depth >= 1)")
-        if not np.all(self.widths > 0.0):
+        if not get_namespace(self.widths).all(self.widths > 0.0):
             raise ValueError("widths must be positive")
 
     @classmethod
-    def from_chains(cls, chains: Sequence[Sequence[float]]) -> "StackArray":
+    def from_chains(
+        cls, chains: Sequence[Sequence[float]], xp=np, dtype=None
+    ) -> "StackArray":
         """Pack equal-depth chains of widths (T1 first) into one array."""
         if not len(chains):
             raise ValueError("at least one chain is required")
@@ -335,7 +379,8 @@ class StackArray:
                 "all chains in a StackArray must share a depth; "
                 "group mixed-depth workloads into one StackArray per depth"
             )
-        return cls(widths=np.asarray(chains, dtype=float))
+        dtype = xp.float64 if dtype is None else dtype
+        return cls(widths=xp.asarray(chains, dtype=dtype))
 
     def __len__(self) -> int:
         return int(self.widths.shape[0])
@@ -375,7 +420,8 @@ class StackCollapseBatch:
     @property
     def top_node_voltage(self) -> np.ndarray:
         """Voltage [V] of node ``V_{N-1}`` below the top device (Eq. 12)."""
-        return self.node_voltages.sum(axis=-1)
+        xp = get_namespace(self.node_voltages)
+        return xp.sum(self.node_voltages, axis=-1)
 
 
 def collapse_stacks(
@@ -390,35 +436,40 @@ def collapse_stacks(
     :meth:`~repro.core.leakage.stack_collapse.StackCollapser.collapse_chain_widths`.
     """
     widths = stacks.widths
+    xp = get_namespace(widths, devices.n, temperature)
+    dtype = result_float_dtype(widths, devices.n, temperature)
     depth = widths.shape[1]
     vt = thermal_voltage(temperature)
     n_vt = devices.n * vt
-    dibl_term = devices.dibl * np.asarray(vdd, dtype=float) / n_vt
+    dibl_term = devices.dibl * xp.asarray(vdd, dtype=dtype) / n_vt
     a = alpha(devices)
     exponent = stacking_exponent(devices)
 
     # The batch shape is the broadcast of the chain count with every
     # per-chain parameter (device fields, supply, temperature), so e.g. a
     # (scenarios, 1) temperature batch against (stacks,) chains collapses
-    # to (scenarios, stacks) in one walk.
+    # to (scenarios, stacks) in one walk.  Shapes are plain tuples, so the
+    # numpy helper applies whatever namespace holds the data.
     batch_shape = np.broadcast_shapes(
         widths[:, -1].shape, n_vt.shape, dibl_term.shape, a.shape
     )
-    equivalent_width = np.broadcast_to(widths[:, -1], batch_shape).copy()
+    equivalent_width = xp.asarray(
+        xp.broadcast_to(widths[:, -1], batch_shape), copy=True
+    )
     voltages_top_down = []
     for column in range(depth - 2, -1, -1):
         lower_width = widths[:, column]
-        f = np.log(equivalent_width / lower_width) + dibl_term
+        f = xp.log(equivalent_width / lower_width) + dibl_term
         exp_f = safe_exp(f)
         blend = a + (1.0 - a) / (1.0 + exp_f)
-        dv = vt * blend * np.log1p(exp_f)
+        dv = vt * blend * xp.log1p(exp_f)
         equivalent_width = equivalent_width * safe_exp(-exponent * dv / n_vt)
-        voltages_top_down.append(np.broadcast_to(dv, batch_shape))
+        voltages_top_down.append(xp.broadcast_to(dv, batch_shape))
     if voltages_top_down:
         # Scalar result orders node voltages bottom-up (T1's drop first).
-        node_voltages = np.stack(voltages_top_down[::-1], axis=-1)
+        node_voltages = xp.stack(voltages_top_down[::-1], axis=-1)
     else:
-        node_voltages = np.empty(batch_shape + (0,))
+        node_voltages = xp.empty(batch_shape + (0,), dtype=dtype)
     return StackCollapseBatch(
         effective_width=equivalent_width,
         node_voltages=node_voltages,
@@ -473,7 +524,8 @@ def leakage_temperature_ratio(
     if parameter_reference_temperature is None:
         parameter_reference_temperature = reference_temperature
     if width is None:
-        width = np.asarray(1.0e-6)
+        xp = get_namespace(devices.i0, temperature)
+        width = xp.asarray(1.0e-6, dtype=result_float_dtype(devices.i0, temperature))
     hot = single_device_off_current(
         devices, width, vdd, temperature, parameter_reference_temperature
     )

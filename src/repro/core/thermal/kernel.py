@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..backend import get_namespace, result_float_dtype, to_numpy
 from .sources import HeatSource
 
 #: Floor applied to the across-line distance, matching the scalar
@@ -64,26 +65,30 @@ class SourceArray:
         for field in fields:
             if field.ndim != 1 or field.shape != self.x.shape:
                 raise ValueError("all SourceArray fields must be 1-D and equally sized")
-        if self.x.size:
-            if not (np.all(self.width > 0.0) and np.all(self.length > 0.0)):
+        if self.x.shape[0]:
+            xp = get_namespace(self.x)
+            if not (xp.all(self.width > 0.0) and xp.all(self.length > 0.0)):
                 raise ValueError("source dimensions must be positive")
-            if not np.all(self.depth >= 0.0):
+            if not xp.all(self.depth >= 0.0):
                 raise ValueError("depth must be non-negative")
 
     @classmethod
-    def from_sources(cls, sources: Sequence[HeatSource]) -> "SourceArray":
+    def from_sources(
+        cls, sources: Sequence[HeatSource], xp=np, dtype=None
+    ) -> "SourceArray":
         """Pack a sequence of :class:`HeatSource` into contiguous arrays."""
+        dtype = xp.float64 if dtype is None else dtype
         return cls(
-            x=np.asarray([s.x for s in sources], dtype=float),
-            y=np.asarray([s.y for s in sources], dtype=float),
-            width=np.asarray([s.width for s in sources], dtype=float),
-            length=np.asarray([s.length for s in sources], dtype=float),
-            power=np.asarray([s.power for s in sources], dtype=float),
-            depth=np.asarray([s.depth for s in sources], dtype=float),
+            x=xp.asarray([s.x for s in sources], dtype=dtype),
+            y=xp.asarray([s.y for s in sources], dtype=dtype),
+            width=xp.asarray([s.width for s in sources], dtype=dtype),
+            length=xp.asarray([s.length for s in sources], dtype=dtype),
+            power=xp.asarray([s.power for s in sources], dtype=dtype),
+            depth=xp.asarray([s.depth for s in sources], dtype=dtype),
         )
 
     def __len__(self) -> int:
-        return int(self.x.size)
+        return int(self.x.shape[0])
 
     def to_sources(self) -> List[HeatSource]:
         """Unpack back into scalar :class:`HeatSource` objects."""
@@ -101,14 +106,27 @@ class SourceArray:
 
     def with_powers(self, power: np.ndarray) -> "SourceArray":
         """Copy with the power column replaced (same geometry)."""
-        power = np.asarray(power, dtype=float)
+        xp = get_namespace(self.x, power)
+        power = xp.asarray(power, dtype=self.x.dtype)
         if power.shape != self.x.shape:
             raise ValueError("power must match the source count")
         return replace(self, power=power)
 
     def total_power(self) -> float:
         """Signed total power [W] over every packed source."""
-        return float(self.power.sum())
+        return float(get_namespace(self.power).sum(self.power))
+
+    def cast(self, xp=np, dtype=None) -> "SourceArray":
+        """Copy with every field converted into namespace ``xp``/``dtype``."""
+        dtype = xp.float64 if dtype is None else dtype
+        return SourceArray(
+            x=xp.asarray(self.x, dtype=dtype),
+            y=xp.asarray(self.y, dtype=dtype),
+            width=xp.asarray(self.width, dtype=dtype),
+            length=xp.asarray(self.length, dtype=dtype),
+            power=xp.asarray(self.power, dtype=dtype),
+            depth=xp.asarray(self.depth, dtype=dtype),
+        )
 
 
 SourceSetLike = Union[SourceArray, Sequence[HeatSource]]
@@ -189,6 +207,7 @@ class _KernelPlan:
         if conductivity <= 0.0:
             raise ValueError("conductivity must be positive")
         self.count = len(sources)
+        self.dtype = sources.x.dtype
         # Match the scalar association order: pi*k and 2.0*pi*k are the
         # exact left-folded prefixes of the scalar denominators.
         c1 = math.pi * conductivity
@@ -226,7 +245,11 @@ class _KernelPlan:
         return np.divide(self.bpower, dx, out=dx)
 
     def _surface_rises(
-        self, partition: _SurfacePartition, along_x: bool, px: np.ndarray, py: np.ndarray
+        self,
+        partition: _SurfacePartition,
+        along_x: bool,
+        px: np.ndarray,
+        py: np.ndarray,
     ) -> np.ndarray:
         dx = px[:, np.newaxis] - partition.x
         dy = py[:, np.newaxis] - partition.y
@@ -236,7 +259,7 @@ class _KernelPlan:
 
     def block(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
         """Per-pair temperature rises, shape ``(len(px), count)``."""
-        out = np.zeros((px.size, self.count))
+        out = np.zeros((px.size, self.count), dtype=np.result_type(px, self.dtype))
         for partition, along_x in self.partitions:
             out[:, partition.index] = self._surface_rises(partition, along_x, px, py)
         if self.buried_index.size:
@@ -249,7 +272,7 @@ class _KernelPlan:
         Sums each partition's contributions directly instead of scattering
         into the full ``(n, count)`` matrix — the hot path for maps.
         """
-        total = np.zeros(px.size)
+        total = np.zeros(px.size, dtype=np.result_type(px, self.dtype))
         for partition, along_x in self.partitions:
             total += self._surface_rises(partition, along_x, px, py).sum(axis=1)
         if self.buried_index.size:
@@ -257,8 +280,107 @@ class _KernelPlan:
         return total
 
 
+class _GenericPlan:
+    """Namespace-generic Eq. 20 evaluation: no partitions, no in-place ops.
+
+    The Array-API counterpart of :class:`_KernelPlan` for namespaces
+    without numpy's ``out=`` ufunc protocol (``array_api_strict``, CuPy,
+    JAX): every (point, source) lane evaluates all three formula branches
+    functionally — in the exact per-element operation order of the
+    partitioned in-place chains — and a ``where`` select keeps the branch
+    the scalar reference would take, so float64 results agree bit-for-bit
+    with the numpy plan.
+    """
+
+    def __init__(self, sources: SourceArray, conductivity: float, xp) -> None:
+        if conductivity <= 0.0:
+            raise ValueError("conductivity must be positive")
+        self.xp = xp
+        self.count = len(sources)
+        self.dtype = sources.x.dtype
+        c1 = math.pi * conductivity
+        c2 = 2.0 * math.pi * conductivity
+        self.c2 = c2
+        width = sources.width
+        length = sources.length
+        power = sources.power
+        self.x = sources.x
+        self.y = sources.y
+        self.surface = sources.depth == 0.0
+        self.wide = xp.logical_and(self.surface, width >= length)
+        self.sign = xp.sign(power)
+        magnitude = xp.abs(power)
+        # Eq. 18 centre cap (well-defined for every lane: extents are
+        # positive whether the source is surface or buried).
+        term = width * xp.asinh(length / width) + length * xp.asinh(width / length)
+        self.center = magnitude / (c1 * width * length) * term
+        # Eq. 19 line source along the longer footprint dimension.
+        extent = xp.maximum(width, length)
+        self.half = 0.5 * extent
+        self.far_coefficient = magnitude / (c2 * extent)
+        self.depth_sq = sources.depth * sources.depth
+        self.power = power
+        # Regulariser keeping the buried denominator finite on surface
+        # lanes (adds exactly 0.0 on buried lanes, whose values survive).
+        self.surface_bump = xp.astype(self.surface, self.dtype)
+        # Scalar operands of the two-array elementwise functions, packed
+        # as 0-d arrays (scalar arguments there are a recent spec addition
+        # not every namespace implements yet).
+        self.across_floor = xp.asarray(_ACROSS_FLOOR, dtype=self.dtype)
+        self.zero = xp.asarray(0.0, dtype=self.dtype)
+        # Row sums must accumulate in the numpy plan's partition order
+        # (wide, tall, buried) — summing all columns at once folds the
+        # reduction differently and drifts by 1 ulp.  Masks are staged on
+        # the host; the column indices live in the working namespace.
+        depth_host = to_numpy(sources.depth)
+        surface_host = depth_host == 0.0
+        wide_host = surface_host & (to_numpy(width) >= to_numpy(length))
+        tall_host = surface_host & ~wide_host
+        self.column_groups = [
+            xp.asarray(np.flatnonzero(mask))
+            for mask in (wide_host, tall_host, ~surface_host)
+            if mask.any()
+        ]
+
+    def block(self, px, py):
+        """Per-pair temperature rises, shape ``(len(px), count)``."""
+        xp = self.xp
+        dx = px[:, None] - self.x
+        dy = py[:, None] - self.y
+        # Surface branch: point-source deltas along/across the Eq. 19 line.
+        along = xp.where(self.wide, dx, dy)
+        across = xp.abs(xp.where(self.wide, dy, dx))
+        across = xp.maximum(across, self.across_floor)
+        upper = xp.asinh((along + self.half) / across)
+        lower = xp.asinh((along - self.half) / across)
+        far = (upper - lower) * self.far_coefficient
+        far = xp.maximum(far, self.zero)
+        far = xp.minimum(far, self.center)
+        far = far * self.sign
+        # Buried branch: point-source image distance (same association
+        # order as the in-place chain: (dx^2 + dy^2) + depth^2).
+        r_sq = (dx * dx + dy * dy) + self.depth_sq + self.surface_bump
+        buried = self.power / (xp.sqrt(r_sq) * self.c2)
+        return xp.where(self.surface, far, buried)
+
+    def row_sums(self, px, py):
+        """Eq. 21 superposed rises, shape ``(len(px),)``.
+
+        Accumulated one column group at a time in the numpy plan's
+        partition order so the reduction folds identically.
+        """
+        xp = self.xp
+        block = self.block(px, py)
+        total = None
+        for columns in self.column_groups:
+            group = xp.sum(xp.take(block, columns, axis=1), axis=1)
+            total = group if total is None else total + group
+        return total
+
+
 def as_points(points) -> np.ndarray:
-    array = np.asarray(points, dtype=float)
+    xp = get_namespace(points)
+    array = xp.asarray(points, dtype=result_float_dtype(points))
     if array.ndim != 2 or array.shape[1] != 2:
         raise ValueError("points must have shape (N, 2)")
     return array
@@ -293,13 +415,21 @@ def temperature_rise(
     array = _as_source_array(sources)
     if len(array) == 0:
         raise ValueError("at least one source is required")
-    plan = _KernelPlan(array, conductivity)
-    out = np.empty(pts.shape[0])
+    xp = get_namespace(pts, array.x)
     step = _chunk_size(len(array), chunk_elements)
-    for start in range(0, pts.shape[0], step):
-        stop = start + step
-        out[start:stop] = plan.row_sums(pts[start:stop, 0], pts[start:stop, 1])
-    return out
+    if xp is np:
+        plan = _KernelPlan(array, conductivity)
+        out = np.empty(pts.shape[0], dtype=np.result_type(pts, array.x))
+        for start in range(0, pts.shape[0], step):
+            stop = start + step
+            out[start:stop] = plan.row_sums(pts[start:stop, 0], pts[start:stop, 1])
+        return out
+    generic = _GenericPlan(array, conductivity, xp)
+    chunks = [
+        generic.row_sums(pts[start : start + step, 0], pts[start : start + step, 1])
+        for start in range(0, pts.shape[0], step)
+    ]
+    return chunks[0] if len(chunks) == 1 else xp.concat(chunks)
 
 
 def pairwise_rise(
@@ -325,24 +455,41 @@ def pairwise_rise(
     array = _as_source_array(sources)
     if len(array) == 0:
         raise ValueError("at least one source is required")
+    xp = get_namespace(pts, array.x)
+    dtype = np.result_type(pts, array.x) if xp is np else np.float64
     if groups is not None:
         groups = np.asarray(groups)
         if groups.shape != (len(array),):
             raise ValueError("groups must provide one label per source")
         columns = int(group_count) if group_count is not None else int(groups.max()) + 1
-        indicator = np.zeros((len(array), columns))
-        indicator[np.arange(len(array)), groups] = 1.0
+        # The 0/1 scatter is staged on the host; non-numpy namespaces get
+        # a converted copy (the gather itself stays a matmul everywhere).
+        indicator_host = np.zeros((len(array), columns), dtype=dtype)
+        indicator_host[np.arange(len(array)), groups] = 1.0
+        indicator = (
+            indicator_host
+            if xp is np
+            else xp.asarray(indicator_host, dtype=array.x.dtype)
+        )
     else:
         columns = len(array)
         indicator = None
-    plan = _KernelPlan(array, conductivity)
-    out = np.empty((pts.shape[0], columns))
     step = _chunk_size(len(array), chunk_elements)
+    if xp is np:
+        plan = _KernelPlan(array, conductivity)
+        out = np.empty((pts.shape[0], columns), dtype=dtype)
+        for start in range(0, pts.shape[0], step):
+            stop = start + step
+            block = plan.block(pts[start:stop, 0], pts[start:stop, 1])
+            out[start:stop] = block if indicator is None else block @ indicator
+        return out
+    generic = _GenericPlan(array, conductivity, xp)
+    chunks = []
     for start in range(0, pts.shape[0], step):
         stop = start + step
-        block = plan.block(pts[start:stop, 0], pts[start:stop, 1])
-        out[start:stop] = block if indicator is None else block @ indicator
-    return out
+        block = generic.block(pts[start:stop, 0], pts[start:stop, 1])
+        chunks.append(block if indicator is None else block @ indicator)
+    return chunks[0] if len(chunks) == 1 else xp.concat(chunks, axis=0)
 
 
 def scalar_reference_rise(

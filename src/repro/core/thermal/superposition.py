@@ -12,11 +12,12 @@ surface maps.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ...technology.materials import SILICON, Material
+from ..backend import Precision, resolve_precision
 from .images import DieGeometry, ImageExpansion
 from .kernel import (
     SourceArray,
@@ -71,8 +72,12 @@ class SurfaceMap:
     @property
     def peak_location(self) -> Tuple[float, float]:
         """Coordinates [m] of the hottest sample."""
-        index = np.unravel_index(int(np.argmax(self.temperature)), self.temperature.shape)
-        return float(self.x_coordinates[index[0]]), float(self.y_coordinates[index[1]])
+        index = np.unravel_index(
+            int(np.argmax(self.temperature)), self.temperature.shape
+        )
+        return float(self.x_coordinates[index[0]]), float(
+            self.y_coordinates[index[1]]
+        )
 
     def cross_section_x(self, y: float) -> Tuple[np.ndarray, np.ndarray]:
         """Temperature along x at the sampled row closest to ``y`` (Fig. 7)."""
@@ -101,6 +106,13 @@ class ChipThermalModel:
     include_bottom_images:
         Whether to add the buried negative images enforcing the isothermal
         bottom.
+    precision:
+        Working-precision policy from
+        :data:`repro.core.backend.PRECISIONS` (name or
+        :class:`~repro.core.backend.Precision`).  The default ``float64``
+        is bit-identical to the pre-policy model; ``float32`` evaluates
+        maps in single precision within the documented tolerances (fast
+        serving maps — see ``docs/precision.md``).
     """
 
     def __init__(
@@ -110,12 +122,15 @@ class ChipThermalModel:
         material: Material = SILICON,
         image_rings: int = 1,
         include_bottom_images: bool = True,
+        precision: Union[str, Precision, None] = None,
     ) -> None:
         if ambient_temperature <= 0.0:
             raise ValueError("ambient_temperature must be positive (Kelvin)")
         self.die = die
         self.ambient_temperature = ambient_temperature
         self.material = material
+        self.precision = resolve_precision(precision)
+        self._dtype = self.precision.dtype(np)
         self.expansion = ImageExpansion(
             die, rings=image_rings, include_bottom_images=include_bottom_images
         )
@@ -185,7 +200,10 @@ class ChipThermalModel:
 
     def _expanded_source_array(self) -> SourceArray:
         if self._expanded_array is None:
-            self._expanded_array, _ = self.expansion.expand_arrays(self._sources)
+            expanded, _ = self.expansion.expand_arrays(self._sources)
+            if self.precision.name != "float64":
+                expanded = expanded.cast(np, self._dtype)
+            self._expanded_array = expanded
         return self._expanded_array
 
     # ------------------------------------------------------------------ #
@@ -198,8 +216,10 @@ class ChipThermalModel:
         cached image-expanded source array.
         """
         points = as_points(points)
+        if self.precision.name != "float64":
+            points = points.astype(self._dtype, copy=False)
         if not self._sources:
-            return np.zeros(points.shape[0])
+            return np.zeros(points.shape[0], dtype=points.dtype)
         return kernel_temperature_rise(
             points, self._expanded_source_array(), self.conductivity
         )

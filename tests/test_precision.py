@@ -1,0 +1,217 @@
+"""float32 vs float64: the documented-tolerance parity suite.
+
+``float64`` is the reference policy — selecting it explicitly must be
+bit-identical to the default path (same engines, same in-place chains).
+``float32`` trades precision for serving speed; its results are pinned to
+the float64 reference within the tolerances the
+:class:`~repro.core.backend.Precision` registry documents
+(``rtol=1e-4``/``atol=5e-3``, see ``docs/precision.md``) at both the
+kernel level and across every study kind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ScenarioSpec, Study, WorkloadSpec
+from repro.core.backend import PRECISIONS
+from repro.core.thermal.kernel import SourceArray, temperature_rise
+from repro.core.thermal.sources import HeatSource
+from repro.floorplan import three_block_floorplan
+
+FLOAT32 = PRECISIONS["float32"]
+
+DYNAMIC = {"core": 0.25, "cache": 0.10, "io": 0.05}
+STATIC = {"core": 0.05, "cache": 0.02, "io": 0.01}
+
+STUDY_KINDS = ("steady", "transient", "thermal_map", "sweep")
+
+#: Convergence bookkeeping that may legitimately differ between working
+#: precisions (float32 fixed points settle after a different iteration).
+_BOOKKEEPING = {"iteration_counts", "runaway_times"}
+
+
+def _study(kind, precision=None, scale=1.0, ambient=318.15, activity=1.0):
+    plan = three_block_floorplan()
+    if kind == "steady":
+        return Study.steady(
+            floorplan=plan,
+            dynamic_powers=DYNAMIC,
+            static_powers=STATIC,
+            scenarios=ScenarioSpec.grid(
+                ["0.12um", "70nm"],
+                supply_scales=(scale,),
+                ambient_temperatures=(ambient,),
+                activities=(activity,),
+            ),
+            precision=precision,
+        )
+    if kind == "transient":
+        return Study.transient(
+            floorplan=plan,
+            dynamic_powers=DYNAMIC,
+            static_powers=STATIC,
+            scenarios=ScenarioSpec.grid(
+                ["0.12um"],
+                supply_scales=(scale,),
+                ambient_temperatures=(ambient,),
+                activities=(activity,),
+            ),
+            duration=8e-3,
+            time_step=1e-3,
+            workload=WorkloadSpec(
+                kind="pwm", parameters={"periods": 3e-3, "duty_cycles": 0.5}
+            ),
+            precision=precision,
+        )
+    if kind == "thermal_map":
+        return Study.thermal_map(
+            floorplan=plan,
+            block_powers={
+                "core": 0.3 * activity,
+                "cache": 0.12 * activity,
+                "io": 0.06 * activity,
+            },
+            technology="0.12um",
+            ambient_temperature=ambient,
+            samples=(8, 8),
+            precision=precision,
+        )
+    if kind == "sweep":
+        ambients = (ambient, ambient + 20.0)
+        return Study.sweep(
+            floorplan=plan,
+            parameter_name="ambient_K",
+            parameter_values=ambients,
+            scenarios=ScenarioSpec.grid(
+                ["0.12um"],
+                supply_scales=(scale,),
+                ambient_temperatures=ambients,
+            ),
+            dynamic_powers=DYNAMIC,
+            static_powers=STATIC,
+            precision=precision,
+        )
+    raise AssertionError(kind)
+
+
+def _assert_bit_identical(result, reference):
+    assert set(result.arrays) == set(reference.arrays)
+    for name, expected in reference.arrays.items():
+        np.testing.assert_array_equal(result.arrays[name], expected, err_msg=name)
+
+
+def _assert_within_tolerance(result, reference):
+    assert set(result.arrays) == set(reference.arrays)
+    for name, expected in reference.arrays.items():
+        if name in _BOOKKEEPING:
+            continue
+        actual = result.arrays[name]
+        if expected.dtype.kind in "bi":
+            # Flags (converged, runaway) must agree exactly: a policy that
+            # changes an outcome is broken, not imprecise.
+            np.testing.assert_array_equal(actual, expected, err_msg=name)
+        else:
+            np.testing.assert_allclose(
+                actual,
+                expected,
+                rtol=FLOAT32.rtol,
+                atol=FLOAT32.atol,
+                err_msg=name,
+            )
+
+
+def _sources():
+    return [
+        HeatSource(x=0.2e-3, y=0.3e-3, width=0.25e-3, length=0.12e-3, power=0.8),
+        HeatSource(x=0.7e-3, y=0.6e-3, width=0.1e-3, length=0.4e-3, power=0.35),
+        HeatSource(x=0.5e-3, y=0.5e-3, width=0.2e-3, length=0.2e-3, power=-0.2,
+                   depth=0.3e-3),
+    ]
+
+
+class TestKernelPrecision:
+    def test_temperature_rise_float32_within_tolerance(self):
+        rng = np.random.default_rng(42)
+        points = rng.uniform(0.0, 1e-3, size=(64, 2))
+        reference = temperature_rise(
+            points, SourceArray.from_sources(_sources()), 120.0
+        )
+        fast = temperature_rise(
+            points.astype(np.float32),
+            SourceArray.from_sources(_sources(), dtype=np.float32),
+            120.0,
+        )
+        assert fast.dtype == np.float32
+        np.testing.assert_allclose(
+            fast, reference, rtol=FLOAT32.rtol, atol=FLOAT32.atol
+        )
+
+    def test_float32_sources_stay_float32_through_chunking(self):
+        rng = np.random.default_rng(43)
+        points = rng.uniform(0.0, 1e-3, size=(64, 2)).astype(np.float32)
+        array = SourceArray.from_sources(_sources(), dtype=np.float32)
+        monolithic = temperature_rise(points, array, 120.0)
+        chunked = temperature_rise(points, array, 120.0, chunk_elements=32)
+        assert chunked.dtype == np.float32
+        np.testing.assert_array_equal(chunked, monolithic)
+
+
+class TestStudyPrecision:
+    @pytest.mark.parametrize("kind", STUDY_KINDS)
+    def test_explicit_float64_is_bit_identical_to_default(self, kind):
+        reference = _study(kind).run()
+        explicit = _study(kind, precision="float64").run()
+        _assert_bit_identical(explicit, reference)
+
+    @pytest.mark.parametrize("kind", STUDY_KINDS)
+    def test_float32_within_documented_tolerances(self, kind):
+        reference = _study(kind).run()
+        fast = _study(kind, precision="float32").run()
+        _assert_within_tolerance(fast, reference)
+
+    @pytest.mark.parametrize("kind", STUDY_KINDS)
+    def test_with_precision_round_trips_through_json(self, kind):
+        study = _study(kind).with_precision("float32")
+        assert study.spec.precision == "float32"
+        from repro.api.specs import StudySpec
+
+        replay = StudySpec.from_json(study.to_json())
+        assert replay.precision == "float32"
+        _assert_within_tolerance(study.run(), _study(kind).run())
+
+    def test_results_leave_the_engines_as_float64_numpy(self):
+        result = _study("steady", precision="float32").run()
+        temperatures = result.array("block_temperatures")
+        assert isinstance(temperatures, np.ndarray)
+        assert temperatures.dtype == np.float64
+
+
+@st.composite
+def operating_points(draw):
+    return dict(
+        scale=draw(st.floats(0.85, 1.15)),
+        ambient=draw(st.floats(288.15, 358.15)),
+        activity=draw(st.floats(0.2, 1.0)),
+    )
+
+
+class TestPrecisionProperties:
+    @pytest.mark.parametrize("kind", STUDY_KINDS)
+    @settings(max_examples=5, deadline=None)
+    @given(point=operating_points())
+    def test_float64_matches_default_everywhere(self, kind, point):
+        reference = _study(kind, **point).run()
+        explicit = _study(kind, precision="float64", **point).run()
+        _assert_bit_identical(explicit, reference)
+
+    @pytest.mark.parametrize("kind", STUDY_KINDS)
+    @settings(max_examples=5, deadline=None)
+    @given(point=operating_points())
+    def test_float32_within_tolerance_everywhere(self, kind, point):
+        reference = _study(kind, **point).run()
+        fast = _study(kind, precision="float32", **point).run()
+        _assert_within_tolerance(fast, reference)
