@@ -33,6 +33,7 @@ REQUIRED_RECORDS = (
     "BENCH_api.json",
     "BENCH_backends.json",
     "BENCH_kernel.json",
+    "BENCH_optimize.json",
     "BENCH_precision.json",
     "BENCH_scenarios.json",
     "BENCH_serve.json",

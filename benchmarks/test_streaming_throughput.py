@@ -20,9 +20,10 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
-from conftest import persist_record
+from conftest import environment_record, persist_record
 from repro.reporting import print_table
 
 SCENARIO_ROWS = 1_000_000
@@ -34,6 +35,10 @@ REQUIRED_ROWS_PER_SECOND = 50_000.0
 #: the monolithic equivalent materializes the full (10^6, blocks)
 #: tensors and blows far past this.
 RSS_CEILING_MB = 600.0
+
+#: Rows of the smaller inline float32 run (serving-precision throughput).
+FLOAT32_ROWS = 100_000
+FLOAT32_CHUNK = 16384
 
 BENCH_DIR = Path(__file__).resolve().parent
 BENCH_PATH = BENCH_DIR / "BENCH_streaming.json"
@@ -67,6 +72,55 @@ def run_smoke(rows: int, chunk_size: int) -> dict:
     return json.loads(completed.stdout)
 
 
+def float32_streamed_rate(rows: int, chunk_size: int) -> dict:
+    """Time a smaller streamed grid under the float32 precision policy.
+
+    Runs inline (throughput only — RSS is measured by the float64
+    subprocess run) and returns a sub-record stamped with its own
+    float32 environment so the two precisions in ``BENCH_streaming.json``
+    are never conflated.
+    """
+    from repro.api import ScenarioGridSpec, StudySpec, run_study
+    from repro.floorplan import three_block_floorplan
+
+    supply_count = 10
+    ambient_count = 50
+    nodes = ("0.25um", "0.18um", "0.13um", "0.12um", "0.10um")
+    fixed_axes = len(nodes) * supply_count * ambient_count
+    activity_count = max(1, rows // fixed_axes)
+    spec = StudySpec(
+        kind="steady",
+        floorplan=three_block_floorplan(),
+        dynamic_powers={"core": 0.22, "cache": 0.09, "io": 0.04},
+        static_powers={"core": 0.045, "cache": 0.018, "io": 0.008},
+        scenario_grid=ScenarioGridSpec(
+            technologies=nodes,
+            supply_scales=tuple(0.8 + 0.03 * i for i in range(supply_count)),
+            ambient_temperatures=tuple(
+                278.15 + 1.8 * i for i in range(ambient_count)
+            ),
+            activities=tuple(
+                0.05 + 1.2 * i / max(1, activity_count - 1)
+                for i in range(activity_count)
+            ),
+        ),
+        chunk_size=chunk_size,
+        reduction=True,
+        precision="float32",
+    )
+    start = time.perf_counter()
+    result = run_study(spec)
+    seconds = time.perf_counter() - start
+    assert result.metadata["streaming"]["reduced"]
+    return {
+        "scenario_count": spec.scenario_count,
+        "chunk_size": chunk_size,
+        "seconds": seconds,
+        "scenarios_per_second": spec.scenario_count / seconds,
+        "environment": environment_record("numpy", "float32"),
+    }
+
+
 def test_streaming_throughput():
     report = run_smoke(SCENARIO_ROWS, CHUNK_SIZE)
     assert report["scenario_count"] == SCENARIO_ROWS
@@ -78,6 +132,7 @@ def test_streaming_throughput():
 
     rate = report["scenarios_per_second"]
     rss_mb = report["peak_rss_mb"]
+    float32 = float32_streamed_rate(FLOAT32_ROWS, FLOAT32_CHUNK)
     record = {
         "benchmark": "streaming_throughput",
         "scenario_count": SCENARIO_ROWS,
@@ -86,6 +141,9 @@ def test_streaming_throughput():
         "seconds": report["seconds"],
         "converged_count": report["converged_count"],
         "runaway_count": report["runaway_count"],
+        # The serving-precision counterpart (informational: float32 trades
+        # the documented tolerances for throughput, see docs/precision.md).
+        "float32": float32,
         # check_floors.py guards the throughput floor and memory ceiling.
         "auxiliary_ratios": [
             {
@@ -110,6 +168,11 @@ def test_streaming_throughput():
             ["scenarios/s", rate, REQUIRED_ROWS_PER_SECOND],
             ["peak RSS (MB)", rss_mb, RSS_CEILING_MB],
             ["wall time (s)", report["seconds"], float("nan")],
+            [
+                "float32 scenarios/s",
+                float32["scenarios_per_second"],
+                float("nan"),
+            ],
         ],
         title=f"streaming throughput ({SCENARIO_ROWS} scenarios, "
         f"chunks of {CHUNK_SIZE})",

@@ -153,8 +153,16 @@ _EXPORTS = {
     "block_models_from_powers": "repro.core.cosim",
     "scenario_grid": "repro.core.cosim",
     # optimize
+    "OptimizeSpec": "repro.api",
+    "OptimizeVariable": "repro.api",
+    "PlacementProblem": "repro.optimize",
+    "SleepAssignmentProblem": "repro.optimize",
+    "StackVectorProblem": "repro.optimize",
+    "SupplyProblem": "repro.optimize",
+    "TemperatureCap": "repro.optimize",
     "exhaustive_sleep_vector": "repro.optimize",
     "greedy_sleep_vector": "repro.optimize",
+    "run_search": "repro.optimize",
     # substrates
     "Block": "repro.floorplan",
     "DeviceUnderTest": "repro.measurement",
@@ -197,6 +205,8 @@ def __dir__():
 if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
     from .api import (
         FloorplanSpec,
+        OptimizeSpec,
+        OptimizeVariable,
         ScenarioGridSpec,
         ScenarioSpec,
         Study,
@@ -280,7 +290,16 @@ if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
         SelfHeatingBench,
         default_test_devices,
     )
-    from .optimize import exhaustive_sleep_vector, greedy_sleep_vector
+    from .optimize import (
+        PlacementProblem,
+        SleepAssignmentProblem,
+        StackVectorProblem,
+        SupplyProblem,
+        TemperatureCap,
+        exhaustive_sleep_vector,
+        greedy_sleep_vector,
+        run_search,
+    )
     from .serve import StudyClient, StudyService, make_server
     from .spice import GateLeakageReference, StackDCSolver
     from .technology import (

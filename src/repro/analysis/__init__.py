@@ -1,5 +1,6 @@
 """Analysis utilities: grids, cross-sections, isotherms, sweeps, metrics."""
 
+from .convergence import best_so_far, improvement
 from .grids import SurfaceGrid, radial_distances, regular_grid
 from .isotherms import (
     IsothermLevel,
@@ -38,6 +39,8 @@ from .sweep import (
 )
 
 __all__ = [
+    "best_so_far",
+    "improvement",
     "SurfaceGrid",
     "regular_grid",
     "radial_distances",

@@ -1,0 +1,46 @@
+"""Convergence-trace helpers for optimization studies.
+
+Design-space searches (:mod:`repro.optimize`) report one objective value
+per generation of candidates; these helpers turn that raw series into the
+monotone best-so-far trace stored in optimize :class:`~repro.api.results.
+StudyResult` arrays and into the headline improvement figure shown by
+``summary()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def best_so_far(values) -> np.ndarray:
+    """Running minimum of a per-generation objective series.
+
+    Parameters
+    ----------
+    values:
+        One objective value per generation (lower is better).
+
+    Returns
+    -------
+    numpy.ndarray
+        Monotone non-increasing trace of the best value seen so far.
+    """
+    series = np.asarray(values, dtype=float)
+    if series.ndim != 1:
+        raise ValueError("values must be a one-dimensional series")
+    if series.size == 0:
+        return series.copy()
+    return np.minimum.accumulate(series)
+
+
+def improvement(trace) -> float:
+    """Absolute objective decrease over a best-so-far trace.
+
+    ``trace[0] - trace[-1]``: how much the search improved on its first
+    generation.  Zero for an empty or single-generation trace that never
+    improved; always non-negative for a monotone trace.
+    """
+    series = np.asarray(trace, dtype=float)
+    if series.size == 0:
+        return 0.0
+    return float(series[0] - series[-1])

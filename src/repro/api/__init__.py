@@ -40,14 +40,20 @@ _EXPORTS = {
     "STUDY_KINDS": "repro.api.kinds",
     "THERMAL_BACKENDS": "repro.api.kinds",
     "WORKLOAD_KINDS": "repro.api.kinds",
+    "OPTIMIZE_OBJECTIVES": "repro.api.kinds",
+    "OPTIMIZE_PROBLEMS": "repro.api.kinds",
+    "OPTIMIZE_STRATEGIES": "repro.api.kinds",
     "TechnologySpec": "repro.api.specs",
     "FloorplanSpec": "repro.api.specs",
+    "OptimizeSpec": "repro.api.specs",
+    "OptimizeVariable": "repro.api.specs",
     "WorkloadSpec": "repro.api.specs",
     "ScenarioSpec": "repro.api.specs",
     "ScenarioGridSpec": "repro.api.specs",
     "StudySpec": "repro.api.specs",
     "as_technology_spec": "repro.api.specs",
     "as_floorplan_spec": "repro.api.specs",
+    "as_optimize_spec": "repro.api.specs",
     "as_workload_spec": "repro.api.specs",
     "as_scenario_spec": "repro.api.specs",
     "as_scenario_grid_spec": "repro.api.specs",
@@ -81,6 +87,9 @@ if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
     from ..analysis.sweep import steady_batch_series, transient_batch_series
     from .kinds import (
         DEFAULT_CHUNK_SIZE,
+        OPTIMIZE_OBJECTIVES,
+        OPTIMIZE_PROBLEMS,
+        OPTIMIZE_STRATEGIES,
         STUDY_KINDS,
         THERMAL_BACKENDS,
         WORKLOAD_KINDS,
@@ -88,12 +97,15 @@ if TYPE_CHECKING:  # static analyzers see eager imports; runtime stays lazy
     from .results import StudyResult
     from .specs import (
         FloorplanSpec,
+        OptimizeSpec,
+        OptimizeVariable,
         ScenarioGridSpec,
         ScenarioSpec,
         StudySpec,
         TechnologySpec,
         WorkloadSpec,
         as_floorplan_spec,
+        as_optimize_spec,
         as_scenario_grid_spec,
         as_scenario_spec,
         as_technology_spec,

@@ -29,6 +29,9 @@ from .kinds import (
     DEFAULT_ENGINE_CACHE_SIZE,
     DEFAULT_RESULT_CACHE_SIZE,
     DEFAULT_SERVE_PORT,
+    OPTIMIZE_OBJECTIVES,
+    OPTIMIZE_PROBLEMS,
+    OPTIMIZE_STRATEGIES,
     STUDY_KINDS,
     WORKLOAD_KINDS,
 )
@@ -305,6 +308,9 @@ def _command_info() -> int:
     print(f"python: {sys.version.split()[0]}")
     print(f"study kinds: {', '.join(STUDY_KINDS)}")
     print(f"workload kinds: {', '.join(WORKLOAD_KINDS)}")
+    print(f"optimize problems: {', '.join(OPTIMIZE_PROBLEMS)}")
+    print(f"optimize strategies: {', '.join(OPTIMIZE_STRATEGIES)}")
+    print(f"optimize objectives: {', '.join(OPTIMIZE_OBJECTIVES)}")
     from ..technology.nodes import node_names
 
     print(f"technology nodes: {', '.join(node_names())}")

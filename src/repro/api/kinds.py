@@ -5,10 +5,29 @@ can name the kinds without loading numpy or the model stack.
 """
 
 #: Study kinds :class:`repro.api.specs.StudySpec` understands.
-STUDY_KINDS = ("steady", "transient", "thermal_map", "sweep")
+STUDY_KINDS = ("steady", "transient", "thermal_map", "sweep", "optimize")
 
 #: Workload kinds :class:`repro.api.specs.WorkloadSpec` understands.
 WORKLOAD_KINDS = ("constant", "step", "pwm", "trace")
+
+#: Design problems the ``optimize`` study kind exposes declaratively.
+OPTIMIZE_PROBLEMS = ("placement", "supply")
+
+#: Search strategies :class:`repro.api.specs.OptimizeSpec` understands — a
+#: plain-literal mirror of :data:`repro.optimize.search.STRATEGIES`
+#: (``tests/test_api.py`` pins the two equal).
+OPTIMIZE_STRATEGIES = ("random", "grid", "coordinate", "nelder_mead")
+
+#: Objective names :class:`repro.api.specs.OptimizeSpec` understands — a
+#: plain-literal mirror of the :data:`repro.optimize.objectives.OBJECTIVES`
+#: registry keys (``tests/test_api.py`` pins the two equal).
+OPTIMIZE_OBJECTIVES = (
+    "peak_rise",
+    "peak_temperature",
+    "total_power",
+    "total_static_power",
+    "runaway_margin",
+)
 
 #: Thermal backends :class:`repro.api.specs.StudySpec` understands — a
 #: plain-literal mirror of

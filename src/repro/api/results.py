@@ -35,6 +35,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from ..analysis.convergence import improvement
 from ..analysis.sweep import steady_batch_series
 from ..core.cosim.scenarios import ScenarioBatchResult
 from ..core.cosim.streaming import SteadyStreamResult, TransientStreamResult
@@ -212,6 +213,60 @@ class StudyResult:
                 "scenario_labels": [s.describe() for s in batch.scenarios]
             },
             native=batch,
+        )
+
+    @classmethod
+    def from_optimize(cls, spec: StudySpec, outcome, problem) -> "StudyResult":
+        """Package a :class:`~repro.optimize.search.SearchOutcome` for ``spec``.
+
+        Arrays carry the best candidate vector, the monotone best-so-far
+        objective trace and the per-generation batch statistics; metadata
+        records the search setup plus the best candidate decoded through
+        the problem's :meth:`~repro.optimize.search.BatchProblem.describe`.
+        Everything is plain data, so a reloaded result compares
+        bit-identically (the replay property shared with the other kinds).
+        """
+        opt = spec.optimize
+        assert opt is not None
+        objective = (
+            opt.objective
+            if isinstance(opt.objective, str)
+            else {name: float(value) for name, value in opt.objective.items()}
+        )
+        best_detail = {
+            name: value if isinstance(value, (dict, str)) else float(value)
+            for name, value in problem.describe(outcome.best_candidate).items()
+        }
+        return cls(
+            kind="optimize",
+            spec=spec,
+            arrays={
+                "best_candidate": outcome.best_candidate,
+                "objective_trace": outcome.objective_trace,
+                "generation_best": np.array(
+                    [g.best for g in outcome.generations], dtype=float
+                ),
+                "generation_mean": np.array(
+                    [g.mean for g in outcome.generations], dtype=float
+                ),
+                "generation_sizes": np.array(
+                    [g.size for g in outcome.generations], dtype=np.int64
+                ),
+                "generation_feasible": np.array(
+                    [g.feasible for g in outcome.generations], dtype=np.int64
+                ),
+            },
+            metadata={
+                "problem": opt.problem,
+                "objective": objective,
+                "strategy": outcome.strategy,
+                "variable_names": list(outcome.variable_names),
+                "evaluations": int(outcome.evaluations),
+                "best_objective": float(outcome.best_objective),
+                "best_feasible": bool(outcome.best_feasible),
+                "best_detail": best_detail,
+            },
+            native=outcome,
         )
 
     # ------------------------------------------------------------------ #
@@ -430,6 +485,18 @@ class StudyResult:
                 point_count=int(self.arrays["values"].shape[0]),
                 series=list(self.metadata.get("series", ())),
                 peak_temperature_K=float(self.arrays["peak_temperature"].max()),
+            )
+        elif self.kind == "optimize":
+            trace = self.arrays["objective_trace"]
+            summary.update(
+                problem=self.metadata.get("problem", ""),
+                strategy=self.metadata.get("strategy", ""),
+                evaluations=int(self.metadata.get("evaluations", 0)),
+                generation_count=int(trace.shape[0]),
+                best_objective=float(self.metadata["best_objective"]),
+                best_feasible=bool(self.metadata.get("best_feasible", False)),
+                improvement=improvement(trace),
+                best=dict(self.metadata.get("best_detail", {})),
             )
         return summary
 

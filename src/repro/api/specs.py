@@ -16,7 +16,7 @@ geometry, workloads are parameter dictionaries.  Each spec
   :class:`~repro.core.cosim.scenarios.Scenario`).
 
 :class:`StudySpec` composes them into one complete, executable description
-of a steady, transient, thermal-map or sweep study —
+of a steady, transient, thermal-map, sweep or optimize study —
 :func:`repro.api.study.run_study` is its interpreter.
 """
 
@@ -58,6 +58,9 @@ from ..technology.parameters import TechnologyParameters
 from .kinds import (
     ARRAY_BACKENDS,
     FDM_GRID_OPTIONS,
+    OPTIMIZE_OBJECTIVES,
+    OPTIMIZE_PROBLEMS,
+    OPTIMIZE_STRATEGIES,
     PRECISIONS,
     STUDY_KINDS,
     THERMAL_BACKENDS,
@@ -68,6 +71,7 @@ from .kinds import (
 _SOLVER_KEYS: Dict[str, Tuple[str, ...]] = {
     "steady": ("max_iterations", "tolerance", "damping", "max_temperature"),
     "sweep": ("max_iterations", "tolerance", "damping", "max_temperature"),
+    "optimize": ("max_iterations", "tolerance", "damping", "max_temperature"),
     "transient": (
         "max_temperature",
         "settle_tolerance",
@@ -769,6 +773,244 @@ def _to_plain(value: Any) -> Any:
     return value
 
 
+#: Constraint keys :class:`OptimizeSpec` understands.
+_OPTIMIZE_CONSTRAINTS = ("temperature_cap", "penalty_weight")
+
+
+@dataclass(frozen=True)
+class OptimizeVariable(_SpecSerialization):
+    """One bounded search variable of an optimize study.
+
+    The declarative mirror of
+    :class:`~repro.optimize.search.SearchVariable`: a name plus inclusive
+    ``[lower, upper]`` bounds with ``lower < upper``.  Optimize problems
+    derive their variables automatically; spec entries *override* the
+    derived bounds of the named variable.
+    """
+
+    name: str = ""
+    lower: float = 0.0
+    upper: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("variable name must be a non-empty string")
+        for label in ("lower", "upper"):
+            value = getattr(self, label)
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"variables[{self.name!r}].{label} must be a number, "
+                    f"got {value!r}"
+                ) from None
+            object.__setattr__(self, label, value)
+        if not self.lower < self.upper:
+            raise ValueError(
+                f"variables[{self.name!r}] requires lower < upper, got "
+                f"[{self.lower!r}, {self.upper!r}]"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The variable as plain data (all three fields are meaningful)."""
+        return {"name": self.name, "lower": self.lower, "upper": self.upper}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptimizeVariable":
+        """Rebuild (and re-validate) a variable from :meth:`to_dict` data."""
+
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+def as_optimize_variable(value) -> OptimizeVariable:
+    """Coerce a mapping / spec into an :class:`OptimizeVariable`."""
+    if isinstance(value, OptimizeVariable):
+        return value
+    if isinstance(value, abc.Mapping):
+        return OptimizeVariable.from_dict(value)
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as an optimize variable; "
+        "expected OptimizeVariable or mapping"
+    )
+
+
+@dataclass(frozen=True)
+class OptimizeSpec(_SpecSerialization):
+    """Declarative design-space search riding an optimize study.
+
+    Attributes
+    ----------
+    problem:
+        ``"placement"`` (move floorplan blocks, non-overlap constrained)
+        or ``"supply"`` (supply scale + per-block activity on one shared
+        engine) — :data:`~repro.api.kinds.OPTIMIZE_PROBLEMS`.
+    objective:
+        An objective name (:data:`~repro.api.kinds.OPTIMIZE_OBJECTIVES`)
+        or a ``{name: weight}`` mapping for a weighted combination; lower
+        is always better.
+    variables:
+        Optional bound overrides for the problem's auto-derived variables
+        (each an :class:`OptimizeVariable` or plain mapping).
+    constraints:
+        ``temperature_cap`` (peak-temperature ceiling [K], scenarios above
+        it are infeasible and penalised) and optionally ``penalty_weight``
+        (objective units per Kelvin of excess, requires the cap).
+    strategy:
+        Search strategy — :data:`~repro.api.kinds.OPTIMIZE_STRATEGIES`.
+    budget:
+        Maximum candidate evaluations.
+    generation_size:
+        Candidates per batched generation (random/grid strategies).
+    seed:
+        Random seed; a fixed seed replays the search bit for bit.
+    movable:
+        Placement problem only: which blocks may move (default: all).
+    """
+
+    problem: str = "placement"
+    objective: Union[str, Dict[str, float]] = "peak_rise"
+    variables: Tuple[OptimizeVariable, ...] = ()
+    constraints: Dict[str, float] = field(default_factory=dict)
+    strategy: str = "random"
+    budget: int = 64
+    generation_size: int = 16
+    seed: int = 0
+    movable: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.problem not in OPTIMIZE_PROBLEMS:
+            raise ValueError(
+                f"unknown optimize problem {self.problem!r}; "
+                f"known problems: {', '.join(OPTIMIZE_PROBLEMS)}"
+            )
+        if isinstance(self.objective, str):
+            if self.objective not in OPTIMIZE_OBJECTIVES:
+                raise ValueError(
+                    f"unknown objective {self.objective!r}; known objectives: "
+                    f"{', '.join(OPTIMIZE_OBJECTIVES)}"
+                )
+        elif isinstance(self.objective, abc.Mapping):
+            weights = _power_map(self.objective, "objective")
+            if not weights:
+                raise ValueError(
+                    "objective mapping must name at least one objective"
+                )
+            for name, weight in weights.items():
+                if name not in OPTIMIZE_OBJECTIVES:
+                    raise ValueError(
+                        f"unknown objective {name!r}; known objectives: "
+                        f"{', '.join(OPTIMIZE_OBJECTIVES)}"
+                    )
+                if weight <= 0.0:
+                    raise ValueError(
+                        f"objective weight for {name!r} must be positive, "
+                        f"got {weight!r}"
+                    )
+            object.__setattr__(self, "objective", weights)
+        else:
+            raise ValueError(
+                "objective must be an objective name or a {name: weight} "
+                f"mapping, got {self.objective!r}"
+            )
+        if not isinstance(self.variables, abc.Iterable) or isinstance(
+            self.variables, (str, abc.Mapping)
+        ):
+            raise ValueError("variables must be a sequence of variable overrides")
+        variables = tuple(as_optimize_variable(value) for value in self.variables)
+        names = [variable.name for variable in variables]
+        if len(set(names)) != len(names):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise ValueError(
+                f"variables name(s) {', '.join(map(repr, duplicates))} appear "
+                "more than once"
+            )
+        object.__setattr__(self, "variables", variables)
+        constraints = _power_map(self.constraints, "constraints")
+        unknown = sorted(set(constraints) - set(_OPTIMIZE_CONSTRAINTS))
+        if unknown:
+            raise ValueError(
+                f"unknown constraints key(s) {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(_OPTIMIZE_CONSTRAINTS)}"
+            )
+        for name, value in constraints.items():
+            if value <= 0.0:
+                raise ValueError(
+                    f"constraints[{name!r}] must be positive, got {value!r}"
+                )
+        if "penalty_weight" in constraints and "temperature_cap" not in constraints:
+            raise ValueError(
+                "constraints['penalty_weight'] requires "
+                "constraints['temperature_cap']"
+            )
+        object.__setattr__(self, "constraints", constraints)
+        if self.strategy not in OPTIMIZE_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; known strategies: "
+                f"{', '.join(OPTIMIZE_STRATEGIES)}"
+            )
+        object.__setattr__(self, "budget", validated_int(self.budget, "budget", 1))
+        object.__setattr__(
+            self,
+            "generation_size",
+            validated_int(self.generation_size, "generation_size", 1),
+        )
+        object.__setattr__(self, "seed", validated_int(self.seed, "seed", 0))
+        if not isinstance(self.movable, abc.Iterable) or isinstance(
+            self.movable, (str, abc.Mapping)
+        ):
+            raise ValueError("movable must be a sequence of block names")
+        movable = tuple(self.movable)
+        if any(not isinstance(name, str) for name in movable):
+            raise ValueError("movable entries must be block names")
+        object.__setattr__(self, "movable", movable)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as plain data, defaults omitted (minimal JSON)."""
+        data: Dict[str, Any] = {}
+        if self.problem != "placement":
+            data["problem"] = self.problem
+        if self.objective != "peak_rise":
+            objective = self.objective
+            if isinstance(objective, abc.Mapping):
+                objective = dict(objective)
+            data["objective"] = objective
+        if self.variables:
+            data["variables"] = [variable.to_dict() for variable in self.variables]
+        if self.constraints:
+            data["constraints"] = dict(self.constraints)
+        if self.strategy != "random":
+            data["strategy"] = self.strategy
+        if self.budget != 64:
+            data["budget"] = self.budget
+        if self.generation_size != 16:
+            data["generation_size"] = self.generation_size
+        if self.seed != 0:
+            data["seed"] = self.seed
+        if self.movable:
+            data["movable"] = list(self.movable)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptimizeSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` data."""
+
+        _reject_unknown_keys(cls, data)
+        return cls(**data)
+
+
+def as_optimize_spec(value) -> Optional[OptimizeSpec]:
+    """Coerce an optimize description into an :class:`OptimizeSpec`."""
+    if value is None or isinstance(value, OptimizeSpec):
+        return value
+    if isinstance(value, abc.Mapping):
+        return OptimizeSpec.from_dict(value)
+    raise TypeError(
+        f"cannot interpret {type(value).__name__!r} as an optimize spec; "
+        "expected OptimizeSpec or mapping"
+    )
+
+
 #: :class:`StudySpec` fields that determine the compiled
 #: :class:`~repro.core.cosim.scenarios.ScenarioEngine` — everything
 #: :func:`repro.api.study.build_engine` reads.  Scenario lists, workloads
@@ -804,8 +1046,9 @@ class StudySpec(_SpecSerialization):
     kind:
         ``"steady"`` (batched fixed points), ``"transient"`` (batched
         time-domain integration), ``"thermal_map"`` (analytical surface
-        map) or ``"sweep"`` (a steady batch reported as a 1-D parameter
-        sweep).
+        map), ``"sweep"`` (a steady batch reported as a 1-D parameter
+        sweep) or ``"optimize"`` (a design-space search driving batched
+        engine solves as its inner loop).
     floorplan:
         The die and its blocks.
     dynamic_powers, static_powers:
@@ -848,6 +1091,10 @@ class StudySpec(_SpecSerialization):
         Thermal-map studies only: ``(nx, ny)`` surface-map sampling.
     parameter_name, parameter_values:
         Sweep studies only: the swept axis (one value per scenario).
+    optimize:
+        Optimize studies only: the :class:`OptimizeSpec` describing the
+        search (problem, objective, variables, constraints, strategy,
+        budget, seed).
     image_rings, include_bottom_images, device_type:
         Boundary-image / leakage-polarity configuration shared by every
         engine.
@@ -907,6 +1154,7 @@ class StudySpec(_SpecSerialization):
     map_samples: Tuple[int, int] = (50, 50)
     parameter_name: str = ""
     parameter_values: Tuple[float, ...] = ()
+    optimize: Optional[OptimizeSpec] = None
     image_rings: int = 1
     include_bottom_images: bool = True
     device_type: str = "nmos"
@@ -951,6 +1199,7 @@ class StudySpec(_SpecSerialization):
         object.__setattr__(
             self, "scenario_grid", as_scenario_grid_spec(self.scenario_grid)
         )
+        object.__setattr__(self, "optimize", as_optimize_spec(self.optimize))
         if self.chunk_size is not None:
             object.__setattr__(
                 self, "chunk_size", validated_int(self.chunk_size, "chunk_size", 1)
@@ -1091,6 +1340,7 @@ class StudySpec(_SpecSerialization):
                 "scenario_grid",
                 "chunk_size",
                 "memmap_path",
+                "optimize",
             ):
                 if getattr(self, label) is not None:
                     raise ValueError(f"{label} does not apply to thermal_map studies")
@@ -1122,6 +1372,12 @@ class StudySpec(_SpecSerialization):
                     "one-to-one with parameter_values); scenario_grid applies "
                     "to steady and transient studies"
                 )
+            if kind == "optimize":
+                raise ValueError(
+                    "optimize studies enumerate their operating scenarios "
+                    "explicitly; scenario_grid applies to steady and "
+                    "transient studies"
+                )
             if self.scenarios:
                 raise ValueError("give scenarios or scenario_grid, not both")
         if kind == "sweep":
@@ -1134,6 +1390,14 @@ class StudySpec(_SpecSerialization):
                 raise ValueError(
                     "memmap_path applies to steady and transient studies"
                 )
+        if kind == "optimize":
+            for label in ("chunk_size", "memmap_path"):
+                if getattr(self, label) is not None:
+                    raise ValueError(
+                        f"{label} does not apply to optimize studies"
+                    )
+            if self.reduction:
+                raise ValueError("reduction does not apply to optimize studies")
         if not self.scenarios and self.scenario_grid is None:
             raise ValueError(f"{kind!r} studies require at least one scenario")
         if not self.dynamic_powers and not self.static_powers:
@@ -1165,6 +1429,47 @@ class StudySpec(_SpecSerialization):
             raise ValueError(
                 "parameter_name/parameter_values only apply to sweep studies"
             )
+        if kind == "optimize":
+            if self.optimize is None:
+                raise ValueError(
+                    "optimize studies require an optimize block describing "
+                    "the search"
+                )
+            self._validate_optimize()
+        elif self.optimize is not None:
+            raise ValueError("optimize only applies to optimize studies")
+
+    def _validate_optimize(self) -> None:
+        """Cross-check the optimize block against the floorplan."""
+        spec = self.optimize
+        assert spec is not None
+        block_names = tuple(self.floorplan.block_names)
+        if spec.problem == "placement":
+            unknown = sorted(set(spec.movable) - set(block_names))
+            if unknown:
+                raise ValueError(
+                    "optimize.movable references unknown block(s): "
+                    f"{', '.join(unknown)}; floorplan blocks: "
+                    f"{', '.join(sorted(block_names))}"
+                )
+            movable = spec.movable or block_names
+            allowed = {
+                f"{name}.{axis}" for name in movable for axis in ("x", "y")
+            }
+        else:  # supply
+            if spec.movable:
+                raise ValueError(
+                    "optimize.movable only applies to the 'placement' problem"
+                )
+            allowed = {"supply_scale"}
+            allowed.update(f"activity.{name}" for name in block_names)
+        for variable in spec.variables:
+            if variable.name not in allowed:
+                raise ValueError(
+                    f"optimize.variables entry {variable.name!r} matches no "
+                    f"{spec.problem!r} search variable; allowed: "
+                    f"{', '.join(sorted(allowed))}"
+                )
 
     # ------------------------------------------------------------------ #
     # Serialization
@@ -1207,6 +1512,8 @@ class StudySpec(_SpecSerialization):
             data["parameter_name"] = self.parameter_name
         if self.parameter_values:
             data["parameter_values"] = list(self.parameter_values)
+        if self.optimize is not None:
+            data["optimize"] = self.optimize.to_dict()
         if self.image_rings != 1:
             data["image_rings"] = self.image_rings
         if not self.include_bottom_images:

@@ -11,7 +11,10 @@ exposes one ``run()`` that dispatches to the batched engines:
 * ``thermal_map`` →
   :class:`~repro.core.thermal.superposition.ChipThermalModel`
   (vectorized analytical surface map);
-* ``sweep`` → a steady batch reported as an aligned 1-D parameter sweep.
+* ``sweep`` → a steady batch reported as an aligned 1-D parameter sweep;
+* ``optimize`` → :func:`~repro.optimize.search.run_search` over a
+  declarative design problem (placement or supply assignment), every
+  candidate generation scored by batched engine solves.
 
 Quick start::
 
@@ -43,14 +46,19 @@ from ..core.cosim.streaming import (
 )
 from ..core.cosim.transient_scenarios import TransientScenarioEngine
 from ..core.thermal.superposition import ChipThermalModel
+from ..optimize.objectives import TemperatureCap
+from ..optimize.problems import PlacementProblem, SupplyProblem
+from ..optimize.search import run_search
 from .results import StudyResult
 from .specs import (
+    OptimizeSpec,
     ScenarioGridSpec,
     ScenarioSpec,
     StudySpec,
     TechnologySpec,
     WorkloadSpec,
     as_floorplan_spec,
+    as_optimize_spec,
     as_scenario_grid_spec,
     as_scenario_spec,
     as_technology_spec,
@@ -105,6 +113,8 @@ def run_study(
     """
     if spec.kind == "thermal_map":
         return _run_thermal_map(spec)
+    if spec.kind == "optimize":
+        return _run_optimize(spec)
     if engine is None:
         engine = build_engine(spec)
     if spec.streaming:
@@ -213,11 +223,82 @@ def _run_thermal_map(spec: StudySpec) -> StudyResult:
     return StudyResult.from_surface_map(spec, surface, model.source_temperatures())
 
 
+def _engine_options(spec: StudySpec) -> Dict[str, Any]:
+    """The :class:`ScenarioEngine` keyword arguments a spec carries."""
+    return {
+        "image_rings": spec.image_rings,
+        "include_bottom_images": spec.include_bottom_images,
+        "device_type": spec.device_type,
+        "thermal_backend": spec.thermal_backend,
+        "backend_options": spec.backend_options,
+        "array_backend": spec.array_backend,
+        "precision": spec.precision,
+    }
+
+
+def _run_optimize(spec: StudySpec) -> StudyResult:
+    """Compile the declarative optimize block and run the search.
+
+    The spec's ``optimize`` block selects and parameterises one of the
+    concrete :mod:`repro.optimize.problems`; every generation of candidates
+    the chosen strategy proposes is scored through batched engine solves.
+    The search is a pure function of the spec (fixed seed, deterministic
+    strategies), so re-running a reloaded spec reproduces the result arrays
+    bit for bit — the same replay property as the other kinds.
+    """
+    opt = spec.optimize
+    assert opt is not None  # _validate_kind guarantees the block exists
+    scenarios = spec.build_scenarios()
+    cap = None
+    if "temperature_cap" in opt.constraints:
+        cap = TemperatureCap(
+            limit=opt.constraints["temperature_cap"],
+            penalty_weight=opt.constraints.get("penalty_weight", 1.0),
+        )
+    bounds = {
+        variable.name: (variable.lower, variable.upper)
+        for variable in opt.variables
+    }
+    common = dict(
+        objective=opt.objective,
+        temperature_cap=cap,
+        bounds=bounds or None,
+        engine_options=_engine_options(spec),
+        solver_options=_solver_options(spec),
+    )
+    if opt.problem == "placement":
+        problem = PlacementProblem(
+            spec.floorplan.build(),
+            spec.dynamic_powers,
+            spec.static_powers,
+            scenarios,
+            movable=opt.movable or None,
+            **common,
+        )
+    else:  # supply
+        problem = SupplyProblem(
+            spec.floorplan.build(),
+            spec.dynamic_powers,
+            spec.static_powers,
+            scenarios,
+            **common,
+        )
+    outcome = run_search(
+        problem,
+        strategy=opt.strategy,
+        budget=opt.budget,
+        generation_size=opt.generation_size,
+        seed=opt.seed,
+    )
+    return StudyResult.from_optimize(spec, outcome, problem)
+
+
 class Study:
     """Fluent builder over a :class:`StudySpec` with a single :meth:`run`.
 
     Construct via the kind-specific classmethods (:meth:`steady`,
-    :meth:`transient`, :meth:`thermal_map`, :meth:`sweep`) or from a
+    :meth:`transient`, :meth:`thermal_map`, :meth:`sweep`,
+    :meth:`optimize`) or from a
     serialized spec (:meth:`from_dict`, :meth:`from_json`).  Builders
     accept runtime objects (a built
     :class:`~repro.floorplan.floorplan.Floorplan`) and plain data
@@ -428,6 +509,75 @@ class Study:
             )
         )
 
+    @classmethod
+    def optimize(
+        cls,
+        floorplan,
+        dynamic_powers: Optional[Mapping[str, float]] = None,
+        static_powers: Optional[Mapping[str, float]] = None,
+        scenarios: Iterable = (),
+        problem: str = "placement",
+        objective: Union[str, Mapping[str, float]] = "peak_rise",
+        variables: Iterable = (),
+        constraints: Optional[Mapping[str, float]] = None,
+        strategy: str = "random",
+        budget: int = 64,
+        generation_size: int = 16,
+        seed: int = 0,
+        movable: Iterable = (),
+        label: str = "",
+        image_rings: int = 1,
+        include_bottom_images: bool = True,
+        device_type: str = "nmos",
+        thermal_backend: str = "analytical",
+        backend_options: Optional[Mapping[str, int]] = None,
+        array_backend: Optional[str] = None,
+        precision: Optional[str] = None,
+        solver: Optional[Mapping[str, Any]] = None,
+    ) -> "Study":
+        """A design-space optimization study over batched engine solves.
+
+        ``problem`` picks the search space (``"placement"`` moves blocks on
+        the die under non-overlap; ``"supply"`` assigns a supply scale and
+        per-block activities); ``objective`` is an objective name or a
+        ``{name: weight}`` combination; ``constraints`` may carry a
+        ``temperature_cap`` (and ``penalty_weight``); ``variables`` entries
+        (:class:`~repro.api.specs.OptimizeVariable` or mappings) override
+        the problem's automatic bounds.  Fixed ``seed`` makes the whole
+        search replayable bit for bit.
+        """
+        return cls(
+            StudySpec(
+                kind="optimize",
+                floorplan=as_floorplan_spec(floorplan),
+                dynamic_powers=dict(dynamic_powers or {}),
+                static_powers=dict(static_powers or {}),
+                scenarios=_scenario_specs(scenarios),
+                optimize=as_optimize_spec(
+                    OptimizeSpec(
+                        problem=problem,
+                        objective=objective,
+                        variables=tuple(variables),
+                        constraints=dict(constraints or {}),
+                        strategy=strategy,
+                        budget=budget,
+                        generation_size=generation_size,
+                        seed=seed,
+                        movable=tuple(movable),
+                    )
+                ),
+                label=label,
+                image_rings=image_rings,
+                include_bottom_images=include_bottom_images,
+                device_type=device_type,
+                thermal_backend=thermal_backend,
+                backend_options=dict(backend_options or {}),
+                array_backend=array_backend,
+                precision=precision,
+                solver=dict(solver or {}),
+            )
+        )
+
     # ------------------------------------------------------------------ #
     # Fluent refinement
     # ------------------------------------------------------------------ #
@@ -511,7 +661,10 @@ class Study:
         ``progress`` observes streamed (chunked) runs per completed chunk;
         monolithic runs have no chunks and never call it.
         """
-        if self._spec.kind == "thermal_map":
+        if self._spec.kind in ("thermal_map", "optimize"):
+            # Neither kind compiles a cacheable engine up front: thermal
+            # maps build their analytical model per run, and optimize
+            # problems build their engines inside the search.
             return run_study(self._spec)
         if self._spec.streaming:
             # Streaming keeps memory flat in the grid size: only the engine

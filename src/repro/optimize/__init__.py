@@ -1,12 +1,42 @@
-"""Leakage optimisation built on the analytical models.
+"""Design-space optimisation built on the analytical models.
 
 The paper positions its compact models as the engine of a fast estimation
-*and optimisation* tool; this package provides the optimisations the models
-enable directly: standby (sleep) input-vector selection today, with the
-module layout leaving room for further knobs (block placement, supply /
-threshold assignment) that consume the same models.
+*and optimisation* tool; this package provides the optimisations the
+models enable directly.  :mod:`~repro.optimize.sleep_vectors` keeps the
+original discrete standby-vector searches; :mod:`~repro.optimize.search`
+generalises them into batched candidate search over bounded continuous
+variables (seeded random / grid sampling, coordinate descent and a
+``scipy.optimize`` Nelder–Mead wrapper); :mod:`~repro.optimize.objectives`
+defines the thermal/leakage objectives and the temperature-cap constraint;
+and :mod:`~repro.optimize.problems` casts floorplan placement,
+supply/activity assignment, sleep-vector + supply assignment and
+vectorized stack DC solves as batch problems driving the scenario engines
+as their inner loop.  The ``optimize`` study kind
+(:class:`repro.api.OptimizeSpec`) exposes the placement and supply
+problems declaratively.
 """
 
+from .objectives import (
+    OBJECTIVES,
+    TemperatureCap,
+    objective_series,
+    objective_weights,
+    scenario_scores,
+)
+from .problems import (
+    PlacementProblem,
+    SleepAssignmentProblem,
+    StackVectorProblem,
+    SupplyProblem,
+)
+from .search import (
+    STRATEGIES,
+    BatchProblem,
+    GenerationRecord,
+    SearchOutcome,
+    SearchVariable,
+    run_search,
+)
 from .sleep_vectors import (
     SleepVectorOptimizer,
     SleepVectorResult,
@@ -15,8 +45,23 @@ from .sleep_vectors import (
 )
 
 __all__ = [
+    "OBJECTIVES",
+    "STRATEGIES",
+    "BatchProblem",
+    "GenerationRecord",
+    "PlacementProblem",
+    "SearchOutcome",
+    "SearchVariable",
+    "SleepAssignmentProblem",
     "SleepVectorOptimizer",
     "SleepVectorResult",
+    "StackVectorProblem",
+    "SupplyProblem",
+    "TemperatureCap",
     "exhaustive_sleep_vector",
     "greedy_sleep_vector",
+    "objective_series",
+    "objective_weights",
+    "run_search",
+    "scenario_scores",
 ]

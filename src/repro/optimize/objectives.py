@@ -1,0 +1,167 @@
+"""Objective functions and constraint handling for design-space search.
+
+The paper frames its analytical leakage+thermal model as the core of a
+performance estimation *and optimisation* tool.  This module defines the
+quantities a search can minimise — all derived from one batched
+:class:`~repro.core.cosim.scenarios.ScenarioBatchResult` — plus the
+temperature-cap constraint treated as a first-class hinge penalty rather
+than a post-hoc filter.
+
+Every objective maps a solved scenario batch to one value per scenario,
+*lower is better*.  Objectives compose: a mapping of ``{name: weight}``
+builds a weighted sum, evaluated in sorted-name order so weighted scores
+are bit-reproducible regardless of mapping insertion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.cosim.scenarios import ScenarioBatchResult
+
+#: Default thermal-runaway ceiling [K], matching the engines' solver default.
+DEFAULT_RUNAWAY_CEILING = 500.0
+
+ObjectiveLike = Union[str, Mapping[str, float]]
+
+
+def _peak_rise(batch: ScenarioBatchResult, ceiling: float) -> np.ndarray:
+    return np.asarray(batch.peak_rise, dtype=float)
+
+
+def _peak_temperature(batch: ScenarioBatchResult, ceiling: float) -> np.ndarray:
+    return np.asarray(batch.peak_temperature, dtype=float)
+
+
+def _total_power(batch: ScenarioBatchResult, ceiling: float) -> np.ndarray:
+    return np.asarray(batch.total_power, dtype=float)
+
+
+def _total_static_power(batch: ScenarioBatchResult, ceiling: float) -> np.ndarray:
+    return np.asarray(batch.total_static_power, dtype=float)
+
+
+def _runaway_margin(batch: ScenarioBatchResult, ceiling: float) -> np.ndarray:
+    # Signed distance of the hottest block to the runaway ceiling: negative
+    # while margin remains, zero at the ceiling.  Minimising it maximises
+    # the margin to thermal runaway.
+    return np.asarray(batch.peak_temperature, dtype=float) - float(ceiling)
+
+
+#: Registry of scalar objectives; each maps (batch, runaway_ceiling) to a
+#: per-scenario value array, lower = better.
+OBJECTIVES: Dict[str, Callable[[ScenarioBatchResult, float], np.ndarray]] = {
+    "peak_rise": _peak_rise,
+    "peak_temperature": _peak_temperature,
+    "total_power": _total_power,
+    "total_static_power": _total_static_power,
+    "runaway_margin": _runaway_margin,
+}
+
+
+def objective_weights(objective: ObjectiveLike) -> Dict[str, float]:
+    """Normalise an objective spec into a validated ``{name: weight}`` map.
+
+    A bare string becomes a unit-weight single entry.  Unknown objective
+    names and non-positive weights are rejected with messages naming the
+    offending entry.
+    """
+    if isinstance(objective, str):
+        weights: Dict[str, float] = {objective: 1.0}
+    elif isinstance(objective, Mapping):
+        if not objective:
+            raise ValueError("objective mapping must name at least one objective")
+        weights = {str(name): float(weight) for name, weight in objective.items()}
+    else:
+        raise ValueError(
+            "objective must be an objective name or a {name: weight} mapping, "
+            f"got {type(objective).__name__}"
+        )
+    known = tuple(sorted(OBJECTIVES))
+    for name, weight in weights.items():
+        if name not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {name!r}; known objectives: {', '.join(known)}"
+            )
+        if not np.isfinite(weight) or weight <= 0.0:
+            raise ValueError(
+                f"objective weight for {name!r} must be a positive finite "
+                f"number, got {weight!r}"
+            )
+    return weights
+
+
+def objective_series(
+    batch: ScenarioBatchResult,
+    objective: ObjectiveLike,
+    runaway_ceiling: float = DEFAULT_RUNAWAY_CEILING,
+) -> np.ndarray:
+    """Per-scenario objective values (lower is better) for a solved batch."""
+    weights = objective_weights(objective)
+    total: Optional[np.ndarray] = None
+    for name in sorted(weights):
+        series = weights[name] * OBJECTIVES[name](batch, runaway_ceiling)
+        total = series if total is None else total + series
+    assert total is not None
+    return total
+
+
+@dataclass(frozen=True)
+class TemperatureCap:
+    """Hard temperature ceiling enforced as a hinge penalty.
+
+    Attributes
+    ----------
+    limit:
+        Peak-temperature ceiling [K]; scenarios above it are infeasible.
+    penalty_weight:
+        Objective units added per Kelvin of excess, steering penalised
+        searches back under the cap while keeping the landscape continuous.
+    """
+
+    limit: float
+    penalty_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.limit) or self.limit <= 0.0:
+            raise ValueError(
+                f"temperature_cap must be a positive temperature [K], "
+                f"got {self.limit!r}"
+            )
+        if not np.isfinite(self.penalty_weight) or self.penalty_weight <= 0.0:
+            raise ValueError(
+                f"penalty_weight must be positive, got {self.penalty_weight!r}"
+            )
+
+    def penalty(self, batch: ScenarioBatchResult) -> np.ndarray:
+        """Per-scenario hinge penalty: weight x max(0, peak - limit)."""
+        peak = np.asarray(batch.peak_temperature, dtype=float)
+        return self.penalty_weight * np.maximum(peak - self.limit, 0.0)
+
+    def satisfied(self, batch: ScenarioBatchResult) -> np.ndarray:
+        """Boolean per-scenario feasibility under the cap."""
+        peak = np.asarray(batch.peak_temperature, dtype=float)
+        return peak <= self.limit
+
+
+def scenario_scores(
+    batch: ScenarioBatchResult,
+    objective: ObjectiveLike,
+    cap: Optional[TemperatureCap] = None,
+    runaway_ceiling: float = DEFAULT_RUNAWAY_CEILING,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Penalised per-scenario scores plus feasibility flags.
+
+    Returns ``(values, feasible)``: the objective series with the cap's
+    hinge penalty folded in, and a boolean array marking scenarios that
+    satisfy the cap (all True when no cap is given).
+    """
+    values = objective_series(batch, objective, runaway_ceiling)
+    feasible = np.ones(values.shape, dtype=bool)
+    if cap is not None:
+        values = values + cap.penalty(batch)
+        feasible &= cap.satisfied(batch)
+    return values, feasible

@@ -1,0 +1,508 @@
+"""Concrete design problems driving the batched engines as inner loops.
+
+Three optimisations the paper's fast analytical models enable, each cast
+as a :class:`~repro.optimize.search.BatchProblem` so every generation of
+candidates turns into batched solves:
+
+* :class:`PlacementProblem` — floorplan placement search: move blocks on
+  the die to minimise peak rise (or any objective) subject to
+  non-overlap, each candidate scored by one batched
+  :class:`~repro.core.cosim.scenarios.ScenarioEngine` solve over all
+  operating scenarios.
+* :class:`SupplyProblem` — supply-scale (plus per-block activity)
+  assignment under a temperature cap; a whole generation collapses into a
+  *single* engine solve on one shared engine.
+* :class:`SleepAssignmentProblem` — per-block sleep-vector + supply-scale
+  assignment: standby-vector catalogues come from
+  :class:`~repro.core.leakage.circuit_leakage.CircuitLeakageModel`, the
+  supply axis rides the engines' technology-scaling of leakage with Vdd.
+* :class:`StackVectorProblem` — primary-input vector search over summed
+  OFF-stack DC currents, batching every off-chain of every candidate
+  through one deduplicated :meth:`~repro.spice.stack_solver.StackDCSolver.
+  solve_batch` call per generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Netlist
+from ..core.cosim.scenarios import Scenario, ScenarioBatchResult, ScenarioEngine
+from ..core.leakage.circuit_leakage import CircuitLeakageModel
+from ..floorplan.block import Block
+from ..floorplan.floorplan import Floorplan
+from ..spice.stack_solver import StackDCSolver, netlist_stack_jobs
+from ..technology.parameters import TechnologyParameters
+from .objectives import (
+    DEFAULT_RUNAWAY_CEILING,
+    ObjectiveLike,
+    TemperatureCap,
+    objective_weights,
+    scenario_scores,
+)
+from .search import INFEASIBLE_OFFSET, BatchProblem, SearchVariable
+
+BoundsLike = Optional[Mapping[str, Tuple[float, float]]]
+
+
+def _apply_bounds(
+    variables: Sequence[SearchVariable], bounds: BoundsLike
+) -> Tuple[SearchVariable, ...]:
+    """Override auto-derived variable bounds with user-specified ones."""
+    if not bounds:
+        return tuple(variables)
+    known = {variable.name for variable in variables}
+    for name in bounds:
+        if name not in known:
+            raise ValueError(
+                f"bounds name {name!r} matches no search variable; "
+                f"variables: {', '.join(sorted(known))}"
+            )
+    overridden = []
+    for variable in variables:
+        if variable.name in bounds:
+            lower, upper = bounds[variable.name]
+            variable = SearchVariable(variable.name, float(lower), float(upper))
+        overridden.append(variable)
+    return tuple(overridden)
+
+
+def overlap_area(first: Block, second: Block) -> float:
+    """Overlapping area [m^2] of two axis-aligned blocks."""
+    dx = min(first.x_max, second.x_max) - max(first.x_min, second.x_min)
+    dy = min(first.y_max, second.y_max) - max(first.y_min, second.y_min)
+    return max(dx, 0.0) * max(dy, 0.0)
+
+
+class _EngineBackedProblem(BatchProblem):
+    """Shared plumbing for problems scored by scenario-engine solves."""
+
+    def __init__(
+        self,
+        objective: ObjectiveLike,
+        temperature_cap: Optional[TemperatureCap],
+        engine_options: Optional[Mapping[str, object]],
+        solver_options: Optional[Mapping[str, object]],
+    ) -> None:
+        objective_weights(objective)  # eager validation
+        self._objective = objective
+        self._cap = temperature_cap
+        self._engine_options = dict(engine_options or {})
+        self._solver_options = dict(solver_options or {})
+        self._ceiling = float(
+            self._solver_options.get("max_temperature", DEFAULT_RUNAWAY_CEILING)
+        )
+
+    def _scores(self, batch: ScenarioBatchResult) -> Tuple[np.ndarray, np.ndarray]:
+        return scenario_scores(
+            batch, self._objective, self._cap, runaway_ceiling=self._ceiling
+        )
+
+
+class PlacementProblem(_EngineBackedProblem):
+    """Floorplan placement search under a non-overlap constraint.
+
+    Variables are the centre coordinates ``"<block>.x"`` / ``"<block>.y"``
+    of each movable block, bounded so the block stays on the die.
+    Overlapping candidates are rejected *before* any engine work with a
+    penalty monotone in the overlap area; feasible candidates build the
+    moved floorplan and score all scenarios in one batched engine solve
+    (worst case over scenarios).
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        dynamic_powers: Mapping[str, float],
+        static_powers: Mapping[str, float],
+        scenarios: Sequence[Scenario],
+        objective: ObjectiveLike = "peak_rise",
+        temperature_cap: Optional[TemperatureCap] = None,
+        movable: Optional[Sequence[str]] = None,
+        bounds: BoundsLike = None,
+        engine_options: Optional[Mapping[str, object]] = None,
+        solver_options: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        super().__init__(objective, temperature_cap, engine_options, solver_options)
+        self._floorplan = floorplan
+        self._dynamic = dict(dynamic_powers)
+        self._static = dict(static_powers)
+        self._scenarios = tuple(scenarios)
+        if not self._scenarios:
+            raise ValueError("placement search requires at least one scenario")
+        names = tuple(movable) if movable else floorplan.block_names()
+        if not names:
+            raise ValueError("placement search requires at least one movable block")
+        for name in names:
+            if name not in floorplan:
+                raise ValueError(
+                    f"movable block {name!r} is not in the floorplan; "
+                    f"blocks: {', '.join(floorplan.block_names())}"
+                )
+        self._movable = names
+        die = floorplan.die
+        variables: List[SearchVariable] = []
+        for name in names:
+            block = floorplan.block(name)
+            half_w = 0.5 * block.width
+            half_l = 0.5 * block.length
+            if 2.0 * half_w >= die.width or 2.0 * half_l >= die.length:
+                raise ValueError(
+                    f"movable block {name!r} fills the die along one axis; "
+                    "nothing to search"
+                )
+            variables.append(SearchVariable(f"{name}.x", half_w, die.width - half_w))
+            variables.append(SearchVariable(f"{name}.y", half_l, die.length - half_l))
+        self._variables = _apply_bounds(variables, bounds)
+
+    @property
+    def variables(self) -> Tuple[SearchVariable, ...]:
+        """Centre coordinates of the movable blocks."""
+        return self._variables
+
+    def placed_blocks(self, candidate: np.ndarray) -> Tuple[Block, ...]:
+        """The full block list with movable blocks at candidate positions."""
+        positions = {
+            name: (float(candidate[2 * i]), float(candidate[2 * i + 1]))
+            for i, name in enumerate(self._movable)
+        }
+        blocks = []
+        for block in self._floorplan.blocks():
+            if block.name in positions:
+                block = block.moved_to(*positions[block.name])
+            blocks.append(block)
+        return tuple(blocks)
+
+    def _violation(self, blocks: Sequence[Block]) -> float:
+        """Total pairwise overlap area [m^2]; zero iff the placement is legal."""
+        total = 0.0
+        for first, second in itertools.combinations(blocks, 2):
+            total += overlap_area(first, second)
+        return total
+
+    def evaluate(self, candidates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Score each candidate placement by one batched scenario solve."""
+        block = np.atleast_2d(np.asarray(candidates, dtype=float))
+        die = self._floorplan.die
+        die_area = die.width * die.length
+        values = np.empty(block.shape[0], dtype=float)
+        feasible = np.ones(block.shape[0], dtype=bool)
+        for i, row in enumerate(block):
+            blocks = self.placed_blocks(row)
+            violation = self._violation(blocks)
+            if violation > 0.0:
+                values[i] = INFEASIBLE_OFFSET * (1.0 + violation / die_area)
+                feasible[i] = False
+                continue
+            plan = Floorplan.from_blocks(
+                die, blocks, name=self._floorplan.name, allow_overlaps=True
+            )
+            engine = ScenarioEngine(
+                plan, self._dynamic, self._static, **self._engine_options
+            )
+            result = engine.solve(self._scenarios, **self._solver_options)
+            scores, ok = self._scores(result)
+            values[i] = float(scores.max())
+            feasible[i] = bool(ok.all())
+        return values, feasible
+
+    def describe(self, candidate: np.ndarray) -> Dict[str, float]:
+        """Candidate as ``{"<block>.x": metres, ...}``."""
+        return super().describe(candidate)
+
+
+class SupplyProblem(_EngineBackedProblem):
+    """Supply-scale + per-block activity assignment under a temperature cap.
+
+    The flagship batched problem: one engine is built once, and an entire
+    generation of candidates (each expanded over every base scenario)
+    collapses into a *single* :meth:`ScenarioEngine.solve` call — the
+    batching the optimize throughput benchmark floors.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        dynamic_powers: Mapping[str, float],
+        static_powers: Mapping[str, float],
+        scenarios: Sequence[Scenario],
+        objective: ObjectiveLike = "total_power",
+        temperature_cap: Optional[TemperatureCap] = None,
+        supply_bounds: Tuple[float, float] = (0.7, 1.1),
+        include_activity: bool = True,
+        activity_bounds: Tuple[float, float] = (0.05, 1.0),
+        bounds: BoundsLike = None,
+        engine_options: Optional[Mapping[str, object]] = None,
+        solver_options: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        super().__init__(objective, temperature_cap, engine_options, solver_options)
+        self._base = tuple(scenarios)
+        if not self._base:
+            raise ValueError("supply search requires at least one scenario")
+        self._engine = ScenarioEngine(
+            floorplan, dynamic_powers, static_powers, **self._engine_options
+        )
+        self._block_names = tuple(self._engine.block_names)
+        self._include_activity = bool(include_activity)
+        variables = [SearchVariable("supply_scale", *supply_bounds)]
+        if self._include_activity:
+            variables.extend(
+                SearchVariable(f"activity.{name}", *activity_bounds)
+                for name in self._block_names
+            )
+        self._variables = _apply_bounds(variables, bounds)
+
+    @property
+    def variables(self) -> Tuple[SearchVariable, ...]:
+        """``supply_scale`` plus optional per-block activity factors."""
+        return self._variables
+
+    @property
+    def engine(self) -> ScenarioEngine:
+        """The shared engine scoring every generation."""
+        return self._engine
+
+    def candidate_scenarios(self, candidate: np.ndarray) -> Tuple[Scenario, ...]:
+        """The engine rows one candidate expands into (one per base scenario)."""
+        scale = float(candidate[0])
+        rows = []
+        for base in self._base:
+            activity = base.activity
+            if self._include_activity:
+                activity = {
+                    name: float(value)
+                    for name, value in zip(self._block_names, candidate[1:])
+                }
+            rows.append(
+                Scenario(
+                    technology=base.technology,
+                    supply_voltage=scale * base.technology.vdd,
+                    ambient_temperature=base.ambient_temperature,
+                    activity=activity,
+                    label=base.label,
+                )
+            )
+        return tuple(rows)
+
+    def evaluate(self, candidates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Collapse the whole generation into one batched engine solve."""
+        block = np.atleast_2d(np.asarray(candidates, dtype=float))
+        rows: List[Scenario] = []
+        for row in block:
+            rows.extend(self.candidate_scenarios(row))
+        result = self._engine.solve(rows, **self._solver_options)
+        scores, ok = self._scores(result)
+        per_candidate = scores.reshape(block.shape[0], len(self._base))
+        ok = ok.reshape(block.shape[0], len(self._base))
+        return per_candidate.max(axis=1), ok.all(axis=1)
+
+
+class SleepAssignmentProblem(_EngineBackedProblem):
+    """Per-block sleep-vector + supply-scale assignment under a cap.
+
+    Each block with a netlist gets a catalogue of its best standby vectors
+    (ranked by :class:`CircuitLeakageModel` leakage); a candidate picks one
+    vector index per block plus a global supply scale.  Candidates sharing
+    a vector assignment share one engine (static powers are identical), so
+    a generation becomes one batched solve per *distinct* assignment —
+    engines over the same floorplan also share the resistance cache.  The
+    supply axis reuses the engines' technology-derived scaling of leakage
+    with Vdd.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParameters,
+        netlists: Mapping[str, Netlist],
+        floorplan: Floorplan,
+        dynamic_powers: Mapping[str, float],
+        scenarios: Sequence[Scenario],
+        static_powers: Optional[Mapping[str, float]] = None,
+        vectors_per_block: int = 4,
+        objective: ObjectiveLike = "total_power",
+        temperature_cap: Optional[TemperatureCap] = None,
+        supply_bounds: Tuple[float, float] = (0.7, 1.05),
+        temperature: Optional[float] = None,
+        engine_options: Optional[Mapping[str, object]] = None,
+        solver_options: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        super().__init__(objective, temperature_cap, engine_options, solver_options)
+        if vectors_per_block < 2:
+            raise ValueError("vectors_per_block must be at least 2")
+        self._floorplan = floorplan
+        self._dynamic = dict(dynamic_powers)
+        self._baseline_static = dict(static_powers or {})
+        self._base = tuple(scenarios)
+        if not self._base:
+            raise ValueError("sleep assignment requires at least one scenario")
+        model = CircuitLeakageModel(technology)
+        self._catalog: Dict[str, Tuple[Tuple[Dict[str, int], float], ...]] = {}
+        for name in sorted(netlists):
+            if name not in floorplan:
+                raise ValueError(
+                    f"netlist block {name!r} is not in the floorplan; "
+                    f"blocks: {', '.join(floorplan.block_names())}"
+                )
+            netlist = netlists[name]
+            inputs = netlist.primary_inputs
+            if len(inputs) > 12:
+                raise ValueError(
+                    f"block {name!r} has {len(inputs)} primary inputs; "
+                    "catalogue enumeration is limited to 12"
+                )
+            ranked = sorted(
+                (
+                    (
+                        dict(zip(inputs, bits)),
+                        model.total_power(
+                            netlist, dict(zip(inputs, bits)), temperature
+                        ),
+                    )
+                    for bits in itertools.product((0, 1), repeat=len(inputs))
+                ),
+                key=lambda entry: entry[1],
+            )
+            self._catalog[name] = tuple(ranked[:vectors_per_block])
+        if not self._catalog:
+            raise ValueError("sleep assignment requires at least one netlist")
+        self._blocks = tuple(sorted(self._catalog))
+        variables = [SearchVariable("supply_scale", *supply_bounds)]
+        variables.extend(
+            SearchVariable(f"vector.{name}", 0.0, float(len(self._catalog[name]) - 1))
+            for name in self._blocks
+        )
+        self._variables = tuple(variables)
+
+    @property
+    def variables(self) -> Tuple[SearchVariable, ...]:
+        """``supply_scale`` plus one catalogue index per netlist block."""
+        return self._variables
+
+    def _assignment(self, candidate: np.ndarray) -> Tuple[int, ...]:
+        """Rounded catalogue indices of one candidate, block order."""
+        indices = []
+        for offset, name in enumerate(self._blocks, start=1):
+            top = len(self._catalog[name]) - 1
+            indices.append(int(np.clip(np.rint(candidate[offset]), 0, top)))
+        return tuple(indices)
+
+    def _static_for(self, assignment: Tuple[int, ...]) -> Dict[str, float]:
+        static = dict(self._baseline_static)
+        for name, index in zip(self._blocks, assignment):
+            static[name] = self._catalog[name][index][1]
+        return static
+
+    def evaluate(self, candidates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One batched solve per distinct sleep-vector assignment."""
+        block = np.atleast_2d(np.asarray(candidates, dtype=float))
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for i, row in enumerate(block):
+            groups.setdefault(self._assignment(row), []).append(i)
+        values = np.empty(block.shape[0], dtype=float)
+        feasible = np.ones(block.shape[0], dtype=bool)
+        for assignment, members in groups.items():
+            engine = ScenarioEngine(
+                self._floorplan,
+                self._dynamic,
+                self._static_for(assignment),
+                **self._engine_options,
+            )
+            rows: List[Scenario] = []
+            for i in members:
+                scale = float(block[i, 0])
+                for base in self._base:
+                    rows.append(
+                        Scenario(
+                            technology=base.technology,
+                            supply_voltage=scale * base.technology.vdd,
+                            ambient_temperature=base.ambient_temperature,
+                            activity=base.activity,
+                            label=base.label,
+                        )
+                    )
+            result = engine.solve(rows, **self._solver_options)
+            scores, ok = self._scores(result)
+            scores = scores.reshape(len(members), len(self._base))
+            ok = ok.reshape(len(members), len(self._base))
+            for j, i in enumerate(members):
+                values[i] = float(scores[j].max())
+                feasible[i] = bool(ok[j].all())
+        return values, feasible
+
+    def describe(self, candidate: np.ndarray) -> Dict[str, object]:
+        """Supply scale plus the selected standby vector per block."""
+        assignment = self._assignment(candidate)
+        return {
+            "supply_scale": float(candidate[0]),
+            "vectors": {
+                name: dict(self._catalog[name][index][0])
+                for name, index in zip(self._blocks, assignment)
+            },
+        }
+
+
+class StackVectorProblem(BatchProblem):
+    """Primary-input vector search over summed OFF-stack DC currents.
+
+    The relaxed-bit counterpart of the sleep-vector search, scored by the
+    reference SPICE-level solver instead of the analytical model: each
+    candidate's bits select the OFF chains of the netlist, and *all*
+    chains of *all* candidates in a generation go through one deduplicated
+    :meth:`StackDCSolver.solve_batch` call.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParameters,
+        netlist: Netlist,
+        temperature: Optional[float] = None,
+        solver: Optional[StackDCSolver] = None,
+    ) -> None:
+        self._technology = technology
+        self._netlist = netlist
+        self._temperature = temperature
+        self._solver = solver if solver is not None else StackDCSolver(technology)
+        self._inputs = tuple(netlist.primary_inputs)
+        if not self._inputs:
+            raise ValueError("netlist has no primary inputs to search over")
+        self._variables = tuple(
+            SearchVariable(name, 0.0, 1.0) for name in self._inputs
+        )
+        self.last_distinct_solves = 0
+
+    @property
+    def variables(self) -> Tuple[SearchVariable, ...]:
+        """One relaxed bit per primary input."""
+        return self._variables
+
+    def vector_for(self, candidate: np.ndarray) -> Dict[str, int]:
+        """Rounded primary-input bits of one candidate."""
+        bits = np.clip(np.rint(np.asarray(candidate, dtype=float)), 0, 1)
+        return {name: int(bit) for name, bit in zip(self._inputs, bits)}
+
+    def evaluate(self, candidates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch every off-chain of every candidate into one solver call."""
+        block = np.atleast_2d(np.asarray(candidates, dtype=float))
+        jobs = []
+        spans: List[int] = []
+        for row in block:
+            row_jobs = netlist_stack_jobs(self._netlist, self.vector_for(row))
+            spans.append(len(row_jobs))
+            jobs.extend(row_jobs)
+        batch = self._solver.solve_batch(jobs, temperature=self._temperature)
+        self.last_distinct_solves = batch.distinct_solves
+        currents = batch.currents
+        vdd = self._technology.vdd
+        values = np.empty(block.shape[0], dtype=float)
+        position = 0
+        for i, span in enumerate(spans):
+            values[i] = float(currents[position : position + span].sum()) * vdd
+            position += span
+        return values, np.ones(block.shape[0], dtype=bool)
+
+    def describe(self, candidate: np.ndarray) -> Dict[str, object]:
+        """The rounded standby vector the candidate encodes."""
+        return {"vector": self.vector_for(candidate)}

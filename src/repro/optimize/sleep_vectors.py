@@ -17,8 +17,9 @@ model of :mod:`repro.core.leakage` (which is what makes them cheap):
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..circuit.netlist import Netlist
 from ..circuit.vectors import enumerate_vectors
@@ -130,29 +131,16 @@ class SleepVectorOptimizer:
             baseline_power=worst_power,
         )
 
-    def greedy(
+    def _descend(
         self,
-        seed: Optional[Mapping[str, int]] = None,
-        max_passes: int = 10,
-    ) -> SleepVectorResult:
-        """Bit-flipping descent from a seed vector.
-
-        Each pass tries flipping every primary input once, keeping any flip
-        that lowers the leakage; the search stops when a full pass makes no
-        improvement or after ``max_passes`` passes.
-        """
-        if max_passes < 1:
-            raise ValueError("max_passes must be at least 1")
+        start_vector: Dict[str, int],
+        max_passes: int,
+        start_power: Optional[float] = None,
+    ) -> Tuple[Dict[str, int], float]:
+        """One bit-flipping descent; returns the local optimum and power."""
         inputs = self.netlist.primary_inputs
-        if seed is None:
-            current = {name: 0 for name in inputs}
-        else:
-            current = {name: int(seed[name]) for name in inputs}
-            if any(value not in (0, 1) for value in current.values()):
-                raise ValueError("seed values must be 0 or 1")
-        start = self._evaluations
-        baseline_power = self.leakage(current)
-        current_power = baseline_power
+        current = dict(start_vector)
+        current_power = self.leakage(current) if start_power is None else start_power
         for _ in range(max_passes):
             improved = False
             for name in inputs:
@@ -165,9 +153,54 @@ class SleepVectorOptimizer:
                     improved = True
             if not improved:
                 break
+        return current, current_power
+
+    def greedy(
+        self,
+        seed: Optional[Mapping[str, int]] = None,
+        max_passes: int = 10,
+        restarts: int = 0,
+        rng: Optional[Union[int, random.Random]] = None,
+    ) -> SleepVectorResult:
+        """Bit-flipping descent from a seed vector, with random restarts.
+
+        Each pass tries flipping every primary input once, keeping any flip
+        that lowers the leakage; a descent stops when a full pass makes no
+        improvement or after ``max_passes`` passes.  With ``restarts > 0``
+        further descents start from random vectors drawn from ``rng`` (an
+        integer seed or a :class:`random.Random`; defaults to seed 0) in a
+        fixed order, so the same seed replays the same search and the same
+        result exactly.  The best vector over all descents wins; ties keep
+        the earliest descent's result.
+        """
+        if max_passes < 1:
+            raise ValueError("max_passes must be at least 1")
+        if restarts < 0:
+            raise ValueError("restarts must be non-negative")
+        inputs = self.netlist.primary_inputs
+        if seed is None:
+            first = {name: 0 for name in inputs}
+        else:
+            first = {name: int(seed[name]) for name in inputs}
+            if any(value not in (0, 1) for value in first.values()):
+                raise ValueError("seed values must be 0 or 1")
+        if isinstance(rng, random.Random):
+            generator = rng
+        else:
+            generator = random.Random(0 if rng is None else int(rng))
+        start = self._evaluations
+        baseline_power = self.leakage(first)
+        best_vector, best_power = self._descend(
+            first, max_passes, start_power=baseline_power
+        )
+        for _ in range(restarts):
+            restart_vector = {name: generator.randrange(2) for name in inputs}
+            vector, power = self._descend(restart_vector, max_passes)
+            if power < best_power:
+                best_vector, best_power = vector, power
         return SleepVectorResult(
-            vector=current,
-            leakage_power=current_power,
+            vector=best_vector,
+            leakage_power=best_power,
             evaluations=self._evaluations - start,
             baseline_power=baseline_power,
         )
@@ -188,8 +221,10 @@ def greedy_sleep_vector(
     seed: Optional[Mapping[str, int]] = None,
     temperature: Optional[float] = None,
     max_passes: int = 10,
+    restarts: int = 0,
+    rng: Optional[Union[int, random.Random]] = None,
 ) -> SleepVectorResult:
-    """Greedy bit-flipping standby-vector search."""
+    """Greedy bit-flipping standby-vector search with seeded restarts."""
     return SleepVectorOptimizer(technology, netlist, temperature).greedy(
-        seed=seed, max_passes=max_passes
+        seed=seed, max_passes=max_passes, restarts=restarts, rng=rng
     )

@@ -101,14 +101,15 @@ class ExecutionCore:
     def execute_group(self, specs: Sequence[StudySpec]) -> List[StudyResult]:
         """Run one admission group; one result per spec, same order.
 
-        Thermal maps run directly (no engine object exists to cache).
-        Singleton groups and non-coalescible kinds run
+        Thermal maps and optimize searches run directly (neither compiles
+        a cacheable engine up front; optimize builds its engines inside
+        the search).  Singleton groups and non-coalescible kinds run
         :func:`~repro.api.study.run_study` against the cached engine.
         Multi-spec steady groups run as **one** concatenated solve whose
         rows are sliced back per request.
         """
         first = specs[0]
-        if first.kind == "thermal_map":
+        if first.kind in ("thermal_map", "optimize"):
             results = []
             for spec in specs:
                 self._count_solve(coalesced=False)

@@ -25,11 +25,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
 from scipy.optimize import brentq
 
 from ..circuit.stack import TransistorStack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuit.netlist import Netlist
 from ..technology.parameters import TechnologyParameters
 from .device_model import MOSFETModel, OperatingPoint
 
@@ -77,6 +81,59 @@ class StackSolution:
         return max(
             abs(c - self.current) / reference for c in self.device_currents
         )
+
+
+@dataclass(frozen=True)
+class StackJob:
+    """One batched DC solve request: a series chain plus its gate logic."""
+
+    stack: TransistorStack
+    logic_values: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StackBatchSolution:
+    """DC solutions of a batch of stack jobs, one per job in order.
+
+    Identical jobs (same devices, logic values and temperature) share one
+    numerical solve; ``distinct_solves`` counts how many solves the batch
+    actually performed, so callers can verify the deduplication win.
+    """
+
+    solutions: Tuple[StackSolution, ...]
+    distinct_solves: int
+
+    @property
+    def currents(self) -> np.ndarray:
+        """Per-job stack currents [A] as one array."""
+        return np.array([solution.current for solution in self.solutions])
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+
+#: A batch entry: either a :class:`StackJob` or a ``(stack, logic)`` pair.
+StackJobLike = Union[StackJob, Tuple[TransistorStack, Sequence[int]]]
+
+
+def netlist_stack_jobs(
+    netlist: "Netlist", primary_inputs
+) -> Tuple[StackJob, ...]:
+    """Every OFF chain of a netlist at one primary-input vector.
+
+    Walks each gate instance, propagates the vector to its inputs, takes
+    the non-conducting network's off-chains and pairs each with its device
+    gate logic — the job list a batched leakage solve needs.
+    """
+    vectors = netlist.instance_input_vectors(primary_inputs)
+    jobs: List[StackJob] = []
+    for instance in netlist.instances():
+        inputs = vectors[instance.name]
+        network = instance.cell.leakage_network(inputs)
+        for stack in network.off_chains(inputs):
+            logic = tuple(inputs[device.gate_input] for device in stack.devices)
+            jobs.append(StackJob(stack=stack, logic_values=logic))
+    return tuple(jobs)
 
 
 class StackDCSolver:
@@ -313,6 +370,42 @@ class StackDCSolver:
             node_voltages=node_voltages,
             device_currents=device_currents,
             temperature=temperature,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched solves
+    # ------------------------------------------------------------------ #
+    def solve_batch(
+        self,
+        jobs: Iterable[StackJobLike],
+        temperature: Optional[float] = None,
+    ) -> StackBatchSolution:
+        """Solve many stacks at once, deduplicating identical chains.
+
+        Netlists repeat a handful of distinct stack shapes (the same cell
+        at the same input state appears many times), so the batch solves
+        each distinct ``(devices, logic, temperature)`` signature once
+        through the scalar :meth:`solve` path and fans the solution out to
+        every duplicate.  Batched and per-stack results are therefore
+        bit-identical — the exact-parity contract the optimizer's inner
+        loop relies on.
+        """
+        cache: dict = {}
+        solutions: List[StackSolution] = []
+        for job in jobs:
+            if isinstance(job, StackJob):
+                stack, logic = job.stack, job.logic_values
+            else:
+                stack, logic = job
+            logic = tuple(int(value) for value in logic)
+            key = (tuple(stack.devices), logic)
+            solution = cache.get(key)
+            if solution is None:
+                solution = self.solve(stack, logic, temperature)
+                cache[key] = solution
+            solutions.append(solution)
+        return StackBatchSolution(
+            solutions=tuple(solutions), distinct_solves=len(cache)
         )
 
     # ------------------------------------------------------------------ #

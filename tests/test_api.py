@@ -20,6 +20,8 @@ from hypothesis.extra import numpy as npst
 
 from repro.api import (
     FloorplanSpec,
+    OptimizeSpec,
+    OptimizeVariable,
     ScenarioSpec,
     Study,
     StudyResult,
@@ -155,8 +157,69 @@ def workload_specs(draw):
 
 
 @st.composite
+def optimize_specs(draw):
+    # Valid against the three-block floorplan study_specs() builds around:
+    # movable/variable names must resolve to core/cache/io-derived names.
+    problem = draw(st.sampled_from(("placement", "supply")))
+    objective = draw(
+        st.one_of(
+            st.sampled_from(
+                (
+                    "peak_rise",
+                    "peak_temperature",
+                    "total_power",
+                    "total_static_power",
+                    "runaway_margin",
+                )
+            ),
+            st.just({"peak_rise": 1.0, "total_power": 5.0}),
+        )
+    )
+    constraints = {}
+    if draw(st.booleans()):
+        constraints["temperature_cap"] = draw(st.floats(350.0, 450.0, **finite))
+        if draw(st.booleans()):
+            constraints["penalty_weight"] = draw(st.floats(0.1, 50.0, **finite))
+    movable = ()
+    variables = ()
+    if problem == "placement":
+        movable = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(("core", "cache", "io")),
+                    unique=True,
+                    max_size=3,
+                )
+            )
+        )
+    elif draw(st.booleans()):
+        variables = (
+            OptimizeVariable(
+                name="supply_scale",
+                lower=draw(st.floats(0.6, 0.9, **finite)),
+                upper=draw(st.floats(1.0, 1.2, **finite)),
+            ),
+        )
+    return OptimizeSpec(
+        problem=problem,
+        objective=objective,
+        variables=variables,
+        constraints=constraints,
+        strategy=draw(
+            st.sampled_from(("random", "grid", "coordinate", "nelder_mead"))
+        ),
+        budget=draw(st.integers(1, 128)),
+        generation_size=draw(st.integers(1, 32)),
+        seed=draw(st.integers(0, 2**16)),
+        movable=movable,
+    )
+
+
+@st.composite
 def study_specs(draw):
-    kind = draw(st.sampled_from(("steady", "transient", "thermal_map", "sweep")))
+    kind = draw(
+        st.sampled_from(("steady", "transient", "thermal_map", "sweep", "optimize"))
+    )
     floorplan = FloorplanSpec.from_floorplan(three_block_floorplan())
     if kind == "thermal_map":
         return StudySpec(
@@ -208,6 +271,8 @@ def study_specs(draw):
             parameter_values=tuple(float(i) for i in range(len(scenarios))),
             **common,
         )
+    if kind == "optimize":
+        return StudySpec(kind=kind, optimize=draw(optimize_specs()), **common)
     return StudySpec(kind=kind, **common)
 
 
@@ -234,6 +299,11 @@ class TestSpecRoundTrip:
     def test_workload(self, spec):
         assert WorkloadSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
         assert WorkloadSpec.from_json(spec.to_json()) == spec
+
+    @given(spec=optimize_specs())
+    def test_optimize(self, spec):
+        assert OptimizeSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+        assert OptimizeSpec.from_json(spec.to_json()) == spec
 
     @settings(max_examples=30, deadline=None)
     @given(spec=study_specs())
@@ -304,6 +374,7 @@ class TestResultRoundTrip:
             _transient_study(),
             _thermal_map_study(),
             _sweep_study(),
+            _optimize_study(),
         ):
             result = study.run()
             path = tmp_path / f"{result.kind}.json"
@@ -380,6 +451,24 @@ def _sweep_study():
     )
 
 
+def _optimize_study():
+    return Study.optimize(
+        floorplan=three_block_floorplan(),
+        dynamic_powers=DYNAMIC,
+        static_powers=STATIC,
+        scenarios=ScenarioSpec.grid(
+            ["0.12um"], ambient_temperatures=(298.15, 318.15)
+        ),
+        problem="supply",
+        objective="total_power",
+        constraints={"temperature_cap": 420.0, "penalty_weight": 2.0},
+        strategy="random",
+        budget=12,
+        generation_size=6,
+        seed=3,
+    )
+
+
 class TestFacadeParity:
     def test_steady_matches_direct_engine(self):
         result = _steady_study().run()
@@ -453,7 +542,12 @@ class TestFacadeParity:
     def test_rerun_of_reloaded_spec_is_bit_identical(self, tmp_path):
         # The acceptance criterion: write the spec to JSON, reload, re-run,
         # compare every result array bit-for-bit.
-        for study in (_steady_study(), _transient_study(), _thermal_map_study()):
+        for study in (
+            _steady_study(),
+            _transient_study(),
+            _thermal_map_study(),
+            _optimize_study(),
+        ):
             first = study.run()
             path = tmp_path / "spec.json"
             study.to_json(path)
@@ -498,6 +592,179 @@ class TestFacadeParity:
         assert study.spec.solver == {"tolerance": 1e-3}
         assert study.spec.label == "refined"
         assert study.run().summary()["study"] == "refined"
+
+
+# --------------------------------------------------------------------- #
+# Optimize studies through the declarative layer
+# --------------------------------------------------------------------- #
+class TestOptimizeStudies:
+    def test_run_matches_direct_search(self):
+        # The facade adds nothing to the physics: the same problem driven
+        # through run_search directly yields the identical outcome.
+        from repro.optimize import SupplyProblem, TemperatureCap, run_search
+
+        result = _optimize_study().run()
+        spec = _optimize_study().spec
+        problem = SupplyProblem(
+            three_block_floorplan(),
+            DYNAMIC,
+            STATIC,
+            spec.build_scenarios(),
+            objective="total_power",
+            temperature_cap=TemperatureCap(limit=420.0, penalty_weight=2.0),
+        )
+        outcome = run_search(
+            problem, strategy="random", budget=12, generation_size=6, seed=3
+        )
+        assert np.array_equal(result.array("best_candidate"), outcome.best_candidate)
+        assert np.array_equal(result.array("objective_trace"), outcome.objective_trace)
+        assert result.metadata["best_objective"] == outcome.best_objective
+        assert result.metadata["evaluations"] == outcome.evaluations
+        assert result.metadata["variable_names"] == list(outcome.variable_names)
+
+    def test_seeded_replay_is_bit_identical(self, tmp_path):
+        first = _optimize_study().run()
+        assert run_study(first.spec).equals(first)
+        # ... and through a JSON-shipped result file, as the CI smoke does.
+        path = tmp_path / "optimize.json"
+        first.to_json(path)
+        loaded = StudyResult.from_json(path)
+        assert loaded.equals(first)
+        assert run_study(loaded.spec).equals(first)
+
+    def test_placement_study_runs_and_replays(self):
+        study = Study.optimize(
+            floorplan=three_block_floorplan(),
+            dynamic_powers=DYNAMIC,
+            static_powers=STATIC,
+            scenarios=(ScenarioSpec(technology=TechnologySpec("0.12um")),),
+            problem="placement",
+            objective="peak_rise",
+            movable=("core",),
+            strategy="coordinate",
+            budget=10,
+            seed=5,
+        )
+        result = study.run()
+        assert result.metadata["variable_names"] == ["core.x", "core.y"]
+        assert result.metadata["best_feasible"]
+        # The moved core stays on the die.
+        best = result.metadata["best_detail"]
+        assert 0.0 <= best["core.x"] <= 1.0e-3
+        assert 0.0 <= best["core.y"] <= 1.0e-3
+        assert run_study(study.spec).equals(result)
+
+    def test_summary_reports_search_shape(self):
+        result = _optimize_study().run()
+        summary = result.summary()
+        assert summary["problem"] == "supply"
+        assert summary["strategy"] == "random"
+        assert summary["evaluations"] <= 12
+        assert summary["generation_count"] == result.array("objective_trace").shape[0]
+        assert math.isfinite(summary["best_objective"])
+        assert "supply_scale" in result.metadata["variable_names"]
+
+    def test_kind_literals_mirror_runtime_registries(self):
+        # api.kinds keeps plain literals so `repro --help` stays
+        # numpy-free; they must track the optimizer registries exactly.
+        from repro.api.kinds import (
+            OPTIMIZE_OBJECTIVES,
+            OPTIMIZE_PROBLEMS,
+            OPTIMIZE_STRATEGIES,
+            STUDY_KINDS,
+        )
+        from repro.optimize import objectives, search
+
+        assert "optimize" in STUDY_KINDS
+        assert OPTIMIZE_STRATEGIES == search.STRATEGIES
+        assert OPTIMIZE_OBJECTIVES == tuple(objectives.OBJECTIVES)
+        assert OPTIMIZE_PROBLEMS == ("placement", "supply")
+
+
+class TestOptimizeValidation:
+    """Every rejection names the offending field (the spec ergonomics bar)."""
+
+    def test_optimize_kind_requires_optimize_block(self):
+        with pytest.raises(ValueError, match="require an optimize block"):
+            _minimal_spec().replace(kind="optimize")
+
+    def test_optimize_block_requires_optimize_kind(self):
+        with pytest.raises(ValueError, match="only applies to optimize"):
+            _minimal_spec().replace(optimize=OptimizeSpec())
+
+    def test_unknown_problem_lists_known(self):
+        with pytest.raises(ValueError, match="placement, supply"):
+            OptimizeSpec(problem="routing")
+
+    def test_unknown_objective_lists_known(self):
+        with pytest.raises(ValueError, match="known objectives: peak_rise"):
+            OptimizeSpec(objective="nope")
+
+    def test_zero_objective_weight_named(self):
+        with pytest.raises(ValueError, match="'total_power'"):
+            OptimizeSpec(objective={"total_power": 0.0})
+
+    def test_unknown_strategy_lists_known(self):
+        with pytest.raises(ValueError, match="nelder_mead"):
+            OptimizeSpec(strategy="anneal")
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            OptimizeSpec(budget=0)
+
+    def test_penalty_weight_requires_cap(self):
+        with pytest.raises(
+            ValueError,
+            match=r"constraints\['penalty_weight'\] requires "
+            r"constraints\['temperature_cap'\]",
+        ):
+            OptimizeSpec(constraints={"penalty_weight": 2.0})
+
+    def test_unknown_constraint_named(self):
+        with pytest.raises(ValueError, match="bogus"):
+            OptimizeSpec(constraints={"bogus": 1.0})
+
+    def test_variable_bounds_must_be_ordered(self):
+        with pytest.raises(
+            ValueError, match=r"variables\['x'\] requires lower < upper"
+        ):
+            OptimizeVariable(name="x", lower=1.0, upper=1.0)
+
+    def test_movable_unknown_block_named(self):
+        spec = _optimize_study().spec
+        with pytest.raises(ValueError, match="gpu"):
+            spec.replace(
+                optimize=OptimizeSpec(problem="placement", movable=("gpu",))
+            )
+
+    def test_movable_is_placement_only(self):
+        spec = _optimize_study().spec
+        with pytest.raises(ValueError, match="only applies to the 'placement'"):
+            spec.replace(optimize=OptimizeSpec(problem="supply", movable=("core",)))
+
+    def test_variable_override_must_match_problem(self):
+        spec = _optimize_study().spec
+        with pytest.raises(ValueError, match="'core.z' matches no"):
+            spec.replace(
+                optimize=OptimizeSpec(
+                    problem="placement",
+                    variables=(
+                        OptimizeVariable(name="core.z", lower=0.0, upper=1.0),
+                    ),
+                )
+            )
+
+    def test_scenario_grid_is_rejected(self):
+        with pytest.raises(ValueError, match="enumerate their operating"):
+            _optimize_study().spec.replace(
+                scenario_grid={"technologies": ("0.12um",)}
+            )
+
+    def test_streaming_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size does not apply"):
+            _optimize_study().spec.replace(chunk_size=8)
+        with pytest.raises(ValueError, match="reduction does not apply"):
+            _optimize_study().spec.replace(reduction=True)
 
 
 # --------------------------------------------------------------------- #
@@ -783,6 +1050,11 @@ class TestCLI:
             assert f"{backend}: " in captured
         assert "field_maps=yes" in captured
         assert "numerical=yes" in captured
+        # The optimizer registries are listed (numpy-free literals).
+        assert "optimize problems: placement, supply" in captured
+        assert "optimize strategies: " in captured
+        assert "optimize objectives: " in captured
+        assert "nelder_mead" in captured
 
     def test_run_reports_engine_errors(self, tmp_path, capsys):
         # Validates as a spec, but the engine rejects the combination at
@@ -814,6 +1086,7 @@ class TestCLI:
             "study_transient",
             "study_thermal_map",
             "study_backend_fdm",
+            "study_optimize",
         ):
             spec = StudySpec.from_json(examples / f"{name}.json")
             result = run_study(spec.replace(label=spec.label or name))

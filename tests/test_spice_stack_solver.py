@@ -1,14 +1,17 @@
 """Tests for repro.spice.stack_solver (the numerical stack reference)."""
 
+import numpy as np
 import pytest
 
+from repro.circuit.cells import inverter, nand_gate
+from repro.circuit.netlist import Netlist
 from repro.circuit.stack import (
     nmos_stack_from_widths,
     uniform_nmos_stack,
     uniform_pmos_stack,
 )
 from repro.spice.device_model import MOSFETModel
-from repro.spice.stack_solver import StackDCSolver
+from repro.spice.stack_solver import StackDCSolver, StackJob, netlist_stack_jobs
 
 
 @pytest.fixture(scope="module")
@@ -101,3 +104,61 @@ class TestStackSolutions:
     def test_single_device_has_no_internal_nodes(self, solver):
         with pytest.raises(ValueError):
             solver.intermediate_node_voltage(uniform_nmos_stack(1, 1e-6))
+
+
+class TestBatchedSolve:
+    def test_batch_matches_scalar_bit_for_bit(self, solver):
+        jobs = [
+            StackJob(uniform_nmos_stack(2, 1e-6), (0, 0)),
+            StackJob(uniform_nmos_stack(3, 1e-6), (0, 1, 0)),
+            StackJob(uniform_pmos_stack(2, 2e-6), (1, 1)),
+            StackJob(nmos_stack_from_widths([1e-6, 4e-6]), (0, 0)),
+        ]
+        batch = solver.solve_batch(jobs)
+        assert len(batch) == len(jobs)
+        for job, solution in zip(jobs, batch.solutions):
+            scalar = solver.solve(job.stack, job.logic_values)
+            # Exact equality: the batch runs the same scalar path once per
+            # distinct chain and fans the result out.
+            assert solution.current == scalar.current
+            assert solution.node_voltages == scalar.node_voltages
+            assert solution.device_currents == scalar.device_currents
+
+    def test_tuple_jobs_accepted(self, solver):
+        stack = uniform_nmos_stack(2, 1e-6)
+        from_tuples = solver.solve_batch([(stack, (0, 0)), (stack, [0, 1])])
+        assert from_tuples.currents.shape == (2,)
+        assert from_tuples.solutions[0].current == solver.solve(stack, (0, 0)).current
+
+    def test_duplicates_share_one_solve(self, solver):
+        triple = StackJob(uniform_nmos_stack(3, 1e-6), (0, 0, 0))
+        pair = StackJob(uniform_nmos_stack(2, 1e-6), (0, 0))
+        batch = solver.solve_batch([triple] * 5 + [pair])
+        assert len(batch) == 6
+        assert batch.distinct_solves == 2
+        currents = batch.currents
+        assert np.all(currents[:5] == currents[0])
+        assert currents[5] != currents[0]
+
+    def test_batch_temperature_is_honoured(self, solver):
+        jobs = [StackJob(uniform_nmos_stack(2, 1e-6), (0, 0))]
+        cold = solver.solve_batch(jobs, temperature=298.15)
+        hot = solver.solve_batch(jobs, temperature=358.15)
+        assert hot.currents[0] > 5.0 * cold.currents[0]
+
+    def test_netlist_jobs_cover_every_off_chain(self, solver, tech012):
+        # Two identical inverters on the same input produce identical
+        # chains, so the batch needs fewer distinct solves than jobs.
+        netlist = Netlist("pair", primary_inputs=("A", "B"))
+        netlist.add_instance("U1", inverter(tech012), {"A": "A", "Z": "X"})
+        netlist.add_instance("U2", inverter(tech012), {"A": "A", "Z": "Y"})
+        netlist.add_instance(
+            "U3", nand_gate(tech012, 2), {"A": "A", "B": "B", "Z": "Z"}
+        )
+        jobs = netlist_stack_jobs(netlist, {"A": 0, "B": 1})
+        assert jobs  # every gate contributes its non-conducting chains
+        for job in jobs:
+            assert len(job.logic_values) == len(job.stack.devices)
+        batch = solver.solve_batch(jobs)
+        assert batch.distinct_solves < len(batch)
+        assert np.all(batch.currents > 0.0)
